@@ -1,0 +1,511 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation, then runs one Bechamel micro-benchmark per
+   artefact.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- tables  # reproduction tables only
+     dune exec bench/main.exe -- bech    # bechamel probes only
+
+   Absolute numbers differ from the paper (its designs are 100x larger
+   and ran on proprietary multi-threaded tooling); the shapes — merge
+   factors, STA runtime reduction, conformity — are the reproduction
+   target. EXPERIMENTS.md records paper-vs-measured. *)
+
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Context = Mm_timing.Context
+module Sta = Mm_timing.Sta
+module Tab = Mm_util.Tab
+module Stat = Mm_util.Stat
+module Pc = Mm_workload.Paper_circuit
+module Presets = Mm_workload.Presets
+module Prelim = Mm_core.Prelim
+module Refine = Mm_core.Refine
+module Compare = Mm_core.Compare
+module Merge_flow = Mm_core.Merge_flow
+module Report = Mm_core.Report
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 and Figure 1: the example circuit and its relationships     *)
+
+let table1 () =
+  section "Table 1: timing relationships (Constraint Set 1, Figure 1 circuit)";
+  let d = Pc.build () in
+  let mode = Pc.constraint_set1 d in
+  let ctx = Context.create d mode in
+  let rels = Mm_core.Relation_prop.endpoint_relations ctx in
+  Tab.print (Report.relations_table d rels)
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2-4: the 3-pass comparison on Constraint Set 6               *)
+
+let tables234 () =
+  let d = Pc.build () in
+  let a, b = Pc.constraint_set6 d in
+  let prelim = Prelim.merge ~name:"A+B" [ a; b ] in
+  let sides =
+    List.map
+      (fun (m : Mode.t) ->
+        {
+          Compare.ctx = Context.create d m;
+          rename = Prelim.rename_of prelim m.Mode.mode_name;
+        })
+      [ a; b ]
+  in
+  let merged_ctx = Context.create d prelim.Prelim.merged in
+  let cmp = Compare.run ~individual:sides ~merged:merged_ctx in
+  section "Table 2: pass-1 timing relationship comparison (Constraint Set 6)";
+  Tab.print (Report.pass1_table d cmp.Compare.pass1);
+  section "Table 3: pass-2 timing relationship comparison";
+  Tab.print (Report.pass2_table d cmp.Compare.pass2);
+  section "Table 4: pass-3 timing relationship comparison";
+  Tab.print (Report.pass3_table d cmp.Compare.pass3);
+  Printf.printf "\nConstraints added to the merged mode (paper's CSTR1-3):\n%s\n"
+    (Report.fixes_text d cmp.Compare.fixes)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the mergeability graph                                    *)
+
+let figure2 () =
+  section "Figure 2: mergeability graph and greedy cliques";
+  (* A 9-mode suite in 3 families, mirroring the figure's M1-M3. *)
+  let params =
+    {
+      Mm_workload.Gen_design.default_params with
+      Mm_workload.Gen_design.seed = 33;
+      regs_per_domain = 32;
+      stages = 3;
+      combo_depth = 2;
+    }
+  in
+  let design, info = Mm_workload.Gen_design.generate params in
+  let suite =
+    {
+      Mm_workload.Gen_modes.sp_seed = 34;
+      families = [ 4; 3; 2 ];
+      base_period = 2.0;
+      scan_family = true;
+    }
+  in
+  let modes = Mm_workload.Gen_modes.generate design info suite in
+  let merg = Mm_core.Mergeability.analyze modes in
+  print_string (Report.mergeability_text merg)
+
+(* ------------------------------------------------------------------ *)
+(* Tables 5 and 6: designs A-F                                         *)
+
+type design_run = {
+  dr_preset : Presets.preset;
+  dr_cells : int;
+  dr_flow : Merge_flow.result;
+  dr_sta_ind : float;
+  dr_sta_mrg : float;
+  dr_conformity : float;
+  dr_all_equivalent : bool;
+}
+
+let run_design (p : Presets.preset) =
+  let design, _info, modes = Presets.build p in
+  let flow = Merge_flow.run modes in
+  let time f =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    r, Unix.gettimeofday () -. t0
+  in
+  let ind_reports, sta_ind =
+    time (fun () -> List.map (fun m -> Sta.analyze design m) modes)
+  in
+  let mrg_reports, sta_mrg =
+    time (fun () ->
+        List.map (fun m -> Sta.analyze design m) (Merge_flow.merged_modes flow))
+  in
+  let conformity =
+    Sta.conformity ~individual:ind_reports ~merged:mrg_reports
+      ~tolerance_frac:0.01
+  in
+  let all_equivalent =
+    List.for_all
+      (fun (g : Merge_flow.group) ->
+        match g.Merge_flow.grp_equiv with
+        | Some e -> e.Mm_core.Equiv.equivalent
+        | None -> true)
+      flow.Merge_flow.groups
+  in
+  {
+    dr_preset = p;
+    dr_cells = Design.n_insts design;
+    dr_flow = flow;
+    dr_sta_ind = sta_ind;
+    dr_sta_mrg = sta_mrg;
+    dr_conformity = conformity;
+    dr_all_equivalent = all_equivalent;
+  }
+
+let tables56 () =
+  let runs = List.map run_design Presets.all in
+  section "Table 5: mode reduction and merging runtime (designs A-F)";
+  Printf.printf
+    "(sizes are the paper's designs scaled ~1:100; paper columns shown for \
+     comparison)\n";
+  let t5 =
+    Tab.create
+      ~aligns:
+        [ Tab.Left; Tab.Right; Tab.Right; Tab.Right; Tab.Right; Tab.Right;
+          Tab.Right; Tab.Right; Tab.Right ]
+      [
+        "Design"; "Cells"; "# Individual"; "# Merged"; "% Reduction";
+        "Merge Runtime (s)"; "Paper # Ind"; "Paper # Mrg"; "Paper % Red";
+      ]
+  in
+  List.iter
+    (fun r ->
+      let p = r.dr_preset in
+      Tab.add_row t5
+        [
+          p.Presets.pr_name;
+          string_of_int r.dr_cells;
+          string_of_int r.dr_flow.Merge_flow.n_individual;
+          string_of_int r.dr_flow.Merge_flow.n_merged;
+          Stat.fmt_f1 r.dr_flow.Merge_flow.reduction_percent;
+          Stat.fmt_time_s r.dr_flow.Merge_flow.runtime_s;
+          string_of_int p.Presets.paper_modes;
+          string_of_int p.Presets.paper_merged;
+          Stat.fmt_f1 p.Presets.paper_reduction;
+        ])
+    runs;
+  let avg get = Stat.mean (List.map get runs) in
+  Tab.add_sep t5;
+  Tab.add_row t5
+    [
+      "Average"; ""; ""; "";
+      Stat.fmt_f1 (avg (fun r -> r.dr_flow.Merge_flow.reduction_percent));
+      ""; ""; "";
+      Stat.fmt_f1 (avg (fun r -> r.dr_preset.Presets.paper_reduction));
+    ];
+  Tab.print t5;
+
+  section "Table 6: overall STA runtime reduction and QoR of merged modes";
+  let t6 =
+    Tab.create
+      ~aligns:
+        [ Tab.Left; Tab.Right; Tab.Right; Tab.Right; Tab.Right; Tab.Right;
+          Tab.Right; Tab.Right ]
+      [
+        "Design"; "STA Individual (s)"; "STA Merged (s)"; "% Reduction";
+        "Conformity"; "Equivalent"; "Paper % Red"; "Paper Conf";
+      ]
+  in
+  List.iter
+    (fun r ->
+      let p = r.dr_preset in
+      Tab.add_row t6
+        [
+          p.Presets.pr_name;
+          Stat.fmt_time_s r.dr_sta_ind;
+          Stat.fmt_time_s r.dr_sta_mrg;
+          Stat.fmt_f1 (Stat.reduction_percent r.dr_sta_ind r.dr_sta_mrg);
+          Stat.fmt_f2 r.dr_conformity;
+          string_of_bool r.dr_all_equivalent;
+          Stat.fmt_f1 p.Presets.paper_sta_reduction;
+          Stat.fmt_f2 p.Presets.paper_conformity;
+        ])
+    runs;
+  Tab.add_sep t6;
+  Tab.add_row t6
+    [
+      "Average"; ""; "";
+      Stat.fmt_f1
+        (Stat.mean
+           (List.map
+              (fun r -> Stat.reduction_percent r.dr_sta_ind r.dr_sta_mrg)
+              runs));
+      Stat.fmt_f2 (Stat.mean (List.map (fun r -> r.dr_conformity) runs));
+      "";
+      Stat.fmt_f1
+        (Stat.mean (List.map (fun r -> r.dr_preset.Presets.paper_sta_reduction) runs));
+      Stat.fmt_f2
+        (Stat.mean (List.map (fun r -> r.dr_preset.Presets.paper_conformity) runs));
+    ];
+  Tab.print t6
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: quantify the design choices DESIGN.md calls out          *)
+
+let ablation_refinement () =
+  section "Ablation 1: refinement off (paper section 3.2 disabled)";
+  Printf.printf
+    "Constraint Set 6 merged with preliminary merging only, then with \
+     refinement:\n";
+  let d = Pc.build () in
+  let a, b = Pc.constraint_set6 d in
+  let prelim = Prelim.merge ~name:"A+B" [ a; b ] in
+  let check label merged =
+    let e =
+      Mm_core.Equiv.check ~individual:[ a; b ]
+        ~rename:(Prelim.rename_of prelim) ~merged ()
+    in
+    Printf.printf
+      "  %-22s equivalent=%-5b mismatch buckets=%d remaining fixes=%d\n" label
+      e.Mm_core.Equiv.equivalent e.Mm_core.Equiv.mismatches
+      e.Mm_core.Equiv.remaining_fixes
+  in
+  check "preliminary only:" prelim.Prelim.merged;
+  let refined = Refine.run ~prelim ~individual:[ a; b ] () in
+  check "with refinement:" refined.Refine.refined
+
+let ablation_uniquification () =
+  section "Ablation 2: exception uniquification off (paper section 3.1.10)";
+  let d = Pc.build () in
+  let a, b = Pc.constraint_set4 d in
+  let with_u = Prelim.merge ~name:"M" [ a; b ] in
+  let without_u = Prelim.merge ~uniquify:false ~name:"M" [ a; b ] in
+  Printf.printf
+    "  with uniquification:    %d exception(s) kept, %d dropped, %d conflicts\n"
+    (List.length with_u.Prelim.merged.Mode.exceptions)
+    (List.length with_u.Prelim.dropped_exceptions)
+    (List.length with_u.Prelim.conflicts);
+  Printf.printf
+    "  without uniquification: %d exception(s) kept, %d dropped, %d conflicts\n"
+    (List.length without_u.Prelim.merged.Mode.exceptions)
+    (List.length without_u.Prelim.dropped_exceptions)
+    (List.length without_u.Prelim.conflicts);
+  Printf.printf
+    "  (the dropped MCP becomes a merge conflict: without 3.1.10 these two \
+     modes cannot merge at all)\n"
+
+let ablation_tolerance () =
+  section "Ablation 3: tolerance sweep over the mergeability decision";
+  (* Eight modes whose set_load values form a 1%%-per-step gradient:
+     the tolerance limit directly controls the clique structure. *)
+  let d = Pc.build () in
+  let modes =
+    List.init 8 (fun i ->
+        let src =
+          Printf.sprintf
+            "create_clock -name c -period 10 [get_ports clk1]\nset_load %g [get_ports out1]"
+            (0.0100 *. (1.01 ** float_of_int i))
+        in
+        (Mm_sdc.Resolve.mode_of_string d ~name:(Printf.sprintf "m%d" i) src)
+          .Mm_sdc.Resolve.mode)
+  in
+  let t =
+    Tab.create
+      ~aligns:[ Tab.Right; Tab.Right; Tab.Right ]
+      [ "Tolerance (rel)"; "Merged modes (greedy)"; "Merged modes (exact)" ]
+  in
+  List.iter
+    (fun rel ->
+      let tolerance = Mm_util.Toler.make ~rel () in
+      let greedy =
+        Mm_core.Mergeability.analyze ~tolerance ~strategy:Mm_core.Mergeability.Greedy
+          modes
+      in
+      let exact =
+        Mm_core.Mergeability.analyze ~tolerance ~strategy:Mm_core.Mergeability.Exact
+          modes
+      in
+      Tab.add_row t
+        [
+          Printf.sprintf "%.3f" rel;
+          string_of_int (List.length greedy.Mm_core.Mergeability.cliques);
+          string_of_int (List.length exact.Mm_core.Mergeability.cliques);
+        ])
+    [ 0.0; 0.011; 0.022; 0.045; 0.08 ];
+  Tab.print t;
+  Printf.printf
+    "(wider tolerance admits more value drift into one superset mode)\n"
+
+let ablation_cliques () =
+  section "Ablation 4: greedy vs exact clique cover on random graphs";
+  let rng = Mm_util.Prng.create 4242 in
+  let worse = ref 0 and total = ref 0 and gsum = ref 0 and esum = ref 0 in
+  for _ = 1 to 200 do
+    let n = 10 in
+    let adj = Array.make_matrix n n false in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let e = Mm_util.Prng.int rng 100 < 55 in
+        adj.(i).(j) <- e;
+        adj.(j).(i) <- e
+      done
+    done;
+    let g = List.length (Mm_core.Mergeability.greedy_cliques adj) in
+    let e = List.length (Mm_core.Mergeability.exact_cliques adj) in
+    incr total;
+    gsum := !gsum + g;
+    esum := !esum + e;
+    if g > e then incr worse
+  done;
+  Printf.printf
+    "  200 random 10-mode graphs (55%% edge density):\n\
+    \  greedy avg cover %.2f, exact avg cover %.2f; greedy suboptimal on \
+     %d/%d graphs\n"
+    (float_of_int !gsum /. float_of_int !total)
+    (float_of_int !esum /. float_of_int !total)
+    !worse !total;
+  Printf.printf
+    "  (the paper's greedy choice costs little at realistic mode counts)\n"
+
+let ablations () =
+  ablation_refinement ();
+  ablation_uniquification ();
+  ablation_tolerance ();
+  ablation_cliques ()
+
+(* ------------------------------------------------------------------ *)
+(* Scaling sweep: merge + STA cost vs design size (not a paper table;  *)
+(* quantifies how the implementation scales toward the paper's sizes)  *)
+
+let scale_sweep () =
+  section "Scaling sweep: 3-mode merge and STA vs design size";
+  let t =
+    Tab.create
+      ~aligns:[ Tab.Right; Tab.Right; Tab.Right; Tab.Right; Tab.Right ]
+      [ "Cells"; "Pins"; "Merge (s)"; "STA individual (s)"; "STA merged (s)" ]
+  in
+  List.iter
+    (fun regs ->
+      let params =
+        {
+          Mm_workload.Gen_design.default_params with
+          Mm_workload.Gen_design.seed = 900 + regs;
+          n_domains = 4;
+          regs_per_domain = regs;
+          stages = 5;
+          combo_depth = 5;
+          n_config_pins = 8;
+          n_clock_muxes = 2;
+        }
+      in
+      let design, info = Mm_workload.Gen_design.generate params in
+      let suite =
+        {
+          Mm_workload.Gen_modes.sp_seed = 901;
+          families = [ 3 ];
+          base_period = 1.0;
+          scan_family = false;
+        }
+      in
+      let modes = Mm_workload.Gen_modes.generate design info suite in
+      let time f =
+        Gc.compact ();
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        r, Unix.gettimeofday () -. t0
+      in
+      let flow, t_merge = time (fun () -> Merge_flow.run modes) in
+      let _, t_ind =
+        time (fun () -> List.map (fun m -> Sta.analyze design m) modes)
+      in
+      let _, t_mrg =
+        time (fun () ->
+            List.map (fun m -> Sta.analyze design m) (Merge_flow.merged_modes flow))
+      in
+      Tab.add_row t
+        [
+          string_of_int (Design.n_insts design);
+          string_of_int (Design.n_pins design);
+          Stat.fmt_time_s t_merge;
+          Stat.fmt_time_s t_ind;
+          Stat.fmt_time_s t_mrg;
+        ])
+    [ 350; 700; 1400; 2800; 5600 ];
+  Tab.print t;
+  Printf.printf
+    "(3 modes -> 1 at every size; both phases scale near-linearly in pins)
+"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel probes: one Test.make per paper artefact                   *)
+
+let bechamel_suite () =
+  section "Bechamel micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  (* Pre-built inputs so Test.make measures the algorithm, not setup. *)
+  let d = Pc.build () in
+  let set1 = Pc.constraint_set1 d in
+  let ctx1 = Context.create d set1 in
+  let a6, b6 = Pc.constraint_set6 d in
+  let prelim6 = Prelim.merge ~name:"A+B" [ a6; b6 ] in
+  let sides6 =
+    List.map
+      (fun (m : Mode.t) ->
+        {
+          Compare.ctx = Context.create d m;
+          rename = Prelim.rename_of prelim6 m.Mode.mode_name;
+        })
+      [ a6; b6 ]
+  in
+  let merged6 = Context.create d prelim6.Prelim.merged in
+  let tiny_design, tiny_info, tiny_modes = Presets.build Presets.tiny in
+  ignore tiny_info;
+  let tiny_mode = List.hd tiny_modes in
+  let tiny_ctx = Context.create tiny_design tiny_mode in
+  let tests =
+    [
+      Test.make ~name:"table1_relation_propagation" (Staged.stage (fun () ->
+          ignore (Mm_core.Relation_prop.endpoint_relations ctx1)));
+      Test.make ~name:"table2_3_4_three_pass_compare" (Staged.stage (fun () ->
+          ignore (Compare.run ~individual:sides6 ~merged:merged6)));
+      Test.make ~name:"figure2_mergeability_cliques" (Staged.stage (fun () ->
+          ignore (Mm_core.Mergeability.analyze tiny_modes)));
+      Test.make ~name:"table5_merge_flow" (Staged.stage (fun () ->
+          ignore (Merge_flow.run ~check_equivalence:false tiny_modes)));
+      Test.make ~name:"table6_sta_analysis" (Staged.stage (fun () ->
+          ignore (Sta.analyze ~ctx:tiny_ctx tiny_design tiny_mode)));
+    ]
+  in
+  let measure = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let benchmark test =
+    List.iter
+      (fun elt ->
+        let raw = Benchmark.run cfg [ measure ] elt in
+        let result = Analyze.one ols measure raw in
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+          Printf.printf "  %-42s %12.1f ns/run\n" (Test.Elt.name elt) est
+        | Some _ | None ->
+          Printf.printf "  %-42s (no estimate)\n" (Test.Elt.name elt))
+      (Test.elements test)
+  in
+  List.iter benchmark tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let tables () =
+    table1 ();
+    tables234 ();
+    figure2 ();
+    tables56 ()
+  in
+  match what with
+  | "tables" -> tables ()
+  | "ablations" -> ablations ()
+  | "scale" -> scale_sweep ()
+  | "table1" -> table1 ()
+  | "table2" | "table3" | "table4" | "walkthrough" -> tables234 ()
+  | "figure2" -> figure2 ()
+  | "table5" | "table6" -> tables56 ()
+  | "bech" -> bechamel_suite ()
+  | "all" ->
+    tables ();
+    ablations ();
+    bechamel_suite ()
+  | other ->
+    Printf.eprintf
+      "unknown target %s (use \
+       tables|table1|table2|figure2|table5|ablations|scale|bech|all)\n"
+      other;
+    exit 1

@@ -1,0 +1,337 @@
+(* modemerge: automated SDC mode merging from the command line.
+
+   Subcommands:
+     merge      merge N SDC mode files against a netlist
+     sta        run wire-load-model STA (+ worst paths, DRC, corners)
+     relations  print Table-1 style timing relationships
+     lint       constraint-quality checks for each mode
+     check      equivalence-check a merged mode against individuals
+     gen        emit a synthetic design + mode suite to a directory
+
+   Netlists may be the text format (.nl) or structural Verilog (.v);
+   a Liberty file supplies custom cells via --liberty. *)
+
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Resolve = Mm_sdc.Resolve
+module Context = Mm_timing.Context
+module Sta = Mm_timing.Sta
+module Merge_flow = Mm_core.Merge_flow
+open Cmdliner
+
+let cell_finder liberty =
+  match liberty with
+  | None -> Mm_netlist.Library.find
+  | Some path ->
+    let lib =
+      try Mm_netlist.Liberty.load_file path
+      with Mm_netlist.Liberty.Parse_error { line; msg } ->
+        Printf.eprintf "error in %s:%d: %s\n" path line msg;
+        exit 1
+    in
+    fun name ->
+      (match
+         List.find_opt
+           (fun c -> c.Mm_netlist.Lib_cell.cell_name = name)
+           lib.Mm_netlist.Liberty.cells
+       with
+      | Some c -> Some c
+      | None -> Mm_netlist.Library.find name)
+
+let read_design ?liberty path =
+  try
+    if Filename.check_suffix path ".v" then
+      Mm_netlist.Verilog.read_file ~lib:(cell_finder liberty) path
+    else Mm_netlist.Netlist_io.read_file path
+  with
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Mm_netlist.Verilog.Error { line; msg } ->
+    Printf.eprintf "error in %s:%d: %s\n" path line msg;
+    exit 1
+
+let mode_name_of_path path = Filename.remove_extension (Filename.basename path)
+
+let load_mode design path =
+  let name = mode_name_of_path path in
+  match Resolve.mode_of_file design ~name path with
+  | r ->
+    List.iter (Printf.eprintf "warning(%s): %s\n" name) r.Resolve.warnings;
+    r.Resolve.mode
+  | exception Mm_sdc.Parser.Error msg ->
+    Printf.eprintf "error in %s: %s\n" path msg;
+    exit 1
+  | exception Mm_sdc.Lexer.Error { line; msg } ->
+    Printf.eprintf "error in %s:%d: %s\n" path line msg;
+    exit 1
+
+let netlist_arg =
+  let doc = "Netlist file: .v structural Verilog or the .nl text format." in
+  Arg.(required & opt (some file) None & info [ "n"; "netlist" ] ~doc)
+
+let liberty_arg =
+  let doc = "Liberty (.lib) file providing additional cells." in
+  Arg.(value & opt (some file) None & info [ "liberty" ] ~doc)
+
+let sdc_args =
+  let doc = "SDC mode files." in
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"SDC" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let merge_cmd =
+  let outdir =
+    let doc = "Directory for the merged SDC files (created if missing)." in
+    Arg.(value & opt string "merged_out" & info [ "o"; "out" ] ~doc)
+  in
+  let run netlist liberty sdcs outdir =
+    let design = read_design ?liberty netlist in
+    let modes = List.map (load_mode design) sdcs in
+    let result = Merge_flow.run modes in
+    print_string (Mm_core.Report.mergeability_text result.Merge_flow.mergeability);
+    Printf.printf "Merged %d modes into %d (%.1f%% reduction) in %.2fs\n"
+      result.Merge_flow.n_individual result.Merge_flow.n_merged
+      result.Merge_flow.reduction_percent result.Merge_flow.runtime_s;
+    if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+    List.iteri
+      (fun i (g : Merge_flow.group) ->
+        let mode = g.Merge_flow.grp_mode in
+        let path =
+          Filename.concat outdir (Printf.sprintf "merged_%d.sdc" i)
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Mode.to_sdc mode));
+        Printf.printf "  group [%s] -> %s%s\n"
+          (String.concat ", " g.Merge_flow.grp_members)
+          path
+          (match g.Merge_flow.grp_equiv with
+          | Some e when e.Mm_core.Equiv.equivalent -> " (validated equivalent)"
+          | Some e ->
+            Printf.sprintf " (NOT equivalent: %d mismatches)"
+              e.Mm_core.Equiv.mismatches
+          | None -> ""))
+      result.Merge_flow.groups;
+    if
+      List.exists
+        (fun (g : Merge_flow.group) ->
+          match g.Merge_flow.grp_equiv with
+          | Some e -> not e.Mm_core.Equiv.equivalent
+          | None -> false)
+        result.Merge_flow.groups
+    then exit 2
+  in
+  let info =
+    Cmd.info "merge" ~doc:"Merge SDC timing modes into superset modes."
+  in
+  Cmd.v info Term.(const run $ netlist_arg $ liberty_arg $ sdc_args $ outdir)
+
+let sta_cmd =
+  let paths_arg =
+    Arg.(value & opt int 0 & info [ "paths" ] ~doc:"Print the N worst paths.")
+  in
+  let corner_conv =
+    Arg.enum
+      [ "typical", Mm_timing.Corner.typical; "slow", Mm_timing.Corner.slow;
+        "fast", Mm_timing.Corner.fast ]
+  in
+  let corner_arg =
+    Arg.(
+      value
+      & opt corner_conv Mm_timing.Corner.typical
+      & info [ "corner" ] ~doc:"PVT corner: typical, slow or fast.")
+  in
+  let run netlist liberty sdcs paths corner =
+    let design = read_design ?liberty netlist in
+    List.iter
+      (fun path ->
+        let mode = load_mode design path in
+        let ctx = Context.create design mode in
+        let report = Sta.analyze ~ctx ~corner design mode in
+        Printf.printf "mode %s @ %s: %d endpoints, %d tags, %.3fs\n"
+          report.Sta.rep_mode corner.Mm_timing.Corner.corner_name
+          (List.length report.Sta.rep_slacks)
+          report.Sta.rep_n_tags report.Sta.rep_runtime;
+        List.iter
+          (fun (v : Sta.drc_violation) ->
+            Printf.printf "  DRC %s on %s: %.4f > limit %.4f\n"
+              (match v.Sta.drv_kind with
+              | Mm_sdc.Ast.Max_transition -> "max_transition"
+              | Mm_sdc.Ast.Max_capacitance -> "max_capacitance")
+              (Design.pin_name design v.Sta.drv_pin)
+              v.Sta.drv_actual v.Sta.drv_limit)
+          report.Sta.rep_drc;
+        let worst = Sta.worst_setup_by_endpoint report in
+        let sorted =
+          List.sort (fun (_, a) (_, b) -> Float.compare a b) worst
+        in
+        List.iteri
+          (fun i (pin, slack) ->
+            if i < 10 then
+              Printf.printf "  %-30s %+8.3f\n" (Design.pin_name design pin) slack)
+          sorted;
+        if paths > 0 then
+          List.iter
+            (fun p -> print_string (Sta.path_to_string design p))
+            (Sta.worst_paths ~ctx ~corner ~n:paths design mode))
+      sdcs
+  in
+  let info =
+    Cmd.info "sta"
+      ~doc:"Run wire-load-model STA on each mode (slacks, DRC, worst paths)."
+  in
+  Cmd.v info
+    Term.(const run $ netlist_arg $ liberty_arg $ sdc_args $ paths_arg $ corner_arg)
+
+let lint_cmd =
+  let run netlist liberty sdcs =
+    let design = read_design ?liberty netlist in
+    let dirty = ref false in
+    List.iter
+      (fun path ->
+        let mode = load_mode design path in
+        let ctx = Context.create design mode in
+        let findings = Mm_core.Lint.run ctx in
+        Printf.printf "mode %s: %d finding(s)\n" mode.Mode.mode_name
+          (List.length findings);
+        if findings <> [] then begin
+          dirty := true;
+          print_endline (Mm_core.Lint.to_string findings)
+        end)
+      sdcs;
+    if !dirty then exit 1
+  in
+  let info =
+    Cmd.info "lint" ~doc:"Constraint-quality checks for each mode."
+  in
+  Cmd.v info Term.(const run $ netlist_arg $ liberty_arg $ sdc_args)
+
+let relations_cmd =
+  let run netlist liberty sdcs =
+    let design = read_design ?liberty netlist in
+    List.iter
+      (fun path ->
+        let mode = load_mode design path in
+        let ctx = Context.create design mode in
+        let rels = Mm_core.Relation_prop.endpoint_relations ctx in
+        Mm_util.Tab.print
+          ~title:(Printf.sprintf "Timing relationships of %s" mode.Mode.mode_name)
+          (Mm_core.Report.relations_table design rels))
+      sdcs
+  in
+  let info =
+    Cmd.info "relations"
+      ~doc:"Print per-endpoint timing relationships (paper Table 1 style)."
+  in
+  Cmd.v info Term.(const run $ netlist_arg $ liberty_arg $ sdc_args)
+
+let check_cmd =
+  let merged_arg =
+    let doc = "The merged-mode SDC to validate." in
+    Arg.(required & opt (some file) None & info [ "m"; "merged" ] ~doc)
+  in
+  let run netlist liberty merged sdcs =
+    let design = read_design ?liberty netlist in
+    let merged_mode = load_mode design merged in
+    let individuals = List.map (load_mode design) sdcs in
+    let report =
+      Mm_core.Equiv.check ~individual:individuals
+        ~rename:(fun _mode clock -> clock)
+        ~merged:merged_mode ()
+    in
+    Printf.printf "equivalent: %b (%d mismatches, %d unsound, %d pessimistic)\n"
+      report.Mm_core.Equiv.equivalent report.Mm_core.Equiv.mismatches
+      (List.length report.Mm_core.Equiv.unsound)
+      (List.length report.Mm_core.Equiv.pessimistic);
+    List.iter (Printf.printf "  %s\n") report.Mm_core.Equiv.unsound;
+    List.iter (Printf.printf "  %s\n") report.Mm_core.Equiv.pessimistic;
+    if not report.Mm_core.Equiv.equivalent then exit 2
+  in
+  let info =
+    Cmd.info "check"
+      ~doc:
+        "Equivalence-check a merged mode against individual modes (clock \
+         names must already coincide)."
+  in
+  Cmd.v info Term.(const run $ netlist_arg $ liberty_arg $ merged_arg $ sdc_args)
+
+let gen_cmd =
+  let outdir =
+    let doc = "Output directory." in
+    Arg.(value & opt string "gen_out" & info [ "o"; "out" ] ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let domains =
+    Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Clock domains.")
+  in
+  let regs =
+    Arg.(value & opt int 64 & info [ "regs" ] ~doc:"Registers per domain.")
+  in
+  let families =
+    Arg.(
+      value
+      & opt (list int) [ 3; 2 ]
+      & info [ "families" ] ~doc:"Modes per mergeable family, e.g. 3,2.")
+  in
+  let run outdir seed domains regs families =
+    let params =
+      {
+        Mm_workload.Gen_design.default_params with
+        Mm_workload.Gen_design.seed;
+        n_domains = domains;
+        regs_per_domain = regs;
+      }
+    in
+    let design, info = Mm_workload.Gen_design.generate params in
+    if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+    let npath = Filename.concat outdir "design.nl" in
+    Mm_netlist.Netlist_io.write_file npath design;
+    Mm_netlist.Verilog.write_file (Filename.concat outdir "design.v") design;
+    let oc = open_out (Filename.concat outdir "cells.lib") in
+    output_string oc (Mm_netlist.Liberty.builtin_liberty ());
+    close_out oc;
+    Printf.printf "wrote %s (+ design.v, cells.lib) (%s)\n" npath
+      (Mm_netlist.Stats.to_string (Mm_netlist.Stats.of_design design));
+    let suite =
+      {
+        Mm_workload.Gen_modes.sp_seed = seed + 1;
+        families;
+        base_period = 2.0;
+        scan_family = true;
+      }
+    in
+    List.iteri
+      (fun family n ->
+        for index = 0 to n - 1 do
+          let sdc =
+            Mm_workload.Gen_modes.sdc_of_mode_spec info suite ~family ~index
+          in
+          let path =
+            Filename.concat outdir (Printf.sprintf "m%d_%d.sdc" family index)
+          in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc sdc);
+          Printf.printf "wrote %s\n" path
+        done)
+      families
+  in
+  let info =
+    Cmd.info "gen" ~doc:"Generate a synthetic design and mode suite."
+  in
+  Cmd.v info Term.(const run $ outdir $ seed $ domains $ regs $ families)
+
+let () =
+  let info =
+    Cmd.info "modemerge" ~version:"1.0.0"
+      ~doc:"Timing-graph based SDC mode merging (DAC'15 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ merge_cmd; sta_cmd; relations_cmd; lint_cmd; check_cmd; gen_cmd ]))

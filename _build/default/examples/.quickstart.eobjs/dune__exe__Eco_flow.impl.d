@@ -1,0 +1,1 @@
+examples/eco_flow.ml: Float List Mm_core Mm_netlist Mm_timing Mm_util Mm_workload Printf Unix

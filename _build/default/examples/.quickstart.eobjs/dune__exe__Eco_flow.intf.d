@@ -1,0 +1,1 @@
+examples/eco_flow.mli:

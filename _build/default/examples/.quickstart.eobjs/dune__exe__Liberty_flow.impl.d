@@ -1,0 +1,1 @@
+examples/liberty_flow.ml: List Mm_core Mm_netlist Mm_sdc Mm_timing Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mm_core Mm_netlist Mm_sdc Mm_timing Mm_util Mm_workload Printf

@@ -1,0 +1,1 @@
+examples/scan_merge.ml: Array Hashtbl List Mm_core Mm_sdc Mm_workload Printf String

@@ -1,0 +1,1 @@
+examples/soc_flow.ml: List Mm_core Mm_netlist Mm_timing Mm_util Mm_workload Printf String Unix

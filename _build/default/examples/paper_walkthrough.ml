@@ -1,0 +1,111 @@
+(* Walkthrough of the paper's Constraint Sets 2-6 on the Figure-1
+   circuit: clock union, clock-attribute merging, clock refinement,
+   exception uniquification, data refinement, and the 3-pass
+   comparison with Tables 2-4.
+
+   dune exec examples/paper_walkthrough.exe *)
+
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Context = Mm_timing.Context
+module Pc = Mm_workload.Paper_circuit
+module Prelim = Mm_core.Prelim
+module Refine = Mm_core.Refine
+module Compare = Mm_core.Compare
+module Report = Mm_core.Report
+
+let section title = Printf.printf "\n==== %s ====\n" title
+
+let show_sdc label mode =
+  Printf.printf "%s:\n%s\n" label (Mode.to_sdc mode)
+
+let () =
+  let d = Pc.build () in
+
+  section "Constraint Set 2: union of clocks, merged clock attributes";
+  let a, b = Pc.constraint_set2 d in
+  let prelim = Prelim.merge ~name:"A+B" [ a; b ] in
+  List.iter
+    (fun (c : Mode.clock) ->
+      Printf.printf "  merged clock %-8s period %-4g (from %s)\n"
+        c.Mode.clk_name c.Mode.period
+        (String.concat ","
+           (List.map (Design.pin_name d) c.Mode.sources)))
+    prelim.Prelim.merged.Mode.clocks;
+  List.iter
+    (fun (name, (attr : Mode.clock_attr)) ->
+      Option.iter
+        (Printf.printf "  %s source latency min = %g (min of 1.0 and 0.98)\n" name)
+        attr.Mode.src_latency_min)
+    prelim.Prelim.merged.Mode.attrs;
+
+  section "Constraint Set 3: clock refinement after conflicting case analysis";
+  let a, b = Pc.constraint_set3 d in
+  let prelim = Prelim.merge ~name:"A+B" [ a; b ] in
+  Printf.printf "  dropped case statements: %d\n"
+    (List.length prelim.Prelim.dropped_cases);
+  Printf.printf "  inferred set_disable_timing: %s\n"
+    (String.concat ", "
+       (List.map (Design.pin_name d) prelim.Prelim.inferred_disables));
+  List.iter
+    (fun (c, p) ->
+      Printf.printf
+        "  inferred set_clock_sense -stop_propagation -clock %s at %s\n" c
+        (Design.pin_name d p))
+    prelim.Prelim.inferred_senses;
+  show_sdc "  merged mode A+B" prelim.Prelim.merged;
+
+  section "Constraint Set 4: exception uniquification";
+  let a, b = Pc.constraint_set4 d in
+  let prelim = Prelim.merge ~name:"A'+B" [ a; b ] in
+  List.iter
+    (fun (mn, e) ->
+      Printf.printf "  exception of mode %s uniquified to: %s\n" mn
+        (Mm_sdc.Writer.write_command (Mode.commands_of_exc d e)))
+    prelim.Prelim.uniquified;
+
+  section "Constraint Set 5: data refinement (stop clock in data network)";
+  let a, b = Pc.constraint_set5 d in
+  let prelim = Prelim.merge ~name:"A+B" [ a; b ] in
+  let refine = Refine.run ~prelim ~individual:[ a; b ] () in
+  List.iter
+    (fun (c, p) ->
+      Printf.printf "  added: set_false_path -from [get_clocks %s] -through %s\n"
+        c (Design.pin_name d p))
+    refine.Refine.data_clock_fixes;
+  show_sdc "  final merged mode A+B" refine.Refine.refined;
+
+  section "Constraint Set 6: the 3-pass comparison (Tables 2-4)";
+  let a, b = Pc.constraint_set6 d in
+  let prelim = Prelim.merge ~name:"A+B" [ a; b ] in
+  Printf.printf
+    "  false paths common to both modes: %d; dropped for refinement: %d\n"
+    (List.length prelim.Prelim.merged.Mode.exceptions)
+    (List.length prelim.Prelim.dropped_exceptions);
+  let sides =
+    List.map
+      (fun (m : Mode.t) ->
+        {
+          Compare.ctx = Context.create d m;
+          rename = Prelim.rename_of prelim m.Mode.mode_name;
+        })
+      [ a; b ]
+  in
+  let merged_ctx = Context.create d prelim.Prelim.merged in
+  let cmp = Compare.run ~individual:sides ~merged:merged_ctx in
+  Mm_util.Tab.print ~title:"Table 2: pass-1 comparison"
+    (Report.pass1_table d cmp.Compare.pass1);
+  Mm_util.Tab.print ~title:"Table 3: pass-2 comparison"
+    (Report.pass2_table d cmp.Compare.pass2);
+  Mm_util.Tab.print ~title:"Table 4: pass-3 comparison"
+    (Report.pass3_table d cmp.Compare.pass3);
+  Printf.printf "Constraints added to the merged mode:\n%s\n"
+    (Report.fixes_text d cmp.Compare.fixes);
+  let refine = Refine.run ~prelim ~individual:[ a; b ] () in
+  let equiv =
+    Mm_core.Equiv.check ~individual:[ a; b ]
+      ~rename:(Prelim.rename_of prelim)
+      ~merged:refine.Refine.refined ()
+  in
+  Printf.printf "Validation: merged mode equivalent to individuals: %b\n"
+    equiv.Mm_core.Equiv.equivalent

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Array Float Hashtbl Int List Map Mm_netlist Mm_sdc Mm_timing Option Printf Queue Relation Relation_prop Stdlib String

@@ -1,0 +1,1 @@
+lib/core/compare.mli: Mm_netlist Mm_sdc Mm_timing

@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Compare Format Hashtbl List Mm_sdc Mm_timing

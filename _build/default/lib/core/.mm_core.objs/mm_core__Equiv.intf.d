@@ -1,0 +1,1 @@
+lib/core/equiv.mli: Compare Format Hashtbl Mm_sdc Mm_timing

@@ -1,0 +1,1 @@
+lib/core/lint.ml: List Mm_netlist Mm_sdc Mm_timing Printf String

@@ -1,0 +1,1 @@
+lib/core/merge_flow.ml: Equiv Hashtbl List Mergeability Mm_sdc Mm_util Prelim Printf Refine Unix

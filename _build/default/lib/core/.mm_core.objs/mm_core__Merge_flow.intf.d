@@ -1,0 +1,1 @@
+lib/core/merge_flow.mli: Equiv Mergeability Mm_sdc Mm_util Prelim Refine

@@ -1,0 +1,1 @@
+lib/core/mergeability.ml: Array Fun Hashtbl List Mm_netlist Mm_sdc Mm_timing Prelim Printf

@@ -1,0 +1,1 @@
+lib/core/mergeability.mli: Hashtbl Mm_sdc Mm_timing Mm_util

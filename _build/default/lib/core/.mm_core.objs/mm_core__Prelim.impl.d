@@ -1,0 +1,1 @@
+lib/core/prelim.ml: Array Bool Float Fun Hashtbl List Mm_netlist Mm_sdc Mm_timing Mm_util Option Printf String

@@ -1,0 +1,1 @@
+lib/core/prelim.mli: Hashtbl Mm_netlist Mm_sdc Mm_timing Mm_util

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Compare Hashtbl List Mm_netlist Mm_sdc Mm_timing Option Prelim Relation_prop

@@ -1,0 +1,1 @@
+lib/core/refine.mli: Compare Hashtbl Mm_netlist Mm_sdc Mm_timing Prelim

@@ -1,0 +1,1 @@
+lib/core/relation.ml: Int List Mm_sdc Mm_timing Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/relation.mli: Mm_sdc Mm_timing

@@ -1,0 +1,1 @@
+lib/core/relation_prop.ml: Array List Mm_netlist Mm_sdc Mm_timing Option Queue Relation

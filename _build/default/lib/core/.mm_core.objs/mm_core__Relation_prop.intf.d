@@ -1,0 +1,1 @@
+lib/core/relation_prop.mli: Mm_netlist Mm_sdc Mm_timing Relation

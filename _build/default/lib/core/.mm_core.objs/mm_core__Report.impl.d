@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Compare List Merge_flow Mergeability Mm_netlist Mm_sdc Mm_timing Mm_util Printf Relation String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Compare Merge_flow Mergeability Mm_netlist Mm_util Relation

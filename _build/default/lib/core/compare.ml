@@ -1,0 +1,691 @@
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Graph = Mm_timing.Graph
+module Context = Mm_timing.Context
+module Cs = Mm_timing.Constraint_state
+
+type verdict = Match | Mismatch | Ambiguous
+
+let verdict_to_string = function Match -> "M" | Mismatch -> "X" | Ambiguous -> "A"
+
+type bucket = {
+  bk_launch : string;
+  bk_capture : string;
+  bk_edge : Mode.edge_sel;
+  bk_ind : (Cs.t * Cs.t) list;
+  bk_mrg : (Cs.t * Cs.t) list;
+  bk_verdict : verdict;
+}
+
+type pass1_row = { p1_ep : Design.pin_id; p1_bucket : bucket }
+
+type pass2_row = {
+  p2_sp : Design.pin_id;
+  p2_ep : Design.pin_id;
+  p2_bucket : bucket;
+}
+
+type pass3_row = {
+  p3_sp : Design.pin_id;
+  p3_through : Design.pin_id;
+  p3_ep : Design.pin_id;
+  p3_bucket : bucket;
+}
+
+type fix = { fix_exc : Mode.exc; fix_reason : string }
+
+type result = {
+  pass1 : pass1_row list;
+  pass2 : pass2_row list;
+  pass3 : pass3_row list;
+  fixes : fix list;
+  unsound : string list;
+  pessimism : string list;
+}
+
+type side = { ctx : Context.t; rename : string -> string }
+
+let states_to_string pairs =
+  let setups = List.sort_uniq Cs.compare (List.map fst pairs) in
+  let by_rank a b = Int.compare (Cs.rank b) (Cs.rank a) in
+  match setups with
+  | [] -> "-"
+  | _ -> String.concat ", " (List.map Cs.to_string (List.sort by_rank setups))
+
+(* ------------------------------------------------------------------ *)
+(* State union semantics                                               *)
+
+(* A state "times" the path when the path participates in analysis. *)
+let times = function
+  | Cs.Valid | Cs.Multicycle _ | Cs.Max_delay_bound _ | Cs.Min_delay_bound _ ->
+    true
+  | Cs.False_path | Cs.Disabled -> false
+
+(* Multi-mode sign-off requirement of two per-mode states of the same
+   path: if either mode times the path, the path is timed, at the
+   tightest requirement either mode imposes. *)
+let union_state a b =
+  match times a, times b with
+  | false, false -> Cs.False_path
+  | true, false -> a
+  | false, true -> b
+  | true, true ->
+    if Cs.equal a b then a
+    else begin
+      match a, b with
+      | Cs.Multicycle m, Cs.Multicycle n -> Cs.Multicycle (min m n)
+      | Cs.Max_delay_bound x, Cs.Max_delay_bound y ->
+        Cs.Max_delay_bound (Float.min x y)
+      | Cs.Min_delay_bound x, Cs.Min_delay_bound y ->
+        Cs.Min_delay_bound (Float.max x y)
+      | _ ->
+        (* Mixed kinds: the lower-ranked (more permissive) state wins;
+           a Valid check subsumes a relaxing exception. *)
+        if Cs.rank a <= Cs.rank b then a else b
+    end
+
+let union_pair (sa, ha) (sb, hb) = union_state sa sb, union_state ha hb
+
+(* Effective behaviour of a path bundle: None = not timed at all. *)
+let union_opt a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some p, Some q -> Some (union_pair p q)
+
+(* Reduce one side's state set for a bucket. [fine] forces a reduction
+   at the finest comparison granularity. *)
+let reduce_set ~fine = function
+  | [] -> Some None
+  | [ p ] -> Some (if times (fst p) || times (snd p) then Some p else None)
+  | p :: rest as all ->
+    if fine then
+      Some
+        (List.fold_left
+           (fun acc q -> union_opt acc (Some q))
+           (Some p) rest)
+    else if List.for_all (fun (s, h) -> (not (times s)) && not (times h)) all
+    then Some None
+    else None
+
+type decision =
+  | D_match
+  | D_ambiguous
+  | D_mismatch of {
+      eff_ind : (Cs.t * Cs.t) option;
+      eff_mrg : (Cs.t * Cs.t) option;
+    }
+
+(* [ind_sets]: one state set per individual mode; [mrg_set]: the merged
+   mode's set. *)
+let judge ~fine ind_sets mrg_set =
+  let ind_reduced =
+    List.fold_left
+      (fun acc set ->
+        match acc, reduce_set ~fine set with
+        | Some effs, Some e -> Some (e :: effs)
+        | _, None | None, _ -> None)
+      (Some []) ind_sets
+  in
+  match ind_reduced, reduce_set ~fine mrg_set with
+  | Some effs, Some eff_mrg ->
+    let eff_ind = List.fold_left union_opt None effs in
+    if eff_ind = eff_mrg then D_match else D_mismatch { eff_ind; eff_mrg }
+  | None, _ | _, None -> D_ambiguous
+
+(* ------------------------------------------------------------------ *)
+(* Bucketing                                                           *)
+
+module Key = struct
+  type t = string * string * Mode.edge_sel
+
+  let compare (a1, a2, a3) (b1, b2, b3) =
+    let c = String.compare a1 b1 in
+    if c <> 0 then c
+    else
+      let c = String.compare a2 b2 in
+      if c <> 0 then c else Stdlib.compare a3 b3
+end
+
+module KMap = Map.Make (Key)
+
+(* When any side carries rise/fall-specific relations, polarity-blind
+   (Any_edge) relations on the other sides expand to both polarities so
+   bucket keys line up. An Any_edge relation's state is
+   polarity-independent by construction (its mode has no edge-restricted
+   exception), so the expansion is exact. *)
+let normalize_edge_granularity rel_sides =
+  let sensitive =
+    List.exists
+      (List.exists (fun (r : Relation.t) -> r.Relation.data_edge <> Mode.Any_edge))
+      rel_sides
+  in
+  if not sensitive then rel_sides
+  else
+    List.map
+      (List.concat_map (fun (r : Relation.t) ->
+           match r.Relation.data_edge with
+           | Mode.Any_edge ->
+             [
+               { r with Relation.data_edge = Mode.Rise_edge };
+               { r with Relation.data_edge = Mode.Fall_edge };
+             ]
+           | Mode.Rise_edge | Mode.Fall_edge -> [ r ]))
+      rel_sides
+
+let pairs_of_rels rels =
+  List.fold_left
+    (fun m (r : Relation.t) ->
+      let k = r.Relation.launch, r.Relation.capture, r.Relation.data_edge in
+      let prev = Option.value ~default:[] (KMap.find_opt k m) in
+      KMap.add k ((r.Relation.setup_state, r.Relation.hold_state) :: prev) m)
+    KMap.empty rels
+
+let norm_pairs l = List.sort_uniq compare l
+
+type judged_bucket = { bucket : bucket; decision : decision }
+
+(* [ind_rels]: one relation list per individual mode (already renamed);
+   [mrg_rels]: merged relations. *)
+let make_buckets ~fine ind_rels mrg_rels =
+  let normalized = normalize_edge_granularity (mrg_rels :: ind_rels) in
+  let mrg_rels, ind_rels =
+    match normalized with m :: rest -> m, rest | [] -> assert false
+  in
+  let ind_maps = List.map pairs_of_rels ind_rels in
+  let mrg_map = pairs_of_rels mrg_rels in
+  let keys =
+    List.concat_map (fun m -> KMap.fold (fun k _ acc -> k :: acc) m []) ind_maps
+    @ KMap.fold (fun k _ acc -> k :: acc) mrg_map []
+    |> List.sort_uniq Key.compare
+  in
+  List.map
+    (fun ((launch, capture, edge) as k) ->
+      let ind_sets =
+        List.map
+          (fun m -> norm_pairs (Option.value ~default:[] (KMap.find_opt k m)))
+          ind_maps
+      in
+      let mrg_set = norm_pairs (Option.value ~default:[] (KMap.find_opt k mrg_map)) in
+      let decision = judge ~fine ind_sets mrg_set in
+      let verdict =
+        match decision with
+        | D_match -> Match
+        | D_ambiguous -> Ambiguous
+        | D_mismatch _ -> Mismatch
+      in
+      (* Display: once the union across modes is decidable, show the
+         effective state (the paper's tables show "V" for a path bundle
+         false-pathed in one mode but timed in another); otherwise show
+         the flattened set ("FP, V"). *)
+      let flattened = norm_pairs (List.concat ind_sets) in
+      let shown_ind =
+        match decision with
+        | D_ambiguous -> flattened
+        | D_match | D_mismatch _ -> (
+          let effs = List.filter_map (reduce_set ~fine) ind_sets in
+          match List.fold_left union_opt None effs with
+          | Some p -> [ p ]
+          | None -> if flattened = [] then [] else [ Cs.False_path, Cs.False_path ])
+      in
+      {
+        bucket =
+          {
+            bk_launch = launch;
+            bk_capture = capture;
+            bk_edge = edge;
+            bk_ind = shown_ind;
+            bk_mrg = mrg_set;
+            bk_verdict = verdict;
+          };
+        decision;
+      })
+    keys
+
+(* ------------------------------------------------------------------ *)
+(* Fix generation                                                      *)
+
+let kind_of_state = function
+  | Cs.False_path | Cs.Disabled -> Some Mode.False_path
+  | Cs.Multicycle n -> Some (Mode.Multicycle { mult = n; start = false })
+  | Cs.Max_delay_bound v -> Some (Mode.Max_delay v)
+  | Cs.Min_delay_bound v -> Some (Mode.Min_delay v)
+  | Cs.Valid -> None
+
+(* [a] at least as tight a requirement as [b] (both timing states). *)
+let tighter_or_equal a b =
+  if Cs.equal a b then true
+  else
+    match a, b with
+    | Cs.Valid, Cs.Multicycle _ -> true
+    | Cs.Multicycle m, Cs.Multicycle n -> m <= n
+    | Cs.Max_delay_bound x, Cs.Max_delay_bound y -> x <= y
+    | Cs.Min_delay_bound x, Cs.Min_delay_bound y -> x >= y
+    | _ -> false
+
+(* Resolve one mismatch decision into exceptions to add plus unsound /
+   pessimism diagnostics:
+   - individual doesn't time, merged does       -> fixable (add exception)
+   - individual times, merged checks tighter    -> pessimism (safe)
+   - individual times, merged relaxes or drops  -> unsound
+   Returns (fixes, unsound, pessimism). *)
+let resolve_mismatch ~where ~from_points ~through ~to_points
+    ?(to_edge = Mode.Any_edge) decision =
+  match decision with
+  | D_match | D_ambiguous -> [], [], []
+  | D_mismatch { eff_ind; eff_mrg } ->
+    let eff_or_fp = function
+      | None -> Cs.False_path, Cs.False_path
+      | Some p -> p
+    in
+    let si, hi = eff_or_fp eff_ind and sm, hm = eff_or_fp eff_mrg in
+    let component ~setup ind mrg =
+      if Cs.equal ind mrg then [], [], []
+      else if not (times ind) then begin
+        if times mrg then
+          match kind_of_state ind with
+          | Some kind ->
+            ( [
+                {
+                  fix_exc =
+                    Mode.exc ~setup ~hold:(not setup) ?from_:from_points
+                      ~through ?to_:to_points ~to_edge kind;
+                  fix_reason = where;
+                };
+              ],
+              [],
+              [] )
+          | None -> [], [], []
+        else [], [], []
+      end
+      else if times mrg && tighter_or_equal mrg ind then
+        ( [],
+          [],
+          [
+            Printf.sprintf "pessimistic: %s: merged checks tighter (ind=%s mrg=%s)"
+              where (Cs.to_string ind) (Cs.to_string mrg);
+          ] )
+      else
+        ( [],
+          [
+            Printf.sprintf
+              "unsound: %s: merged relaxes or drops a required check (ind=%s \
+               mrg=%s)"
+              where (Cs.to_string ind) (Cs.to_string mrg);
+          ],
+          [] )
+    in
+    let f1, u1, p1 = component ~setup:true si sm in
+    let f2, u2, p2 = component ~setup:false hi hm in
+    (* Collapse a setup fix and a hold fix of the same kind. *)
+    let fixes =
+      match f1, f2 with
+      | [ a ], [ b ] when a.fix_exc.Mode.exc_kind = b.fix_exc.Mode.exc_kind ->
+        [ { a with fix_exc = { a.fix_exc with Mode.exc_setup = true; exc_hold = true } } ]
+      | _ -> f1 @ f2
+    in
+    fixes, u1 @ u2, p1 @ p2
+
+(* Emit the fixes for all judged buckets of one comparison point — an
+   endpoint (pass 1), a (startpoint, endpoint) pair (pass 2) or a
+   (startpoint, through, endpoint) triple (pass 3); [prefix_pins] are
+   the identifying pins in path order (e.g. [sp] or [sp; t]).
+
+   Granularity is chosen to stay exact: when every bucket of the point
+   mismatches identically, one pin-scoped exception suffices (the
+   paper's CSTR1 pattern). Otherwise the launch clock and, if needed,
+   the capture clock restrict the exception — a capture restriction is
+   encoded as "-through <endpoint pin> -to <capture clock>", which is
+   precise because endpoint pins have no fanout. *)
+let fixes_for_point ~where ~prefix_pins ~ep judged =
+  let mismatches =
+    List.filter (fun jb -> jb.bucket.bk_verdict = Mismatch) judged
+  in
+  match mismatches with
+  | [] -> [], [], []
+  | first :: rest_mismatches ->
+    let uniform l =
+      List.for_all (fun jb -> jb.decision = first.decision) l
+    in
+    let mk ~with_launch ~with_capture jb =
+      let from_points, through =
+        match prefix_pins, with_launch with
+        | [], false -> None, []
+        | [], true -> Some [ Mode.P_clock jb.bucket.bk_launch ], []
+        | sp :: rest, false ->
+          Some [ Mode.P_pin sp ], List.map (fun p -> [ p ]) rest
+        | pins, true ->
+          ( Some [ Mode.P_clock jb.bucket.bk_launch ],
+            List.map (fun p -> [ p ]) pins )
+      in
+      let through, to_points =
+        if with_capture then
+          through @ [ [ ep ] ], Some [ Mode.P_clock jb.bucket.bk_capture ]
+        else through, Some [ Mode.P_pin ep ]
+      in
+      resolve_mismatch ~where ~from_points ~through ~to_points
+        ~to_edge:jb.bucket.bk_edge jb.decision
+    in
+    if List.length mismatches = List.length judged && uniform rest_mismatches
+    then mk ~with_launch:false ~with_capture:false first
+    else begin
+      (* Per launch clock: one exception when that launch's buckets all
+         mismatch identically, else per-bucket capture restriction. *)
+      let launches =
+        List.sort_uniq String.compare
+          (List.map (fun jb -> jb.bucket.bk_launch) judged)
+      in
+      List.fold_left
+        (fun (fs, us, ps) launch ->
+          let group =
+            List.filter (fun jb -> jb.bucket.bk_launch = launch) judged
+          in
+          let group_mismatches =
+            List.filter (fun jb -> jb.bucket.bk_verdict = Mismatch) group
+          in
+          match group_mismatches with
+          | [] -> fs, us, ps
+          | g0 :: _ ->
+            if
+              List.length group_mismatches = List.length group
+              && List.for_all (fun jb -> jb.decision = g0.decision) group
+            then begin
+              let f, u, p = mk ~with_launch:true ~with_capture:false g0 in
+              fs @ f, us @ u, ps @ p
+            end
+            else
+              List.fold_left
+                (fun (fs, us, ps) jb ->
+                  let f, u, p = mk ~with_launch:true ~with_capture:true jb in
+                  fs @ f, us @ u, ps @ p)
+                (fs, us, ps) group_mismatches)
+        ([], [], []) launches
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1                                                              *)
+
+let rename_rels rename rels = List.map (Relation.rename rename) rels
+
+let pass1 ~individual ~(merged : Context.t) =
+  let design = merged.Context.design in
+  let mrg_rels = Relation_prop.endpoint_relations merged in
+  let ind_rels_per_mode =
+    List.map
+      (fun side ->
+        let tbl = Hashtbl.create 256 in
+        List.iter
+          (fun (ep, rels) ->
+            Hashtbl.replace tbl ep (rename_rels side.rename rels))
+          (Relation_prop.endpoint_relations side.ctx);
+        tbl)
+      individual
+  in
+  let rows = ref [] and fixes = ref [] and unsound = ref []
+  and pessimism = ref [] in
+  List.iter
+    (fun (ep, mrels) ->
+      let ind_rels =
+        List.map
+          (fun tbl -> Option.value ~default:[] (Hashtbl.find_opt tbl ep))
+          ind_rels_per_mode
+      in
+      let judged = make_buckets ~fine:false ind_rels mrels in
+      List.iter (fun jb -> rows := { p1_ep = ep; p1_bucket = jb.bucket } :: !rows) judged;
+      let f, u, p =
+        fixes_for_point
+          ~where:(Printf.sprintf "pass1: endpoint %s" (Design.pin_name design ep))
+          ~prefix_pins:[] ~ep judged
+      in
+      fixes := f @ !fixes;
+      unsound := u @ !unsound;
+      pessimism := p @ !pessimism)
+    mrg_rels;
+  List.rev !rows, List.rev !fixes, List.rev !unsound, List.rev !pessimism
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2                                                              *)
+
+let relations_from_sp ctx sp ep ~within ~order ~scratch =
+  let seeds = Relation_prop.seeds_of_startpoint ctx sp in
+  let tags = Relation_prop.propagate ctx ~seeds ~within ~order ~scratch () in
+  Relation_prop.relations_at ctx tags ep
+
+let find_endpoint (ctx : Context.t) pin =
+  List.find_opt
+    (fun ep -> Graph.endpoint_pin ep = pin)
+    ctx.Context.graph.Graph.endpoints
+
+let pass2 ~individual ~(merged : Context.t) ambiguous_eps =
+  let design = merged.Context.design in
+  let rows = ref [] and fixes = ref [] and unsound = ref []
+  and pessimism = ref [] and ambiguous_pairs = ref [] in
+  List.iter
+    (fun ep_pin ->
+      match find_endpoint merged ep_pin with
+      | None -> ()
+      | Some ep ->
+        let prep ctx =
+          let cone = Relation_prop.backward_cone ctx [ ep_pin ] in
+          ( ctx,
+            (cone, Relation_prop.cone_order ctx cone, Relation_prop.create_scratch ctx) )
+        in
+        let cones = prep merged :: List.map (fun side -> prep side.ctx) individual in
+        let in_any_cone pin =
+          List.exists (fun (_, (c, _, _)) -> c.(pin)) cones
+        in
+        let mrg_cone, mrg_order, mrg_scratch = List.assq merged cones in
+        List.iter
+          (fun sp ->
+            let sp_pin = Graph.startpoint_pin sp in
+            if in_any_cone sp_pin then begin
+              let ind_rels =
+                List.map
+                  (fun side ->
+                    let within, order, scratch = List.assq side.ctx cones in
+                    rename_rels side.rename
+                      (relations_from_sp side.ctx sp ep ~within ~order ~scratch))
+                  individual
+              in
+              let mrels =
+                relations_from_sp merged sp ep ~within:mrg_cone ~order:mrg_order
+                  ~scratch:mrg_scratch
+              in
+              if List.for_all (( = ) []) ind_rels && mrels = [] then ()
+              else begin
+                let judged = make_buckets ~fine:false ind_rels mrels in
+                List.iter
+                  (fun jb ->
+                    rows :=
+                      { p2_sp = sp_pin; p2_ep = ep_pin; p2_bucket = jb.bucket }
+                      :: !rows;
+                    if jb.bucket.bk_verdict = Ambiguous then
+                      ambiguous_pairs := (sp, ep) :: !ambiguous_pairs)
+                  judged;
+                let f, u, p =
+                  fixes_for_point
+                    ~where:
+                      (Printf.sprintf "pass2: %s -> %s"
+                         (Design.pin_name design sp_pin)
+                         (Design.pin_name design ep_pin))
+                    ~prefix_pins:[ sp_pin ] ~ep:ep_pin judged
+                in
+                fixes := f @ !fixes;
+                unsound := u @ !unsound;
+                pessimism := p @ !pessimism
+              end
+            end)
+          merged.Context.graph.Graph.startpoints)
+    ambiguous_eps;
+  ( List.rev !rows,
+    List.rev !fixes,
+    List.rev !unsound,
+    List.rev !pessimism,
+    List.sort_uniq compare !ambiguous_pairs )
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3                                                              *)
+
+let cone_and a b = Array.mapi (fun i x -> x && b.(i)) a
+
+let relations_through ctx fwd_tags t ep ~within ~order ~scratch =
+  let at_t = Relation_prop.tags_at fwd_tags t in
+  if at_t = [] then []
+  else
+    let tags =
+      Relation_prop.propagate_raw ctx ~tag_seeds:[ t, at_t ] ~within ~order
+        ~scratch ()
+    in
+    Relation_prop.relations_at ctx tags ep
+
+let successors (ctx : Context.t) pin =
+  List.filter_map
+    (fun aid ->
+      if Mm_timing.Const_prop.enabled ctx.Context.consts aid then
+        Some ctx.Context.graph.Graph.arcs.(aid).Graph.a_dst
+      else None)
+    ctx.Context.graph.Graph.out_arcs.(pin)
+
+let pass3 ~individual ~(merged : Context.t) pairs =
+  let design = merged.Context.design in
+  let rows = ref [] and fixes = ref [] and unsound = ref []
+  and pessimism = ref [] in
+  List.iter
+    (fun (sp, ep) ->
+      let sp_pin = Graph.startpoint_pin sp and ep_pin = Graph.endpoint_pin ep in
+      (* Per-context restriction cone and one forward propagation from
+         the startpoint, reused for every candidate through pin. *)
+      let prepare ctx =
+        let seeds = Relation_prop.seeds_of_startpoint ctx sp in
+        let seed_pins = List.map (fun s -> s.Relation_prop.seed_pin) seeds in
+        if seed_pins = [] then None
+        else begin
+          let cone =
+            cone_and
+              (Relation_prop.forward_cone ctx seed_pins)
+              (Relation_prop.backward_cone ctx [ ep_pin ])
+          in
+          let order = Relation_prop.cone_order ctx cone in
+          (* The forward tags are read for every candidate pin, so they
+             get their own (non-reused) buffer; the second hop reuses a
+             scratch. *)
+          let fwd = Relation_prop.propagate ctx ~seeds ~within:cone ~order () in
+          Some (cone, order, Relation_prop.create_scratch ctx, fwd)
+        end
+      in
+      let mrg_prep = prepare merged in
+      let side_preps =
+        List.filter_map
+          (fun side -> Option.map (fun p -> side, p) (prepare side.ctx))
+          individual
+      in
+      let in_union pin =
+        (match mrg_prep with Some (c, _, _, _) -> c.(pin) | None -> false)
+        || List.exists (fun (_, (c, _, _, _)) -> c.(pin)) side_preps
+      in
+      let visited = Hashtbl.create 32 in
+      let queue = Queue.create () in
+      let push pin =
+        if in_union pin && not (Hashtbl.mem visited pin) then begin
+          Hashtbl.replace visited pin ();
+          Queue.add pin queue
+        end
+      in
+      List.iter push (successors merged sp_pin);
+      List.iter
+        (fun (side, _) -> List.iter push (successors side.ctx sp_pin))
+        side_preps;
+      let budget = ref 2000 in
+      while not (Queue.is_empty queue) && !budget > 0 do
+        decr budget;
+        let t = Queue.take queue in
+        let fine = t = ep_pin in
+        let ind_rels =
+          List.map
+            (fun (side, (cone, order, scratch, fwd)) ->
+              rename_rels side.rename
+                (relations_through side.ctx fwd t ep ~within:cone ~order ~scratch))
+            side_preps
+        in
+        let mrels =
+          match mrg_prep with
+          | Some (cone, order, scratch, fwd) ->
+            relations_through merged fwd t ep ~within:cone ~order ~scratch
+          | None -> []
+        in
+        if List.for_all (( = ) []) ind_rels && mrels = [] then
+          List.iter push (successors merged t)
+        else begin
+          let judged = make_buckets ~fine ind_rels mrels in
+          let any_ambiguous = ref false in
+          List.iter
+            (fun jb ->
+              match jb.bucket.bk_verdict with
+              | Ambiguous -> any_ambiguous := true
+              | Match | Mismatch ->
+                rows :=
+                  { p3_sp = sp_pin; p3_through = t; p3_ep = ep_pin; p3_bucket = jb.bucket }
+                  :: !rows)
+            judged;
+          let f, u, p =
+            fixes_for_point
+              ~where:
+                (Printf.sprintf "pass3: %s -> %s -> %s"
+                   (Design.pin_name design sp_pin)
+                   (Design.pin_name design t)
+                   (Design.pin_name design ep_pin))
+              ~prefix_pins:[ sp_pin; t ] ~ep:ep_pin judged
+          in
+          fixes := f @ !fixes;
+          unsound := u @ !unsound;
+          pessimism := p @ !pessimism;
+          if !any_ambiguous && not fine then begin
+            List.iter push (successors merged t);
+            List.iter
+              (fun (side, _) -> List.iter push (successors side.ctx t))
+              side_preps
+          end
+        end
+      done)
+    pairs;
+  List.rev !rows, List.rev !fixes, List.rev !unsound, List.rev !pessimism
+
+(* ------------------------------------------------------------------ *)
+
+let dedup_fixes fixes =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | f :: rest ->
+      if List.exists (fun g -> Mode.exc_equal g.fix_exc f.fix_exc) acc then
+        go acc rest
+      else go (f :: acc) rest
+  in
+  go [] fixes
+
+let run ~individual ~merged =
+  let p1_rows, p1_fixes, p1_uns, p1_pes = pass1 ~individual ~merged in
+  let ambiguous_eps =
+    List.filter_map
+      (fun r -> if r.p1_bucket.bk_verdict = Ambiguous then Some r.p1_ep else None)
+      p1_rows
+    |> List.sort_uniq compare
+  in
+  let p2_rows, p2_fixes, p2_uns, p2_pes, ambiguous_pairs =
+    pass2 ~individual ~merged ambiguous_eps
+  in
+  let p3_rows, p3_fixes, p3_uns, p3_pes =
+    pass3 ~individual ~merged ambiguous_pairs
+  in
+  {
+    pass1 = p1_rows;
+    pass2 = p2_rows;
+    pass3 = p3_rows;
+    fixes = dedup_fixes (p1_fixes @ p2_fixes @ p3_fixes);
+    unsound = List.sort_uniq compare (p1_uns @ p2_uns @ p3_uns);
+    pessimism = List.sort_uniq compare (p1_pes @ p2_pes @ p3_pes);
+  }
+
+let is_clean r =
+  r.unsound = [] && r.pessimism = []
+  && List.for_all (fun x -> x.p1_bucket.bk_verdict <> Mismatch) r.pass1
+  && List.for_all (fun x -> x.p2_bucket.bk_verdict <> Mismatch) r.pass2
+  && List.for_all (fun x -> x.p3_bucket.bk_verdict <> Mismatch) r.pass3

@@ -1,0 +1,80 @@
+(** The 3-pass timing-relationship comparison (paper section 3.2).
+
+    Pass 1 compares relation sets per endpoint; ambiguous endpoints go
+    to pass 2, which compares per (startpoint, endpoint) pair; ambiguous
+    pairs go to pass 3, which walks the reconvergent cone between the
+    pair and compares per through-pin. Each mismatch yields a fix — an
+    exception to add to the merged mode so it stops timing paths no
+    individual mode times.
+
+    Clock names of individual modes are mapped to merged-mode names via
+    the renaming supplied with each individual context. *)
+
+type verdict = Match | Mismatch | Ambiguous
+
+val verdict_to_string : verdict -> string
+(** ["M"], ["X"], ["A"] as in the paper's tables. *)
+
+(** One comparison bucket: states are (setup, hold) pairs projected from
+    the relation sets of both sides. *)
+type bucket = {
+  bk_launch : string;
+  bk_capture : string;
+  bk_edge : Mm_sdc.Mode.edge_sel;
+      (** data polarity at the endpoint; [Any_edge] unless rise/fall
+          restricted exceptions are in scope *)
+  bk_ind : (Mm_timing.Constraint_state.t * Mm_timing.Constraint_state.t) list;
+  bk_mrg : (Mm_timing.Constraint_state.t * Mm_timing.Constraint_state.t) list;
+  bk_verdict : verdict;
+}
+
+type pass1_row = { p1_ep : Mm_netlist.Design.pin_id; p1_bucket : bucket }
+
+type pass2_row = {
+  p2_sp : Mm_netlist.Design.pin_id;
+  p2_ep : Mm_netlist.Design.pin_id;
+  p2_bucket : bucket;
+}
+
+type pass3_row = {
+  p3_sp : Mm_netlist.Design.pin_id;
+  p3_through : Mm_netlist.Design.pin_id;
+  p3_ep : Mm_netlist.Design.pin_id;
+  p3_bucket : bucket;
+}
+
+type fix = {
+  fix_exc : Mm_sdc.Mode.exc;
+  fix_reason : string;
+}
+
+type result = {
+  pass1 : pass1_row list;
+  pass2 : pass2_row list;
+  pass3 : pass3_row list;
+  fixes : fix list;
+  unsound : string list;
+      (** sign-off accuracy violations: the merged mode fails to check,
+          or relaxes, a path bundle some individual mode times — a
+          correct merge must leave this empty *)
+  pessimism : string list;
+      (** the merged mode checks a bundle more tightly than the
+          individual-mode union requires — safe, but costs QoR
+          conformity (the paper's < 100% Table-6 entries) *)
+}
+
+type side = {
+  ctx : Mm_timing.Context.t;
+  rename : string -> string;
+      (** individual-mode clock name -> merged-mode clock name *)
+}
+
+val run : individual:side list -> merged:Mm_timing.Context.t -> result
+
+val is_clean : result -> bool
+(** No mismatches anywhere, no unsoundness and no pessimism: the strict
+    two-sided equivalence of paper section 2. *)
+
+val states_to_string :
+  (Mm_timing.Constraint_state.t * Mm_timing.Constraint_state.t) list -> string
+(** Setup-state projection in the paper's table style, e.g. ["FP, V"]. *)

@@ -1,0 +1,75 @@
+module Mode = Mm_sdc.Mode
+module Context = Mm_timing.Context
+
+type report = {
+  equivalent : bool;
+  strictly_equivalent : bool;
+  mismatches : int;
+  remaining_fixes : int;
+  ambiguous_final : int;
+  unsound : string list;
+  pessimistic : string list;
+  compare_result : Compare.result;
+}
+
+let check ?ctx_cache ~individual ~rename ~merged () =
+  let design = merged.Mode.design in
+  let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 8 in
+  let ctx_of (m : Mode.t) =
+    match Hashtbl.find_opt ctx_cache m.Mode.mode_name with
+    | Some c -> c
+    | None ->
+      let c = Context.create design m in
+      Hashtbl.replace ctx_cache m.Mode.mode_name c;
+      c
+  in
+  let sides =
+    List.map
+      (fun (m : Mode.t) ->
+        { Compare.ctx = ctx_of m; rename = rename m.Mode.mode_name })
+      individual
+  in
+  let ctx_m = Context.create design merged in
+  let result = Compare.run ~individual:sides ~merged:ctx_m in
+  let count_mismatch verdict_of rows =
+    List.length (List.filter (fun r -> verdict_of r = Compare.Mismatch) rows)
+  in
+  let mismatches =
+    count_mismatch
+      (fun (r : Compare.pass1_row) -> r.Compare.p1_bucket.Compare.bk_verdict)
+      result.Compare.pass1
+    + count_mismatch
+        (fun (r : Compare.pass2_row) -> r.Compare.p2_bucket.Compare.bk_verdict)
+        result.Compare.pass2
+    + count_mismatch
+        (fun (r : Compare.pass3_row) -> r.Compare.p3_bucket.Compare.bk_verdict)
+        result.Compare.pass3
+  in
+  let ambiguous_final =
+    List.length
+      (List.filter
+         (fun (r : Compare.pass3_row) ->
+           r.Compare.p3_bucket.Compare.bk_verdict = Compare.Ambiguous)
+         result.Compare.pass3)
+  in
+  let remaining_fixes = List.length result.Compare.fixes in
+  {
+    equivalent =
+      remaining_fixes = 0 && ambiguous_final = 0
+      && result.Compare.unsound = [];
+    strictly_equivalent = Compare.is_clean result;
+    mismatches;
+    remaining_fixes;
+    ambiguous_final;
+    unsound = result.Compare.unsound;
+    pessimistic = result.Compare.pessimism;
+    compare_result = result;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "equivalent=%b strict=%b mismatches=%d remaining_fixes=%d unsound=%d \
+     pessimistic=%d"
+    r.equivalent r.strictly_equivalent r.mismatches r.remaining_fixes
+    (List.length r.unsound)
+    (List.length r.pessimistic)

@@ -1,0 +1,46 @@
+(** Equivalence checking between a merged mode and its individual modes.
+
+    Implements the paper's definition (section 2) with the sign-off
+    reading of its two directions:
+
+    - {b Optimism} — the merged mode times a path bundle no individual
+      mode times, or relaxes a bundle's requirement. This is a sign-off
+      accuracy violation and the check fails. Operationally: the final
+      comparison still proposes fixes.
+    - {b Pessimism} — the merged mode constrains a bundle that some
+      individual mode times (e.g. a refinement false path whose SDC
+      granularity also covers a valid capture). This is sign-off safe;
+      it shows up as a QoR conformity loss exactly as in the paper's
+      Table 6 (conformity < 100%). Reported but does not fail the
+      check. *)
+
+type report = {
+  equivalent : bool;
+      (** no optimism: the merged mode times exactly the union (up to
+          pessimism) *)
+  strictly_equivalent : bool;
+      (** additionally no pessimism: the two-sided definition holds
+          exactly *)
+  mismatches : int;   (** mismatch buckets across the passes *)
+  remaining_fixes : int;
+      (** fixes the comparison would still add — optimism evidence *)
+  ambiguous_final : int;
+      (** pass-3 buckets still ambiguous (none expected, per paper) *)
+  unsound : string list;
+      (** required checks the merged mode relaxes or drops — must be
+          empty for a sign-off-accurate merge *)
+  pessimistic : string list;  (** over-constraint diagnostics *)
+  compare_result : Compare.result;
+}
+
+val check :
+  ?ctx_cache:(string, Mm_timing.Context.t) Hashtbl.t ->
+  individual:Mm_sdc.Mode.t list ->
+  rename:(string -> string -> string) ->
+  merged:Mm_sdc.Mode.t ->
+  unit ->
+  report
+(** [rename mode_name clock] maps individual clocks to merged names
+    (use {!Prelim.rename_of}). *)
+
+val pp : Format.formatter -> report -> unit

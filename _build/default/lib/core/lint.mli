@@ -1,0 +1,25 @@
+(** Constraint-quality lint for a resolved mode.
+
+    Mode merging inherits whatever is wrong with the inputs, so teams
+    lint constraint sets before merging. These checks cover the classic
+    sign-off completeness questions:
+
+    - [unclocked-register]: a register whose clock pin no clock reaches;
+    - [unconstrained-input]: an input port with no input delay that is
+      neither a clock source nor case-constant;
+    - [unconstrained-output]: an output port without an output delay;
+    - [unused-clock]: a defined clock that clocks no register;
+    - [dead-through]: an exception -through pin that is constant or
+      disabled (the exception can never match);
+    - [cross-domain-unrelated]: a register clocked by several clocks
+      with no clock-group relationship declared. *)
+
+type finding = {
+  lint_kind : string;  (** stable kebab-case id, e.g. ["unclocked-register"] *)
+  lint_msg : string;
+}
+
+val run : Mm_timing.Context.t -> finding list
+(** All findings, grouped by kind in the order listed above. *)
+
+val to_string : finding list -> string

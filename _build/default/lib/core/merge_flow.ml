@@ -1,0 +1,85 @@
+module Mode = Mm_sdc.Mode
+module Stat = Mm_util.Stat
+
+type group = {
+  grp_members : string list;
+  grp_prelim : Prelim.t;
+  grp_refine : Refine.t option;
+  grp_equiv : Equiv.report option;
+  grp_mode : Mode.t;
+}
+
+type result = {
+  groups : group list;
+  mergeability : Mergeability.t;
+  n_individual : int;
+  n_merged : int;
+  reduction_percent : float;
+  runtime_s : float;
+}
+
+let run ?tolerance ?(check_equivalence = true) modes =
+  let t0 = Unix.gettimeofday () in
+  let ctx_cache = Hashtbl.create 32 in
+  let mergeability = Mergeability.analyze ?tolerance ~ctx_cache modes in
+  let cliques = Mergeability.clique_modes mergeability modes in
+  let groups =
+    List.mapi
+      (fun gi members ->
+        let names = List.map (fun (m : Mode.t) -> m.Mode.mode_name) members in
+        let merged_name = Printf.sprintf "merged_%d" gi in
+        match members with
+        | [ single ] ->
+          let prelim =
+            Prelim.merge ?tolerance ~ctx_cache ~name:single.Mode.mode_name
+              [ single ]
+          in
+          {
+            grp_members = names;
+            grp_prelim = prelim;
+            grp_refine = None;
+            grp_equiv = None;
+            grp_mode = single;
+          }
+        | _ ->
+          let prelim = Prelim.merge ?tolerance ~ctx_cache ~name:merged_name members in
+          let refine = Refine.run ~ctx_cache ~prelim ~individual:members () in
+          let equiv =
+            if check_equivalence then
+              Some
+                (Equiv.check ~ctx_cache ~individual:members
+                   ~rename:(Prelim.rename_of prelim)
+                   ~merged:refine.Refine.refined ())
+            else None
+          in
+          {
+            grp_members = names;
+            grp_prelim = prelim;
+            grp_refine = Some refine;
+            grp_equiv = equiv;
+            grp_mode = refine.Refine.refined;
+          })
+      cliques
+  in
+  let n_individual = List.length modes and n_merged = List.length groups in
+  {
+    groups;
+    mergeability;
+    n_individual;
+    n_merged;
+    reduction_percent =
+      Stat.reduction_percent (float_of_int n_individual) (float_of_int n_merged);
+    runtime_s = Unix.gettimeofday () -. t0;
+  }
+
+let merged_modes r = List.map (fun g -> g.grp_mode) r.groups
+
+let summary_row ~design_name ~size_cells r =
+  [
+    design_name;
+    string_of_int size_cells;
+    string_of_int r.n_individual;
+    string_of_int r.n_merged;
+    Stat.fmt_f1 r.reduction_percent;
+    Stat.fmt_time_s r.runtime_s;
+  ]

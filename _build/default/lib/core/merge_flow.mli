@@ -1,0 +1,37 @@
+(** End-to-end mode-merging flow.
+
+    mergeability analysis -> greedy clique cover -> per clique:
+    preliminary merge, refinement, equivalence check. Produces the
+    reduced mode set plus the full per-group evidence, and the summary
+    numbers reported in the paper's Table 5. *)
+
+type group = {
+  grp_members : string list;     (** individual mode names *)
+  grp_prelim : Prelim.t;
+  grp_refine : Refine.t option;  (** None for singleton groups *)
+  grp_equiv : Equiv.report option;
+  grp_mode : Mm_sdc.Mode.t;      (** the mode to use downstream *)
+}
+
+type result = {
+  groups : group list;
+  mergeability : Mergeability.t;
+  n_individual : int;
+  n_merged : int;
+  reduction_percent : float;
+  runtime_s : float;
+}
+
+val run :
+  ?tolerance:Mm_util.Toler.t ->
+  ?check_equivalence:bool ->
+  Mm_sdc.Mode.t list ->
+  result
+(** [check_equivalence] (default true) re-runs the comparison on the
+    final merged mode of each group as independent validation. *)
+
+val merged_modes : result -> Mm_sdc.Mode.t list
+
+val summary_row : design_name:string -> size_cells:int -> result -> string list
+(** Table-5 style row: design, size, #individual, #merged, %reduction,
+    merge runtime. *)

@@ -1,0 +1,193 @@
+module Mode = Mm_sdc.Mode
+module Design = Mm_netlist.Design
+module Context = Mm_timing.Context
+module Clock_prop = Mm_timing.Clock_prop
+module Graph = Mm_timing.Graph
+
+type pair_check = { mergeable : bool; reasons : string list }
+
+(* Clock blocking check: every (register clock pin, clock) live in an
+   individual mode must remain live in the merged mode after clock
+   refinement (the merged clock may be renamed). *)
+let blocked_clocks ctx_cache (prelim : Prelim.t) individual =
+  let design = prelim.Prelim.merged.Mode.design in
+  let ctx_m = Context.create design prelim.Prelim.merged in
+  let reasons = ref [] in
+  List.iter
+    (fun (m : Mode.t) ->
+      let ctx_i : Context.t =
+        match Hashtbl.find_opt ctx_cache m.Mode.mode_name with
+        | Some c -> c
+        | None ->
+          let c = Context.create design m in
+          Hashtbl.replace ctx_cache m.Mode.mode_name c;
+          c
+      in
+      List.iter
+        (function
+          | Graph.Sp_reg { sp_clock; _ } ->
+            let mask = Clock_prop.mask_at ctx_i.Context.clocks sp_clock in
+            for ci = 0 to Clock_prop.n_clocks ctx_i.Context.clocks - 1 do
+              if mask land (1 lsl ci) <> 0 then begin
+                let local = Clock_prop.clock_name ctx_i.Context.clocks ci in
+                let merged_name = Prelim.rename_of prelim m.Mode.mode_name local in
+                let live =
+                  match Clock_prop.clock_index ctx_m.Context.clocks merged_name with
+                  | Some j -> Clock_prop.has_clock ctx_m.Context.clocks sp_clock j
+                  | None -> false
+                in
+                if not live then
+                  reasons :=
+                    Printf.sprintf
+                      "clock %s of mode %s blocked at %s in the merged mode"
+                      local m.Mode.mode_name
+                      (Design.pin_name design sp_clock)
+                    :: !reasons
+              end
+            done
+          | Graph.Sp_port _ -> ())
+        ctx_i.Context.graph.Graph.startpoints)
+    individual;
+  List.rev !reasons
+
+let check_pair ?tolerance ?ctx_cache a b =
+  let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 4 in
+  (* Stage 1: value/tolerance conflicts are detected without any graph
+     work (refinement disabled), which rejects most non-mergeable pairs
+     cheaply — important for the O(N^2) sweep over many modes. *)
+  let quick =
+    Prelim.merge ?tolerance ~max_refine_iters:0 ~ctx_cache ~name:"__mock" [ a; b ]
+  in
+  if quick.Prelim.conflicts <> [] then
+    { mergeable = false; reasons = quick.Prelim.conflicts }
+  else begin
+    (* Stage 2: full mock with clock refinement and the clock-blocking
+       soundness check. *)
+    let prelim =
+      Prelim.merge ?tolerance ~max_refine_iters:3 ~ctx_cache ~name:"__mock"
+        [ a; b ]
+    in
+    let reasons =
+      prelim.Prelim.conflicts @ blocked_clocks ctx_cache prelim [ a; b ]
+    in
+    { mergeable = reasons = []; reasons }
+  end
+
+type t = {
+  mode_names : string array;
+  adjacency : bool array array;
+  cliques : int list list;
+  pair_reasons : (int * int, string list) Hashtbl.t;
+}
+
+type strategy = Greedy | Exact
+
+let greedy_cliques adjacency =
+  let n = Array.length adjacency in
+  let degree i =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 adjacency.(i)
+  in
+  let order =
+    List.sort
+      (fun a b -> compare (degree b, a) (degree a, b))
+      (List.init n Fun.id)
+  in
+  let assigned = Array.make n false in
+  let cliques = ref [] in
+  List.iter
+    (fun v ->
+      if not assigned.(v) then begin
+        assigned.(v) <- true;
+        let members = ref [ v ] in
+        List.iter
+          (fun u ->
+            if
+              (not assigned.(u))
+              && List.for_all (fun w -> adjacency.(u).(w)) !members
+            then begin
+              assigned.(u) <- true;
+              members := u :: !members
+            end)
+          order;
+        cliques := List.sort compare !members :: !cliques
+      end)
+    order;
+  List.rev !cliques
+
+(* Minimum clique cover by branch and bound: vertices are assigned in
+   index order to an existing compatible clique or a fresh one; the
+   best (fewest-cliques) complete assignment wins. Exponential in the
+   worst case, fine for the paper's "small number of modes". *)
+let exact_cliques ?(limit = 20) adjacency =
+  let n = Array.length adjacency in
+  if n > limit then greedy_cliques adjacency
+  else begin
+    let best = ref (greedy_cliques adjacency) in
+    let best_count = ref (List.length !best) in
+    let cliques : int list array = Array.make n [] in
+    let rec go v used =
+      if used >= !best_count then () (* prune *)
+      else if v = n then begin
+        best := Array.to_list (Array.sub cliques 0 used) |> List.map List.rev;
+        best_count := used
+      end
+      else begin
+        for c = 0 to used - 1 do
+          if List.for_all (fun u -> adjacency.(v).(u)) cliques.(c) then begin
+            cliques.(c) <- v :: cliques.(c);
+            go (v + 1) used;
+            cliques.(c) <- List.tl cliques.(c)
+          end
+        done;
+        if used + 1 < !best_count then begin
+          cliques.(used) <- [ v ];
+          go (v + 1) (used + 1);
+          cliques.(used) <- []
+        end
+      end
+    in
+    go 0 0;
+    List.map (List.sort compare) !best |> List.sort compare
+  end
+
+let analyze ?tolerance ?ctx_cache ?(strategy = Greedy) modes =
+  let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 16 in
+  let arr = Array.of_list modes in
+  let n = Array.length arr in
+  let adjacency = Array.make_matrix n n false in
+  let pair_reasons = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let check = check_pair ?tolerance ~ctx_cache arr.(i) arr.(j) in
+      adjacency.(i).(j) <- check.mergeable;
+      adjacency.(j).(i) <- check.mergeable;
+      if not check.mergeable then
+        Hashtbl.replace pair_reasons (i, j) check.reasons
+    done
+  done;
+  let cliques =
+    match strategy with
+    | Greedy -> greedy_cliques adjacency
+    | Exact -> exact_cliques adjacency
+  in
+  {
+    mode_names = Array.map (fun (m : Mode.t) -> m.Mode.mode_name) arr;
+    adjacency;
+    cliques;
+    pair_reasons;
+  }
+
+let clique_modes t modes =
+  let arr = Array.of_list modes in
+  ignore t.mode_names;
+  List.map (fun clique -> List.map (fun i -> arr.(i)) clique) t.cliques
+
+let edges t =
+  let n = Array.length t.mode_names in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      if t.adjacency.(i).(j) then acc := (i, j) :: !acc
+    done
+  done;
+  !acc

@@ -1,0 +1,54 @@
+(** Mergeability analysis (paper section 3, Figure 2).
+
+    A mock run of preliminary mode merging decides whether two modes
+    can merge: tolerance/value conflicts veto the pair, and so does
+    clock blocking — a register clock live in one mode that the merged
+    mode's clock refinement would sever. Mergeable pairs form the edges
+    of the mergeability graph; maximal sets of mutually mergeable modes
+    are found with a greedy clique cover (the paper uses a greedy
+    algorithm "as the number of modes is small"). *)
+
+type pair_check = { mergeable : bool; reasons : string list }
+
+val check_pair :
+  ?tolerance:Mm_util.Toler.t ->
+  ?ctx_cache:(string, Mm_timing.Context.t) Hashtbl.t ->
+  Mm_sdc.Mode.t ->
+  Mm_sdc.Mode.t ->
+  pair_check
+
+type t = {
+  mode_names : string array;
+  adjacency : bool array array;
+  cliques : int list list;
+      (** disjoint cover of vertex indices; singletons included *)
+  pair_reasons : (int * int, string list) Hashtbl.t;
+      (** non-mergeable pair diagnostics *)
+}
+
+(** Clique-cover strategy. The paper uses a greedy algorithm "as the
+    number of modes is small"; [Exact] computes a minimum clique cover
+    by branch and bound (only for <= 20 modes, falling back to greedy
+    beyond that) — used by the ablation benches to quantify what
+    greediness costs. *)
+type strategy = Greedy | Exact
+
+val greedy_cliques : bool array array -> int list list
+val exact_cliques : ?limit:int -> bool array array -> int list list
+(** Minimum clique cover by branch and bound; falls back to
+    {!greedy_cliques} when the vertex count exceeds [limit]
+    (default 20). *)
+
+val analyze :
+  ?tolerance:Mm_util.Toler.t ->
+  ?ctx_cache:(string, Mm_timing.Context.t) Hashtbl.t ->
+  ?strategy:strategy ->
+  Mm_sdc.Mode.t list ->
+  t
+
+val clique_modes : t -> Mm_sdc.Mode.t list -> Mm_sdc.Mode.t list list
+(** Map the clique cover back to mode values (same order as given to
+    {!analyze}). *)
+
+val edges : t -> (int * int) list
+(** Mergeability-graph edges, for Figure-2 style reports. *)

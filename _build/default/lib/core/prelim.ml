@@ -1,0 +1,696 @@
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Toler = Mm_util.Toler
+module Context = Mm_timing.Context
+module Clock_prop = Mm_timing.Clock_prop
+module Graph = Mm_timing.Graph
+
+type t = {
+  merged : Mode.t;
+  clock_map : (string * string, string) Hashtbl.t;
+  dropped_cases : (string * Design.pin_id * bool) list;
+  dropped_exceptions : (string * Mode.exc) list;
+  uniquified : (string * Mode.exc) list;
+  inferred_disables : Design.pin_id list;
+  inferred_senses : (string * Design.pin_id) list;
+  conflicts : string list;
+}
+
+let rename_of t mode_name clock =
+  match Hashtbl.find_opt t.clock_map (mode_name, clock) with
+  | Some m -> m
+  | None -> clock
+
+(* ------------------------------------------------------------------ *)
+(* 3.1.1 Union of clocks                                               *)
+
+let union_clocks modes =
+  let clock_map = Hashtbl.create 32 in
+  let merged_clocks = ref [] in (* reversed *)
+  let by_key = Hashtbl.create 32 in
+  let name_taken name =
+    List.exists (fun c -> String.equal c.Mode.clk_name name) !merged_clocks
+  in
+  let unique_name base =
+    if not (name_taken base) then base
+    else begin
+      let rec go i =
+        let cand = Printf.sprintf "%s_%d" base i in
+        if name_taken cand then go (i + 1) else cand
+      in
+      go 1
+    end
+  in
+  List.iter
+    (fun (m : Mode.t) ->
+      List.iter
+        (fun (c : Mode.clock) ->
+          let key = Mode.clock_key c in
+          match Hashtbl.find_opt by_key key with
+          | Some merged_name ->
+            Hashtbl.replace clock_map (m.Mode.mode_name, c.Mode.clk_name) merged_name
+          | None ->
+            let name = unique_name c.Mode.clk_name in
+            let c' = { c with Mode.clk_name = name } in
+            merged_clocks := c' :: !merged_clocks;
+            Hashtbl.replace by_key key name;
+            Hashtbl.replace clock_map (m.Mode.mode_name, c.Mode.clk_name) name)
+        m.Mode.clocks)
+    modes;
+  List.rev !merged_clocks, clock_map
+
+(* ------------------------------------------------------------------ *)
+(* 3.1.2 Clock attributes with tolerance                               *)
+
+let merge_attr_field ~tolerance ~is_min conflicts what values =
+  (* [values]: the per-mode Some/None settings for one attribute of one
+     merged clock. Modes without the attribute contribute None, which
+     merges as "unconstrained" (the field stays only if all modes that
+     set it agree within tolerance; min/max conservative combination). *)
+  let set = List.filter_map Fun.id values in
+  match set with
+  | [] -> None
+  | v0 :: rest ->
+    List.iter
+      (fun v ->
+        if not (Toler.within tolerance v0 v) then
+          conflicts :=
+            Printf.sprintf "%s: values %g and %g beyond tolerance" what v0 v
+            :: !conflicts)
+      rest;
+    Some
+      (List.fold_left
+         (if is_min then Toler.merge_min else Toler.merge_max)
+         v0 rest)
+
+let merge_attrs ~tolerance conflicts modes clock_map merged_clocks =
+  List.map
+    (fun (mc : Mode.clock) ->
+      let contributions =
+        List.concat_map
+          (fun (m : Mode.t) ->
+            List.filter_map
+              (fun (c : Mode.clock) ->
+                match Hashtbl.find_opt clock_map (m.Mode.mode_name, c.Mode.clk_name) with
+                | Some name when String.equal name mc.Mode.clk_name ->
+                  Some (Mode.attr_of_clock m c.Mode.clk_name)
+                | Some _ | None -> None)
+              m.Mode.clocks)
+          modes
+      in
+      let field ~is_min what get =
+        merge_attr_field ~tolerance ~is_min conflicts
+          (Printf.sprintf "clock %s %s" mc.Mode.clk_name what)
+          (List.map get contributions)
+      in
+      ( mc.Mode.clk_name,
+        {
+          Mode.src_latency_min =
+            field ~is_min:true "source latency min" (fun a -> a.Mode.src_latency_min);
+          src_latency_max =
+            field ~is_min:false "source latency max" (fun a -> a.Mode.src_latency_max);
+          net_latency_min =
+            field ~is_min:true "network latency min" (fun a -> a.Mode.net_latency_min);
+          net_latency_max =
+            field ~is_min:false "network latency max" (fun a -> a.Mode.net_latency_max);
+          uncertainty_setup =
+            field ~is_min:false "setup uncertainty" (fun a -> a.Mode.uncertainty_setup);
+          uncertainty_hold =
+            field ~is_min:false "hold uncertainty" (fun a -> a.Mode.uncertainty_hold);
+          transition_min =
+            field ~is_min:true "transition min" (fun a -> a.Mode.transition_min);
+          transition_max =
+            field ~is_min:false "transition max" (fun a -> a.Mode.transition_max);
+          propagated = List.exists (fun a -> a.Mode.propagated) contributions;
+        } ))
+    merged_clocks
+
+(* ------------------------------------------------------------------ *)
+(* 3.1.3 Union of external delays                                      *)
+
+let union_io_delays modes clock_map =
+  let acc = ref [] in
+  List.iter
+    (fun (m : Mode.t) ->
+      List.iter
+        (fun (d : Mode.io_delay) ->
+          let d =
+            {
+              d with
+              Mode.iod_clock =
+                Option.map
+                  (fun c ->
+                    match Hashtbl.find_opt clock_map (m.Mode.mode_name, c) with
+                    | Some mc -> mc
+                    | None -> c)
+                  d.Mode.iod_clock;
+            }
+          in
+          if not (List.exists (Mode.io_delay_equal d) !acc) then acc := d :: !acc)
+        m.Mode.io_delays)
+    modes;
+  (* Mark every delay after the first on a (pin, direction) as -add_delay. *)
+  let seen = Hashtbl.create 32 in
+  List.rev_map
+    (fun (d : Mode.io_delay) ->
+      let k = d.Mode.iod_pin, d.Mode.iod_input in
+      let first = not (Hashtbl.mem seen k) in
+      Hashtbl.replace seen k ();
+      { d with Mode.iod_add = not first })
+    !acc
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* 3.1.4 Intersection of case analysis                                 *)
+
+let intersect_cases modes =
+  match modes with
+  | [] -> [], []
+  | (first : Mode.t) :: _ ->
+    let kept = ref [] and dropped = ref [] in
+    let all_pins =
+      List.concat_map (fun (m : Mode.t) -> List.map fst m.Mode.cases) modes
+      |> List.sort_uniq compare
+    in
+    ignore first;
+    List.iter
+      (fun pin ->
+        let values =
+          List.map (fun (m : Mode.t) -> m.Mode.mode_name, Mode.case_value m pin) modes
+        in
+        let present = List.filter_map (fun (_, v) -> v) values in
+        let everywhere = List.for_all (fun (_, v) -> v <> None) values in
+        match present with
+        | v0 :: _ when everywhere && List.for_all (Bool.equal v0) present ->
+          kept := (pin, v0) :: !kept
+        | _ ->
+          List.iter
+            (fun (mn, v) ->
+              match v with
+              | Some v -> dropped := (mn, pin, v) :: !dropped
+              | None -> ())
+            values)
+      all_pins;
+    List.rev !kept, List.rev !dropped
+
+(* ------------------------------------------------------------------ *)
+(* 3.1.5 Intersection of disable_timing                                *)
+
+let disable_equal a b =
+  match a, b with
+  | Mode.Dis_pin p, Mode.Dis_pin q -> p = q
+  | Mode.Dis_inst (i, f, t), Mode.Dis_inst (j, g, u) -> i = j && f = g && t = u
+  | Mode.Dis_pin _, Mode.Dis_inst _ | Mode.Dis_inst _, Mode.Dis_pin _ -> false
+
+let intersect_disables modes =
+  match modes with
+  | [] -> []
+  | (first : Mode.t) :: rest ->
+    List.filter
+      (fun d ->
+        List.for_all
+          (fun (m : Mode.t) ->
+            List.exists (disable_equal d) m.Mode.disables)
+          rest)
+      first.Mode.disables
+
+(* ------------------------------------------------------------------ *)
+(* 3.1.6 Drive and load constraints                                    *)
+
+let merge_envs ~tolerance conflicts modes =
+  let design_name pin (m : Mode.t) = Design.pin_name m.Mode.design pin in
+  let keys =
+    List.concat_map
+      (fun (m : Mode.t) ->
+        List.map (fun (e : Mode.env_constraint) -> e.Mode.envc_kind, e.Mode.envc_pin, e.Mode.envc_minmax) m.Mode.envs)
+      modes
+    |> List.sort_uniq compare
+  in
+  List.filter_map
+    (fun (kind, pin, minmax) ->
+      let values =
+        List.map
+          (fun (m : Mode.t) ->
+            ( m,
+              List.filter_map
+                (fun (e : Mode.env_constraint) ->
+                  if e.Mode.envc_kind = kind && e.Mode.envc_pin = pin
+                     && e.Mode.envc_minmax = minmax
+                  then Some e.Mode.envc_value
+                  else None)
+                m.Mode.envs ))
+          modes
+      in
+      let present = List.concat_map snd values in
+      (match present, values with
+      | v0 :: _, (m0, _) :: _ ->
+        if List.exists (fun (_, vs) -> vs = []) values then
+          conflicts :=
+            Printf.sprintf "environment constraint on %s missing in some modes"
+              (design_name pin m0)
+            :: !conflicts;
+        List.iter
+          (fun v ->
+            if not (Toler.within tolerance v0 v) then
+              conflicts :=
+                Printf.sprintf
+                  "environment constraint on %s: %g vs %g beyond tolerance"
+                  (design_name pin m0) v0 v
+                :: !conflicts)
+          present
+      | _ -> ());
+      match present with
+      | [] -> None
+      | v0 :: rest ->
+        Some
+          {
+            Mode.envc_kind = kind;
+            envc_pin = pin;
+            envc_minmax = minmax;
+            envc_value = List.fold_left Float.max v0 rest;
+          })
+    keys
+
+(* ------------------------------------------------------------------ *)
+(* 3.1.7 Clock exclusivity                                             *)
+
+let derive_exclusivity modes clock_map merged_clocks =
+  (* Pairs of merged clocks that coexist in at least one individual
+     mode. *)
+  let coexist = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Mode.t) ->
+      let mapped =
+        List.filter_map
+          (fun (c : Mode.clock) ->
+            Hashtbl.find_opt clock_map (m.Mode.mode_name, c.Mode.clk_name))
+          m.Mode.clocks
+      in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b -> if a <> b then Hashtbl.replace coexist (a, b) ())
+            mapped)
+        mapped)
+    modes;
+  let names = List.map (fun c -> c.Mode.clk_name) merged_clocks in
+  let groups = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          if not (Hashtbl.mem coexist (a, b)) then
+            groups :=
+              {
+                Mode.grp_kind = Mm_sdc.Ast.Physically_exclusive;
+                grp_name = Some (Printf.sprintf "%s_x_%s" a b);
+                grp_clocks = [ [ a ]; [ b ] ];
+              }
+              :: !groups)
+        rest;
+      pairs rest
+  in
+  pairs names;
+  List.rev !groups
+
+(* Also merge the clock groups the individual modes already carry:
+   keep a group when every mode containing all of its clocks has it. *)
+let inherit_groups modes clock_map =
+  List.concat_map
+    (fun (m : Mode.t) ->
+      List.map
+        (fun (g : Mode.clock_group) ->
+          {
+            g with
+            Mode.grp_clocks =
+              List.map
+                (List.map (fun c ->
+                     match Hashtbl.find_opt clock_map (m.Mode.mode_name, c) with
+                     | Some mc -> mc
+                     | None -> c))
+                g.Mode.grp_clocks;
+          })
+        m.Mode.groups)
+    modes
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* 3.1.9 / 3.1.10 Exceptions                                           *)
+
+let rename_exc_points clock_map mode_name (e : Mode.exc) =
+  let rename_point = function
+    | Mode.P_clock c -> (
+      match Hashtbl.find_opt clock_map (mode_name, c) with
+      | Some mc -> Mode.P_clock mc
+      | None -> Mode.P_clock c)
+    | (Mode.P_pin _ | Mode.P_inst _) as p -> p
+  in
+  {
+    e with
+    Mode.exc_from = Option.map (List.map rename_point) e.Mode.exc_from;
+    exc_to = Option.map (List.map rename_point) e.Mode.exc_to;
+  }
+
+let clocks_of_points points =
+  List.filter_map (function Mode.P_clock c -> Some c | Mode.P_pin _ | Mode.P_inst _ -> None) points
+
+let pins_of_points design points =
+  List.concat_map
+    (function
+      | Mode.P_pin p -> [ p ]
+      | Mode.P_clock _ -> []
+      | Mode.P_inst i -> (
+        let cell = Design.inst_cell design i in
+        match cell.Mm_netlist.Lib_cell.seq with
+        | Some seq ->
+          Design.inst_pin design i seq.Mm_netlist.Lib_cell.clock_pin
+          :: List.map (Design.inst_pin design i) seq.Mm_netlist.Lib_cell.q_pins
+        | None -> []))
+    points
+
+(* Can exception [e] (already renamed, restricted to [clocks]) wrongly
+   constrain paths of mode [m']? Conservatively: yes when any restricting
+   clock also exists in [m'] (mapped) — unless [e]'s from-pins receive
+   none of those clocks in [m']'s clock propagation. *)
+let unsafe_for_mode ctx_of clock_map restriction_clocks from_pins (m' : Mode.t) =
+  let local_clocks =
+    List.filter_map
+      (fun (c : Mode.clock) ->
+        match Hashtbl.find_opt clock_map (m'.Mode.mode_name, c.Mode.clk_name) with
+        | Some mc when List.mem mc restriction_clocks -> Some c.Mode.clk_name
+        | Some _ | None -> None)
+      m'.Mode.clocks
+  in
+  if local_clocks = [] then false
+  else if from_pins = [] then true
+  else begin
+    (* Shared clock: unsafe only if it actually reaches the startpoint
+       pins in m'. *)
+    let ctx : Context.t = ctx_of m' in
+    List.exists
+      (fun pin ->
+        List.exists
+          (fun lc ->
+            match Clock_prop.clock_index ctx.Context.clocks lc with
+            | Some i -> Clock_prop.has_clock ctx.Context.clocks pin i
+            | None -> false)
+          local_clocks)
+      from_pins
+  end
+
+let merge_exceptions ~ctx_of ~uniquify modes clock_map conflicts =
+  let design =
+    match modes with (m : Mode.t) :: _ -> m.Mode.design | [] -> assert false
+  in
+  let renamed =
+    List.concat_map
+      (fun (m : Mode.t) ->
+        List.map
+          (fun e -> m, rename_exc_points clock_map m.Mode.mode_name e)
+          m.Mode.exceptions)
+      modes
+  in
+  let in_all e =
+    List.for_all
+      (fun (m : Mode.t) ->
+        List.exists
+          (fun e' ->
+            Mode.exc_equal e (rename_exc_points clock_map m.Mode.mode_name e'))
+          m.Mode.exceptions)
+      modes
+  in
+  let added = ref [] and dropped = ref [] and uniquified = ref [] in
+  let add e = if not (List.exists (Mode.exc_equal e) !added) then added := e :: !added in
+  List.iter
+    (fun ((m : Mode.t), e) ->
+      if in_all e then add e
+      else begin
+        (* 3.1.10: uniquify by restricting to this mode's clocks. *)
+        let mode_clocks =
+          List.filter_map
+            (fun (c : Mode.clock) ->
+              Hashtbl.find_opt clock_map (m.Mode.mode_name, c.Mode.clk_name))
+            m.Mode.clocks
+          |> List.sort_uniq String.compare
+        in
+        let from_clocks =
+          match e.Mode.exc_from with Some pts -> clocks_of_points pts | None -> []
+        in
+        let restriction =
+          if from_clocks <> [] then from_clocks else mode_clocks
+        in
+        let from_pins =
+          match e.Mode.exc_from with
+          | Some pts -> pins_of_points design pts
+          | None -> []
+        in
+        let others_lacking =
+          List.filter
+            (fun (m' : Mode.t) ->
+              (not (String.equal m'.Mode.mode_name m.Mode.mode_name))
+              && not
+                   (List.exists
+                      (fun e' ->
+                        Mode.exc_equal e
+                          (rename_exc_points clock_map m'.Mode.mode_name e'))
+                      m'.Mode.exceptions))
+            modes
+        in
+        let unsafe =
+          (* A pin-based -rise_from/-fall_from cannot survive the
+             demote-to-through rewrite (the edge qualification would be
+             lost), so such exceptions are never uniquified. *)
+          (not uniquify)
+          || (e.Mode.exc_from_edge <> Mode.Any_edge
+             && from_pins <> []
+             && from_clocks = [])
+          || List.exists
+               (unsafe_for_mode ctx_of clock_map restriction from_pins)
+               others_lacking
+        in
+        if unsafe then begin
+          match e.Mode.exc_kind with
+          | Mode.False_path ->
+            dropped := (m.Mode.mode_name, e) :: !dropped
+          | Mode.Multicycle _ | Mode.Min_delay _ | Mode.Max_delay _ ->
+            conflicts :=
+              Printf.sprintf
+                "mode %s: non-false-path exception cannot be uniquified"
+                m.Mode.mode_name
+              :: !conflicts;
+            dropped := (m.Mode.mode_name, e) :: !dropped
+        end
+        else begin
+          (* Safe: rewrite with the clock restriction, demoting any
+             from-pins to a leading -through group (the paper's
+             MCP1 -> MCP1' rewrite). *)
+          let e' =
+            if from_clocks <> [] then e
+            else
+              {
+                e with
+                Mode.exc_from =
+                  Some (List.map (fun c -> Mode.P_clock c) restriction);
+                exc_through =
+                  (if from_pins = [] then e.Mode.exc_through
+                   else [ from_pins ] @ e.Mode.exc_through);
+              }
+          in
+          if not (Mode.exc_equal e e') then
+            uniquified := (m.Mode.mode_name, e') :: !uniquified;
+          add e'
+        end
+      end)
+    renamed;
+  List.rev !added, List.rev !dropped, List.rev !uniquified
+
+(* ------------------------------------------------------------------ *)
+(* 3.1.8 Clock refinement                                              *)
+
+(* Translation table: individual-mode clock index -> merged clock index. *)
+let clock_translation clock_map (m : Mode.t) (ctx_i : Context.t) (ctx_m : Context.t) =
+  Array.init (Clock_prop.n_clocks ctx_i.Context.clocks) (fun i ->
+      let local = Clock_prop.clock_name ctx_i.Context.clocks i in
+      match Hashtbl.find_opt clock_map (m.Mode.mode_name, local) with
+      | Some merged -> (
+        match Clock_prop.clock_index ctx_m.Context.clocks merged with
+        | Some j -> j
+        | None -> -1)
+      | None -> -1)
+
+let mapped_union_masks clock_map modes ctxs ctx_m =
+  let n = Array.length ctx_m.Context.consts.Mm_timing.Const_prop.values in
+  let union = Array.make n 0 in
+  List.iter2
+    (fun (m : Mode.t) (ctx_i : Context.t) ->
+      let tr = clock_translation clock_map m ctx_i ctx_m in
+      for pin = 0 to n - 1 do
+        let mask = Clock_prop.mask_at ctx_i.Context.clocks pin in
+        if mask <> 0 then
+          Array.iteri
+            (fun i j ->
+              if j >= 0 && mask land (1 lsl i) <> 0 then
+                union.(pin) <- union.(pin) lor (1 lsl j))
+            tr
+      done)
+    modes ctxs;
+  union
+
+let clock_refinement ~max_iters design modes ctxs clock_map merged0 =
+  let inferred_senses = ref [] in
+  let rec go merged iter =
+    if iter >= max_iters then merged
+    else begin
+      let ctx_m = Context.create design merged in
+      let union = mapped_union_masks clock_map modes ctxs ctx_m in
+      let n = Graph.n_pins ctx_m.Context.graph in
+      ignore n;
+      let extra pin =
+        Clock_prop.mask_at ctx_m.Context.clocks pin land lnot union.(pin)
+      in
+      (* Frontier: pins where a clock is extra but is not extra at any
+         enabled predecessor. *)
+      let new_senses = ref [] in
+      Design.iter_pins design (fun pin ->
+          let e = extra pin in
+          if e <> 0 then begin
+            let pred_extra =
+              List.fold_left
+                (fun acc aid ->
+                  if Mm_timing.Const_prop.enabled ctx_m.Context.consts aid then
+                    let a = ctx_m.Context.graph.Graph.arcs.(aid) in
+                    if a.Graph.a_kind <> Graph.Launch then
+                      acc lor extra a.Graph.a_src
+                    else acc
+                  else acc)
+                0
+                ctx_m.Context.graph.Graph.in_arcs.(pin)
+            in
+            let frontier = e land lnot pred_extra in
+            if frontier <> 0 then
+              for ci = 0 to Clock_prop.n_clocks ctx_m.Context.clocks - 1 do
+                if frontier land (1 lsl ci) <> 0 then
+                  new_senses :=
+                    (Clock_prop.clock_name ctx_m.Context.clocks ci, pin)
+                    :: !new_senses
+              done
+          end)
+      ;
+      match !new_senses with
+      | [] -> merged
+      | senses ->
+        inferred_senses := senses @ !inferred_senses;
+        let extra_senses =
+          List.map
+            (fun (c, pin) ->
+              { Mode.cs_stop = true; cs_clocks = Some [ c ]; cs_pins = [ pin ] })
+            senses
+        in
+        go { merged with Mode.senses = merged.Mode.senses @ extra_senses } (iter + 1)
+    end
+  in
+  let refined = go merged0 0 in
+  refined, List.rev !inferred_senses
+
+(* Disable inference: pins case-constant in every individual mode whose
+   case statements were dropped never toggle anywhere — disable them in
+   the merged mode (the paper's CSTR1/CSTR2 of Constraint Set 3). *)
+let infer_disables modes dropped_cases =
+  let dropped_pins =
+    List.map (fun (_, pin, _) -> pin) dropped_cases |> List.sort_uniq compare
+  in
+  List.filter
+    (fun pin ->
+      List.for_all
+        (fun (m : Mode.t) -> Mode.case_value m pin <> None)
+        modes)
+    dropped_pins
+
+(* Design-rule limits merge to the tightest (minimum) value per
+   (kind, pin): a merged mode obeying the strictest individual limit is
+   safe in every individual mode. *)
+let merge_drcs modes =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (m : Mode.t) ->
+      List.iter
+        (fun (l : Mode.drc_limit) ->
+          let key = l.Mode.drcl_kind, l.Mode.drcl_pin in
+          match Hashtbl.find_opt tbl key with
+          | Some v -> Hashtbl.replace tbl key (Float.min v l.Mode.drcl_value)
+          | None ->
+            Hashtbl.replace tbl key l.Mode.drcl_value;
+            order := key :: !order)
+        m.Mode.drcs)
+    modes;
+  List.rev_map
+    (fun ((kind, pin) as key) ->
+      { Mode.drcl_kind = kind; drcl_pin = pin; drcl_value = Hashtbl.find tbl key })
+    !order
+
+(* ------------------------------------------------------------------ *)
+
+
+let merge ?(tolerance = Toler.default) ?(max_refine_iters = 5) ?ctx_cache
+    ?(uniquify = true) ~name modes =
+  (match modes with [] -> invalid_arg "Prelim.merge: no modes" | _ :: _ -> ());
+  let design = (List.hd modes).Mode.design in
+  let conflicts = ref [] in
+  (* Individual contexts, shared by uniquification and refinement. *)
+  let ctx_cache =
+    match ctx_cache with Some c -> c | None -> Hashtbl.create 8
+  in
+  let ctx_of (m : Mode.t) =
+    match Hashtbl.find_opt ctx_cache m.Mode.mode_name with
+    | Some c -> c
+    | None ->
+      let c = Context.create design m in
+      Hashtbl.replace ctx_cache m.Mode.mode_name c;
+      c
+  in
+  let merged_clocks, clock_map = union_clocks modes in
+  let attrs = merge_attrs ~tolerance conflicts modes clock_map merged_clocks in
+  let io_delays = union_io_delays modes clock_map in
+  let cases, dropped_cases = intersect_cases modes in
+  let disables = intersect_disables modes in
+  let envs = merge_envs ~tolerance conflicts modes in
+  let groups =
+    derive_exclusivity modes clock_map merged_clocks @ inherit_groups modes clock_map
+  in
+  let exceptions, dropped_exceptions, uniquified =
+    merge_exceptions ~ctx_of ~uniquify modes clock_map conflicts
+  in
+  let inferred_disables = infer_disables modes dropped_cases in
+  let merged0 =
+    {
+      Mode.mode_name = name;
+      design;
+      clocks = merged_clocks;
+      attrs;
+      io_delays;
+      cases;
+      disables = disables @ List.map (fun p -> Mode.Dis_pin p) inferred_disables;
+      exceptions;
+      groups;
+      senses = [];
+      envs;
+      drcs = merge_drcs modes;
+    }
+  in
+  let ctxs = List.map ctx_of modes in
+  let merged, inferred_senses =
+    clock_refinement ~max_iters:max_refine_iters design modes ctxs clock_map
+      merged0
+  in
+  {
+    merged;
+    clock_map;
+    dropped_cases;
+    dropped_exceptions;
+    uniquified;
+    inferred_disables;
+    inferred_senses;
+    conflicts = List.rev !conflicts;
+  }

@@ -1,0 +1,183 @@
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Context = Mm_timing.Context
+module Clock_prop = Mm_timing.Clock_prop
+module Graph = Mm_timing.Graph
+
+type t = {
+  refined : Mode.t;
+  data_clock_fixes : (string * Design.pin_id) list;
+  added_exceptions : Mode.exc list;
+  final_compare : Compare.result;
+  iterations : int;
+}
+
+(* Mapped union of individual data-network clock masks, expressed in
+   the merged context's clock indices. *)
+let union_data_masks (prelim : Prelim.t) individual ctxs (ctx_m : Context.t) =
+  let n = Graph.n_pins ctx_m.Context.graph in
+  let union = Array.make n 0 in
+  List.iter2
+    (fun (m : Mode.t) (ctx_i : Context.t) ->
+      let masks = Relation_prop.data_clock_masks ctx_i in
+      let tr =
+        Array.init (Clock_prop.n_clocks ctx_i.Context.clocks) (fun i ->
+            let local = Clock_prop.clock_name ctx_i.Context.clocks i in
+            let merged = Prelim.rename_of prelim m.Mode.mode_name local in
+            match Clock_prop.clock_index ctx_m.Context.clocks merged with
+            | Some j -> j
+            | None -> -1)
+      in
+      for pin = 0 to n - 1 do
+        let mask = masks.(pin) in
+        if mask <> 0 then
+          Array.iteri
+            (fun i j ->
+              if j >= 0 && mask land (1 lsl i) <> 0 then
+                union.(pin) <- union.(pin) lor (1 lsl j))
+            tr
+      done)
+    individual ctxs;
+  union
+
+(* Coalesce refinement exceptions, mirroring the paper's CSTR6 which
+   lists several pins in one -through: exceptions identical except for
+   their -to pin set merge into one (to-sets union); exceptions
+   identical except for a single-group -through merge into one group.
+   Both rewrites are exact unions of the originals' match sets. *)
+let sort_points l = List.sort_uniq compare l
+
+let coalesce_excs excs =
+  let norm_from e =
+    Option.map sort_points e.Mode.exc_from, e.Mode.exc_kind, e.Mode.exc_setup,
+    e.Mode.exc_hold
+  in
+  (* Pass A: merge -to sets for equal (kind, sides, from, through). *)
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match e.Mode.exc_to with
+      | Some pts ->
+        let key = norm_from e, List.map sort_points e.Mode.exc_through in
+        (match Hashtbl.find_opt tbl key with
+        | Some acc -> acc := pts @ !acc
+        | None ->
+          let acc = ref pts in
+          Hashtbl.replace tbl key acc;
+          order := (`Merge_to (key, acc, e)) :: !order)
+      | None -> order := `Keep e :: !order)
+    excs;
+  let step_a =
+    List.rev_map
+      (function
+        | `Keep e -> e
+        | `Merge_to (_, acc, e) ->
+          { e with Mode.exc_to = Some (sort_points !acc) })
+      !order
+  in
+  (* Pass B: merge single-group -through pin sets for equal
+     (kind, sides, from, to). *)
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match e.Mode.exc_through with
+      | [ pins ] ->
+        let key = norm_from e, Option.map sort_points e.Mode.exc_to in
+        (match Hashtbl.find_opt tbl key with
+        | Some acc -> acc := pins @ !acc
+        | None ->
+          let acc = ref pins in
+          Hashtbl.replace tbl key acc;
+          order := `Merge_through (acc, e) :: !order)
+      | [] | _ :: _ :: _ -> order := `Keep e :: !order)
+    step_a;
+  List.rev_map
+    (function
+      | `Keep e -> e
+      | `Merge_through (acc, e) ->
+        { e with Mode.exc_through = [ List.sort_uniq compare !acc ] })
+    !order
+
+let data_clock_refinement (prelim : Prelim.t) individual ctxs merged =
+  let design = merged.Mode.design in
+  let ctx_m = Context.create design merged in
+  let union = union_data_masks prelim individual ctxs ctx_m in
+  let masks_m = Relation_prop.data_clock_masks ctx_m in
+  let extra pin = masks_m.(pin) land lnot union.(pin) in
+  let fixes = ref [] in
+  Design.iter_pins design (fun pin ->
+      let e = extra pin in
+      if e <> 0 then begin
+        let pred_extra =
+          List.fold_left
+            (fun acc aid ->
+              if Mm_timing.Const_prop.enabled ctx_m.Context.consts aid then
+                acc lor extra ctx_m.Context.graph.Graph.arcs.(aid).Graph.a_src
+              else acc)
+            0
+            ctx_m.Context.graph.Graph.in_arcs.(pin)
+        in
+        let frontier = e land lnot pred_extra in
+        if frontier <> 0 then
+          for ci = 0 to Clock_prop.n_clocks ctx_m.Context.clocks - 1 do
+            if frontier land (1 lsl ci) <> 0 then
+              fixes := (Clock_prop.clock_name ctx_m.Context.clocks ci, pin) :: !fixes
+          done
+      end);
+  let fixes = List.rev !fixes in
+  let excs =
+    coalesce_excs
+      (List.map
+         (fun (clock, pin) ->
+           Mode.exc ~from_:[ Mode.P_clock clock ] ~through:[ [ pin ] ]
+             Mode.False_path)
+         fixes)
+  in
+  { merged with Mode.exceptions = merged.Mode.exceptions @ excs }, fixes, excs
+
+let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
+  let design = prelim.Prelim.merged.Mode.design in
+  let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 8 in
+  let ctx_of (m : Mode.t) =
+    match Hashtbl.find_opt ctx_cache m.Mode.mode_name with
+    | Some c -> c
+    | None ->
+      let c = Context.create design m in
+      Hashtbl.replace ctx_cache m.Mode.mode_name c;
+      c
+  in
+  let ctxs = List.map ctx_of individual in
+  let sides =
+    List.map2
+      (fun (m : Mode.t) ctx ->
+        { Compare.ctx; rename = Prelim.rename_of prelim m.Mode.mode_name })
+      individual ctxs
+  in
+  (* Step 1: data-network clock refinement. *)
+  let merged, data_clock_fixes, step1_excs =
+    data_clock_refinement prelim individual ctxs prelim.Prelim.merged
+  in
+  (* Step 2: compare/fix loop. *)
+  let rec loop merged added iter =
+    let ctx_m = Context.create design merged in
+    let result = Compare.run ~individual:sides ~merged:ctx_m in
+    let new_fixes =
+      List.filter
+        (fun (f : Compare.fix) ->
+          not (List.exists (Mode.exc_equal f.Compare.fix_exc) merged.Mode.exceptions))
+        result.Compare.fixes
+    in
+    if new_fixes = [] || iter >= max_iters then merged, added, result, iter
+    else begin
+      let excs =
+        coalesce_excs (List.map (fun f -> f.Compare.fix_exc) new_fixes)
+      in
+      loop
+        { merged with Mode.exceptions = merged.Mode.exceptions @ excs }
+        (added @ excs) (iter + 1)
+    end
+  in
+  let refined, added, final_compare, iterations = loop merged step1_excs 1 in
+  { refined; data_clock_fixes; added_exceptions = added; final_compare; iterations }

@@ -1,0 +1,35 @@
+(** Refinement of the preliminary merged mode (paper section 3.2).
+
+    Two steps:
+
+    1. Data-network clock refinement — launch clocks present at any
+       data-network node in the merged mode but in no individual mode
+       are cut with [set_false_path -from clock -through pin] at the
+       earliest such node (the paper's CSTR6 of Constraint Set 5).
+    2. 3-pass timing-relationship comparison ({!Compare}), whose fixes
+       are folded into the merged mode. The compare/fix loop repeats
+       until clean or the iteration bound is hit — by construction the
+       final comparison doubles as the validation of the merged mode.
+
+    Requires the individual modes and the clock renaming from
+    {!Prelim}. *)
+
+type t = {
+  refined : Mm_sdc.Mode.t;
+  data_clock_fixes : (string * Mm_netlist.Design.pin_id) list;
+      (** (merged clock, frontier pin) false paths from step 1 *)
+  added_exceptions : Mm_sdc.Mode.exc list;
+      (** all exceptions added across both steps *)
+  final_compare : Compare.result;
+      (** the last comparison — clean iff the merge is equivalent *)
+  iterations : int;
+}
+
+val run :
+  ?max_iters:int ->
+  ?ctx_cache:(string, Mm_timing.Context.t) Hashtbl.t ->
+  prelim:Prelim.t ->
+  individual:Mm_sdc.Mode.t list ->
+  unit ->
+  t
+(** [max_iters] bounds the compare/fix loop (default 4). *)

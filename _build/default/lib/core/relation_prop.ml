@@ -1,0 +1,282 @@
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Graph = Mm_timing.Graph
+module Const_prop = Mm_timing.Const_prop
+module Clock_prop = Mm_timing.Clock_prop
+module Excmatch = Mm_timing.Excmatch
+module Context = Mm_timing.Context
+module Lib_cell = Mm_netlist.Lib_cell
+
+(* Per-pin tag sets: small insertion lists of encoded
+   (clock, state, polarity) keys, plus the list of touched pins so a
+   scratch tagset can be reset in O(touched) — pass 2/3 run one
+   propagation per startpoint and reuse the buffer. *)
+type tagsets = { tags : int list array; mutable touched : int list }
+
+type seed = {
+  seed_pin : Design.pin_id;
+  seed_clock : int;
+  seed_aliases : Design.pin_id list;
+  seed_launch_edge : Lib_cell.edge;
+}
+
+(* Tag keys pack (exception state, clock, data polarity). *)
+let edge_code = function
+  | Mode.Any_edge -> 0
+  | Mode.Rise_edge -> 1
+  | Mode.Fall_edge -> 2
+
+let edge_of_code = function
+  | 1 -> Mode.Rise_edge
+  | 2 -> Mode.Fall_edge
+  | _ -> Mode.Any_edge
+
+let key ?(edge = Mode.Any_edge) clock state =
+  ((((state * 128) + clock + 1) * 4) + edge_code edge [@warning "-27"])
+
+let key_clock k = (k / 4) mod 128 - 1
+let key_state k = k / 4 / 128
+let key_edge k = edge_of_code (k land 3)
+
+(* Polarity transform along an arc. *)
+let edges_through_arc (a : Graph.arc) e =
+  match e with
+  | Mode.Any_edge -> [ Mode.Any_edge ]
+  | Mode.Rise_edge | Mode.Fall_edge -> (
+    match a.Graph.a_unate with
+    | Graph.Positive -> [ e ]
+    | Graph.Negative ->
+      [ (if e = Mode.Rise_edge then Mode.Fall_edge else Mode.Rise_edge) ]
+    | Graph.Non_unate -> [ Mode.Rise_edge; Mode.Fall_edge ])
+
+let seeds_of_startpoint (ctx : Context.t) = function
+  | Graph.Sp_reg { sp_clock; sp_outputs; sp_edge; _ } ->
+    if Const_prop.pin_active ctx.Context.consts sp_clock then begin
+      let mask = Clock_prop.mask_at ctx.Context.clocks sp_clock in
+      let acc = ref [] in
+      for ci = Clock_prop.n_clocks ctx.Context.clocks - 1 downto 0 do
+        if mask land (1 lsl ci) <> 0 then
+          acc :=
+            {
+              seed_pin = sp_clock;
+              seed_clock = ci;
+              seed_aliases = sp_clock :: sp_outputs;
+              seed_launch_edge = sp_edge;
+            }
+            :: !acc
+      done;
+      !acc
+    end
+    else []
+  | Graph.Sp_port { sp_pin } ->
+    if Const_prop.pin_active ctx.Context.consts sp_pin then
+      List.filter_map
+        (fun (d : Mode.io_delay) ->
+          if d.iod_input && d.iod_pin = sp_pin then
+            Option.bind d.iod_clock (fun cname ->
+                Option.map
+                  (fun ci ->
+                    {
+                      seed_pin = sp_pin;
+                      seed_clock = ci;
+                      seed_aliases = [ sp_pin ];
+                      seed_launch_edge =
+                        (if d.iod_clock_fall then Mm_netlist.Lib_cell.Falling
+                         else Mm_netlist.Lib_cell.Rising);
+                    })
+                  (Clock_prop.clock_index ctx.Context.clocks cname))
+          else None)
+        ctx.Context.mode.Mode.io_delays
+      |> List.sort_uniq compare
+    else []
+
+let all_seeds (ctx : Context.t) =
+  List.concat_map (seeds_of_startpoint ctx) ctx.Context.graph.Graph.startpoints
+
+let add_tag (ts : tagsets) pin k =
+  match ts.tags.(pin) with
+  | [] ->
+    ts.tags.(pin) <- [ k ];
+    ts.touched <- pin :: ts.touched
+  | existing -> if not (List.mem k existing) then ts.tags.(pin) <- k :: existing
+
+let create_scratch (ctx : Context.t) =
+  { tags = Array.make (Graph.n_pins ctx.Context.graph) []; touched = [] }
+
+let reset_scratch ts =
+  List.iter (fun pin -> ts.tags.(pin) <- []) ts.touched;
+  ts.touched <- []
+
+(* Topologically ordered pins of a cone, computed once and shared by
+   the per-startpoint queries of passes 2 and 3. *)
+let cone_order (ctx : Context.t) within =
+  let acc = ref [] in
+  let topo = ctx.Context.graph.Graph.topo in
+  for i = Array.length topo - 1 downto 0 do
+    if within.(topo.(i)) then acc := topo.(i) :: !acc
+  done;
+  !acc
+
+let sweep_pin (ctx : Context.t) (ts : tagsets) inside pin =
+  let g = ctx.Context.graph in
+  if ts.tags.(pin) <> [] then
+    List.iter
+      (fun aid ->
+        if Const_prop.enabled ctx.Context.consts aid then begin
+          let a = g.Graph.arcs.(aid) in
+          let dst = a.Graph.a_dst in
+          if inside dst then
+            List.iter
+              (fun k ->
+                let st' = Excmatch.advance ctx.Context.excs (key_state k) dst in
+                List.iter
+                  (fun edge -> add_tag ts dst (key ~edge (key_clock k) st'))
+                  (edges_through_arc a (key_edge k)))
+              ts.tags.(pin)
+        end)
+      g.Graph.out_arcs.(pin)
+
+let sweep (ctx : Context.t) (ts : tagsets) ?within ?order () =
+  let inside pin = match within with None -> true | Some w -> w.(pin) in
+  match order with
+  | Some pins -> List.iter (fun pin -> sweep_pin ctx ts inside pin) pins
+  | None -> Array.iter (fun pin -> sweep_pin ctx ts inside pin) ctx.Context.graph.Graph.topo
+
+let propagate (ctx : Context.t) ~seeds ?within ?order ?scratch () =
+  let ts =
+    match scratch with
+    | Some ts ->
+      reset_scratch ts;
+      ts
+    | None -> create_scratch ctx
+  in
+  let inside pin = match within with None -> true | Some w -> w.(pin) in
+  let seed_edges =
+    if Excmatch.edge_sensitive ctx.Context.excs then
+      [ Mode.Rise_edge; Mode.Fall_edge ]
+    else [ Mode.Any_edge ]
+  in
+  List.iter
+    (fun s ->
+      if inside s.seed_pin then
+        List.iter
+          (fun edge ->
+            let st =
+              Excmatch.initial_state ctx.Context.excs
+                ~start_pins:s.seed_aliases ~launch_clock:(Some s.seed_clock)
+                ~launch_edge:s.seed_launch_edge ~data_edge:edge ()
+            in
+            let st = Excmatch.advance ctx.Context.excs st s.seed_pin in
+            add_tag ts s.seed_pin (key ~edge s.seed_clock st))
+          seed_edges)
+    seeds;
+  sweep ctx ts ?within ?order ();
+  ts
+
+let propagate_raw (ctx : Context.t) ~tag_seeds ?within ?order ?scratch () =
+  let ts =
+    match scratch with
+    | Some ts ->
+      reset_scratch ts;
+      ts
+    | None -> create_scratch ctx
+  in
+  let inside pin = match within with None -> true | Some w -> w.(pin) in
+  List.iter
+    (fun (pin, triples) ->
+      if inside pin then
+        List.iter (fun (ci, st, edge) -> add_tag ts pin (key ~edge ci st)) triples)
+    tag_seeds;
+  sweep ctx ts ?within ?order ();
+  ts
+
+let tags_at (ts : tagsets) pin =
+  List.map (fun k -> key_clock k, key_state k, key_edge k) ts.tags.(pin)
+  |> List.sort compare
+
+let relations_at (ctx : Context.t) tags ep =
+  let ep_pin = Graph.endpoint_pin ep in
+  let end_pins = Context.endpoint_alias_pins ctx ep in
+  let captures = Context.capture_clocks_of_endpoint ctx ep in
+  let rels = ref [] in
+  List.iter
+    (fun (ci, st, edge) ->
+      if ci >= 0 then
+        List.iter
+          (fun cj ->
+            if not (Context.clocks_exclusive ctx ci cj) then begin
+              let setup_state =
+                Excmatch.state_at ctx.Context.excs ~setup:true st ~end_pins
+                  ~capture_clock:(Some cj) ~data_edge:edge ()
+              and hold_state =
+                Excmatch.state_at ctx.Context.excs ~setup:false st ~end_pins
+                  ~capture_clock:(Some cj) ~data_edge:edge ()
+              in
+              rels :=
+                Relation.make ~data_edge:edge
+                  ~launch:(Clock_prop.clock_name ctx.Context.clocks ci)
+                  ~capture:(Clock_prop.clock_name ctx.Context.clocks cj)
+                  ~setup:setup_state ~hold:hold_state ()
+                :: !rels
+            end)
+          captures)
+    (tags_at tags ep_pin);
+  Relation.normalize !rels
+
+let endpoint_relations (ctx : Context.t) =
+  let tags = propagate ctx ~seeds:(all_seeds ctx) () in
+  List.map
+    (fun ep -> Graph.endpoint_pin ep, relations_at ctx tags ep)
+    ctx.Context.graph.Graph.endpoints
+
+let data_clock_masks (ctx : Context.t) =
+  let g = ctx.Context.graph in
+  let n = Graph.n_pins g in
+  let masks = Array.make n 0 in
+  List.iter
+    (fun s -> masks.(s.seed_pin) <- masks.(s.seed_pin) lor (1 lsl s.seed_clock))
+    (all_seeds ctx);
+  Array.iter
+    (fun pin ->
+      if masks.(pin) <> 0 then
+        List.iter
+          (fun aid ->
+            if Const_prop.enabled ctx.Context.consts aid then begin
+              let a = g.Graph.arcs.(aid) in
+              masks.(a.Graph.a_dst) <- masks.(a.Graph.a_dst) lor masks.(pin)
+            end)
+          g.Graph.out_arcs.(pin))
+    g.Graph.topo;
+  masks
+
+let cone (ctx : Context.t) pins ~forward =
+  let g = ctx.Context.graph in
+  let n = Graph.n_pins g in
+  let mark = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun p ->
+      if not mark.(p) then begin
+        mark.(p) <- true;
+        Queue.add p queue
+      end)
+    pins;
+  while not (Queue.is_empty queue) do
+    let p = Queue.take queue in
+    let arcs = if forward then g.Graph.out_arcs.(p) else g.Graph.in_arcs.(p) in
+    List.iter
+      (fun aid ->
+        if Const_prop.enabled ctx.Context.consts aid then begin
+          let a = g.Graph.arcs.(aid) in
+          let next = if forward then a.Graph.a_dst else a.Graph.a_src in
+          if not mark.(next) then begin
+            mark.(next) <- true;
+            Queue.add next queue
+          end
+        end)
+      arcs
+  done;
+  mark
+
+let forward_cone ctx pins = cone ctx pins ~forward:true
+let backward_cone ctx pins = cone ctx pins ~forward:false

@@ -1,0 +1,144 @@
+module Design = Mm_netlist.Design
+module Tab = Mm_util.Tab
+module Cs = Mm_timing.Constraint_state
+
+let relations_table design rels =
+  let t =
+    Tab.create
+      [ "Start point"; "End point"; "Launch clock"; "Capture clock"; "State" ]
+  in
+  List.iter
+    (fun (ep, rs) ->
+      let name = Design.pin_name design ep in
+      match rs with
+      | [] -> Tab.add_row t [ "*"; name; "-"; "-"; "-" ]
+      | _ ->
+        (* Group rows by (launch, capture). *)
+        let keys =
+          List.sort_uniq compare
+            (List.map (fun (r : Relation.t) -> r.Relation.launch, r.Relation.capture) rs)
+        in
+        List.iter
+          (fun (launch, capture) ->
+            let states =
+              List.filter
+                (fun (r : Relation.t) ->
+                  r.Relation.launch = launch && r.Relation.capture = capture)
+                rs
+              |> Relation.states_of
+              |> List.filter (fun s -> s <> Cs.Valid)
+            in
+            let state_str =
+              match states with
+              | [] -> "-"
+              | _ -> String.concat ", " (List.map Cs.to_string states)
+            in
+            Tab.add_row t [ "*"; name; launch; capture; state_str ])
+          keys)
+    rels;
+  t
+
+let bucket_cells (b : Compare.bucket) =
+  [
+    b.Compare.bk_launch;
+    b.Compare.bk_capture;
+    Compare.states_to_string b.Compare.bk_ind;
+    Compare.states_to_string b.Compare.bk_mrg;
+    Compare.verdict_to_string b.Compare.bk_verdict;
+  ]
+
+let pass1_table design rows =
+  let t =
+    Tab.create
+      [
+        "Start point"; "End point"; "Launch clock"; "Capture clock";
+        "Individual mode state"; "Merged mode state"; "Pass1 result";
+      ]
+  in
+  List.iter
+    (fun (r : Compare.pass1_row) ->
+      Tab.add_row t
+        ("*" :: Design.pin_name design r.Compare.p1_ep :: bucket_cells r.Compare.p1_bucket))
+    rows;
+  t
+
+let pass2_table design rows =
+  let t =
+    Tab.create
+      [
+        "Start point"; "End point"; "Launch clock"; "Capture clock";
+        "Individual mode state"; "Merged mode state"; "Pass2 result";
+      ]
+  in
+  List.iter
+    (fun (r : Compare.pass2_row) ->
+      Tab.add_row t
+        (Design.pin_name design r.Compare.p2_sp
+        :: Design.pin_name design r.Compare.p2_ep
+        :: bucket_cells r.Compare.p2_bucket))
+    rows;
+  t
+
+let pass3_table design rows =
+  let t =
+    Tab.create
+      [
+        "Start point"; "Through"; "End point"; "Launch clock"; "Capture clock";
+        "Indiv. mode state"; "Merged mode state"; "Pass3 result";
+      ]
+  in
+  List.iter
+    (fun (r : Compare.pass3_row) ->
+      Tab.add_row t
+        (Design.pin_name design r.Compare.p3_sp
+        :: Design.pin_name design r.Compare.p3_through
+        :: Design.pin_name design r.Compare.p3_ep
+        :: bucket_cells r.Compare.p3_bucket))
+    rows;
+  t
+
+let mergeability_text (m : Mergeability.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Mergeability graph:\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  vertices: %s\n"
+       (String.concat " " (Array.to_list m.Mergeability.mode_names)));
+  let edges = Mergeability.edges m in
+  Buffer.add_string buf
+    (Printf.sprintf "  edges (%d): %s\n" (List.length edges)
+       (String.concat " "
+          (List.map
+             (fun (i, j) ->
+               Printf.sprintf "%s-%s" m.Mergeability.mode_names.(i)
+                 m.Mergeability.mode_names.(j))
+             edges)));
+  List.iteri
+    (fun k clique ->
+      Buffer.add_string buf
+        (Printf.sprintf "  M%d: {%s}\n" (k + 1)
+           (String.concat ", "
+              (List.map (fun i -> m.Mergeability.mode_names.(i)) clique))))
+    m.Mergeability.cliques;
+  Buffer.contents buf
+
+let flow_table ~design ~cells (r : Merge_flow.result) =
+  let t =
+    Tab.create
+      ~aligns:[ Tab.Left; Tab.Right; Tab.Right; Tab.Right; Tab.Right; Tab.Right ]
+      [
+        "Design"; "Size (cells)"; "# Modes Individual"; "# Modes Merged";
+        "% Reduction"; "Merging Runtime (s)";
+      ]
+  in
+  Tab.add_row t (Merge_flow.summary_row ~design_name:design ~size_cells:cells r);
+  t
+
+let fixes_text design fixes =
+  String.concat "\n"
+    (List.map
+       (fun (f : Compare.fix) ->
+         Printf.sprintf "%s  # %s"
+           (Mm_sdc.Writer.write_command
+              (Mm_sdc.Mode.commands_of_exc design f.Compare.fix_exc))
+           f.Compare.fix_reason)
+       fixes)

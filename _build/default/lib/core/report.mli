@@ -1,0 +1,26 @@
+(** Paper-style table rendering of analysis and merge results.
+
+    Formats {!Relation_prop} relation sets like Table 1, the
+    {!Compare} pass results like Tables 2-4, the {!Mergeability} graph
+    like Figure 2, and {!Merge_flow} summaries like Table 5 — shared by
+    the examples, the CLI and the benchmark harness. *)
+
+val relations_table :
+  Mm_netlist.Design.t ->
+  (Mm_netlist.Design.pin_id * Relation.t list) list ->
+  Mm_util.Tab.t
+(** Table-1 style: one row per (endpoint, launch, capture) with the
+    combined state; endpoints without relations get a "-" row. *)
+
+val pass1_table : Mm_netlist.Design.t -> Compare.pass1_row list -> Mm_util.Tab.t
+val pass2_table : Mm_netlist.Design.t -> Compare.pass2_row list -> Mm_util.Tab.t
+val pass3_table : Mm_netlist.Design.t -> Compare.pass3_row list -> Mm_util.Tab.t
+
+val mergeability_text : Mergeability.t -> string
+(** Figure-2 style: vertices, edges and the clique cover. *)
+
+val flow_table : design:string -> cells:int -> Merge_flow.result -> Mm_util.Tab.t
+(** One-design Table-5 style summary. *)
+
+val fixes_text : Mm_netlist.Design.t -> Compare.fix list -> string
+(** Added constraints in SDC syntax with provenance comments. *)

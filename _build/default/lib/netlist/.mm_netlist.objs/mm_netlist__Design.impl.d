@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Hashtbl Lib_cell List Mm_util Printf String

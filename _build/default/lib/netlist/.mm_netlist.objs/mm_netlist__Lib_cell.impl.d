@@ -1,0 +1,1 @@
+lib/netlist/lib_cell.ml: Array List Logic String

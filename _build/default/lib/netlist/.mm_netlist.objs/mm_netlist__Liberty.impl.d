@@ -1,0 +1,1 @@
+lib/netlist/liberty.ml: Array Buffer Float Fun Lib_cell Library List Logic Option Printf String

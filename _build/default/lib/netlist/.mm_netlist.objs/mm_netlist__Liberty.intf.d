@@ -1,0 +1,1 @@
+lib/netlist/liberty.mli: Lib_cell Logic

@@ -1,0 +1,1 @@
+lib/netlist/library.ml: Lib_cell List Logic Printf String

@@ -1,0 +1,1 @@
+lib/netlist/library.mli: Lib_cell

@@ -1,0 +1,1 @@
+lib/netlist/logic.ml: Int List Printf Set String

@@ -1,0 +1,1 @@
+lib/netlist/netlist_io.ml: Buffer Design Fun Lib_cell Library List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Design Fun Hashtbl Lib_cell Library List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/wire_load.mli:

@@ -1,0 +1,613 @@
+type group = {
+  g_kind : string;
+  g_args : string list;
+  g_attrs : (string * string) list;
+  g_groups : group list;
+}
+
+exception Parse_error of { line : int; msg : string }
+
+let error line msg = raise (Parse_error { line; msg })
+
+(* ------------------------------------------------------------------ *)
+(* Group-syntax layer                                                  *)
+
+type lstate = { src : string; mutable pos : int; mutable line : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '*'
+    ->
+    (* block comment *)
+    advance st;
+    advance st;
+    let rec go () =
+      match peek st with
+      | None -> error st.line "unterminated comment"
+      | Some '*' when st.pos + 1 < String.length st.src
+                      && st.src.[st.pos + 1] = '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        go ()
+    in
+    go ();
+    skip_ws st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/'
+    ->
+    let rec go () =
+      match peek st with
+      | None | Some '\n' -> ()
+      | Some _ ->
+        advance st;
+        go ()
+    in
+    go ();
+    skip_ws st
+  | Some '\\' when st.pos + 1 < String.length st.src
+                   && st.src.[st.pos + 1] = '\n' ->
+    advance st;
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-' || c = '+'
+
+let read_word st =
+  let start = st.pos in
+  while (match peek st with Some c when is_word_char c -> true | _ -> false) do
+    advance st
+  done;
+  if st.pos = start then error st.line "expected identifier";
+  String.sub st.src start (st.pos - start)
+
+let read_quoted st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st.line "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' when st.pos + 1 < String.length st.src
+                     && st.src.[st.pos + 1] = '\n' ->
+      (* line continuation inside strings *)
+      advance st;
+      advance st;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Attribute value: everything to the terminating ';' (strings merged). *)
+let read_value st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    skip_ws st;
+    match peek st with
+    | None -> error st.line "unterminated attribute"
+    | Some ';' -> advance st
+    | Some '"' ->
+      Buffer.add_string buf (read_quoted st);
+      go ()
+    | Some c when is_word_char c || c = '*' || c = '!' || c = '\'' || c = '('
+                  || c = ')' || c = '^' || c = '|' || c = '&' || c = ',' ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+    | Some c -> error st.line (Printf.sprintf "unexpected %c in value" c)
+  in
+  go ();
+  String.trim (Buffer.contents buf)
+
+let read_args st =
+  (* '(' already peeked *)
+  advance st;
+  let args = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    let w = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if w <> "" then args := w :: !args
+  in
+  let rec go () =
+    match peek st with
+    | None -> error st.line "unterminated ("
+    | Some ')' ->
+      advance st;
+      flush ()
+    | Some ',' ->
+      advance st;
+      flush ();
+      go ()
+    | Some '"' ->
+      Buffer.add_string buf (read_quoted st);
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  List.rev !args
+
+let rec read_group_body st kind args =
+  (* '{' consumed *)
+  let attrs = ref [] and groups = ref [] in
+  let rec go () =
+    skip_ws st;
+    match peek st with
+    | None -> error st.line "unterminated group"
+    | Some '}' -> advance st
+    | Some _ ->
+      let name = read_word st in
+      skip_ws st;
+      (match peek st with
+      | Some ':' ->
+        advance st;
+        attrs := (name, read_value st) :: !attrs
+      | Some '(' ->
+        let gargs = read_args st in
+        skip_ws st;
+        (match peek st with
+        | Some '{' ->
+          advance st;
+          groups := read_group_body st name gargs :: !groups
+        | Some ';' ->
+          advance st;
+          (* complex attribute: keep args joined *)
+          attrs := (name, String.concat "," gargs) :: !attrs
+        | _ ->
+          (* tolerate missing ';' after complex attribute *)
+          attrs := (name, String.concat "," gargs) :: !attrs)
+      | _ -> error st.line (Printf.sprintf "expected : or ( after %s" name));
+      go ()
+  in
+  go ();
+  { g_kind = kind; g_args = args; g_attrs = List.rev !attrs; g_groups = List.rev !groups }
+
+let parse_groups src =
+  let st = { src; pos = 0; line = 1 } in
+  let groups = ref [] in
+  let rec go () =
+    skip_ws st;
+    match peek st with
+    | None -> ()
+    | Some _ ->
+      let name = read_word st in
+      skip_ws st;
+      (match peek st with
+      | Some '(' ->
+        let args = read_args st in
+        skip_ws st;
+        (match peek st with
+        | Some '{' ->
+          advance st;
+          groups := read_group_body st name args :: !groups
+        | _ -> error st.line "expected { after top-level group")
+      | _ -> error st.line "expected ( after top-level group name");
+      go ()
+  in
+  go ();
+  List.rev !groups
+
+(* ------------------------------------------------------------------ *)
+(* Boolean function parser                                             *)
+
+type ftok = F_id of string | F_not | F_xor | F_and | F_or | F_lp | F_rp | F_post
+
+let ftokens s =
+  let toks = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '!' then (toks := F_not :: !toks; incr i)
+    else if c = '\'' then (toks := F_post :: !toks; incr i)
+    else if c = '^' then (toks := F_xor :: !toks; incr i)
+    else if c = '*' || c = '&' then (toks := F_and :: !toks; incr i)
+    else if c = '+' || c = '|' then (toks := F_or :: !toks; incr i)
+    else if c = '(' then (toks := F_lp :: !toks; incr i)
+    else if c = ')' then (toks := F_rp :: !toks; incr i)
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char s.[!i] do incr i done;
+      toks := F_id (String.sub s start (!i - start)) :: !toks
+    end
+    else error 0 (Printf.sprintf "function: unexpected character %c" c)
+  done;
+  List.rev !toks
+
+let parse_function ~names s =
+  let toks = ref (ftokens s) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let next () =
+    match !toks with
+    | [] -> error 0 "function: unexpected end"
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  (* precedence: postfix ' / ! > ^ > and (explicit or juxtaposed) > or *)
+  let rec expr () =
+    let lhs = term () in
+    match peek () with
+    | Some F_or ->
+      ignore (next ());
+      Logic.Or [ lhs; expr () ]
+    | _ -> lhs
+  and term () =
+    let lhs = xfact () in
+    match peek () with
+    | Some F_and ->
+      ignore (next ());
+      Logic.And [ lhs; term () ]
+    | Some (F_id _ | F_not | F_lp) ->
+      (* juxtaposition = AND *)
+      Logic.And [ lhs; term () ]
+    | _ -> lhs
+  and xfact () =
+    let lhs = factor () in
+    match peek () with
+    | Some F_xor ->
+      ignore (next ());
+      Logic.Xor (lhs, xfact ())
+    | _ -> lhs
+  and factor () =
+    match next () with
+    | F_not -> Logic.Not (factor ())
+    | F_lp ->
+      let e = expr () in
+      (match next () with
+      | F_rp -> postfix e
+      | _ -> error 0 "function: expected )")
+    | F_id "0" -> postfix (Logic.Const false)
+    | F_id "1" -> postfix (Logic.Const true)
+    | F_id name -> (
+      match names name with
+      | Some i -> postfix (Logic.Var i)
+      | None -> error 0 (Printf.sprintf "function: unknown pin %s" name))
+    | F_xor | F_and | F_or | F_rp | F_post -> error 0 "function: syntax error"
+  and postfix e =
+    match peek () with
+    | Some F_post ->
+      ignore (next ());
+      postfix (Logic.Not e)
+    | _ -> e
+  in
+  let e = expr () in
+  if !toks <> [] then error 0 "function: trailing tokens";
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Interpretation                                                      *)
+
+type library = { lib_name : string; cells : Lib_cell.t list }
+
+let attr g name = List.assoc_opt name g.g_attrs
+let attr_float g name = Option.bind (attr g name) float_of_string_opt
+
+let idents_of expr_str =
+  List.filter_map
+    (function F_id s when s <> "0" && s <> "1" -> Some s | _ -> None)
+    (ftokens expr_str)
+  |> List.sort_uniq compare
+
+let interpret_cell cg =
+  match cg.g_args with
+  | [] -> None
+  | cell_name :: _ ->
+    let pin_groups = List.filter (fun g -> g.g_kind = "pin") cg.g_groups in
+    if pin_groups = [] then None
+    else begin
+      let ff = List.find_opt (fun g -> g.g_kind = "ff") cg.g_groups in
+      let latch = List.find_opt (fun g -> g.g_kind = "latch") cg.g_groups in
+      let seq_group = match ff with Some _ -> ff | None -> latch in
+      let state_vars =
+        match seq_group with Some g -> g.g_args | None -> []
+      in
+      (* Pin records in declaration order. *)
+      let pin_infos =
+        List.filter_map
+          (fun pg ->
+            match pg.g_args with
+            | [ name ] ->
+              let dir =
+                match attr pg "direction" with
+                | Some "input" -> Some Lib_cell.Input
+                | Some "output" -> Some Lib_cell.Output
+                | _ -> None
+              in
+              Option.map (fun d -> name, d, pg) dir
+            | _ -> None)
+          pin_groups
+      in
+      if List.exists (fun (_, _, pg) -> attr pg "three_state" <> None) pin_infos
+      then None
+      else begin
+        let index_of name =
+          let rec go i = function
+            | [] -> None
+            | (n, _, _) :: rest -> if n = name then Some i else go (i + 1) rest
+          in
+          go 0 pin_infos
+        in
+        (* Sequential bookkeeping from the ff/latch group. *)
+        let clocked_on =
+          Option.bind seq_group (fun g ->
+              match attr g "clocked_on", attr g "enable" with
+              | Some c, _ -> Some c
+              | None, Some e -> Some e
+              | None, None -> None)
+        in
+        let next_state =
+          Option.bind seq_group (fun g ->
+              match attr g "next_state", attr g "data_in" with
+              | Some s, _ -> Some s
+              | None, Some s -> Some s
+              | None, None -> None)
+        in
+        let clock_pin_name, clock_edge =
+          match clocked_on with
+          | Some c ->
+            let trimmed = String.trim c in
+            if String.length trimmed > 0 && trimmed.[0] = '!' then
+              ( (match idents_of trimmed with [ p ] -> Some p | _ -> None),
+                Lib_cell.Falling )
+            else
+              ( (match idents_of trimmed with [ p ] -> Some p | _ -> None),
+                Lib_cell.Rising )
+          | None -> None, Lib_cell.Rising
+        in
+        let data_pin_names =
+          match next_state with Some s -> idents_of s | None -> []
+        in
+        (* Build the pin list with roles. *)
+        let pins =
+          List.map
+            (fun (name, dir, pg) ->
+              let role =
+                if Some name = clock_pin_name || attr pg "clock" = Some "true"
+                then Lib_cell.Clock_in
+                else
+                  match attr pg "nextstate_type" with
+                  | Some "scan_in" -> Lib_cell.Scan_in
+                  | Some "scan_enable" -> Lib_cell.Scan_enable
+                  | _ -> Lib_cell.Data
+              in
+              {
+                Lib_cell.pin_name = name;
+                dir;
+                role;
+                cap =
+                  (match attr_float pg "capacitance" with
+                  | Some c -> c
+                  | None -> if dir = Lib_cell.Input then 0.002 else 0.);
+              })
+            pin_infos
+        in
+        (* Output functions; outputs equal to a state variable are
+           sequential outputs. *)
+        let functions = ref [] and q_pins = ref [] in
+        List.iteri
+          (fun idx (name, dir, pg) ->
+            ignore name;
+            if dir = Lib_cell.Output then begin
+              match attr pg "function" with
+              | Some fsrc ->
+                let ids = idents_of fsrc in
+                if List.exists (fun i -> List.mem i state_vars) ids then
+                  q_pins := idx :: !q_pins
+                else begin
+                  let f =
+                    parse_function
+                      ~names:(fun n -> index_of n)
+                      fsrc
+                  in
+                  functions := (idx, f) :: !functions
+                end
+              | None ->
+                if seq_group <> None then q_pins := idx :: !q_pins
+            end)
+          pin_infos;
+        (* Timing attributes (linear model). *)
+        let timing_groups =
+          List.concat_map
+            (fun (_, _, pg) ->
+              List.filter (fun g -> g.g_kind = "timing") pg.g_groups)
+            pin_infos
+        in
+        let pick_attr name dflt =
+          match
+            List.filter_map (fun g -> attr_float g name) timing_groups
+          with
+          | [] -> dflt
+          | vs -> List.fold_left Float.max 0. vs
+        in
+        let intrinsic =
+          Float.max (pick_attr "intrinsic_rise" 0.05) (pick_attr "intrinsic_fall" 0.05)
+        in
+        let drive_res =
+          Float.max (pick_attr "rise_resistance" 1.0) (pick_attr "fall_resistance" 1.0)
+        in
+        let seq =
+          match seq_group, clock_pin_name with
+          | Some sg, Some cp_name -> (
+            match index_of cp_name with
+            | Some clock_pin ->
+              let data_pins = List.filter_map index_of data_pin_names in
+              Some
+                {
+                  Lib_cell.clock_pin;
+                  clock_edge;
+                  data_pins;
+                  q_pins = List.rev !q_pins;
+                  setup = Option.value ~default:0.08 (attr_float sg "mm_setup");
+                  hold = Option.value ~default:0.02 (attr_float sg "mm_hold");
+                  clk_to_q = Option.value ~default:0.12 (attr_float sg "mm_clk_to_q");
+                  is_latch = sg.g_kind = "latch";
+                }
+            | None -> None)
+          | _ -> None
+        in
+        Some
+          (Lib_cell.make
+             ~functions:(List.rev !functions)
+             ?seq ~intrinsic ~drive_res cell_name pins)
+      end
+    end
+
+let load src =
+  match parse_groups src with
+  | [] -> error 0 "empty liberty source"
+  | lib :: _ when lib.g_kind = "library" ->
+    let lib_name = match lib.g_args with n :: _ -> n | [] -> "unnamed" in
+    let cells =
+      List.filter_map
+        (fun g -> if g.g_kind = "cell" then interpret_cell g else None)
+        lib.g_groups
+    in
+    { lib_name; cells }
+  | g -> error 0 (Printf.sprintf "expected a library group, got %s" (List.hd g).g_kind)
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      load (really_input_string ic n))
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+
+let rec logic_to_liberty pins f =
+  let name i = pins.(i).Lib_cell.pin_name in
+  match f with
+  | Logic.Const b -> if b then "1" else "0"
+  | Logic.Var i -> name i
+  | Logic.Not f -> Printf.sprintf "!(%s)" (logic_to_liberty pins f)
+  | Logic.And fs ->
+    "(" ^ String.concat " * " (List.map (logic_to_liberty pins) fs) ^ ")"
+  | Logic.Or fs ->
+    "(" ^ String.concat " + " (List.map (logic_to_liberty pins) fs) ^ ")"
+  | Logic.Xor (a, b) ->
+    Printf.sprintf "(%s ^ %s)" (logic_to_liberty pins a) (logic_to_liberty pins b)
+  | Logic.Mux (s, a0, a1) ->
+    (* No Liberty mux operator: expand to sum of products. *)
+    let s' = logic_to_liberty pins s in
+    Printf.sprintf "((!(%s) * %s) + (%s * %s))" s'
+      (logic_to_liberty pins a0)
+      s'
+      (logic_to_liberty pins a1)
+
+let to_liberty name cells =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "library (%s) {\n  time_unit : \"1ns\";\n" name;
+  List.iter
+    (fun (c : Lib_cell.t) ->
+      out "  cell (%s) {\n" c.Lib_cell.cell_name;
+      (match c.Lib_cell.seq with
+      | Some seq ->
+        let cp = c.Lib_cell.pins.(seq.Lib_cell.clock_pin).Lib_cell.pin_name in
+        let clocked =
+          match seq.Lib_cell.clock_edge with
+          | Lib_cell.Rising -> cp
+          | Lib_cell.Falling -> "!" ^ cp
+        in
+        let next =
+          match seq.Lib_cell.data_pins with
+          | [ d ] -> c.Lib_cell.pins.(d).Lib_cell.pin_name
+          | [ d; si; se ] ->
+            (* scan flop: mux of functional and scan data *)
+            Printf.sprintf "(%s * !%s) + (%s * %s)"
+              c.Lib_cell.pins.(d).Lib_cell.pin_name
+              c.Lib_cell.pins.(se).Lib_cell.pin_name
+              c.Lib_cell.pins.(si).Lib_cell.pin_name
+              c.Lib_cell.pins.(se).Lib_cell.pin_name
+          | ds ->
+            String.concat " * "
+              (List.map (fun d -> c.Lib_cell.pins.(d).Lib_cell.pin_name) ds)
+        in
+        let kind = if seq.Lib_cell.is_latch then "latch" else "ff" in
+        out "    %s (IQ, IQN) {\n" kind;
+        if seq.Lib_cell.is_latch then begin
+          out "      enable : \"%s\";\n" clocked;
+          out "      data_in : \"%s\";\n" next
+        end
+        else begin
+          out "      clocked_on : \"%s\";\n" clocked;
+          out "      next_state : \"%s\";\n" next
+        end;
+        out "      mm_setup : %g;\n" seq.Lib_cell.setup;
+        out "      mm_hold : %g;\n" seq.Lib_cell.hold;
+        out "      mm_clk_to_q : %g;\n" seq.Lib_cell.clk_to_q;
+        out "    }\n"
+      | None -> ());
+      Array.iteri
+        (fun idx p ->
+          out "    pin (%s) {\n" p.Lib_cell.pin_name;
+          out "      direction : %s;\n"
+            (match p.Lib_cell.dir with
+            | Lib_cell.Input -> "input"
+            | Lib_cell.Output -> "output");
+          if p.Lib_cell.dir = Lib_cell.Input then
+            out "      capacitance : %g;\n" p.Lib_cell.cap;
+          (match p.Lib_cell.role with
+          | Lib_cell.Clock_in -> out "      clock : true;\n"
+          | Lib_cell.Scan_in -> out "      nextstate_type : scan_in;\n"
+          | Lib_cell.Scan_enable -> out "      nextstate_type : scan_enable;\n"
+          | Lib_cell.Data | Lib_cell.Select | Lib_cell.Enable
+          | Lib_cell.Async_reset -> ());
+          (match Lib_cell.function_of_output c idx with
+          | Some f ->
+            out "      function : \"%s\";\n" (logic_to_liberty c.Lib_cell.pins f);
+            out "      timing () {\n";
+            out "        intrinsic_rise : %g;\n" c.Lib_cell.intrinsic;
+            out "        intrinsic_fall : %g;\n" c.Lib_cell.intrinsic;
+            out "        rise_resistance : %g;\n" c.Lib_cell.drive_res;
+            out "        fall_resistance : %g;\n" c.Lib_cell.drive_res;
+            out "      }\n"
+          | None ->
+            if p.Lib_cell.dir = Lib_cell.Output then begin
+              (match c.Lib_cell.seq with
+              | Some seq when List.mem idx seq.Lib_cell.q_pins ->
+                let state =
+                  (* second and later launched outputs are inverted *)
+                  match seq.Lib_cell.q_pins with
+                  | q0 :: _ when q0 = idx -> "IQ"
+                  | _ -> "IQN"
+                in
+                out "      function : \"%s\";\n" state;
+                out "      timing () {\n";
+                out "        intrinsic_rise : %g;\n" c.Lib_cell.intrinsic;
+                out "        rise_resistance : %g;\n" c.Lib_cell.drive_res;
+                out "      }\n"
+              | Some _ | None -> ())
+            end);
+          out "    }\n")
+        c.Lib_cell.pins;
+      out "  }\n")
+    cells;
+  out "}\n";
+  Buffer.contents buf
+
+let builtin_liberty () = to_liberty "mm_builtin" Library.all

@@ -1,0 +1,54 @@
+(** Liberty (.lib) subset reader and writer.
+
+    Parses the structural subset of the Liberty format needed to build
+    {!Lib_cell} values: [cell] groups with [pin] direction /
+    capacitance / [function] attributes, [ff] and [latch] groups
+    (clocked_on / next_state / enable), [timing] groups' linear-delay
+    attributes ([intrinsic_rise/fall], [rise/fall_resistance]) and
+    [clock : true] pin markers. NLDM tables and power data are parsed
+    structurally but ignored semantically (the delay model here is the
+    linear wire-load one).
+
+    Boolean [function] strings support the Liberty operator set:
+    [!a], [a'], [a * b], [a & b], [a + b], [a | b], [a ^ b], implicit
+    AND by juxtaposition, parentheses and the constants [0]/[1]. *)
+
+(** A parsed Liberty group tree (generic syntax layer). *)
+type group = {
+  g_kind : string;          (** e.g. ["library"], ["cell"], ["pin"] *)
+  g_args : string list;     (** the parenthesised arguments *)
+  g_attrs : (string * string) list;  (** simple and quoted attributes *)
+  g_groups : group list;
+}
+
+exception Parse_error of { line : int; msg : string }
+
+val parse_groups : string -> group list
+(** Syntax layer: the top-level groups of a Liberty source.
+    @raise Parse_error *)
+
+val parse_function :
+  names:(string -> int option) -> string -> Logic.t
+(** Parse a Liberty boolean function over pin names resolved by
+    [names]. @raise Parse_error (line 0) on syntax errors or unknown
+    pins. *)
+
+type library = {
+  lib_name : string;
+  cells : Lib_cell.t list;
+}
+
+val load : string -> library
+(** Interpret a Liberty source into cells. Cells that cannot be
+    modelled (no pins, tristate, multi-clock ff banks) are skipped.
+    @raise Parse_error on syntax errors. *)
+
+val load_file : string -> library
+
+val to_liberty : string -> Lib_cell.t list -> string
+(** Write cells as a Liberty source; [load (to_liberty n cs)]
+    reconstructs equivalent cells (round-trip property-tested). *)
+
+val builtin_liberty : unit -> string
+(** The built-in {!Library.all} serialised as Liberty text — a
+    self-contained example .lib. *)

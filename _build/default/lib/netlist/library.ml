@@ -1,0 +1,108 @@
+open Lib_cell
+
+let in_cap = 0.002 (* pF *)
+
+let inp ?(role = Data) name = { pin_name = name; dir = Input; role; cap = in_cap }
+let outp name = { pin_name = name; dir = Output; role = Data; cap = 0. }
+
+let comb ?(intrinsic = 0.05) ?(drive_res = 1.0) name inputs f =
+  let pins = List.map inp inputs @ [ outp "Z" ] in
+  let z = List.length inputs in
+  make ~functions:[ z, f ] ~intrinsic ~drive_res name pins
+
+let inv = comb ~intrinsic:0.03 "INV" [ "A" ] Logic.(not_ (v 0))
+let buf = comb ~intrinsic:0.04 "BUF" [ "A" ] Logic.(v 0)
+let and2 = comb "AND2" [ "A"; "B" ] (Logic.and_n 2)
+let and3 = comb "AND3" [ "A"; "B"; "C" ] (Logic.and_n 3)
+let and4 = comb "AND4" [ "A"; "B"; "C"; "D" ] (Logic.and_n 4)
+let nand2 = comb ~intrinsic:0.04 "NAND2" [ "A"; "B" ] (Logic.nand_n 2)
+let nand3 = comb ~intrinsic:0.045 "NAND3" [ "A"; "B"; "C" ] (Logic.nand_n 3)
+let or2 = comb "OR2" [ "A"; "B" ] (Logic.or_n 2)
+let or3 = comb "OR3" [ "A"; "B"; "C" ] (Logic.or_n 3)
+let or4 = comb "OR4" [ "A"; "B"; "C"; "D" ] (Logic.or_n 4)
+let nor2 = comb ~intrinsic:0.04 "NOR2" [ "A"; "B" ] (Logic.nor_n 2)
+let nor3 = comb ~intrinsic:0.045 "NOR3" [ "A"; "B"; "C" ] (Logic.nor_n 3)
+let xor2 = comb ~intrinsic:0.07 "XOR2" [ "A"; "B" ] Logic.(Xor (v 0, v 1))
+let xnor2 =
+  comb ~intrinsic:0.07 "XNOR2" [ "A"; "B" ] Logic.(not_ (Xor (v 0, v 1)))
+
+let mux2 =
+  let pins = [ inp "D0"; inp "D1"; inp ~role:Select "S"; outp "Z" ] in
+  make
+    ~functions:[ 3, Logic.(Mux (v 2, v 0, v 1)) ]
+    ~intrinsic:0.06 "MUX2" pins
+
+let aoi21 =
+  comb ~intrinsic:0.055 "AOI21" [ "A1"; "A2"; "B" ]
+    Logic.(not_ (v 0 &&& v 1 ||| v 2))
+
+let oai21 =
+  comb ~intrinsic:0.055 "OAI21" [ "A1"; "A2"; "B" ]
+    Logic.(not_ ((v 0 ||| v 1) &&& v 2))
+
+let tiehi =
+  make ~functions:[ 0, Logic.Const true ] ~intrinsic:0. "TIEHI" [ outp "Z" ]
+
+let tielo =
+  make ~functions:[ 0, Logic.Const false ] ~intrinsic:0. "TIELO" [ outp "Z" ]
+
+let flop name ~edge pins ~clock_pin ~data_pins ~q_pins ~is_latch =
+  make
+    ~seq:
+      {
+        clock_pin;
+        clock_edge = edge;
+        data_pins;
+        q_pins;
+        setup = 0.08;
+        hold = 0.02;
+        clk_to_q = 0.12;
+        is_latch;
+      }
+    ~intrinsic:0.12 name pins
+
+let dff =
+  flop "DFF" ~edge:Rising
+    [ inp "D"; inp ~role:Clock_in "CP"; outp "Q"; outp "QN" ]
+    ~clock_pin:1 ~data_pins:[ 0 ] ~q_pins:[ 2; 3 ] ~is_latch:false
+
+let dffn =
+  flop "DFFN" ~edge:Falling
+    [ inp "D"; inp ~role:Clock_in "CPN"; outp "Q"; outp "QN" ]
+    ~clock_pin:1 ~data_pins:[ 0 ] ~q_pins:[ 2; 3 ] ~is_latch:false
+
+let sdff =
+  flop "SDFF" ~edge:Rising
+    [
+      inp "D";
+      inp ~role:Scan_in "SI";
+      inp ~role:Scan_enable "SE";
+      inp ~role:Clock_in "CP";
+      outp "Q";
+      outp "QN";
+    ]
+    ~clock_pin:3 ~data_pins:[ 0; 1; 2 ] ~q_pins:[ 4; 5 ] ~is_latch:false
+
+let latch =
+  flop "LATCH" ~edge:Rising
+    [ inp "D"; inp ~role:Clock_in "EN"; outp "Q" ]
+    ~clock_pin:1 ~data_pins:[ 0 ] ~q_pins:[ 2 ] ~is_latch:true
+
+let icg =
+  let pins = [ inp ~role:Clock_in "CP"; inp ~role:Enable "EN"; outp "GCLK" ] in
+  make ~functions:[ 2, Logic.(v 0 &&& v 1) ] ~intrinsic:0.05 "ICG" pins
+
+let all =
+  [
+    inv; buf; and2; and3; and4; nand2; nand3; or2; or3; or4; nor2; nor3;
+    xor2; xnor2; mux2; aoi21; oai21; tiehi; tielo; dff; dffn; sdff; latch;
+    icg;
+  ]
+
+let find name =
+  List.find_opt (fun c -> String.equal c.cell_name name) all
+
+let find_exn name =
+  match find name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Library.find_exn: unknown cell %s" name)

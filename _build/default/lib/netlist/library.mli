@@ -1,0 +1,50 @@
+(** The built-in standard-cell library.
+
+    A compact technology library sufficient for the paper's circuits and
+    the synthetic workloads: inverters/buffers, 2-4 input gates, 2:1 mux,
+    AOI/OAI, tie cells, rising/falling-edge flops, a scan flop, a
+    transparent latch and an integrated clock gate (modelled
+    combinationally so clocks propagate through it). *)
+
+val inv : Lib_cell.t
+val buf : Lib_cell.t
+val and2 : Lib_cell.t
+val and3 : Lib_cell.t
+val and4 : Lib_cell.t
+val nand2 : Lib_cell.t
+val nand3 : Lib_cell.t
+val or2 : Lib_cell.t
+val or3 : Lib_cell.t
+val or4 : Lib_cell.t
+val nor2 : Lib_cell.t
+val nor3 : Lib_cell.t
+val xor2 : Lib_cell.t
+val xnor2 : Lib_cell.t
+val mux2 : Lib_cell.t
+(** pins D0 D1 S -> Z, [Z = S ? D1 : D0] *)
+
+val aoi21 : Lib_cell.t
+val oai21 : Lib_cell.t
+val tiehi : Lib_cell.t
+val tielo : Lib_cell.t
+
+val dff : Lib_cell.t
+(** rising-edge flop: D CP -> Q QN *)
+
+val dffn : Lib_cell.t
+(** falling-edge flop: D CPN -> Q QN *)
+
+val sdff : Lib_cell.t
+(** scan flop: D SI SE CP -> Q QN *)
+
+val latch : Lib_cell.t
+(** transparent-high latch: D EN -> Q *)
+
+val icg : Lib_cell.t
+(** integrated clock gate: CP EN -> GCLK = CP & EN (combinational model) *)
+
+val all : Lib_cell.t list
+val find : string -> Lib_cell.t option
+(** Lookup by cell name, e.g. ["DFF"]. *)
+
+val find_exn : string -> Lib_cell.t

@@ -1,0 +1,131 @@
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+  | Mux of t * t * t
+
+type tri = F | T | X
+
+let tri_of_bool b = if b then T else F
+let tri_to_string = function F -> "0" | T -> "1" | X -> "x"
+
+let tri_not = function F -> T | T -> F | X -> X
+
+let tri_and a b =
+  match a, b with
+  | F, _ | _, F -> F
+  | T, T -> T
+  | T, X | X, T | X, X -> X
+
+let tri_or a b =
+  match a, b with
+  | T, _ | _, T -> T
+  | F, F -> F
+  | F, X | X, F | X, X -> X
+
+let tri_xor a b =
+  match a, b with
+  | X, _ | _, X -> X
+  | T, T | F, F -> F
+  | T, F | F, T -> T
+
+let rec eval env = function
+  | Const b -> tri_of_bool b
+  | Var i -> env i
+  | Not f -> tri_not (eval env f)
+  | And fs -> List.fold_left (fun acc f -> tri_and acc (eval env f)) T fs
+  | Or fs -> List.fold_left (fun acc f -> tri_or acc (eval env f)) F fs
+  | Xor (a, b) -> tri_xor (eval env a) (eval env b)
+  | Mux (sel, a0, a1) -> (
+    match eval env sel with
+    | F -> eval env a0
+    | T -> eval env a1
+    | X ->
+      let v0 = eval env a0 and v1 = eval env a1 in
+      if v0 = v1 then v0 else X)
+
+let support f =
+  let module IS = Set.Make (Int) in
+  let rec go acc = function
+    | Const _ -> acc
+    | Var i -> IS.add i acc
+    | Not f -> go acc f
+    | And fs | Or fs -> List.fold_left go acc fs
+    | Xor (a, b) -> go (go acc a) b
+    | Mux (s, a, b) -> go (go (go acc s) a) b
+  in
+  IS.elements (go IS.empty f)
+
+let rec simplify env = function
+  | Const b -> Const b
+  | Var i -> ( match env i with F -> Const false | T -> Const true | X -> Var i)
+  | Not f -> (
+    match simplify env f with
+    | Const b -> Const (not b)
+    | Not g -> g
+    | g -> Not g)
+  | And fs ->
+    let fs = List.map (simplify env) fs in
+    if List.exists (function Const false -> true | _ -> false) fs then
+      Const false
+    else begin
+      match List.filter (function Const true -> false | _ -> true) fs with
+      | [] -> Const true
+      | [ f ] -> f
+      | fs -> And fs
+    end
+  | Or fs ->
+    let fs = List.map (simplify env) fs in
+    if List.exists (function Const true -> true | _ -> false) fs then
+      Const true
+    else begin
+      match List.filter (function Const false -> false | _ -> true) fs with
+      | [] -> Const false
+      | [ f ] -> f
+      | fs -> Or fs
+    end
+  | Xor (a, b) -> (
+    match simplify env a, simplify env b with
+    | Const a, Const b -> Const (a <> b)
+    | Const false, g | g, Const false -> g
+    | Const true, g | g, Const true -> (
+      match g with Not h -> h | h -> Not h)
+    | a, b -> Xor (a, b))
+  | Mux (sel, a0, a1) -> (
+    match simplify env sel with
+    | Const false -> simplify env a0
+    | Const true -> simplify env a1
+    | sel ->
+      let a0 = simplify env a0 and a1 = simplify env a1 in
+      if a0 = a1 then a0 else Mux (sel, a0, a1))
+
+let observable env f i =
+  env i = X && List.mem i (support (simplify env f))
+
+let rec to_string = function
+  | Const b -> if b then "1" else "0"
+  | Var i -> Printf.sprintf "i%d" i
+  | Not f -> Printf.sprintf "!%s" (paren f)
+  | And fs -> String.concat " & " (List.map paren fs)
+  | Or fs -> String.concat " | " (List.map paren fs)
+  | Xor (a, b) -> Printf.sprintf "%s ^ %s" (paren a) (paren b)
+  | Mux (s, a0, a1) ->
+    Printf.sprintf "mux(%s, %s, %s)" (to_string s) (to_string a0)
+      (to_string a1)
+
+and paren f =
+  match f with
+  | Const _ | Var _ | Not _ -> to_string f
+  | And _ | Or _ | Xor _ | Mux _ -> Printf.sprintf "(%s)" (to_string f)
+
+let v i = Var i
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let not_ f = Not f
+let and_n n = And (List.init n v)
+let or_n n = Or (List.init n v)
+let nand_n n = Not (and_n n)
+let nor_n n = Not (or_n n)

@@ -1,0 +1,59 @@
+(** Combinational cell functions with three-valued evaluation.
+
+    Cell output behaviour is modelled as a boolean expression over the
+    cell's input pins (referenced by input index). Three-valued
+    ({!tri}) evaluation under a partial assignment drives case-analysis
+    constant propagation: an input whose value cannot influence the
+    output under the current constants has its timing arc disabled and
+    blocks clock propagation (paper sections 3.1.8 and 3.2). *)
+
+type t =
+  | Const of bool
+  | Var of int  (** input pin index within the owning cell *)
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+  | Mux of t * t * t
+      (** [Mux (sel, a0, a1)]: output follows [a0] when [sel]=0,
+          [a1] when [sel]=1. *)
+
+type tri = F | T | X  (** three-valued logic: false, true, unknown *)
+
+val tri_of_bool : bool -> tri
+val tri_to_string : tri -> string
+
+val eval : (int -> tri) -> t -> tri
+(** [eval env f] evaluates [f] with inputs supplied by [env];
+    unknown inputs are [X]. Uses dominant-value shortcuts, e.g.
+    [And [F; X] = F] and [Mux] with a known select ignores the
+    unselected branch. *)
+
+val support : t -> int list
+(** Sorted, deduplicated list of input indices appearing in [f]. *)
+
+val simplify : (int -> tri) -> t -> t
+(** [simplify env f] substitutes known inputs and folds constants.
+    The result's {!support} is exactly the set of inputs that can
+    still influence the output under [env] (for tree-shaped gate
+    functions; shared-variable reconvergence inside a single cell
+    function may conservatively keep an input). *)
+
+val observable : (int -> tri) -> t -> int -> bool
+(** [observable env f i]: can input [i] still influence the output of
+    [f] given the constants in [env]? This is the arc-enable predicate
+    used by constant propagation. *)
+
+val to_string : t -> string
+(** Human-readable form using [i0..iN] for inputs, for debugging and
+    the netlist text format. *)
+
+(* Convenience constructors used by the standard cell library. *)
+val v : int -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val not_ : t -> t
+val and_n : int -> t
+val or_n : int -> t
+val nand_n : int -> t
+val nor_n : int -> t

@@ -1,0 +1,109 @@
+let emit put d =
+  put (Printf.sprintf "design %s\n" (Design.design_name d));
+  Design.iter_ports d (fun p ->
+      let dir =
+        match Design.port_dir d p with Design.In -> "in" | Design.Out -> "out"
+      in
+      put (Printf.sprintf "port %s %s\n" dir (Design.port_name d p)));
+  Design.iter_insts d (fun i ->
+      put
+        (Printf.sprintf "inst %s %s\n" (Design.inst_name d i)
+           (Design.inst_cell d i).Lib_cell.cell_name));
+  Design.iter_nets d (fun n ->
+      let pins =
+        (match Design.net_driver d n with Some p -> [ p ] | None -> [])
+        @ Design.net_sinks d n
+      in
+      put
+        (Printf.sprintf "net %s %s\n" (Design.net_name d n)
+           (String.concat " " (List.map (Design.pin_name d) pins))))
+
+let write oc d = emit (output_string oc) d
+
+let to_string d =
+  let buf = Buffer.create 4096 in
+  emit (Buffer.add_string buf) d;
+  Buffer.contents buf
+
+let fail lineno msg =
+  failwith (Printf.sprintf "netlist: line %d: %s" lineno msg)
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_lines lines =
+  let design = ref None in
+  let get_design lineno =
+    match !design with
+    | Some d -> d
+    | None -> fail lineno "expected 'design <name>' first"
+  in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      match split_words line with
+      | [] -> ()
+      | "design" :: rest -> (
+        match rest with
+        | [ name ] ->
+          if !design <> None then fail lineno "duplicate design line";
+          design := Some (Design.create name)
+        | _ -> fail lineno "usage: design <name>")
+      | "port" :: rest -> (
+        let d = get_design lineno in
+        match rest with
+        | [ dir; name ] ->
+          let dir =
+            match dir with
+            | "in" -> Design.In
+            | "out" -> Design.Out
+            | _ -> fail lineno "port direction must be 'in' or 'out'"
+          in
+          ignore (Design.add_port d name dir)
+        | _ -> fail lineno "usage: port <in|out> <name>")
+      | "inst" :: rest -> (
+        let d = get_design lineno in
+        match rest with
+        | [ name; cell ] -> (
+          match Library.find cell with
+          | Some c -> ignore (Design.add_inst d name c)
+          | None -> fail lineno (Printf.sprintf "unknown cell %s" cell))
+        | _ -> fail lineno "usage: inst <name> <cell>")
+      | "net" :: rest -> (
+        let d = get_design lineno in
+        match rest with
+        | name :: pins when pins <> [] -> (
+          try Design.wire d name pins
+          with Invalid_argument msg -> fail lineno msg)
+        | _ -> fail lineno "usage: net <name> <pin> <pin>...")
+      | kw :: _ -> fail lineno (Printf.sprintf "unknown keyword %s" kw))
+    lines;
+  match !design with
+  | Some d -> d
+  | None -> failwith "netlist: empty input"
+
+let of_string s = parse_lines (String.split_on_char '\n' s)
+
+let read ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  parse_lines (List.rev !lines)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read ic)
+
+let write_file path d =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write oc d)

@@ -1,0 +1,27 @@
+(** Text serialisation of designs.
+
+    A minimal line-oriented structural format, enough to move designs
+    between the generator, the CLI and tests:
+
+    {v
+    # comment
+    design top
+    port in clk1
+    port out out1
+    inst inv1 INV
+    net n1 rA/Q inv1/A
+    v}
+
+    [net] lines list connected pins in any order; the driver is inferred
+    from pin directions. Cell names must exist in {!Library}. *)
+
+val write : out_channel -> Design.t -> unit
+val to_string : Design.t -> string
+
+val read : in_channel -> Design.t
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val of_string : string -> Design.t
+
+val read_file : string -> Design.t
+val write_file : string -> Design.t -> unit

@@ -1,0 +1,37 @@
+(** Structural (gate-level) Verilog subset reader and writer.
+
+    Reads a flat netlist module:
+
+    {v
+    module top (clk, in1, out1);
+      input clk, in1;
+      output out1;
+      wire n1;
+      INV u1 (.A(in1), .Z(n1));
+      DFF r1 (.D(n1), .CP(clk), .Q(out1));
+    endmodule
+    v}
+
+    Supported: named ([.pin(net)]) and positional connections, comma
+    port/net declarations, [1'b0]/[1'b1] constants in connections (tie
+    cells are inserted), unconnected [.pin()] terms, continuous
+    [assign a = b;] (lowered to a buffer), line and block comments.
+    Not supported: hierarchy (instances must resolve in the cell
+    library), vectors/buses, [inout] ports, behavioural constructs.
+
+    The writer emits named-connection structural Verilog; reading it
+    back reconstructs an equivalent design (round-trip tested). *)
+
+exception Error of { line : int; msg : string }
+
+val read :
+  ?lib:(string -> Lib_cell.t option) -> ?top:string -> string -> Design.t
+(** Parse Verilog source and elaborate the module named [top] (default:
+    the last module in the file) against [lib] (default
+    {!Library.find}). @raise Error *)
+
+val read_file :
+  ?lib:(string -> Lib_cell.t option) -> ?top:string -> string -> Design.t
+
+val write : Design.t -> string
+val write_file : string -> Design.t -> unit

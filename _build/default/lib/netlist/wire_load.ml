@@ -1,0 +1,49 @@
+type t = {
+  wlm_name : string;
+  cap_per_fanout : float;
+  res_per_fanout : float;
+  slope : float;
+  table : (int * float) list;
+}
+
+let default =
+  {
+    wlm_name = "wlm_default";
+    cap_per_fanout = 0.0015;
+    res_per_fanout = 0.15;
+    slope = 0.0012;
+    table = [ 1, 0.002; 2, 0.0035; 4, 0.006; 8, 0.011; 16, 0.02 ];
+  }
+
+let conservative =
+  {
+    wlm_name = "wlm_conservative";
+    cap_per_fanout = 0.003;
+    res_per_fanout = 0.3;
+    slope = 0.0025;
+    table = [ 1, 0.004; 2, 0.007; 4, 0.012; 8, 0.022; 16, 0.04 ];
+  }
+
+let wire_cap t fanout =
+  if fanout <= 0 then 0.
+  else
+    let rec go = function
+      | [] -> 0.
+      | [ (f, c) ] ->
+        (* extrapolate beyond the last table entry *)
+        c +. (float_of_int (fanout - f) *. t.slope)
+      | (f1, c1) :: ((f2, c2) :: _ as rest) ->
+        if fanout <= f1 then c1
+        else if fanout <= f2 then
+          let frac = float_of_int (fanout - f1) /. float_of_int (f2 - f1) in
+          c1 +. (frac *. (c2 -. c1))
+        else go rest
+    in
+    go t.table
+
+let wire_res t fanout =
+  if fanout <= 0 then 0. else t.res_per_fanout *. float_of_int fanout ** 0.5
+
+let net_delay t ~fanout ~pin_caps =
+  let cw = wire_cap t fanout in
+  wire_res t fanout *. (cw /. 2. +. pin_caps)

@@ -1,0 +1,1 @@
+lib/sdc/lexer.ml: Buffer List String

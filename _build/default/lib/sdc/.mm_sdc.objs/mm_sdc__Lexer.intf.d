@@ -1,0 +1,1 @@
+lib/sdc/lexer.mli:

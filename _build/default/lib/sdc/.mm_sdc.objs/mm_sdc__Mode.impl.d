@@ -1,0 +1,1 @@
+lib/sdc/mode.ml: Ast Float Format List Mm_netlist Option Printf String Writer

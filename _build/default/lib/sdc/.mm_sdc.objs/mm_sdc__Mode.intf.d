@@ -1,0 +1,1 @@
+lib/sdc/mode.mli: Ast Format Mm_netlist

@@ -1,0 +1,1 @@
+lib/sdc/parser.ml: Ast Char Fun Lexer List Printf String

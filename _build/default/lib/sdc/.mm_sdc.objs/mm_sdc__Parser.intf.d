@@ -1,0 +1,1 @@
+lib/sdc/parser.mli: Ast Lexer

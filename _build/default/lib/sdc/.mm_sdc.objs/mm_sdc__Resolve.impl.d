@@ -1,0 +1,1 @@
+lib/sdc/resolve.ml: Ast Hashtbl List Mm_netlist Mm_util Mode Option Parser Printf String

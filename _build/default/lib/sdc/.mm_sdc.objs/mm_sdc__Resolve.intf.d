@@ -1,0 +1,1 @@
+lib/sdc/resolve.mli: Ast Mm_netlist Mode

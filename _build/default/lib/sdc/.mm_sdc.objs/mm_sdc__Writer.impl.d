@@ -1,0 +1,1 @@
+lib/sdc/writer.ml: Ast Float Fun List Printf String

@@ -1,0 +1,1 @@
+lib/sdc/writer.mli: Ast

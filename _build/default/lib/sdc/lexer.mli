@@ -1,0 +1,20 @@
+(** Tokeniser for the SDC (Tcl-flavoured) constraint syntax.
+
+    Produces one token-tree list per command. Handles [#] comments,
+    backslash line continuation, [;] command separators, double-quoted
+    strings, brace-delimited word lists and nested [\[...\]] command
+    substitution (used for object queries). *)
+
+type tok =
+  | Atom of string
+  | Bracket of tok list  (** a [\[...\]] command substitution *)
+  | Brace of string list (** a [{...}] word list *)
+
+exception Error of { line : int; msg : string }
+
+val tokenize : string -> tok list list
+(** Split the source into commands; each command is its token list.
+    @raise Error on unbalanced delimiters. *)
+
+val tok_to_string : tok -> string
+(** Round-trip a token back to SDC text (for diagnostics). *)

@@ -1,0 +1,14 @@
+(** Parser from token trees to {!Ast.command}s. *)
+
+exception Error of string
+(** Raised with a message naming the offending command and argument. *)
+
+val parse_command : Lexer.tok list -> Ast.command
+(** Parse one command. @raise Error on malformed input, unknown
+    command words or unknown flags. *)
+
+val parse_string : string -> Ast.command list
+(** Tokenise and parse a whole SDC source.
+    @raise Error / {!Lexer.Error}. *)
+
+val parse_file : string -> Ast.command list

@@ -1,0 +1,21 @@
+(** Resolution of parsed SDC against a design, producing a {!Mode.t}.
+
+    Commands are processed in file order (clocks must precede
+    [get_clocks] references, as in real tools). Unresolvable objects
+    yield warnings rather than failures so that partially applicable
+    constraint sets can still be analysed. *)
+
+type result = { mode : Mode.t; warnings : string list }
+
+val mode :
+  Mm_netlist.Design.t -> name:string -> Ast.command list -> result
+
+val mode_of_string :
+  Mm_netlist.Design.t -> name:string -> string -> result
+(** Parse then resolve. @raise Parser.Error / Lexer.Error on syntax. *)
+
+val mode_of_file : Mm_netlist.Design.t -> name:string -> string -> result
+
+val mode_exn : Mm_netlist.Design.t -> name:string -> Ast.command list -> Mode.t
+(** Like {!mode} but raises [Failure] on any warning — used by tests
+    and the paper walkthrough where constraints must resolve fully. *)

@@ -1,0 +1,10 @@
+(** Pretty-printer from {!Ast.command}s back to SDC text.
+
+    [parse_string (write_commands cs)] yields commands equal to [cs]
+    modulo flag ordering; this round-trip is property-tested. *)
+
+val write_query : Ast.obj_query -> string
+val write_objects : Ast.objects -> string
+val write_command : Ast.command -> string
+val write_commands : ?header:string -> Ast.command list -> string
+val write_file : string -> ?header:string -> Ast.command list -> unit

@@ -1,0 +1,1 @@
+lib/timing/clock_prop.ml: Array Const_prop Float Graph Hashtbl List Mm_netlist Mm_sdc Option

@@ -1,0 +1,1 @@
+lib/timing/clock_prop.mli: Const_prop Graph Mm_netlist Mm_sdc

@@ -1,0 +1,1 @@
+lib/timing/const_prop.ml: Array Graph Hashtbl List Mm_netlist Mm_sdc String

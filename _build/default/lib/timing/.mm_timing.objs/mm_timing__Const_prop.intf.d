@@ -1,0 +1,1 @@
+lib/timing/const_prop.mli: Graph Mm_netlist Mm_sdc

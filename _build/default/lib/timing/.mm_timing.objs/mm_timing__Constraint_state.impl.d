@@ -1,0 +1,1 @@
+lib/timing/constraint_state.ml: Float List Mm_sdc Printf Stdlib

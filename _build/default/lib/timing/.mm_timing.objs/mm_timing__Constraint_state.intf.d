@@ -1,0 +1,1 @@
+lib/timing/constraint_state.mli: Mm_sdc

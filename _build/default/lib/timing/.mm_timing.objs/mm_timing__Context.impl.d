@@ -1,0 +1,1 @@
+lib/timing/context.ml: Array Clock_prop Const_prop Excmatch Graph List Mm_netlist Mm_sdc Option

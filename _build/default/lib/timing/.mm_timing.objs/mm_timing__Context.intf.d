@@ -1,0 +1,1 @@
+lib/timing/context.mli: Clock_prop Const_prop Excmatch Graph Mm_netlist Mm_sdc

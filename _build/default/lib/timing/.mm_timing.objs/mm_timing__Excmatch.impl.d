@@ -1,0 +1,1 @@
+lib/timing/excmatch.ml: Array Clock_prop Constraint_state Graph Hashtbl List Mm_netlist Mm_sdc Option

@@ -1,0 +1,1 @@
+lib/timing/excmatch.mli: Clock_prop Constraint_state Graph Mm_netlist Mm_sdc

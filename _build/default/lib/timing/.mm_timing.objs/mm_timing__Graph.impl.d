@@ -1,0 +1,1 @@
+lib/timing/graph.ml: Array Float Hashtbl List Mm_netlist Mm_sdc Option Queue

@@ -1,0 +1,1 @@
+lib/timing/graph.mli: Mm_netlist Mm_sdc

@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Buffer Clock_prop Const_prop Constraint_state Context Corner Excmatch Float Graph Hashtbl List Mm_netlist Mm_sdc Option Printf Unix

@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Context Corner Hashtbl Mm_netlist Mm_sdc

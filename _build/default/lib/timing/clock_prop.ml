@@ -1,0 +1,114 @@
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+
+type t = {
+  order : string array;
+  index : (string, int) Hashtbl.t;
+  masks : int array;
+  arrivals : (int, float * float) Hashtbl.t;
+      (** key: [pin * 64 + clock_index] *)
+}
+
+exception Too_many_clocks of int
+
+let key pin clk = (pin * 64) + clk
+
+let run (g : Graph.t) (cp : Const_prop.t) (mode : Mode.t) =
+  let clocks = mode.Mode.clocks in
+  let nclk = List.length clocks in
+  if nclk > 62 then raise (Too_many_clocks nclk);
+  let order = Array.of_list (List.map (fun c -> c.Mode.clk_name) clocks) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i n -> Hashtbl.replace index n i) order;
+  let n = Graph.n_pins g in
+  let masks = Array.make n 0 in
+  let arrivals = Hashtbl.create 256 in
+  (* Stop pins per clock: set_clock_sense -stop_propagation. A sense
+     without -clock stops every clock at the pin. *)
+  let stop = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Mode.clock_sense) ->
+      if s.cs_stop then begin
+        let mask =
+          match s.cs_clocks with
+          | None -> -1
+          | Some names ->
+            List.fold_left
+              (fun acc nm ->
+                match Hashtbl.find_opt index nm with
+                | Some i -> acc lor (1 lsl i)
+                | None -> acc)
+              0 names
+        in
+        List.iter
+          (fun pin ->
+            let prev = Option.value ~default:0 (Hashtbl.find_opt stop pin) in
+            Hashtbl.replace stop pin (prev lor mask))
+          s.cs_pins
+      end)
+    mode.Mode.senses;
+  let stopped_mask pin = Option.value ~default:0 (Hashtbl.find_opt stop pin) in
+  (* Seed sources. A source pin that carries a constant still defines
+     the clock but the clock goes nowhere. *)
+  List.iteri
+    (fun ci (c : Mode.clock) ->
+      List.iter
+        (fun src ->
+          if Const_prop.pin_active cp src && stopped_mask src land (1 lsl ci) = 0
+          then begin
+            masks.(src) <- masks.(src) lor (1 lsl ci);
+            Hashtbl.replace arrivals (key src ci) (0., 0.)
+          end)
+        c.Mode.sources)
+    clocks;
+  (* Topological sweep over enabled Comb/Net arcs. *)
+  Array.iter
+    (fun pin ->
+      if masks.(pin) <> 0 then
+        List.iter
+          (fun aid ->
+            let a = g.Graph.arcs.(aid) in
+            if a.Graph.a_kind <> Graph.Launch && Const_prop.enabled cp aid
+            then begin
+              let dst = a.Graph.a_dst in
+              let incoming = masks.(pin) land lnot (stopped_mask dst) in
+              if incoming <> 0 then begin
+                masks.(dst) <- masks.(dst) lor incoming;
+                for ci = 0 to nclk - 1 do
+                  if incoming land (1 lsl ci) <> 0 then begin
+                    let smin, smax = Hashtbl.find arrivals (key pin ci) in
+                    let dmin = smin +. a.Graph.a_dmin
+                    and dmax = smax +. a.Graph.a_dmax in
+                    match Hashtbl.find_opt arrivals (key dst ci) with
+                    | None -> Hashtbl.replace arrivals (key dst ci) (dmin, dmax)
+                    | Some (emin, emax) ->
+                      Hashtbl.replace arrivals (key dst ci)
+                        (Float.min emin dmin, Float.max emax dmax)
+                  end
+                done
+              end
+            end)
+          g.Graph.out_arcs.(pin))
+    g.Graph.topo;
+  { order; index; masks; arrivals }
+
+let n_clocks t = Array.length t.order
+let clock_name t i = t.order.(i)
+let clock_index t name = Hashtbl.find_opt t.index name
+let mask_at t pin = t.masks.(pin)
+
+let clocks_at t pin =
+  let acc = ref [] in
+  for i = Array.length t.order - 1 downto 0 do
+    if t.masks.(pin) land (1 lsl i) <> 0 then acc := t.order.(i) :: !acc
+  done;
+  !acc
+
+let has_clock t pin i = t.masks.(pin) land (1 lsl i) <> 0
+let arrival t pin i = Hashtbl.find_opt t.arrivals (key pin i)
+
+let mask_of_clock_names t names =
+  List.fold_left
+    (fun acc nm ->
+      match clock_index t nm with Some i -> acc lor (1 lsl i) | None -> acc)
+    0 names

@@ -1,0 +1,32 @@
+(** Clock propagation through the clock network.
+
+    Each mode clock is swept from its source pins through enabled
+    combinational and net arcs (never through register launch arcs) in
+    topological order, honouring [set_clock_sense -stop_propagation]
+    constraints. The result records, per pin, the set of clocks present
+    (as a bitmask over the mode's clock order) and the min/max
+    insertion delay of each clock at each reached pin.
+
+    This is the machinery behind the paper's clock refinement (3.1.8):
+    comparing per-node clock sets between merged and individual modes. *)
+
+type t
+
+exception Too_many_clocks of int
+
+val run : Graph.t -> Const_prop.t -> Mm_sdc.Mode.t -> t
+(** @raise Too_many_clocks beyond 62 clocks (bitmask width). *)
+
+val n_clocks : t -> int
+val clock_name : t -> int -> string
+val clock_index : t -> string -> int option
+val mask_at : t -> Mm_netlist.Design.pin_id -> int
+val clocks_at : t -> Mm_netlist.Design.pin_id -> string list
+val has_clock : t -> Mm_netlist.Design.pin_id -> int -> bool
+
+val arrival : t -> Mm_netlist.Design.pin_id -> int -> (float * float) option
+(** Min/max network insertion delay of clock [i] at [pin], when the
+    clock reaches it. *)
+
+val mask_of_clock_names : t -> string list -> int
+(** Bitmask of the named clocks (unknown names ignored). *)

@@ -1,0 +1,116 @@
+module Design = Mm_netlist.Design
+module Lib_cell = Mm_netlist.Lib_cell
+module Logic = Mm_netlist.Logic
+module Mode = Mm_sdc.Mode
+
+type t = {
+  values : Logic.tri array;
+  arc_enabled : bool array;
+  pin_disabled : bool array;
+}
+
+let run (g : Graph.t) (mode : Mode.t) =
+  let design = g.Graph.design in
+  let n = Graph.n_pins g in
+  let values = Array.make n Logic.X in
+  let forced = Array.make n false in
+  List.iter
+    (fun (pin, v) ->
+      values.(pin) <- Logic.tri_of_bool v;
+      forced.(pin) <- true)
+    mode.Mode.cases;
+  (* Propagate constants in topological order. Forced pins keep their
+     case value regardless of drivers. *)
+  Array.iter
+    (fun pin ->
+      if not forced.(pin) then begin
+        match Design.pin_owner design pin with
+        | Design.Port_pin _ -> () (* inputs unknown unless cased *)
+        | Design.Inst_pin (inst, idx) ->
+          let cell = Design.inst_cell design inst in
+          if cell.Lib_cell.pins.(idx).Lib_cell.dir = Lib_cell.Output then begin
+            (* Sequential outputs stay X; combinational outputs evaluate
+               their function. *)
+            match Lib_cell.function_of_output cell idx with
+            | Some f ->
+              let env i = values.(Design.inst_pin design inst i) in
+              values.(pin) <- Logic.eval env f
+            | None -> ()
+          end
+          else begin
+            (* Input pin: copy the net driver's value. *)
+            match Design.pin_net design pin with
+            | None -> ()
+            | Some net -> (
+              match Design.net_driver design net with
+              | Some drv when drv <> pin -> values.(pin) <- values.(drv)
+              | Some _ | None -> ())
+          end
+      end)
+    g.Graph.topo;
+  (* Disables. *)
+  let pin_disabled = Array.make n false in
+  let arc_disabled = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Mode.Dis_pin pin -> pin_disabled.(pin) <- true
+      | Mode.Dis_inst (inst, from_, to_) ->
+        let cell = Design.inst_cell design inst in
+        let matches name spec =
+          match spec with None -> true | Some s -> String.equal s name
+        in
+        Array.iteri
+          (fun aid a ->
+            if a.Graph.a_inst = inst && a.Graph.a_kind <> Graph.Net then begin
+              let pin_name_of p =
+                match Design.pin_owner design p with
+                | Design.Inst_pin (_, i) ->
+                  cell.Lib_cell.pins.(i).Lib_cell.pin_name
+                | Design.Port_pin _ -> ""
+              in
+              if
+                matches (pin_name_of a.Graph.a_src) from_
+                && matches (pin_name_of a.Graph.a_dst) to_
+              then Hashtbl.replace arc_disabled aid ()
+            end)
+          g.Graph.arcs)
+    mode.Mode.disables;
+  let broken = Hashtbl.create 16 in
+  List.iter (fun aid -> Hashtbl.replace broken aid ()) g.Graph.broken_arcs;
+  (* Arc enablement. *)
+  let arc_enabled =
+    Array.mapi
+      (fun aid a ->
+        let src = a.Graph.a_src and dst = a.Graph.a_dst in
+        if
+          Hashtbl.mem arc_disabled aid
+          || Hashtbl.mem broken aid
+          || pin_disabled.(src)
+          || pin_disabled.(dst)
+          || values.(src) <> Logic.X
+          || values.(dst) <> Logic.X
+        then false
+        else
+          match a.Graph.a_kind with
+          | Graph.Net | Graph.Launch -> true
+          | Graph.Comb -> (
+            match Design.pin_owner design dst with
+            | Design.Inst_pin (inst, out_idx) -> (
+              let cell = Design.inst_cell design inst in
+              match Lib_cell.function_of_output cell out_idx with
+              | Some f -> (
+                let env i = values.(Design.inst_pin design inst i) in
+                match Design.pin_owner design src with
+                | Design.Inst_pin (_, in_idx) -> Logic.observable env f in_idx
+                | Design.Port_pin _ -> true)
+              | None -> true)
+            | Design.Port_pin _ -> true))
+      g.Graph.arcs
+  in
+  { values; arc_enabled; pin_disabled }
+
+let value t pin = t.values.(pin)
+let enabled t aid = t.arc_enabled.(aid)
+
+let pin_active t pin =
+  (not t.pin_disabled.(pin)) && t.values.(pin) = Mm_netlist.Logic.X

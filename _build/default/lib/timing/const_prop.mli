@@ -1,0 +1,28 @@
+(** Case-analysis constant propagation and arc enablement.
+
+    Constants come from [set_case_analysis], tie cells and anything
+    they imply through cell functions (computed in topological order
+    with three-valued logic). An arc is enabled when
+
+    - neither endpoint carries a constant,
+    - neither endpoint is disabled by [set_disable_timing],
+    - for cell arcs, the input can still influence the output under the
+      current constants (a mux with its select cased off propagates
+      only the selected data input, which is what makes the paper's
+      clock-refinement examples work), and
+    - the arc is not a loop-breaking casualty. *)
+
+type t = {
+  values : Mm_netlist.Logic.tri array;  (** per pin *)
+  arc_enabled : bool array;             (** per arc index *)
+  pin_disabled : bool array;            (** per pin *)
+}
+
+val run : Graph.t -> Mm_sdc.Mode.t -> t
+
+val value : t -> Mm_netlist.Design.pin_id -> Mm_netlist.Logic.tri
+val enabled : t -> int -> bool
+(** [enabled t arc_index] *)
+
+val pin_active : t -> Mm_netlist.Design.pin_id -> bool
+(** Not disabled and not constant: the pin can carry transitions. *)

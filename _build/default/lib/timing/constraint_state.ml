@@ -1,0 +1,57 @@
+module Mode = Mm_sdc.Mode
+
+type t =
+  | Valid
+  | Disabled
+  | False_path
+  | Multicycle of int
+  | Max_delay_bound of float
+  | Min_delay_bound of float
+
+let rank = function
+  | Disabled -> 5
+  | False_path -> 4
+  | Max_delay_bound _ -> 3
+  | Min_delay_bound _ -> 2
+  | Multicycle _ -> 1
+  | Valid -> 0
+
+let stronger a b =
+  let ra = rank a and rb = rank b in
+  if ra <> rb then if ra > rb then a else b
+  else
+    (* Same kind: the tighter constraint wins. *)
+    match a, b with
+    | Multicycle x, Multicycle y -> Multicycle (max x y)
+    | Max_delay_bound x, Max_delay_bound y -> Max_delay_bound (Float.min x y)
+    | Min_delay_bound x, Min_delay_bound y -> Min_delay_bound (Float.max x y)
+    | Valid, _ | Disabled, _ | False_path, _ -> a
+    | (Multicycle _ | Max_delay_bound _ | Min_delay_bound _), _ -> a
+
+let strongest = function
+  | [] -> Valid
+  | s :: rest -> List.fold_left stronger s rest
+
+let of_exceptions ~setup excs =
+  let applicable (e : Mode.exc) =
+    if setup then e.exc_setup else e.exc_hold
+  in
+  let state_of (e : Mode.exc) =
+    match e.exc_kind with
+    | Mode.False_path -> False_path
+    | Mode.Multicycle { mult; _ } -> Multicycle mult
+    | Mode.Min_delay v -> Min_delay_bound v
+    | Mode.Max_delay v -> Max_delay_bound v
+  in
+  strongest (List.map state_of (List.filter applicable excs))
+
+let compare a b = Stdlib.compare a b
+let equal a b = Stdlib.compare a b = 0
+
+let to_string = function
+  | Valid -> "V"
+  | Disabled -> "DIS"
+  | False_path -> "FP"
+  | Multicycle n -> Printf.sprintf "MCP(%d)" n
+  | Max_delay_bound v -> Printf.sprintf "MAX(%g)" v
+  | Min_delay_bound v -> Printf.sprintf "MIN(%g)" v

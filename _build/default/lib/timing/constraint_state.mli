@@ -1,0 +1,35 @@
+(** The constraint state of a set of paths (paper section 2).
+
+    Any SDC constraint's effect is captured at endpoints as a state:
+    disabled, false path, multicycle, min/max delay, or valid
+    (unconstrained). When several exceptions overlap the same path,
+    precedence applies; the paper's example has false-path overriding
+    multicycle. The implemented order, strongest first:
+
+    Disabled > False_path > Max_delay/Min_delay > Multicycle > Valid
+
+    and within a kind the numerically tighter value wins. *)
+
+type t =
+  | Valid
+  | Disabled
+  | False_path
+  | Multicycle of int  (** cycle multiplier *)
+  | Max_delay_bound of float
+  | Min_delay_bound of float
+
+val rank : t -> int
+(** Strength for precedence; larger = stronger. *)
+
+val strongest : t list -> t
+(** [Valid] for the empty list. *)
+
+val of_exceptions : setup:bool -> Mm_sdc.Mode.exc list -> t
+(** Combine the exceptions matching one path into its state, keeping
+    only those applicable to the analysis type ([setup] = max paths). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+(** Compact table form: ["V"], ["FP"], ["MCP(2)"], ["DIS"],
+    ["MAX(1.5)"], ["MIN(0.2)"]. *)

@@ -1,0 +1,72 @@
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+
+type t = {
+  design : Design.t;
+  mode : Mode.t;
+  graph : Graph.t;
+  consts : Const_prop.t;
+  clocks : Clock_prop.t;
+  excs : Excmatch.t;
+  exclusive : int array;
+}
+
+let build_exclusive (clocks : Clock_prop.t) (mode : Mode.t) =
+  let n = Clock_prop.n_clocks clocks in
+  let exclusive = Array.make n 0 in
+  List.iter
+    (fun (g : Mode.clock_group) ->
+      let masks =
+        List.map (Clock_prop.mask_of_clock_names clocks) g.grp_clocks
+      in
+      List.iteri
+        (fun i mi ->
+          List.iteri
+            (fun j mj ->
+              if i <> j then
+                for c = 0 to n - 1 do
+                  if mi land (1 lsl c) <> 0 then
+                    exclusive.(c) <- exclusive.(c) lor mj
+                done)
+            masks)
+        masks)
+    mode.Mode.groups;
+  exclusive
+
+let create design mode =
+  let graph = Graph.build design mode in
+  let consts = Const_prop.run graph mode in
+  let clocks = Clock_prop.run graph consts mode in
+  let excs = Excmatch.prepare graph clocks mode in
+  { design; mode; graph; consts; clocks; excs; exclusive = build_exclusive clocks mode }
+
+let clocks_exclusive t a b = t.exclusive.(a) land (1 lsl b) <> 0
+
+let find_clock t i =
+  let name = Clock_prop.clock_name t.clocks i in
+  match Mode.find_clock t.mode name with
+  | Some c -> c
+  | None -> assert false
+
+let capture_clocks_of_endpoint t = function
+  | Graph.Ep_reg { ep_clock; _ } ->
+    let mask = Clock_prop.mask_at t.clocks ep_clock in
+    let acc = ref [] in
+    for i = Clock_prop.n_clocks t.clocks - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then acc := i :: !acc
+    done;
+    !acc
+  | Graph.Ep_port { ep_pin } ->
+    List.filter_map
+      (fun (d : Mode.io_delay) ->
+        if (not d.iod_input) && d.iod_pin = ep_pin then
+          Option.bind d.iod_clock (Clock_prop.clock_index t.clocks)
+        else None)
+      t.mode.Mode.io_delays
+    |> List.sort_uniq compare
+
+let endpoint_alias_pins t ep =
+  ignore t;
+  match ep with
+  | Graph.Ep_reg { ep_data; _ } -> [ ep_data ]
+  | Graph.Ep_port { ep_pin } -> [ ep_pin ]

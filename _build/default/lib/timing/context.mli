@@ -1,0 +1,33 @@
+(** Per-(design, mode) analysis context.
+
+    Bundles the timing graph, constant propagation, clock propagation
+    and the prepared exception matcher — everything both the STA engine
+    and the mode-merging relation comparison need. *)
+
+type t = {
+  design : Mm_netlist.Design.t;
+  mode : Mm_sdc.Mode.t;
+  graph : Graph.t;
+  consts : Const_prop.t;
+  clocks : Clock_prop.t;
+  excs : Excmatch.t;
+  exclusive : int array;
+      (** per clock index: bitmask of clocks it must not be timed
+          against (from set_clock_groups) *)
+}
+
+val create : Mm_netlist.Design.t -> Mm_sdc.Mode.t -> t
+
+val clocks_exclusive : t -> int -> int -> bool
+
+val find_clock : t -> int -> Mm_sdc.Mode.clock
+(** Clock record by propagation index. *)
+
+val capture_clocks_of_endpoint : t -> Graph.endpoint -> int list
+(** Clock indices that can capture at this endpoint: the clocks
+    reaching a register's clock pin, or the clocks referenced by the
+    output delays on a port. *)
+
+val endpoint_alias_pins : t -> Graph.endpoint -> Mm_netlist.Design.pin_id list
+(** Pins by which exceptions may address the endpoint (data pin and
+    port pin). *)

@@ -1,0 +1,16 @@
+type t = {
+  corner_name : string;
+  derate_max : float;
+  derate_min : float;
+  extra_setup : float;
+  extra_hold : float;
+}
+
+let make ?(derate_max = 1.0) ?(derate_min = 1.0) ?(extra_setup = 0.)
+    ?(extra_hold = 0.) corner_name =
+  { corner_name; derate_max; derate_min; extra_setup; extra_hold }
+
+let typical = make "typical"
+let slow = make ~derate_max:1.25 ~derate_min:1.1 ~extra_setup:0.02 "slow"
+let fast = make ~derate_max:0.85 ~derate_min:0.7 ~extra_hold:0.01 "fast"
+let standard_set = [ typical; slow; fast ]

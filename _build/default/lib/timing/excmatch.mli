@@ -1,0 +1,74 @@
+(** Tag-based exception matching.
+
+    Each path exception ([set_false_path], [set_multicycle_path],
+    [set_min_delay], [set_max_delay]) compiles to a small state machine:
+    the [-from] restriction is evaluated when a path tag is seeded at a
+    startpoint; each [-through] group advances a progress counter as the
+    tag visits pins; the [-to] restriction is evaluated at the endpoint.
+    A tag carries, per exception, either [dead] (cannot match) or the
+    number of through-groups matched so far.
+
+    Rise/fall restrictions: [-rise_from]/[-fall_from] on a clock select
+    the launching register's active edge; on a pin they select the data
+    transition at the startpoint. [-rise_to]/[-fall_to] select the data
+    transition arriving at the endpoint, which callers track by
+    propagating tag polarity through arc unateness (see
+    {!Graph.unate}). Tag polarity only needs tracking when
+    {!edge_sensitive} holds.
+
+    Whole progress vectors are interned so a tag is just
+    (launch clock index, state id) — the representation shared by the
+    STA arrival propagation and the relation propagation of the
+    mode-merging core. *)
+
+type t
+
+val prepare : Graph.t -> Clock_prop.t -> Mm_sdc.Mode.t -> t
+
+val n_exceptions : t -> int
+val n_states : t -> int
+(** Number of distinct interned progress vectors so far. *)
+
+val edge_sensitive : t -> bool
+(** True when any exception carries a rise/fall restriction — callers
+    then split seed tags by data polarity. *)
+
+val initial_state :
+  t ->
+  start_pins:Mm_netlist.Design.pin_id list ->
+  launch_clock:int option ->
+  ?launch_edge:Mm_netlist.Lib_cell.edge ->
+  ?data_edge:Mm_sdc.Mode.edge_sel ->
+  unit ->
+  int
+(** Seed a tag at a startpoint. [start_pins] are the aliases of the
+    startpoint (a register's clock pin and outputs, or a port pin);
+    [launch_edge] is the launching register's active edge (rising when
+    unknown); [data_edge] is the polarity branch of this tag
+    ([Any_edge] when polarity is untracked). *)
+
+val advance : t -> int -> Mm_netlist.Design.pin_id -> int
+(** [advance t state pin] returns the state after the tag visits [pin]
+    (O(1) when the pin occurs in no through list). *)
+
+val matches_at :
+  t ->
+  int ->
+  end_pins:Mm_netlist.Design.pin_id list ->
+  capture_clock:int option ->
+  ?data_edge:Mm_sdc.Mode.edge_sel ->
+  unit ->
+  Mm_sdc.Mode.exc list
+(** Exceptions fully matched by a tag arriving at an endpoint with the
+    given data polarity. *)
+
+val state_at :
+  t ->
+  setup:bool ->
+  int ->
+  end_pins:Mm_netlist.Design.pin_id list ->
+  capture_clock:int option ->
+  ?data_edge:Mm_sdc.Mode.edge_sel ->
+  unit ->
+  Constraint_state.t
+(** [matches_at] combined through {!Constraint_state.of_exceptions}. *)

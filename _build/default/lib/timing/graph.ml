@@ -1,0 +1,349 @@
+module Design = Mm_netlist.Design
+module Lib_cell = Mm_netlist.Lib_cell
+module Wire_load = Mm_netlist.Wire_load
+module Mode = Mm_sdc.Mode
+
+type arc_kind = Comb | Net | Launch
+
+type unate = Positive | Negative | Non_unate
+
+type arc = {
+  a_src : Design.pin_id;
+  a_dst : Design.pin_id;
+  a_kind : arc_kind;
+  a_inst : int;
+  a_unate : unate;
+  a_dmin : float;
+  a_dmax : float;
+}
+
+(* Unateness of [f] in input [i], decided by exhaustive evaluation over
+   the (small) support of the cell function. *)
+let unateness f i =
+  let support = Mm_netlist.Logic.support f in
+  if not (List.mem i support) then Non_unate
+  else begin
+    let others = List.filter (fun j -> j <> i) support in
+    let n = List.length others in
+    let can_pos = ref true and can_neg = ref true in
+    for mask = 0 to (1 lsl n) - 1 do
+      let env_with vi j =
+        if j = i then vi
+        else
+          match List.find_index (( = ) j) others with
+          | Some k ->
+            if mask land (1 lsl k) <> 0 then Mm_netlist.Logic.T
+            else Mm_netlist.Logic.F
+          | None -> Mm_netlist.Logic.X
+      in
+      let f0 = Mm_netlist.Logic.eval (env_with Mm_netlist.Logic.F) f
+      and f1 = Mm_netlist.Logic.eval (env_with Mm_netlist.Logic.T) f in
+      (match f0, f1 with
+      | Mm_netlist.Logic.T, Mm_netlist.Logic.F -> can_pos := false
+      | Mm_netlist.Logic.F, Mm_netlist.Logic.T -> can_neg := false
+      | _ -> ())
+    done;
+    match !can_pos, !can_neg with
+    | true, false -> Positive
+    | false, true -> Negative
+    | true, true | false, false -> Non_unate
+  end
+
+type endpoint =
+  | Ep_reg of {
+      ep_data : Design.pin_id;
+      ep_clock : Design.pin_id;
+      ep_inst : Design.inst_id;
+      ep_setup : float;
+      ep_hold : float;
+      ep_edge : Lib_cell.edge;
+    }
+  | Ep_port of { ep_pin : Design.pin_id }
+
+type startpoint =
+  | Sp_reg of {
+      sp_clock : Design.pin_id;
+      sp_inst : Design.inst_id;
+      sp_outputs : Design.pin_id list;
+      sp_clk_to_q : float;
+      sp_edge : Lib_cell.edge;
+    }
+  | Sp_port of { sp_pin : Design.pin_id }
+
+type t = {
+  design : Design.t;
+  arcs : arc array;
+  out_arcs : int list array;
+  in_arcs : int list array;
+  topo : int array;
+  topo_pos : int array;
+  endpoints : endpoint list;
+  startpoints : startpoint list;
+  broken_arcs : int list;
+  loads : float array;
+}
+
+let min_derate = 0.8
+let default_port_drive = 0.5 (* ns/pF when no set_drive given *)
+let transition_delay_factor = 0.3
+
+(* Environment constraint lookup tables built from the mode. *)
+type env_tables = {
+  extra_load : (Design.pin_id, float) Hashtbl.t;
+  port_drive : (Design.pin_id, float) Hashtbl.t;
+  port_transition : (Design.pin_id, float) Hashtbl.t;
+}
+
+let env_tables (mode : Mode.t) =
+  let extra_load = Hashtbl.create 16
+  and port_drive = Hashtbl.create 16
+  and port_transition = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Mode.env_constraint) ->
+      let table =
+        match e.envc_kind with
+        | Mm_sdc.Ast.Load -> extra_load
+        | Mm_sdc.Ast.Drive -> port_drive
+        | Mm_sdc.Ast.Input_transition -> port_transition
+      in
+      (* For max-delay purposes the max value dominates; store the
+         worst (largest). *)
+      let prev = Option.value ~default:0. (Hashtbl.find_opt table e.envc_pin) in
+      Hashtbl.replace table e.envc_pin (Float.max prev e.envc_value))
+    mode.Mode.envs;
+  { extra_load; port_drive; port_transition }
+
+(* Total capacitive load seen by a driver pin: connected sink pin caps
+   plus estimated wire cap plus any set_load on the net's pins. *)
+let load_of_driver design env wlm pin =
+  match Design.pin_net design pin with
+  | None -> 0.
+  | Some net ->
+    let sinks = Design.net_sinks design net in
+    let pin_caps =
+      List.fold_left (fun acc s -> acc +. Design.pin_cap design s) 0. sinks
+    in
+    let extra =
+      List.fold_left
+        (fun acc s ->
+          acc +. Option.value ~default:0. (Hashtbl.find_opt env.extra_load s))
+        0. sinks
+      +. Option.value ~default:0. (Hashtbl.find_opt env.extra_load pin)
+    in
+    pin_caps +. extra +. Wire_load.wire_cap wlm (List.length sinks)
+
+let build design (mode : Mode.t) =
+  let env = env_tables mode in
+  let wlm = Wire_load.default in
+  let n = Design.n_pins design in
+  let arcs = ref [] and n_arcs = ref 0 in
+  let out_arcs = Array.make n [] and in_arcs = Array.make n [] in
+  let add_arc a =
+    let id = !n_arcs in
+    incr n_arcs;
+    arcs := a :: !arcs;
+    out_arcs.(a.a_src) <- id :: out_arcs.(a.a_src);
+    in_arcs.(a.a_dst) <- id :: in_arcs.(a.a_dst)
+  in
+  let endpoints = ref [] and startpoints = ref [] in
+  (* Cell arcs. *)
+  Design.iter_insts design (fun inst ->
+      let cell = Design.inst_cell design inst in
+      (* Combinational function arcs (also covers ICG-style cells). *)
+      List.iter
+        (fun (i, o) ->
+          let src = Design.inst_pin design inst i
+          and dst = Design.inst_pin design inst o in
+          let load = load_of_driver design env wlm dst in
+          let dmax = cell.Lib_cell.intrinsic +. (cell.Lib_cell.drive_res *. load) in
+          let a_unate =
+            match Lib_cell.function_of_output cell o with
+            | Some f -> unateness f i
+            | None -> Non_unate
+          in
+          add_arc
+            {
+              a_src = src;
+              a_dst = dst;
+              a_kind = Comb;
+              a_inst = inst;
+              a_unate;
+              a_dmin = dmax *. min_derate;
+              a_dmax = dmax;
+            })
+        (Lib_cell.comb_arcs cell);
+      match cell.Lib_cell.seq with
+      | None -> ()
+      | Some seq ->
+        let cp = Design.inst_pin design inst seq.Lib_cell.clock_pin in
+        let outputs =
+          List.map (fun q -> Design.inst_pin design inst q) seq.Lib_cell.q_pins
+        in
+        List.iter
+          (fun q ->
+            let load = load_of_driver design env wlm q in
+            let dmax =
+              seq.Lib_cell.clk_to_q +. (cell.Lib_cell.drive_res *. load)
+            in
+            add_arc
+              {
+                a_src = cp;
+                a_dst = q;
+                a_kind = Launch;
+                a_inst = inst;
+                (* Launched data can rise or fall regardless of the
+                   clock edge. *)
+                a_unate = Non_unate;
+                a_dmin = dmax *. min_derate;
+                a_dmax = dmax;
+              })
+          outputs;
+        startpoints :=
+          Sp_reg
+            {
+              sp_clock = cp;
+              sp_inst = inst;
+              sp_outputs = outputs;
+              sp_clk_to_q = seq.Lib_cell.clk_to_q;
+              sp_edge = seq.Lib_cell.clock_edge;
+            }
+          :: !startpoints;
+        List.iter
+          (fun d ->
+            endpoints :=
+              Ep_reg
+                {
+                  ep_data = Design.inst_pin design inst d;
+                  ep_clock = cp;
+                  ep_inst = inst;
+                  ep_setup = seq.Lib_cell.setup;
+                  ep_hold = seq.Lib_cell.hold;
+                  ep_edge = seq.Lib_cell.clock_edge;
+                }
+              :: !endpoints)
+          seq.Lib_cell.data_pins);
+  (* Net arcs. *)
+  Design.iter_nets design (fun net ->
+      match Design.net_driver design net with
+      | None -> ()
+      | Some drv ->
+        let sinks = Design.net_sinks design net in
+        let fanout = List.length sinks in
+        let pin_caps =
+          List.fold_left (fun acc s -> acc +. Design.pin_cap design s) 0. sinks
+        in
+        let base = Wire_load.net_delay wlm ~fanout ~pin_caps in
+        (* A port driving the net contributes its external drive and
+           transition there, since it has no cell arc of its own. *)
+        let port_extra =
+          match Design.pin_owner design drv with
+          | Design.Port_pin _ ->
+            let drive =
+              Option.value ~default:default_port_drive
+                (Hashtbl.find_opt env.port_drive drv)
+            in
+            let transition =
+              Option.value ~default:0. (Hashtbl.find_opt env.port_transition drv)
+            in
+            (drive *. (pin_caps +. Wire_load.wire_cap wlm fanout))
+            +. (transition *. transition_delay_factor)
+          | Design.Inst_pin _ -> 0.
+        in
+        let dmax = base +. port_extra in
+        List.iter
+          (fun s ->
+            add_arc
+              {
+                a_src = drv;
+                a_dst = s;
+                a_kind = Net;
+                a_inst = -1;
+                a_unate = Positive;
+                a_dmin = dmax *. min_derate;
+                a_dmax = dmax;
+              })
+          sinks);
+  (* Port start/endpoints. *)
+  Design.iter_ports design (fun p ->
+      match Design.port_dir design p with
+      | Design.In -> startpoints := Sp_port { sp_pin = Design.port_pin design p } :: !startpoints
+      | Design.Out -> endpoints := Ep_port { ep_pin = Design.port_pin design p } :: !endpoints);
+  let arcs = Array.of_list (List.rev !arcs) in
+  (* Kahn topological sort; cycles broken by discarding the remaining
+     arcs (recorded for diagnostics). *)
+  let indeg = Array.make n 0 in
+  Array.iter (fun a -> indeg.(a.a_dst) <- indeg.(a.a_dst) + 1) arcs;
+  let queue = Queue.create () in
+  for p = 0 to n - 1 do
+    if indeg.(p) = 0 then Queue.add p queue
+  done;
+  let topo = Array.make n (-1) in
+  let pos = ref 0 in
+  while not (Queue.is_empty queue) do
+    let p = Queue.take queue in
+    topo.(!pos) <- p;
+    incr pos;
+    List.iter
+      (fun aid ->
+        let dst = arcs.(aid).a_dst in
+        indeg.(dst) <- indeg.(dst) - 1;
+        if indeg.(dst) = 0 then Queue.add dst queue)
+      out_arcs.(p)
+  done;
+  let broken_arcs = ref [] in
+  if !pos < n then begin
+    (* Combinational loop: the unresolved pins keep a nonzero indegree.
+       Append them in id order and record their incoming arcs from other
+       unresolved pins as broken. *)
+    let placed = Array.make n false in
+    Array.iteri (fun i p -> if i < !pos && p >= 0 then placed.(p) <- true) topo;
+    for p = 0 to n - 1 do
+      if not placed.(p) then begin
+        topo.(!pos) <- p;
+        incr pos;
+        List.iter
+          (fun aid ->
+            if not placed.(arcs.(aid).a_src) then
+              broken_arcs := aid :: !broken_arcs)
+          in_arcs.(p);
+        placed.(p) <- true
+      end
+    done
+  end;
+  let topo_pos = Array.make n 0 in
+  Array.iteri (fun i p -> topo_pos.(p) <- i) topo;
+  let loads = Array.make n 0. in
+  Design.iter_nets design (fun net ->
+      match Design.net_driver design net with
+      | Some drv -> loads.(drv) <- load_of_driver design env wlm drv
+      | None -> ());
+  {
+    design;
+    arcs;
+    out_arcs;
+    in_arcs;
+    topo;
+    topo_pos;
+    endpoints = List.rev !endpoints;
+    startpoints = List.rev !startpoints;
+    broken_arcs = !broken_arcs;
+    loads;
+  }
+
+let n_pins t = Array.length t.out_arcs
+let arc t i = t.arcs.(i)
+
+let endpoint_pin = function
+  | Ep_reg { ep_data; _ } -> ep_data
+  | Ep_port { ep_pin } -> ep_pin
+
+let startpoint_pin = function
+  | Sp_reg { sp_clock; _ } -> sp_clock
+  | Sp_port { sp_pin } -> sp_pin
+
+let endpoint_pins t = List.map endpoint_pin t.endpoints
+
+let is_clock_pin t pin =
+  match Design.pin_role t.design pin with
+  | Some Lib_cell.Clock_in -> true
+  | Some _ | None -> false

@@ -1,0 +1,81 @@
+(** The timing graph.
+
+    Nodes are design pins; arcs are cell arcs (input to output, derived
+    from cell functions), launch arcs (register clock pin to outputs)
+    and net arcs (driver to sinks). Arc delays are computed at build
+    time from the linear cell model plus the wire-load model, including
+    the mode's environment constraints (set_load / set_drive /
+    set_input_transition) — which is why a graph is built per
+    (design, mode) pair, mirroring how an STA tool loads a constraint
+    set. *)
+
+type arc_kind = Comb | Net | Launch
+
+(** Transition-sense of an arc: a [Positive] arc propagates a rising
+    input as a rising output, [Negative] inverts, [Non_unate] can do
+    either (XOR, mux data-vs-select, register launch). Drives the
+    rise/fall dimension of exception matching. *)
+type unate = Positive | Negative | Non_unate
+
+type arc = {
+  a_src : Mm_netlist.Design.pin_id;
+  a_dst : Mm_netlist.Design.pin_id;
+  a_kind : arc_kind;
+  a_inst : int;  (** owning instance for Comb/Launch; -1 for Net *)
+  a_unate : unate;
+  a_dmin : float;
+  a_dmax : float;
+}
+
+type endpoint =
+  | Ep_reg of {
+      ep_data : Mm_netlist.Design.pin_id;
+      ep_clock : Mm_netlist.Design.pin_id;
+      ep_inst : Mm_netlist.Design.inst_id;
+      ep_setup : float;
+      ep_hold : float;
+      ep_edge : Mm_netlist.Lib_cell.edge;
+    }
+  | Ep_port of { ep_pin : Mm_netlist.Design.pin_id }
+
+type startpoint =
+  | Sp_reg of {
+      sp_clock : Mm_netlist.Design.pin_id;
+      sp_inst : Mm_netlist.Design.inst_id;
+      sp_outputs : Mm_netlist.Design.pin_id list;
+      sp_clk_to_q : float;
+      sp_edge : Mm_netlist.Lib_cell.edge;
+    }
+  | Sp_port of { sp_pin : Mm_netlist.Design.pin_id }
+
+type t = {
+  design : Mm_netlist.Design.t;
+  arcs : arc array;
+  out_arcs : int list array;  (** arc indices leaving each pin *)
+  in_arcs : int list array;   (** arc indices entering each pin *)
+  topo : int array;           (** pins in topological order *)
+  topo_pos : int array;       (** inverse permutation of [topo] *)
+  endpoints : endpoint list;
+  startpoints : startpoint list;
+  broken_arcs : int list;     (** arcs dropped to break combinational loops *)
+  loads : float array;
+      (** per pin: capacitive load driven (pF); 0 for non-drivers.
+          Includes set_load and the wire-load estimate — the quantity
+          checked against set_max_capacitance. *)
+}
+
+val build : Mm_netlist.Design.t -> Mm_sdc.Mode.t -> t
+(** Build the graph with delays reflecting [mode]'s environment
+    constraints. Loops (if any) are broken at an arbitrary arc, which is
+    recorded in [broken_arcs]. *)
+
+val n_pins : t -> int
+val arc : t -> int -> arc
+
+val endpoint_pin : endpoint -> Mm_netlist.Design.pin_id
+val startpoint_pin : startpoint -> Mm_netlist.Design.pin_id
+(** Canonical node of the point: data pin for register endpoints,
+    clock pin for register startpoints, the port pin otherwise. *)
+
+val endpoint_pins : t -> Mm_netlist.Design.pin_id list
+val is_clock_pin : t -> Mm_netlist.Design.pin_id -> bool

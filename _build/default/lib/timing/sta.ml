@@ -1,0 +1,669 @@
+module Design = Mm_netlist.Design
+module Lib_cell = Mm_netlist.Lib_cell
+module Mode = Mm_sdc.Mode
+
+type endpoint_slack = {
+  es_pin : Design.pin_id;
+  es_setup : float option;
+  es_hold : float option;
+  es_capture_period : float option;
+}
+
+type drc_violation = {
+  drv_pin : Design.pin_id;
+  drv_kind : Mm_sdc.Ast.drc_kind;
+  drv_limit : float;
+  drv_actual : float;
+}
+
+type report = {
+  rep_mode : string;
+  rep_slacks : endpoint_slack list;
+  rep_drc : drc_violation list;
+  rep_n_tags : int;
+  rep_n_checked : int;
+  rep_runtime : float;
+}
+
+(* Design-rule checks against the wire-load model quantities: the
+   capacitance a driver sees, and an RC transition estimate
+   (drive resistance x load). *)
+let drc_checks (ctx : Context.t) =
+  let design = ctx.Context.design in
+  let loads = ctx.Context.graph.Graph.loads in
+  List.filter_map
+    (fun (l : Mode.drc_limit) ->
+      let pin = l.Mode.drcl_pin in
+      if loads.(pin) <= 0. then None
+      else begin
+        let actual =
+          match l.Mode.drcl_kind with
+          | Mm_sdc.Ast.Max_capacitance -> loads.(pin)
+          | Mm_sdc.Ast.Max_transition -> (
+            match Design.pin_owner design pin with
+            | Design.Inst_pin (inst, _) ->
+              (Design.inst_cell design inst).Mm_netlist.Lib_cell.drive_res
+              *. loads.(pin)
+            | Design.Port_pin _ -> 0.5 *. loads.(pin))
+        in
+        if actual > l.Mode.drcl_value then
+          Some
+            {
+              drv_pin = pin;
+              drv_kind = l.Mode.drcl_kind;
+              drv_limit = l.Mode.drcl_value;
+              drv_actual = actual;
+            }
+        else None
+      end)
+    ctx.Context.mode.Mode.drcs
+
+(* Tag key: launch clock index (-1 for none), exception state id and
+   data polarity. *)
+let edge_code = function
+  | Mode.Any_edge -> 0
+  | Mode.Rise_edge -> 1
+  | Mode.Fall_edge -> 2
+
+let edge_of_code = function
+  | 1 -> Mode.Rise_edge
+  | 2 -> Mode.Fall_edge
+  | _ -> Mode.Any_edge
+
+let tag_key ?(edge = Mode.Any_edge) clock state =
+  (((state * 128) + clock + 1) * 4) + edge_code edge
+
+let tag_clock key = ((key / 4) mod 128) - 1
+let tag_state key = key / 4 / 128
+let tag_edge key = edge_of_code (key land 3)
+
+let edges_through_arc (a : Graph.arc) e =
+  match e with
+  | Mode.Any_edge -> [ Mode.Any_edge ]
+  | Mode.Rise_edge | Mode.Fall_edge -> (
+    match a.Graph.a_unate with
+    | Graph.Positive -> [ e ]
+    | Graph.Negative ->
+      [ (if e = Mode.Rise_edge then Mode.Fall_edge else Mode.Rise_edge) ]
+    | Graph.Non_unate -> [ Mode.Rise_edge; Mode.Fall_edge ])
+
+let edge_time (c : Mode.clock) (edge : Lib_cell.edge) =
+  let r, f = c.waveform in
+  match edge with Lib_cell.Rising -> r | Lib_cell.Falling -> f
+
+(* Clock arrival (insertion delay) at [pin], excluding the edge time:
+   source latency plus either the propagated network delay or the ideal
+   network latency. *)
+let clock_latency_at (ctx : Context.t) ~clock_idx ~pin =
+  let name = Clock_prop.clock_name ctx.Context.clocks clock_idx in
+  let attr = Mode.attr_of_clock ctx.Context.mode name in
+  let v d o = Option.value ~default:d o in
+  let src_min = v 0. attr.Mode.src_latency_min
+  and src_max = v 0. attr.Mode.src_latency_max in
+  if attr.Mode.propagated then
+    match Clock_prop.arrival ctx.Context.clocks pin clock_idx with
+    | Some (tmin, tmax) -> src_min +. tmin, src_max +. tmax
+    | None -> src_min, src_max
+  else
+    src_min +. v 0. attr.Mode.net_latency_min,
+    src_max +. v 0. attr.Mode.net_latency_max
+
+(* Minimal positive separation from a launch edge to a capture edge,
+   scanning launch edges over a bounded window (covers rationally
+   related periods; irrational ratios fall back to the best found). *)
+let setup_separation ~launch_period ~launch_edge ~capture_period ~capture_edge =
+  if launch_period <= 0. || capture_period <= 0. then capture_period
+  else begin
+    let best = ref infinity in
+    let eps = 1e-9 in
+    for j = 0 to 63 do
+      let le = launch_edge +. (float_of_int j *. launch_period) in
+      let k = Float.round (Float.ceil ((le -. capture_edge +. eps) /. capture_period)) in
+      let ce = capture_edge +. (k *. capture_period) in
+      let sep = ce -. le in
+      if sep > eps && sep < !best then best := sep
+    done;
+    if Float.is_finite !best then !best else capture_period
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type tag_maps = (int, float * float) Hashtbl.t array
+
+let propagate ?(corner = Corner.typical) (ctx : Context.t) : tag_maps * int =
+  let g = ctx.Context.graph in
+  let n = Graph.n_pins g in
+  let tags : tag_maps = Array.init n (fun _ -> Hashtbl.create 1) in
+  let n_tags = ref 0 in
+  let merge pin key amin amax =
+    match Hashtbl.find_opt tags.(pin) key with
+    | None ->
+      Hashtbl.replace tags.(pin) key (amin, amax);
+      incr n_tags
+    | Some (emin, emax) ->
+      let nmin = Float.min emin amin and nmax = Float.max emax amax in
+      if nmin < emin || nmax > emax then
+        Hashtbl.replace tags.(pin) key (nmin, nmax)
+  in
+  let seed_edges =
+    if Excmatch.edge_sensitive ctx.Context.excs then
+      [ Mode.Rise_edge; Mode.Fall_edge ]
+    else [ Mode.Any_edge ]
+  in
+  let seed pin ~start_pins ~clock_idx ~launch_edge amin amax =
+    List.iter
+      (fun edge ->
+        let st =
+          Excmatch.initial_state ctx.Context.excs ~start_pins
+            ~launch_clock:(if clock_idx >= 0 then Some clock_idx else None)
+            ~launch_edge ~data_edge:edge ()
+        in
+        let st = Excmatch.advance ctx.Context.excs st pin in
+        merge pin (tag_key ~edge clock_idx st) amin amax)
+      seed_edges
+  in
+  (* Register launch points. *)
+  List.iter
+    (function
+      | Graph.Sp_reg { sp_clock; sp_outputs; sp_edge; _ } ->
+        if Const_prop.pin_active ctx.Context.consts sp_clock then begin
+          let mask = Clock_prop.mask_at ctx.Context.clocks sp_clock in
+          for ci = 0 to Clock_prop.n_clocks ctx.Context.clocks - 1 do
+            if mask land (1 lsl ci) <> 0 then begin
+              let clk = Context.find_clock ctx ci in
+              let el = edge_time clk sp_edge in
+              let lmin, lmax = clock_latency_at ctx ~clock_idx:ci ~pin:sp_clock in
+              seed sp_clock
+                ~start_pins:(sp_clock :: sp_outputs)
+                ~clock_idx:ci ~launch_edge:sp_edge (el +. lmin) (el +. lmax)
+            end
+          done
+        end
+      | Graph.Sp_port { sp_pin } ->
+        if Const_prop.pin_active ctx.Context.consts sp_pin then
+          List.iter
+            (fun (d : Mode.io_delay) ->
+              if d.iod_input && d.iod_pin = sp_pin then begin
+                match d.iod_clock with
+                | None -> ()
+                | Some cname -> (
+                  match Clock_prop.clock_index ctx.Context.clocks cname with
+                  | None -> ()
+                  | Some ci ->
+                    let clk = Context.find_clock ctx ci in
+                    let el =
+                      edge_time clk
+                        (if d.iod_clock_fall then Lib_cell.Falling
+                         else Lib_cell.Rising)
+                    in
+                    let amin, amax =
+                      match d.iod_minmax with
+                      | Mm_sdc.Ast.Min -> el +. d.iod_value, neg_infinity
+                      | Mm_sdc.Ast.Max -> infinity, el +. d.iod_value
+                      | Mm_sdc.Ast.Both -> el +. d.iod_value, el +. d.iod_value
+                    in
+                    let amin = if Float.is_finite amin then amin else el +. d.iod_value
+                    and amax = if Float.is_finite amax then amax else el +. d.iod_value in
+                    seed sp_pin ~start_pins:[ sp_pin ] ~clock_idx:ci
+                      ~launch_edge:
+                        (if d.iod_clock_fall then Lib_cell.Falling
+                         else Lib_cell.Rising)
+                      amin amax)
+              end)
+            ctx.Context.mode.Mode.io_delays)
+    g.Graph.startpoints;
+  (* Topological sweep. *)
+  Array.iter
+    (fun pin ->
+      if Hashtbl.length tags.(pin) > 0 then
+        List.iter
+          (fun aid ->
+            if Const_prop.enabled ctx.Context.consts aid then begin
+              let a = g.Graph.arcs.(aid) in
+              (* Data tags do not re-enter the clock network through a
+                 register clock pin: launch arcs only carry tags seeded
+                 at their own clock pin. *)
+              let dst = a.Graph.a_dst in
+              Hashtbl.iter
+                (fun key (amin, amax) ->
+                  let st = tag_state key in
+                  let st' = Excmatch.advance ctx.Context.excs st dst in
+                  List.iter
+                    (fun edge ->
+                      merge dst
+                        (tag_key ~edge (tag_clock key) st')
+                        (amin +. (a.Graph.a_dmin *. corner.Corner.derate_min))
+                        (amax +. (a.Graph.a_dmax *. corner.Corner.derate_max)))
+                    (edges_through_arc a (tag_edge key)))
+                tags.(pin)
+            end)
+          g.Graph.out_arcs.(pin))
+    g.Graph.topo;
+  tags, !n_tags
+
+(* ------------------------------------------------------------------ *)
+
+type check_accum = {
+  mutable worst_setup : float option;
+  mutable worst_hold : float option;
+  mutable capture_period : float option;
+}
+
+let update_setup acc slack period =
+  match acc.worst_setup with
+  | None ->
+    acc.worst_setup <- Some slack;
+    acc.capture_period <- Some period
+  | Some w ->
+    if slack < w then begin
+      acc.worst_setup <- Some slack;
+      acc.capture_period <- Some period
+    end
+
+let update_hold acc slack =
+  match acc.worst_hold with
+  | None -> acc.worst_hold <- Some slack
+  | Some w -> if slack < w then acc.worst_hold <- Some slack
+
+(* Multicycle multipliers applicable to a matched exception list. *)
+let mcp_multipliers excs =
+  let setup_mult = ref 1 and hold_mult = ref 0 in
+  List.iter
+    (fun (e : Mode.exc) ->
+      match e.exc_kind with
+      | Mode.Multicycle { mult; _ } ->
+        if e.exc_setup then setup_mult := max !setup_mult mult;
+        if e.exc_hold && not e.exc_setup then hold_mult := max !hold_mult (mult - 1)
+      | Mode.False_path | Mode.Min_delay _ | Mode.Max_delay _ -> ())
+    excs;
+  !setup_mult, !hold_mult
+
+let check_endpoint ?(corner = Corner.typical) (ctx : Context.t) tags n_checked
+    ep acc =
+  let ep_pin = Graph.endpoint_pin ep in
+  let end_pins = Context.endpoint_alias_pins ctx ep in
+  let captures = Context.capture_clocks_of_endpoint ctx ep in
+  let setup_margin, hold_margin =
+    match ep with
+    | Graph.Ep_reg { ep_setup; ep_hold; _ } ->
+      ep_setup +. corner.Corner.extra_setup, ep_hold +. corner.Corner.extra_hold
+    | Graph.Ep_port _ -> corner.Corner.extra_setup, corner.Corner.extra_hold
+  in
+  let capture_edge_kind =
+    match ep with
+    | Graph.Ep_reg { ep_edge; _ } -> ep_edge
+    | Graph.Ep_port _ -> Lib_cell.Rising
+  in
+  (* Output-delay margins per capture clock for port endpoints. *)
+  let out_delay_max cj =
+    match ep with
+    | Graph.Ep_reg _ -> 0.
+    | Graph.Ep_port { ep_pin } ->
+      List.fold_left
+        (fun acc (d : Mode.io_delay) ->
+          if
+            (not d.iod_input) && d.iod_pin = ep_pin
+            && d.iod_clock
+               = Some (Clock_prop.clock_name ctx.Context.clocks cj)
+            && (d.iod_minmax = Mm_sdc.Ast.Max || d.iod_minmax = Mm_sdc.Ast.Both)
+          then Float.max acc d.iod_value
+          else acc)
+        0. ctx.Context.mode.Mode.io_delays
+  in
+  Hashtbl.iter
+    (fun key (amin, amax) ->
+      let ci = tag_clock key and st = tag_state key in
+      if ci >= 0 then
+        List.iter
+          (fun cj ->
+            if not (Context.clocks_exclusive ctx ci cj) then begin
+              incr n_checked;
+              let matched =
+                Excmatch.matches_at ctx.Context.excs st ~end_pins
+                  ~capture_clock:(Some cj) ~data_edge:(tag_edge key) ()
+              in
+              let launch_clk = Context.find_clock ctx ci
+              and capture_clk = Context.find_clock ctx cj in
+              let launch_edge =
+                (* The edge offset embedded in the tag's arrival: the
+                   launching register's active edge, recovered from the
+                   startpoint; approximated by the rising edge when the
+                   tag came from an input delay. *)
+                edge_time launch_clk Lib_cell.Rising
+              in
+              let capture_edge = edge_time capture_clk capture_edge_kind in
+              let sep =
+                setup_separation ~launch_period:launch_clk.Mode.period
+                  ~launch_edge ~capture_period:capture_clk.Mode.period
+                  ~capture_edge
+              in
+              let cap_lat_min, cap_lat_max =
+                match ep with
+                | Graph.Ep_reg { ep_clock; _ } ->
+                  clock_latency_at ctx ~clock_idx:cj ~pin:ep_clock
+                | Graph.Ep_port _ -> 0., 0.
+              in
+              let attr =
+                Mode.attr_of_clock ctx.Context.mode capture_clk.Mode.clk_name
+              in
+              let unc_setup =
+                Option.value ~default:0. attr.Mode.uncertainty_setup
+              and unc_hold = Option.value ~default:0. attr.Mode.uncertainty_hold in
+              (* Setup / max-path analysis. *)
+              (match Constraint_state.of_exceptions ~setup:true matched with
+              | Constraint_state.False_path | Constraint_state.Disabled -> ()
+              | Constraint_state.Max_delay_bound v ->
+                update_setup acc (v -. amax) capture_clk.Mode.period
+              | Constraint_state.Min_delay_bound _ -> ()
+              | Constraint_state.Valid | Constraint_state.Multicycle _ ->
+                let setup_mult, _ = mcp_multipliers matched in
+                let sep =
+                  sep
+                  +. (float_of_int (setup_mult - 1) *. capture_clk.Mode.period)
+                in
+                let required =
+                  launch_edge +. sep +. cap_lat_min -. setup_margin
+                  -. unc_setup -. out_delay_max cj
+                in
+                (* [amax] already contains the launch edge, so remove it
+                   from the required side via [launch_edge]'s presence
+                   in both. *)
+                update_setup acc (required -. amax) capture_clk.Mode.period);
+              (* Hold / min-path analysis. *)
+              match Constraint_state.of_exceptions ~setup:false matched with
+              | Constraint_state.False_path | Constraint_state.Disabled -> ()
+              | Constraint_state.Min_delay_bound v -> update_hold acc (amin -. v)
+              | Constraint_state.Max_delay_bound _ -> ()
+              | Constraint_state.Valid | Constraint_state.Multicycle _ ->
+                let setup_mult, hold_mult = mcp_multipliers matched in
+                let sep_setup =
+                  sep
+                  +. (float_of_int (setup_mult - 1) *. capture_clk.Mode.period)
+                in
+                let hold_edge =
+                  sep_setup -. capture_clk.Mode.period
+                  -. (float_of_int hold_mult *. capture_clk.Mode.period)
+                in
+                let required =
+                  launch_edge +. hold_edge +. cap_lat_max +. hold_margin
+                  +. unc_hold
+                in
+                update_hold acc (amin -. required)
+            end)
+          captures)
+    tags.(ep_pin)
+
+let analyze ?ctx ?(corner = Corner.typical) design mode =
+  let t0 = Unix.gettimeofday () in
+  let ctx = match ctx with Some c -> c | None -> Context.create design mode in
+  let tags, n_tags = propagate ~corner ctx in
+  let n_checked = ref 0 in
+  let slacks =
+    List.map
+      (fun ep ->
+        let acc =
+          { worst_setup = None; worst_hold = None; capture_period = None }
+        in
+        check_endpoint ~corner ctx tags n_checked ep acc;
+        {
+          es_pin = Graph.endpoint_pin ep;
+          es_setup = acc.worst_setup;
+          es_hold = acc.worst_hold;
+          es_capture_period = acc.capture_period;
+        })
+      ctx.Context.graph.Graph.endpoints
+  in
+  {
+    rep_mode = mode.Mode.mode_name;
+    rep_slacks = slacks;
+    rep_drc = drc_checks ctx;
+    rep_n_tags = n_tags;
+    rep_n_checked = !n_checked;
+    rep_runtime = Unix.gettimeofday () -. t0;
+  }
+
+let analyze_scenarios design ~modes ~corners =
+  List.concat_map
+    (fun (m : Mode.t) ->
+      let ctx = Context.create design m in
+      List.map
+        (fun (c : Corner.t) ->
+          m.Mode.mode_name, c.Corner.corner_name, analyze ~ctx ~corner:c design m)
+        corners)
+    modes
+
+(* ------------------------------------------------------------------ *)
+(* Path reporting                                                      *)
+
+type path_step = {
+  st_pin : Design.pin_id;
+  st_incr : float;
+  st_arrival : float;
+}
+
+type path = {
+  pth_endpoint : Design.pin_id;
+  pth_launch_clock : string;
+  pth_capture_clock : string;
+  pth_arrival : float;
+  pth_required : float;
+  pth_slack : float;
+  pth_steps : path_step list;
+}
+
+(* Setup checks of one endpoint with full detail (tag and capture kept),
+   mirroring the max-path side of [check_endpoint]. *)
+let setup_checks_detailed (ctx : Context.t) ~corner tags ep =
+  let ep_pin = Graph.endpoint_pin ep in
+  let end_pins = Context.endpoint_alias_pins ctx ep in
+  let captures = Context.capture_clocks_of_endpoint ctx ep in
+  let setup_margin =
+    match ep with
+    | Graph.Ep_reg { ep_setup; _ } -> ep_setup +. corner.Corner.extra_setup
+    | Graph.Ep_port _ -> corner.Corner.extra_setup
+  in
+  let capture_edge_kind =
+    match ep with
+    | Graph.Ep_reg { ep_edge; _ } -> ep_edge
+    | Graph.Ep_port _ -> Lib_cell.Rising
+  in
+  let out_delay_max cj =
+    match ep with
+    | Graph.Ep_reg _ -> 0.
+    | Graph.Ep_port { ep_pin } ->
+      List.fold_left
+        (fun acc (d : Mode.io_delay) ->
+          if
+            (not d.iod_input) && d.iod_pin = ep_pin
+            && d.iod_clock = Some (Clock_prop.clock_name ctx.Context.clocks cj)
+            && (d.iod_minmax = Mm_sdc.Ast.Max || d.iod_minmax = Mm_sdc.Ast.Both)
+          then Float.max acc d.iod_value
+          else acc)
+        0. ctx.Context.mode.Mode.io_delays
+  in
+  let results = ref [] in
+  Hashtbl.iter
+    (fun key (_amin, amax) ->
+      let ci = tag_clock key and st = tag_state key in
+      if ci >= 0 then
+        List.iter
+          (fun cj ->
+            if not (Context.clocks_exclusive ctx ci cj) then begin
+              let matched =
+                Excmatch.matches_at ctx.Context.excs st ~end_pins
+                  ~capture_clock:(Some cj) ~data_edge:(tag_edge key) ()
+              in
+              let launch_clk = Context.find_clock ctx ci
+              and capture_clk = Context.find_clock ctx cj in
+              let launch_edge = edge_time launch_clk Lib_cell.Rising in
+              let capture_edge = edge_time capture_clk capture_edge_kind in
+              let sep =
+                setup_separation ~launch_period:launch_clk.Mode.period
+                  ~launch_edge ~capture_period:capture_clk.Mode.period
+                  ~capture_edge
+              in
+              let cap_lat_min, _ =
+                match ep with
+                | Graph.Ep_reg { ep_clock; _ } ->
+                  clock_latency_at ctx ~clock_idx:cj ~pin:ep_clock
+                | Graph.Ep_port _ -> 0., 0.
+              in
+              let attr =
+                Mode.attr_of_clock ctx.Context.mode capture_clk.Mode.clk_name
+              in
+              let unc_setup =
+                Option.value ~default:0. attr.Mode.uncertainty_setup
+              in
+              match Constraint_state.of_exceptions ~setup:true matched with
+              | Constraint_state.False_path | Constraint_state.Disabled
+              | Constraint_state.Min_delay_bound _ -> ()
+              | Constraint_state.Max_delay_bound v ->
+                results := (v -. amax, v, amax, key, cj) :: !results
+              | Constraint_state.Valid | Constraint_state.Multicycle _ ->
+                let setup_mult, _ = mcp_multipliers matched in
+                let sep =
+                  sep
+                  +. (float_of_int (setup_mult - 1) *. capture_clk.Mode.period)
+                in
+                let required =
+                  launch_edge +. sep +. cap_lat_min -. setup_margin
+                  -. unc_setup -. out_delay_max cj
+                in
+                results := (required -. amax, required, amax, key, cj) :: !results
+            end)
+          captures)
+    tags.(ep_pin);
+  !results
+
+(* Walk backwards through the tag maps, matching arrival arithmetic to
+   recover the worst path's arcs. *)
+let backtrack (ctx : Context.t) ~corner (tags : tag_maps) ep_pin key arrival =
+  let g = ctx.Context.graph in
+  let eps = 1e-9 in
+  let rec go pin key arrival acc =
+    let pred =
+      List.find_map
+        (fun aid ->
+          if not (Const_prop.enabled ctx.Context.consts aid) then None
+          else begin
+            let a = g.Graph.arcs.(aid) in
+            let delay = a.Graph.a_dmax *. corner.Corner.derate_max in
+            let src = a.Graph.a_src in
+            Hashtbl.fold
+              (fun key' (_, amax') found ->
+                match found with
+                | Some _ -> found
+                | None ->
+                  if
+                    tag_clock key' = tag_clock key
+                    && Excmatch.advance ctx.Context.excs (tag_state key') pin
+                       = tag_state key
+                    && List.mem (tag_edge key) (edges_through_arc a (tag_edge key'))
+                    && Float.abs (amax' +. delay -. arrival) < eps
+                  then Some (src, key', amax', delay)
+                  else None)
+              tags.(src) None
+          end)
+        g.Graph.in_arcs.(pin)
+    in
+    match pred with
+    | Some (src, key', arrival', delay) ->
+      go src key' arrival'
+        ({ st_pin = pin; st_incr = delay; st_arrival = arrival } :: acc)
+    | None -> { st_pin = pin; st_incr = 0.; st_arrival = arrival } :: acc
+  in
+  go ep_pin key arrival []
+
+let worst_paths ?ctx ?(corner = Corner.typical) ?(n = 3) design mode =
+  let ctx = match ctx with Some c -> c | None -> Context.create design mode in
+  let tags, _ = propagate ~corner ctx in
+  let candidates =
+    List.concat_map
+      (fun ep ->
+        List.map
+          (fun (slack, required, amax, key, cj) ->
+            ep, slack, required, amax, key, cj)
+          (setup_checks_detailed ctx ~corner tags ep))
+      ctx.Context.graph.Graph.endpoints
+  in
+  let sorted =
+    List.sort
+      (fun (_, s1, _, _, _, _) (_, s2, _, _, _, _) -> Float.compare s1 s2)
+      candidates
+  in
+  List.filteri (fun i _ -> i < n) sorted
+  |> List.map (fun (ep, slack, required, amax, key, cj) ->
+         let ep_pin = Graph.endpoint_pin ep in
+         {
+           pth_endpoint = ep_pin;
+           pth_launch_clock =
+             Clock_prop.clock_name ctx.Context.clocks (tag_clock key);
+           pth_capture_clock = Clock_prop.clock_name ctx.Context.clocks cj;
+           pth_arrival = amax;
+           pth_required = required;
+           pth_slack = slack;
+           pth_steps = backtrack ctx ~corner tags ep_pin key amax;
+         })
+
+let path_to_string design p =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match p.pth_steps with
+  | first :: _ -> out "Startpoint: %s\n" (Design.pin_name design first.st_pin)
+  | [] -> ());
+  out "Endpoint:   %s\n" (Design.pin_name design p.pth_endpoint);
+  out "Launch clock: %s   Capture clock: %s\n" p.pth_launch_clock
+    p.pth_capture_clock;
+  out "  %-32s %8s %8s\n" "point" "incr" "path";
+  List.iter
+    (fun s ->
+      out "  %-32s %8.3f %8.3f\n"
+        (Design.pin_name design s.st_pin)
+        s.st_incr s.st_arrival)
+    p.pth_steps;
+  out "  %-32s %8s %8.3f\n" "data arrival time" "" p.pth_arrival;
+  out "  %-32s %8s %8.3f\n" "data required time" "" p.pth_required;
+  out "  %-32s %8s %8.3f (%s)\n" "slack" "" p.pth_slack
+    (if p.pth_slack >= 0. then "MET" else "VIOLATED");
+  Buffer.contents buf
+
+let worst_setup_by_endpoint rep =
+  List.filter_map
+    (fun es ->
+      match es.es_setup with Some s -> Some (es.es_pin, s) | None -> None)
+    rep.rep_slacks
+
+let merge_worst reports =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun rep ->
+      List.iter
+        (fun es ->
+          match es.es_setup with
+          | None -> ()
+          | Some s -> (
+            let period = Option.value ~default:1. es.es_capture_period in
+            match Hashtbl.find_opt table es.es_pin with
+            | None -> Hashtbl.replace table es.es_pin (s, period)
+            | Some (w, _) when s < w -> Hashtbl.replace table es.es_pin (s, period)
+            | Some _ -> ()))
+        rep.rep_slacks)
+    reports;
+  table
+
+let conformity ~individual ~merged ~tolerance_frac =
+  let ind = merge_worst individual and mrg = merge_worst merged in
+  let total = ref 0 and ok = ref 0 in
+  Hashtbl.iter
+    (fun pin (si, period) ->
+      incr total;
+      match Hashtbl.find_opt mrg pin with
+      | None -> () (* endpoint unconstrained in merged mode: non-conforming *)
+      | Some (sm, _) ->
+        if Float.abs (sm -. si) <= tolerance_frac *. period then incr ok)
+    ind;
+  (* Endpoints timed only in the merged mode also count against. *)
+  Hashtbl.iter
+    (fun pin _ -> if not (Hashtbl.mem ind pin) then incr total)
+    mrg;
+  if !total = 0 then 100. else 100. *. float_of_int !ok /. float_of_int !total

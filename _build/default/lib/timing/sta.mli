@@ -1,0 +1,101 @@
+(** The static timing analyser.
+
+    Tag-based arrival propagation over the timing graph with wire-load
+    delays, followed by setup/hold checks at every endpoint. A tag is
+    (launch clock, exception-progress state); per node and tag the
+    min/max arrival times are kept. Checks honour exceptions (false
+    paths skipped, multicycle cycle adjustment, min/max delay
+    overrides), clock-group exclusivity, clock uncertainty and latency
+    (ideal or propagated per clock).
+
+    Absolute accuracy is not the goal — Table 6 of the paper needs
+    relative STA runtime and endpoint worst-slack agreement between
+    individual and merged modes, which this engine provides. *)
+
+type endpoint_slack = {
+  es_pin : Mm_netlist.Design.pin_id;
+  es_setup : float option;  (** worst setup slack over all timed paths *)
+  es_hold : float option;
+  es_capture_period : float option;
+      (** period of the capture clock of the worst setup path — the
+          conformity denominator in Table 6 *)
+}
+
+type drc_violation = {
+  drv_pin : Mm_netlist.Design.pin_id;
+  drv_kind : Mm_sdc.Ast.drc_kind;
+  drv_limit : float;
+  drv_actual : float;
+}
+
+type report = {
+  rep_mode : string;
+  rep_slacks : endpoint_slack list;
+  rep_drc : drc_violation list;
+      (** max_transition / max_capacitance limits exceeded *)
+  rep_n_tags : int;        (** total tag instances propagated *)
+  rep_n_checked : int;     (** endpoint/clock pairs checked *)
+  rep_runtime : float;     (** seconds *)
+}
+
+val analyze :
+  ?ctx:Context.t ->
+  ?corner:Corner.t ->
+  Mm_netlist.Design.t ->
+  Mm_sdc.Mode.t ->
+  report
+(** Run a full analysis; [ctx] can be supplied to reuse a prepared
+    context, [corner] applies PVT derating (default {!Corner.typical}). *)
+
+val analyze_scenarios :
+  Mm_netlist.Design.t ->
+  modes:Mm_sdc.Mode.t list ->
+  corners:Corner.t list ->
+  (string * string * report) list
+(** One STA per (mode, corner) scenario — the paper's
+    [#modes x #corners] product. Returns (mode, corner, report). *)
+
+val worst_setup_by_endpoint : report -> (Mm_netlist.Design.pin_id * float) list
+(** Endpoints that have a setup check, with their worst slack. *)
+
+(** {1 Path reporting} *)
+
+type path_step = {
+  st_pin : Mm_netlist.Design.pin_id;
+  st_incr : float;     (** delay added by the arc into this pin *)
+  st_arrival : float;  (** cumulative arrival *)
+}
+
+type path = {
+  pth_endpoint : Mm_netlist.Design.pin_id;
+  pth_launch_clock : string;
+  pth_capture_clock : string;
+  pth_arrival : float;
+  pth_required : float;
+  pth_slack : float;
+  pth_steps : path_step list;  (** startpoint first *)
+}
+
+val worst_paths :
+  ?ctx:Context.t ->
+  ?corner:Corner.t ->
+  ?n:int ->
+  Mm_netlist.Design.t ->
+  Mm_sdc.Mode.t ->
+  path list
+(** The [n] (default 3) worst setup paths, each traced arc by arc from
+    its startpoint (report_timing style). *)
+
+val path_to_string : Mm_netlist.Design.t -> path -> string
+(** Multi-line rendering of one path in the familiar STA report form. *)
+
+val merge_worst : report list -> (Mm_netlist.Design.pin_id, float * float) Hashtbl.t
+(** Per endpoint, worst (most negative) setup slack across reports and
+    the capture period of that worst path — the per-endpoint view used
+    for multi-mode sign-off and QoR conformity. *)
+
+val conformity :
+  individual:report list -> merged:report list -> tolerance_frac:float -> float
+(** Percentage of endpoints whose merged-mode worst slack deviates from
+    the individual-mode worst slack by at most [tolerance_frac] of the
+    capture clock period (Table 6's "Conformity" column, with 0.01). *)

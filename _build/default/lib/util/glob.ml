@@ -1,0 +1,41 @@
+type t = { pattern : string; literal : bool }
+
+let is_meta c = c = '*' || c = '?'
+
+let compile pattern =
+  let literal = not (String.exists is_meta pattern) in
+  { pattern; literal }
+
+let pattern t = t.pattern
+let is_literal t = t.literal
+let literal t = if t.literal then Some t.pattern else None
+
+(* Iterative glob match with single-star backtracking: classic two-pointer
+   algorithm, linear in [String.length s * number-of-stars] worst case. *)
+let matches t s =
+  if t.literal then String.equal t.pattern s
+  else begin
+    let p = t.pattern in
+    let np = String.length p and ns = String.length s in
+    let rec go ip is star_ip star_is =
+      if is >= ns then
+        (* Consume trailing stars in the pattern. *)
+        let rec only_stars i = i = np || (p.[i] = '*' && only_stars (i + 1)) in
+        if only_stars ip then true
+        else backtrack star_ip star_is
+      else if ip < np && (p.[ip] = '?' || p.[ip] = s.[is]) then
+        go (ip + 1) (is + 1) star_ip star_is
+      else if ip < np && p.[ip] = '*' then
+        (* Record the star position; first try matching it to "". *)
+        go (ip + 1) is ip is
+      else backtrack star_ip star_is
+    and backtrack star_ip star_is =
+      (* Extend the last star by one character and retry; give up when
+         there is no star or it cannot absorb more input. *)
+      if star_ip < 0 || star_is + 1 > ns then false
+      else go (star_ip + 1) (star_is + 1) star_ip (star_is + 1)
+    in
+    go 0 0 (-1) (-1)
+  end
+
+let matches_string ~pattern s = matches (compile pattern) s

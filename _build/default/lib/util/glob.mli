@@ -1,0 +1,28 @@
+(** Shell-style glob matching as used by SDC object queries.
+
+    Supported metacharacters: ['*'] matches any (possibly empty) substring,
+    ['?'] matches exactly one character. All other characters match
+    literally. Matching is case-sensitive, as in SDC. *)
+
+type t
+(** A compiled pattern. *)
+
+val compile : string -> t
+(** [compile pattern] pre-processes [pattern] for repeated matching. *)
+
+val pattern : t -> string
+(** [pattern t] returns the original pattern string. *)
+
+val matches : t -> string -> bool
+(** [matches t s] tests whether [s] matches the pattern. *)
+
+val is_literal : t -> bool
+(** [is_literal t] is [true] when the pattern contains no metacharacter,
+    i.e. it can only match itself. Used to route queries through exact
+    hash lookups instead of linear scans. *)
+
+val literal : t -> string option
+(** [literal t] is [Some s] when the pattern is literal text [s]. *)
+
+val matches_string : pattern:string -> string -> bool
+(** One-shot convenience wrapper around {!compile} and {!matches}. *)

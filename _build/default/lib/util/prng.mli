@@ -1,0 +1,32 @@
+(** Deterministic splitmix64 PRNG.
+
+    The workload generators must be reproducible across runs and
+    platforms, so they avoid [Random] and use this self-contained
+    splitmix64 implementation with an explicit seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent generator. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound-1]. [bound] > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val range : t -> int -> int -> int
+(** [range t lo hi] draws uniformly from [lo .. hi] inclusive. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform draw from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

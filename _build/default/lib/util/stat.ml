@@ -1,0 +1,12 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let percent part whole = if whole = 0. then 0. else 100. *. part /. whole
+
+let reduction_percent before after =
+  if before = 0. then 0. else 100. *. (before -. after) /. before
+
+let fmt_f1 v = Printf.sprintf "%.1f" v
+let fmt_f2 v = Printf.sprintf "%.2f" v
+let fmt_time_s v = Printf.sprintf "%.3f" v

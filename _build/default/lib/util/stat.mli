@@ -1,0 +1,20 @@
+(** Small numeric helpers used by the benchmark harness and reports. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val percent : float -> float -> float
+(** [percent part whole] is [100 * part / whole]; 0. when [whole = 0]. *)
+
+val reduction_percent : float -> float -> float
+(** [reduction_percent before after] is the percentage reduction from
+    [before] to [after]; 0. when [before = 0]. *)
+
+val fmt_f1 : float -> string
+(** Format with one decimal, e.g. ["67.5"]. *)
+
+val fmt_f2 : float -> string
+(** Format with two decimals, e.g. ["62.52"]. *)
+
+val fmt_time_s : float -> string
+(** Seconds with three decimals, e.g. ["1.204"]. *)

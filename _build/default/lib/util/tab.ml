@@ -1,0 +1,87 @@
+type align = Left | Right | Center
+
+type line = Row of string list | Sep
+
+type t = {
+  headers : string list;
+  aligns : align array;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ?(aligns = []) headers =
+  let n = List.length headers in
+  let arr = Array.make n Left in
+  List.iteri (fun i a -> if i < n then arr.(i) <- a) aligns;
+  { headers; aligns = arr; lines = [] }
+
+let ncols t = List.length t.headers
+
+let add_row t cells =
+  let n = ncols t in
+  let len = List.length cells in
+  if len > n then invalid_arg "Tab.add_row: too many cells";
+  let cells =
+    if len = n then cells
+    else cells @ List.init (n - len) (fun _ -> "")
+  in
+  t.lines <- Row cells :: t.lines
+
+let add_sep t = t.lines <- Sep :: t.lines
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let l = fill / 2 in
+      String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let render ?title t =
+  let lines = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update cells =
+    List.iteri
+      (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  List.iter (function Row cells -> update cells | Sep -> ()) lines;
+  let buf = Buffer.create 1024 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let row ?(align_override = None) cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let a =
+          match align_override with Some a -> a | None -> t.aligns.(i)
+        in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match title with
+  | None -> ()
+  | Some s ->
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n');
+  sep ();
+  row ~align_override:(Some Center) t.headers;
+  sep ();
+  List.iter (function Row cells -> row cells | Sep -> sep ()) lines;
+  sep ();
+  Buffer.contents buf
+
+let print ?title t = print_string (render ?title t)

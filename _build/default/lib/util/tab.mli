@@ -1,0 +1,26 @@
+(** Plain-text table rendering for reports and paper-table reproduction.
+
+    Produces ASCII tables in the style of the paper's Tables 1-6 so
+    benches and examples can print directly comparable artefacts. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table. [aligns] defaults to [Left] for
+    every column; when shorter than the header list the remaining
+    columns are left-aligned. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val add_sep : t -> unit
+(** Insert a horizontal separator before the next row. *)
+
+val render : ?title:string -> t -> string
+(** Render with box-drawing in pure ASCII ([+-|]). *)
+
+val print : ?title:string -> t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,18 @@
+type t = { rel : float; abs : float }
+
+let default = { rel = 0.025; abs = 1e-9 }
+let exact = { rel = 0.; abs = 0. }
+let make ?(rel = 0.025) ?(abs = 1e-9) () = { rel; abs }
+
+let within t a b =
+  let magnitude = Float.max (Float.abs a) (Float.abs b) in
+  Float.abs (a -. b) <= Float.max (t.rel *. magnitude) t.abs
+
+let within_opt t a b =
+  match a, b with
+  | None, None -> true
+  | Some a, Some b -> within t a b
+  | None, Some _ | Some _, None -> false
+
+let merge_min a b = Float.min a b
+let merge_max a b = Float.max a b

@@ -1,0 +1,30 @@
+(** Tolerance-based comparison of constraint values.
+
+    Section 3.1.2 of the paper merges clock-based constraints whose values
+    are "within a certain tolerance limit"; the same policy applies to
+    drive and load constraints (3.1.6). A tolerance combines a relative
+    and an absolute component; two values are compatible when they differ
+    by no more than [max (rel *. magnitude) abs]. *)
+
+type t = { rel : float; abs : float }
+
+val default : t
+(** 2.5% relative, 1e-9 absolute — accepts the paper's 1.0-vs-0.98
+    clock-latency example as "within the tolerance limit". *)
+
+val exact : t
+(** Zero tolerance: values must be identical. *)
+
+val make : ?rel:float -> ?abs:float -> unit -> t
+
+val within : t -> float -> float -> bool
+(** [within t a b] tests whether [a] and [b] are compatible under [t]. *)
+
+val within_opt : t -> float option -> float option -> bool
+(** Like {!within}; [None] is only compatible with [None]. *)
+
+val merge_min : float -> float -> float
+(** Conservative merge of two [min]-type constraint values. *)
+
+val merge_max : float -> float -> float
+(** Conservative merge of two [max]-type constraint values. *)

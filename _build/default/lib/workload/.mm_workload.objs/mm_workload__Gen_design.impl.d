@@ -1,0 +1,1 @@
+lib/workload/gen_design.ml: Array List Mm_netlist Mm_util Option Printf String

@@ -1,0 +1,1 @@
+lib/workload/gen_design.mli: Mm_netlist

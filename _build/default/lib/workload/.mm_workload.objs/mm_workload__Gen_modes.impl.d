@@ -1,0 +1,1 @@
+lib/workload/gen_modes.ml: Buffer Gen_design List Mm_netlist Mm_sdc Mm_util Printf String

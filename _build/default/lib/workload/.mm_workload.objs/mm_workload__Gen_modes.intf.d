@@ -1,0 +1,1 @@
+lib/workload/gen_modes.mli: Gen_design Mm_netlist Mm_sdc

@@ -1,0 +1,1 @@
+lib/workload/paper_circuit.ml: List Mm_netlist Mm_sdc Printf String

@@ -1,0 +1,1 @@
+lib/workload/paper_circuit.mli: Mm_netlist Mm_sdc

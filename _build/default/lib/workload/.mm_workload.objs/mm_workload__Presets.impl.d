@@ -1,0 +1,1 @@
+lib/workload/presets.ml: Gen_design Gen_modes

@@ -1,0 +1,1 @@
+lib/workload/presets.mli: Gen_design Gen_modes Mm_netlist Mm_sdc

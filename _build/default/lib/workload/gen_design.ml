@@ -1,0 +1,240 @@
+module Design = Mm_netlist.Design
+module Library = Mm_netlist.Library
+module Prng = Mm_util.Prng
+
+type params = {
+  seed : int;
+  n_domains : int;
+  regs_per_domain : int;
+  stages : int;
+  combo_depth : int;
+  n_config_pins : int;
+  n_clock_muxes : int;
+  with_scan : bool;
+  n_inputs : int;
+  n_outputs : int;
+  cross_domain_fraction : float;
+}
+
+let default_params =
+  {
+    seed = 1;
+    n_domains = 2;
+    regs_per_domain = 64;
+    stages = 4;
+    combo_depth = 3;
+    n_config_pins = 4;
+    n_clock_muxes = 1;
+    with_scan = true;
+    n_inputs = 8;
+    n_outputs = 8;
+    cross_domain_fraction = 0.1;
+  }
+
+type domain = {
+  dom_clock_port : string;
+  dom_regs : string list;
+  dom_mux : string option;
+  dom_mux_sel : string option;
+}
+
+type info = {
+  clock_ports : string list;
+  scan_clk_port : string option;
+  scan_en_port : string option;
+  cfg_ports : string list;
+  in_ports : string list;
+  out_ports : string list;
+  domains : domain list;
+}
+
+let approx_cells p =
+  let per_stage = max 1 (p.regs_per_domain / p.stages) in
+  p.n_domains
+  * ((p.stages * per_stage) + ((p.stages - 1) * per_stage * p.combo_depth) + 4)
+
+let comb_gates =
+  [| Library.and2; Library.or2; Library.nand2; Library.nor2; Library.xor2 |]
+
+let generate p =
+  let rng = Prng.create p.seed in
+  let d = Design.create (Printf.sprintf "soc_seed%d" p.seed) in
+  let net_id = ref 0 in
+  let fresh_net prefix =
+    incr net_id;
+    Printf.sprintf "%s%d" prefix !net_id
+  in
+  (* Connect [sink] to the net driven by [src], creating the net on
+     first use. All wiring goes through this to keep one net per
+     driver. *)
+  let attach_sink src sink =
+    let src_pin = Design.pin_of_name_exn d src in
+    let net =
+      match Design.pin_net d src_pin with
+      | Some net -> net
+      | None ->
+        let net = Design.get_net d (fresh_net "n") in
+        Design.attach d net src_pin;
+        net
+    in
+    Design.attach d net (Design.pin_of_name_exn d sink)
+  in
+  let in_port name =
+    ignore (Design.add_port d name Design.In);
+    name
+  in
+  let out_port name =
+    ignore (Design.add_port d name Design.Out);
+    name
+  in
+  let clock_ports =
+    List.init p.n_domains (fun i -> in_port (Printf.sprintf "clk_%d" i))
+  in
+  let scan_clk_port = if p.with_scan then Some (in_port "scan_clk") else None in
+  let scan_en_port = if p.with_scan then Some (in_port "scan_en") else None in
+  let scan_in_port = if p.with_scan then Some (in_port "scan_in") else None in
+  let cfg_ports =
+    List.init p.n_config_pins (fun i -> in_port (Printf.sprintf "cfg_%d" i))
+  in
+  let in_ports =
+    List.init p.n_inputs (fun i -> in_port (Printf.sprintf "din_%d" i))
+  in
+  let out_ports =
+    List.init p.n_outputs (fun i -> out_port (Printf.sprintf "dout_%d" i))
+  in
+  let per_stage = max 1 (p.regs_per_domain / p.stages) in
+  let qs = Array.make_matrix p.n_domains p.stages [] in
+  let reg_cell = if p.with_scan then Library.sdff else Library.dff in
+  let domains =
+    List.mapi
+      (fun di clk_port ->
+        let alt_clock =
+          match scan_clk_port with
+          | Some sc -> Some sc
+          | None ->
+            if p.n_domains > 1 then
+              Some (List.nth clock_ports ((di + 1) mod p.n_domains))
+            else None
+        in
+        let muxed =
+          di < p.n_clock_muxes && cfg_ports <> [] && alt_clock <> None
+        in
+        let mux_name = Printf.sprintf "cmux_%d" di in
+        let sel_port =
+          if muxed then
+            Some (List.nth cfg_ports (di mod List.length cfg_ports))
+          else None
+        in
+        let buf1 = Printf.sprintf "ckbuf_%d_0" di in
+        let buf2 = Printf.sprintf "ckbuf_%d_1" di in
+        ignore (Design.add_inst d buf1 Library.buf);
+        ignore (Design.add_inst d buf2 Library.buf);
+        (if muxed then begin
+           ignore (Design.add_inst d mux_name Library.mux2);
+           attach_sink clk_port (mux_name ^ "/D0");
+           attach_sink (Option.get alt_clock) (mux_name ^ "/D1");
+           attach_sink (Option.get sel_port) (mux_name ^ "/S");
+           attach_sink (mux_name ^ "/Z") (buf1 ^ "/A")
+         end
+         else attach_sink clk_port (buf1 ^ "/A"));
+        attach_sink (buf1 ^ "/Z") (buf2 ^ "/A");
+        let regs = ref [] in
+        for s = 0 to p.stages - 1 do
+          for i = 0 to per_stage - 1 do
+            let r = Printf.sprintf "r_%d_%d_%d" di s i in
+            ignore (Design.add_inst d r reg_cell);
+            regs := r :: !regs;
+            attach_sink (buf2 ^ "/Z") (r ^ "/CP");
+            qs.(di).(s) <- (r ^ "/Q") :: qs.(di).(s)
+          done
+        done;
+        {
+          dom_clock_port = clk_port;
+          dom_regs = List.rev !regs;
+          dom_mux = (if muxed then Some mux_name else None);
+          dom_mux_sel = sel_port;
+        })
+      clock_ports
+  in
+  (* Scan chain: SE fans out to every flop; SI chains through Q. *)
+  (match scan_en_port, scan_in_port with
+  | Some se, Some si ->
+    let all_regs = List.concat_map (fun dm -> dm.dom_regs) domains in
+    let prev = ref si in
+    List.iter
+      (fun r ->
+        attach_sink se (r ^ "/SE") |> ignore;
+        attach_sink !prev (r ^ "/SI");
+        prev := r ^ "/Q")
+      all_regs
+  | Some _, None | None, Some _ | None, None -> ());
+  (* Combinational clouds between stages. *)
+  let gate_id = ref 0 in
+  let add_gate () =
+    incr gate_id;
+    let name = Printf.sprintf "g%d" !gate_id in
+    ignore (Design.add_inst d name (Prng.pick rng comb_gates));
+    name
+  in
+  let pick_source di s =
+    let roll = Prng.float rng 1.0 in
+    if roll < p.cross_domain_fraction && p.n_domains > 1 then begin
+      let other = (di + 1 + Prng.int rng (p.n_domains - 1)) mod p.n_domains in
+      Prng.pick rng (Array.of_list qs.(other).(s - 1))
+    end
+    else if roll > 0.95 && cfg_ports <> [] then
+      List.nth cfg_ports (Prng.int rng (List.length cfg_ports))
+    else Prng.pick rng (Array.of_list qs.(di).(s - 1))
+  in
+  for di = 0 to p.n_domains - 1 do
+    for s = 1 to p.stages - 1 do
+      List.iter
+        (fun qpin ->
+          let r = String.sub qpin 0 (String.length qpin - 2) in
+          let rec chain depth prev_out =
+            if depth = 0 then prev_out
+            else begin
+              let g = add_gate () in
+              attach_sink prev_out (g ^ "/A");
+              attach_sink (pick_source di s) (g ^ "/B");
+              chain (depth - 1) (g ^ "/Z")
+            end
+          in
+          let out = chain p.combo_depth (pick_source di s) in
+          attach_sink out (r ^ "/D"))
+        qs.(di).(s)
+    done
+  done;
+  (* Primary data inputs feed unconnected first-stage D pins. *)
+  List.iteri
+    (fun i din ->
+      let di = i mod p.n_domains in
+      let stage0 = qs.(di).(0) in
+      if stage0 <> [] then begin
+        let qpin = List.nth stage0 (i mod List.length stage0) in
+        let r = String.sub qpin 0 (String.length qpin - 2) in
+        match Design.pin_net d (Design.pin_of_name_exn d (r ^ "/D")) with
+        | Some _ -> ()
+        | None -> attach_sink din (r ^ "/D")
+      end)
+    in_ports;
+  (* Primary outputs sample last-stage Qs. *)
+  List.iteri
+    (fun i dout ->
+      let di = i mod p.n_domains in
+      let last = qs.(di).(p.stages - 1) in
+      if last <> [] then begin
+        let qpin = List.nth last (i mod List.length last) in
+        attach_sink qpin dout
+      end)
+    out_ports;
+  ( d,
+    {
+      clock_ports;
+      scan_clk_port;
+      scan_en_port;
+      cfg_ports;
+      in_ports;
+      out_ports;
+      domains;
+    } )

@@ -1,0 +1,49 @@
+(** Synthetic SoC-style design generator.
+
+    Stands in for the paper's confidential industrial designs (section
+    4). Produces the structural features the merging algorithms
+    exercise: multiple clock domains with buffer trees, clock muxes
+    controlled by configuration pins, register pipelines with random
+    combinational clouds, optional scan chains (SDFF + scan enable),
+    cross-domain paths and data IO. Fully deterministic from [seed]. *)
+
+type params = {
+  seed : int;
+  n_domains : int;          (** clock domains (>=1), one clock port each *)
+  regs_per_domain : int;
+  stages : int;             (** pipeline stages per domain (>=1) *)
+  combo_depth : int;        (** gate depth of inter-stage clouds *)
+  n_config_pins : int;      (** case-analysis configuration inputs *)
+  n_clock_muxes : int;      (** domains whose clock goes through a mux *)
+  with_scan : bool;
+  n_inputs : int;
+  n_outputs : int;
+  cross_domain_fraction : float;
+      (** fraction of clouds that also sample another domain *)
+}
+
+val default_params : params
+
+(** What the mode generator needs to know about the produced design. *)
+type domain = {
+  dom_clock_port : string;
+  dom_regs : string list;
+  dom_mux : string option;       (** clock mux instance, if any *)
+  dom_mux_sel : string option;   (** config port driving the mux select *)
+}
+
+type info = {
+  clock_ports : string list;
+  scan_clk_port : string option;
+  scan_en_port : string option;
+  cfg_ports : string list;
+  in_ports : string list;
+  out_ports : string list;
+  domains : domain list;
+}
+
+val generate : params -> Mm_netlist.Design.t * info
+
+val approx_cells : params -> int
+(** Rough instance count the parameters will produce, for sizing
+    presets. *)

@@ -1,0 +1,166 @@
+module Design = Mm_netlist.Design
+module Library = Mm_netlist.Library
+module Resolve = Mm_sdc.Resolve
+
+let build () =
+  let d = Design.create "figure1" in
+  let port name dir = ignore (Design.add_port d name dir) in
+  port "clk1" Design.In;
+  port "clk2" Design.In;
+  port "clk3" Design.In;
+  port "clk4" Design.In;
+  port "sel1" Design.In;
+  port "sel2" Design.In;
+  port "in1" Design.In;
+  port "out1" Design.Out;
+  let inst name cell = ignore (Design.add_inst d name cell) in
+  List.iter
+    (fun r -> inst r Library.dff)
+    [ "rA"; "rB"; "rC"; "rX"; "rY"; "rZ" ];
+  inst "inv1" Library.inv;
+  inst "inv2" Library.inv;
+  inst "inv3" Library.inv;
+  inst "and1" Library.and2;
+  inst "and2" Library.and2;
+  inst "mux1" Library.mux2;
+  inst "xorS" Library.xor2;
+  (* Clock network: rA/rB/rC on clk1 directly; rX/rY/rZ through mux1
+     selecting clk1 (S=0) or clk2 (S=1) under XOR(sel1, sel2). *)
+  Design.wire d "n_clk1" [ "clk1"; "rA/CP"; "rB/CP"; "rC/CP"; "mux1/D0" ];
+  Design.wire d "n_clk2" [ "clk2"; "mux1/D1" ];
+  Design.wire d "n_sel1" [ "sel1"; "xorS/A" ];
+  Design.wire d "n_sel2" [ "sel2"; "xorS/B" ];
+  Design.wire d "n_sel" [ "xorS/Z"; "mux1/S" ];
+  Design.wire d "n_gclk" [ "mux1/Z"; "rX/CP"; "rY/CP"; "rZ/CP" ];
+  (* Data paths. *)
+  Design.wire d "n_in1" [ "in1"; "rA/D" ];
+  Design.wire d "n_ra" [ "rA/Q"; "inv1/A" ];
+  Design.wire d "n_i1" [ "inv1/Z"; "rX/D"; "and1/A" ];
+  Design.wire d "n_rb" [ "rB/Q"; "and1/B" ];
+  Design.wire d "n_a1" [ "and1/Z"; "inv2/A" ];
+  Design.wire d "n_i2" [ "inv2/Z"; "rY/D" ];
+  Design.wire d "n_rc" [ "rC/Q"; "and2/A"; "inv3/A" ];
+  Design.wire d "n_i3" [ "inv3/Z"; "and2/B" ];
+  Design.wire d "n_a2" [ "and2/Z"; "rZ/D" ];
+  Design.wire d "n_out" [ "rZ/Q"; "out1" ];
+  d
+
+let resolve d name src =
+  let r = Resolve.mode_of_string d ~name src in
+  match r.Resolve.warnings with
+  | [] -> r.Resolve.mode
+  | w ->
+    failwith
+      (Printf.sprintf "paper_circuit %s: %s" name (String.concat "; " w))
+
+(* Constraint Set 1 (Table 1 demo). *)
+let constraint_set1 d =
+  resolve d "set1"
+    {|
+create_clock -name clkA -period 10 [get_ports clk1]
+set_multicycle_path 2 -through [get_pins inv1/Z]
+set_false_path -through [get_pins and1/Z]
+|}
+
+(* Constraint Set 2: clock union + latency merge. Mode A has clkA and
+   clkB; mode B has clkB (conflicting name -> renamed clkB_1), clkC
+   identical to A's clkB, and clkD. Union = four clocks. *)
+let constraint_set2 d =
+  let a =
+    resolve d "A"
+      {|
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 20 [get_ports clk2]
+set_clock_latency -source -min 1.0 [get_clocks clkB]
+|}
+  and b =
+    resolve d "B"
+      {|
+create_clock -name clkB -period 15 [get_ports clk3]
+create_clock -name clkC -period 20 [get_ports clk2]
+create_clock -name clkD -period 8 [get_ports clk4]
+set_clock_latency -source -min 0.98 [get_clocks clkC]
+|}
+  in
+  a, b
+
+(* Constraint Set 3: conflicting case analysis; clock refinement infers
+   disable_timing on sel1/sel2 and stops clkA at mux1/Z. *)
+let constraint_set3 d =
+  let a =
+    resolve d "A"
+      {|
+create_clock -period 10 -name clkA [get_ports clk1]
+create_clock -period 20 -name clkB [get_ports clk2]
+set_case_analysis 0 sel1
+set_case_analysis 1 sel2
+|}
+  and b =
+    resolve d "B"
+      {|
+create_clock -period 10 -name clkA [get_ports clk1]
+create_clock -period 20 -name clkB [get_ports clk2]
+set_case_analysis 1 sel1
+set_case_analysis 0 sel2
+|}
+  in
+  a, b
+
+(* Constraint Set 4: exception uniquification. The paper omits periods;
+   10 is used. Mode A clocks through the mux D0 leg, mode B through D1. *)
+let constraint_set4 d =
+  let a =
+    resolve d "A"
+      {|
+create_clock -name clkA -period 10 [get_ports clk1]
+set_case_analysis 0 [get_pins mux1/S]
+set_multicycle_path 2 -from [get_pins rA/CP]
+|}
+  and b =
+    resolve d "B"
+      {|
+create_clock -name clkB -period 10 [get_ports clk2]
+set_case_analysis 1 [get_pins mux1/S]
+|}
+  in
+  a, b
+
+(* Constraint Set 5: data refinement stopping clock propagation. *)
+let constraint_set5 d =
+  let a =
+    resolve d "A"
+      {|
+create_clock -name ClkA -period 2 [get_ports clk1]
+set_input_delay 2.0 -clock ClkA [get_ports in1]
+set_output_delay 2.0 -clock ClkA [get_ports out1]
+|}
+  and b =
+    resolve d "B"
+      {|
+create_clock -name ClkB -period 1 [get_ports clk1]
+set_input_delay 2.0 -clock ClkB [get_ports in1]
+set_output_delay 2.0 -clock ClkB [get_ports out1]
+set_case_analysis 0 rB/Q
+|}
+  in
+  a, b
+
+(* Constraint Set 6: the 3-pass demo. *)
+let constraint_set6 d =
+  let a =
+    resolve d "A"
+      {|
+create_clock -period 10 -name clkA [get_ports clk1]
+set_false_path -to rX/D
+set_false_path -to rY/D
+set_false_path -through inv3/Z
+|}
+  and b =
+    resolve d "B"
+      {|
+create_clock -period 10 -name clkA [get_ports clk1]
+set_false_path -from rA/CP
+set_false_path -to rZ/D
+|}
+  in
+  a, b

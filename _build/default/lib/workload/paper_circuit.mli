@@ -1,0 +1,47 @@
+(** The paper's example circuit (Figure 1) and Constraint Sets 1-6.
+
+    The circuit: six registers rA..rC (clocked from port clk1) and
+    rX..rZ (clocked through mux1, which selects between clk1 and clk2
+    under the control of XOR(sel1, sel2)); data paths
+
+    - rA/Q -> inv1/Z -> rX/D                                  (path i)
+    - rA/Q -> inv1/Z -> and1/Z -> inv2/Z -> rY/D              (path ii)
+    - rB/Q -> and1/Z -> inv2/Z -> rY/D                        (path iii)
+    - rC/Q -> and2/A -> and2/Z -> rZ/D
+    - rC/Q -> inv3/A -> inv3/Z -> and2/B -> and2/Z -> rZ/D
+
+    plus in1 -> rA/D and rZ/Q -> out1 for the IO-delay examples, and
+    two spare clock ports clk3/clk4 for Constraint Set 2's four-clock
+    union. Where the paper abbreviates constraints (omitted periods in
+    Constraint Set 4, elided waveforms), concrete values consistent
+    with the prose are filled in. *)
+
+val build : unit -> Mm_netlist.Design.t
+
+(** Each constraint set yields named modes resolved against a fresh
+    copy of the circuit. The design is shared by the modes of one
+    call. *)
+
+val constraint_set1 :
+  Mm_netlist.Design.t -> Mm_sdc.Mode.t
+(** Clock + MCP through inv1/Z + FP through and1/Z (Table 1). *)
+
+val constraint_set2 :
+  Mm_netlist.Design.t -> Mm_sdc.Mode.t * Mm_sdc.Mode.t
+(** Modes A and B for the clock-union and latency-merge demo. *)
+
+val constraint_set3 :
+  Mm_netlist.Design.t -> Mm_sdc.Mode.t * Mm_sdc.Mode.t
+(** Conflicting case analysis on sel1/sel2 (clock refinement demo). *)
+
+val constraint_set4 :
+  Mm_netlist.Design.t -> Mm_sdc.Mode.t * Mm_sdc.Mode.t
+(** Exception uniquification demo (MCP -from rA/CP in mode A only). *)
+
+val constraint_set5 :
+  Mm_netlist.Design.t -> Mm_sdc.Mode.t * Mm_sdc.Mode.t
+(** Data refinement by stopping clock propagation (case on rB/Q). *)
+
+val constraint_set6 :
+  Mm_netlist.Design.t -> Mm_sdc.Mode.t * Mm_sdc.Mode.t
+(** The 3-pass demo: disjoint false-path sets (Tables 2-4). *)

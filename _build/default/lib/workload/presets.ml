@@ -1,0 +1,231 @@
+type preset = {
+  pr_name : string;
+  paper_size_mcells : float;
+  paper_modes : int;
+  paper_merged : int;
+  paper_reduction : float;
+  paper_merge_runtime_s : float;
+  paper_sta_individual_s : float;
+  paper_sta_merged_s : float;
+  paper_sta_reduction : float;
+  paper_conformity : float;
+  design_params : Gen_design.params;
+  suite : Gen_modes.suite_params;
+}
+
+let dp = Gen_design.default_params
+
+let design_a =
+  {
+    pr_name = "A";
+    paper_size_mcells = 0.2;
+    paper_modes = 95;
+    paper_merged = 16;
+    paper_reduction = 83.1;
+    paper_merge_runtime_s = 6205.;
+    paper_sta_individual_s = 5584.;
+    paper_sta_merged_s = 875.;
+    paper_sta_reduction = 84.3;
+    paper_conformity = 99.89;
+    design_params =
+      {
+        dp with
+        seed = 101;
+        n_domains = 2;
+        regs_per_domain = 200;
+        stages = 4;
+        combo_depth = 4;
+        n_config_pins = 6;
+        n_clock_muxes = 1;
+      };
+    suite =
+      {
+        Gen_modes.sp_seed = 201;
+        families = [ 7; 7; 7; 7; 6; 6; 6; 6; 6; 6; 6; 6; 6; 6; 5; 2 ];
+        base_period = 2.0;
+        scan_family = true;
+      };
+  }
+
+let design_b =
+  {
+    pr_name = "B";
+    paper_size_mcells = 0.2;
+    paper_modes = 3;
+    paper_merged = 1;
+    paper_reduction = 66.6;
+    paper_merge_runtime_s = 85.;
+    paper_sta_individual_s = 339.;
+    paper_sta_merged_s = 140.;
+    paper_sta_reduction = 58.7;
+    paper_conformity = 100.;
+    design_params = { design_a.design_params with seed = 102 };
+    suite =
+      {
+        Gen_modes.sp_seed = 202;
+        families = [ 3 ];
+        base_period = 2.0;
+        scan_family = false;
+      };
+  }
+
+let design_c =
+  {
+    pr_name = "C";
+    paper_size_mcells = 0.3;
+    paper_modes = 12;
+    paper_merged = 1;
+    paper_reduction = 75.0;
+    paper_merge_runtime_s = 890.;
+    paper_sta_individual_s = 820.;
+    paper_sta_merged_s = 398.;
+    paper_sta_reduction = 51.5;
+    paper_conformity = 99.91;
+    design_params =
+      {
+        dp with
+        seed = 103;
+        n_domains = 2;
+        regs_per_domain = 300;
+        stages = 4;
+        combo_depth = 5;
+        n_config_pins = 6;
+        n_clock_muxes = 1;
+      };
+    suite =
+      {
+        Gen_modes.sp_seed = 203;
+        families = [ 12 ];
+        base_period = 1.5;
+        scan_family = false;
+      };
+  }
+
+let design_d =
+  {
+    pr_name = "D";
+    paper_size_mcells = 1.4;
+    paper_modes = 3;
+    paper_merged = 1;
+    paper_reduction = 66.6;
+    paper_merge_runtime_s = 450.;
+    paper_sta_individual_s = 1003.;
+    paper_sta_merged_s = 419.;
+    paper_sta_reduction = 58.2;
+    paper_conformity = 99.18;
+    design_params =
+      {
+        dp with
+        seed = 104;
+        n_domains = 3;
+        regs_per_domain = 900;
+        stages = 5;
+        combo_depth = 5;
+        n_config_pins = 8;
+        n_clock_muxes = 2;
+      };
+    suite =
+      {
+        Gen_modes.sp_seed = 204;
+        families = [ 3 ];
+        base_period = 1.2;
+        scan_family = false;
+      };
+  }
+
+let design_e =
+  {
+    pr_name = "E";
+    paper_size_mcells = 1.6;
+    paper_modes = 5;
+    paper_merged = 1;
+    paper_reduction = 80.0;
+    paper_merge_runtime_s = 459.;
+    paper_sta_individual_s = 846.;
+    paper_sta_merged_s = 329.;
+    paper_sta_reduction = 61.1;
+    paper_conformity = 99.93;
+    design_params =
+      {
+        dp with
+        seed = 105;
+        n_domains = 4;
+        regs_per_domain = 800;
+        stages = 5;
+        combo_depth = 5;
+        n_config_pins = 8;
+        n_clock_muxes = 2;
+      };
+    suite =
+      {
+        Gen_modes.sp_seed = 205;
+        families = [ 5 ];
+        base_period = 1.0;
+        scan_family = false;
+      };
+  }
+
+let design_f =
+  {
+    pr_name = "F";
+    paper_size_mcells = 2.8;
+    paper_modes = 3;
+    paper_merged = 2;
+    paper_reduction = 33.3;
+    paper_merge_runtime_s = 1424.;
+    paper_sta_individual_s = 2593.;
+    paper_sta_merged_s = 1004.;
+    paper_sta_reduction = 61.3;
+    paper_conformity = 100.;
+    design_params =
+      {
+        dp with
+        seed = 106;
+        n_domains = 4;
+        regs_per_domain = 1400;
+        stages = 5;
+        combo_depth = 5;
+        n_config_pins = 8;
+        n_clock_muxes = 2;
+      };
+    suite =
+      {
+        Gen_modes.sp_seed = 206;
+        families = [ 2; 1 ];
+        base_period = 1.0;
+        scan_family = false;
+      };
+  }
+
+let all = [ design_a; design_b; design_c; design_d; design_e; design_f ]
+
+let tiny =
+  {
+    design_a with
+    pr_name = "tiny";
+    paper_modes = 4;
+    paper_merged = 2;
+    design_params =
+      {
+        dp with
+        seed = 42;
+        n_domains = 2;
+        regs_per_domain = 24;
+        stages = 3;
+        combo_depth = 2;
+        n_config_pins = 3;
+        n_clock_muxes = 1;
+      };
+    suite =
+      {
+        Gen_modes.sp_seed = 242;
+        families = [ 2; 2 ];
+        base_period = 2.0;
+        scan_family = true;
+      };
+  }
+
+let build p =
+  let design, info = Gen_design.generate p.design_params in
+  let modes = Gen_modes.generate design info p.suite in
+  design, info, modes

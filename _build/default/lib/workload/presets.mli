@@ -1,0 +1,38 @@
+(** Scaled analogues of the paper's industrial designs A-F.
+
+    Cell counts are scaled ~1:100 from the paper's 0.2-2.8 million
+    (wire-load STA over millions of cells is out of scope for a
+    single-threaded reproduction); the mode counts and the expected
+    merged-mode counts are kept exactly as Table 5 reports them
+    (95->16, 3->1, 12->1, 3->1, 5->1, 3->2). The paper's published
+    numbers ride along for EXPERIMENTS.md's paper-vs-measured tables. *)
+
+type preset = {
+  pr_name : string;
+  paper_size_mcells : float;
+  paper_modes : int;
+  paper_merged : int;
+  paper_reduction : float;      (** % *)
+  paper_merge_runtime_s : float;
+  paper_sta_individual_s : float;
+  paper_sta_merged_s : float;
+  paper_sta_reduction : float;  (** % *)
+  paper_conformity : float;     (** % *)
+  design_params : Gen_design.params;
+  suite : Gen_modes.suite_params;
+}
+
+val design_a : preset
+val design_b : preset
+val design_c : preset
+val design_d : preset
+val design_e : preset
+val design_f : preset
+val all : preset list
+
+val tiny : preset
+(** A very small preset (hundreds of cells, 4 modes in 2 families) for
+    unit/integration tests. *)
+
+val build :
+  preset -> Mm_netlist.Design.t * Gen_design.info * Mm_sdc.Mode.t list

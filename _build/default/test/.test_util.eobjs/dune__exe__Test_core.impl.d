@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Buffer Fun List Mm_core Mm_netlist Mm_sdc Mm_timing Mm_util Mm_workload Option Printf QCheck2 QCheck_alcotest Str_probe String

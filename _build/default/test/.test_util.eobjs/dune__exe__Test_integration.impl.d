@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Hashtbl List Mm_core Mm_netlist Mm_sdc Mm_timing Mm_workload Printf QCheck2 QCheck_alcotest Sys

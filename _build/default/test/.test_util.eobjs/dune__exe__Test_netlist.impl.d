@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Format List Mm_netlist Mm_workload Printf QCheck2 QCheck_alcotest Str_probe

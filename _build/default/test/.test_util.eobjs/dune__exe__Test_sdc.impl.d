@@ -1,0 +1,1 @@
+test/test_sdc.ml: Alcotest List Mm_netlist Mm_sdc Mm_workload QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Float Format Hashtbl List Mm_netlist Mm_sdc Mm_timing Mm_workload Option Printf Str_probe String

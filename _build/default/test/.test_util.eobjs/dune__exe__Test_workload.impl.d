@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Mm_core Mm_netlist Mm_sdc Mm_timing Mm_workload Printf Str_probe String

@@ -1,0 +1,181 @@
+(* End-to-end integration tests: generated workloads through the full
+   merge flow, file round trips through the CLI-facing formats, STA
+   conformity and randomized whole-flow soundness. *)
+module Design = Mm_netlist.Design
+module Netlist_io = Mm_netlist.Netlist_io
+module Mode = Mm_sdc.Mode
+module Resolve = Mm_sdc.Resolve
+module Sta = Mm_timing.Sta
+module Merge_flow = Mm_core.Merge_flow
+module Equiv = Mm_core.Equiv
+module Prelim = Mm_core.Prelim
+module Refine = Mm_core.Refine
+module Gen_design = Mm_workload.Gen_design
+module Gen_modes = Mm_workload.Gen_modes
+module Presets = Mm_workload.Presets
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let flow_cases =
+  [
+    tc "tiny preset: 4 modes -> 2 validated supersets" (fun () ->
+        let design, _info, modes = Presets.build Presets.tiny in
+        let r = Merge_flow.run modes in
+        check Alcotest.int "merged" 2 r.Merge_flow.n_merged;
+        List.iter
+          (fun (g : Merge_flow.group) ->
+            match g.Merge_flow.grp_equiv with
+            | Some e -> check Alcotest.bool "equivalent" true e.Equiv.equivalent
+            | None -> Alcotest.fail "expected merged groups")
+          r.Merge_flow.groups;
+        (* STA conformity of worst slacks. *)
+        let ind = List.map (fun m -> Sta.analyze design m) modes in
+        let mrg = List.map (fun m -> Sta.analyze design m) (Merge_flow.merged_modes r) in
+        let conf = Sta.conformity ~individual:ind ~merged:mrg ~tolerance_frac:0.01 in
+        check Alcotest.bool "conformity >= 99" true (conf >= 99.));
+    tc "merged superset mode times at least the union of endpoints" (fun () ->
+        let design, _info, modes = Presets.build Presets.tiny in
+        let r = Merge_flow.run ~check_equivalence:false modes in
+        let timed reports =
+          List.concat_map
+            (fun rep -> List.map fst (Sta.worst_setup_by_endpoint rep))
+            reports
+          |> List.sort_uniq compare
+        in
+        let ind = timed (List.map (fun m -> Sta.analyze design m) modes) in
+        let mrg =
+          timed (List.map (fun m -> Sta.analyze design m) (Merge_flow.merged_modes r))
+        in
+        List.iter
+          (fun ep ->
+            check Alcotest.bool
+              (Printf.sprintf "endpoint %s kept" (Design.pin_name design ep))
+              true (List.mem ep mrg))
+          ind);
+    tc "merged mode SDC round-trips through writer and parser" (fun () ->
+        let design, _info, modes = Presets.build Presets.tiny in
+        let r = Merge_flow.run ~check_equivalence:false modes in
+        List.iter
+          (fun (m : Mode.t) ->
+            let sdc = Mode.to_sdc m in
+            let rr = Resolve.mode_of_string design ~name:m.Mode.mode_name sdc in
+            check Alcotest.(list string) "no warnings" [] rr.Resolve.warnings;
+            let m2 = rr.Resolve.mode in
+            check Alcotest.(list string) "clocks" (Mode.clock_names m)
+              (Mode.clock_names m2);
+            check Alcotest.int "exceptions"
+              (List.length m.Mode.exceptions)
+              (List.length m2.Mode.exceptions))
+          (Merge_flow.merged_modes r));
+    tc "full flow from files (netlist + SDC on disk)" (fun () ->
+        let dir = Filename.temp_file "mm_it" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        let design, info = Gen_design.generate { Gen_design.default_params with seed = 55 } in
+        let npath = Filename.concat dir "d.nl" in
+        Netlist_io.write_file npath design;
+        let suite =
+          { Gen_modes.sp_seed = 56; families = [ 2; 1 ]; base_period = 2.0; scan_family = false }
+        in
+        let paths =
+          List.concat
+            (List.mapi
+               (fun family n ->
+                 List.init n (fun index ->
+                     let p = Filename.concat dir (Printf.sprintf "m%d_%d.sdc" family index) in
+                     let oc = open_out p in
+                     output_string oc (Gen_modes.sdc_of_mode_spec info suite ~family ~index);
+                     close_out oc;
+                     p))
+               suite.Gen_modes.families)
+        in
+        let design2 = Netlist_io.read_file npath in
+        let modes =
+          List.map
+            (fun p ->
+              let name = Filename.remove_extension (Filename.basename p) in
+              let r = Resolve.mode_of_file design2 ~name p in
+              check Alcotest.(list string) ("warnings " ^ name) [] r.Resolve.warnings;
+              r.Resolve.mode)
+            paths
+        in
+        let r = Merge_flow.run modes in
+        check Alcotest.int "3 -> 2" 2 r.Merge_flow.n_merged);
+  ]
+
+(* Randomized whole-flow soundness on small generated workloads. *)
+let random_flow_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random workload flows are optimism-free" ~count:6
+       QCheck2.Gen.(int_range 1 10_000)
+       (fun seed ->
+         let params =
+           {
+             Gen_design.default_params with
+             Gen_design.seed;
+             regs_per_domain = 16 + (seed mod 17);
+             stages = 2 + (seed mod 3);
+             combo_depth = 1 + (seed mod 3);
+             n_config_pins = 2 + (seed mod 4);
+           }
+         in
+         let design, info = Gen_design.generate params in
+         let suite =
+           {
+             Gen_modes.sp_seed = seed * 13;
+             families = [ 2 + (seed mod 2); 2 ];
+             base_period = 1.5;
+             scan_family = seed mod 2 = 0;
+           }
+         in
+         let modes = Gen_modes.generate design info suite in
+         let r = Merge_flow.run modes in
+         List.for_all
+           (fun (g : Merge_flow.group) ->
+             match g.Merge_flow.grp_equiv with
+             | Some e -> e.Equiv.equivalent
+             | None -> true)
+           r.Merge_flow.groups))
+
+(* Sign-off safety at the STA level: on every endpoint the merged
+   mode's worst slack never exceeds (is never more optimistic than) the
+   worst individual slack, and every individually-checked endpoint stays
+   checked. *)
+let sta_never_optimistic_case =
+  tc "merged STA is never optimistic per endpoint" (fun () ->
+      let design, _info, modes = Presets.build Presets.tiny in
+      let r = Merge_flow.run ~check_equivalence:false modes in
+      let ind = Sta.merge_worst (List.map (fun m -> Sta.analyze design m) modes) in
+      let mrg =
+        Sta.merge_worst
+          (List.map (fun m -> Sta.analyze design m) (Merge_flow.merged_modes r))
+      in
+      Hashtbl.iter
+        (fun pin (slack_ind, _) ->
+          match Hashtbl.find_opt mrg pin with
+          | None ->
+            Alcotest.failf "endpoint %s lost its check"
+              (Design.pin_name design pin)
+          | Some (slack_mrg, _) ->
+            check Alcotest.bool
+              (Printf.sprintf "%s not optimistic (%f vs %f)"
+                 (Design.pin_name design pin) slack_mrg slack_ind)
+              true
+              (slack_mrg <= slack_ind +. 1e-9))
+        ind)
+
+let idempotence_case =
+  tc "re-merging merged modes is a fixpoint" (fun () ->
+      let _design, _info, modes = Presets.build Presets.tiny in
+      let r1 = Merge_flow.run ~check_equivalence:false modes in
+      let r2 = Merge_flow.run ~check_equivalence:false (Merge_flow.merged_modes r1) in
+      check Alcotest.int "no further merging across families"
+        r1.Merge_flow.n_merged r2.Merge_flow.n_merged)
+
+let () =
+  Alcotest.run "integration"
+    [
+      "flow",
+      flow_cases @ [ sta_never_optimistic_case; idempotence_case; random_flow_prop ];
+    ]
