@@ -9,7 +9,13 @@
      gen        emit a synthetic design + mode suite to a directory
 
    Netlists may be the text format (.nl) or structural Verilog (.v);
-   a Liberty file supplies custom cells via --liberty. *)
+   a Liberty file supplies custom cells via --liberty.
+
+   Error handling: every problem is reported to stderr as one
+   [file:line:col: severity[code]: message] line. Exit codes are
+   0 (clean), 1 (completed with warnings / findings) and 2 (fatal).
+   --strict (default) fails fast on malformed input; --permissive
+   recovers, quarantines broken modes and reports. *)
 
 module Design = Mm_netlist.Design
 module Mode = Mm_sdc.Mode
@@ -17,7 +23,45 @@ module Resolve = Mm_sdc.Resolve
 module Context = Mm_timing.Context
 module Sta = Mm_timing.Sta
 module Merge_flow = Mm_core.Merge_flow
+module Diag = Mm_util.Diag
 open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic output and exit-code convention                          *)
+
+let exit_clean = 0
+let exit_warn = 1
+let exit_fatal = 2
+
+(* Any Warning-or-worse diagnostic printed during the run turns a
+   clean exit into exit code 1. *)
+let warned = ref false
+
+let print_diag d =
+  if Diag.severity_rank d.Diag.severity >= Diag.severity_rank Diag.Warning then
+    warned := true;
+  Printf.eprintf "%s\n" (Diag.to_string d)
+
+let print_diags = List.iter print_diag
+
+let fatal ?loc ~code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      print_diag (Diag.make ?loc Diag.Fatal ~code msg);
+      exit exit_fatal)
+    fmt
+
+let finish () = exit (if !warned then exit_warn else exit_clean)
+
+(* Catch stray IO failures from any subcommand body and route them
+   through the exit-code convention instead of a backtrace. *)
+let guard_io f =
+  try f () with
+  | Sys_error msg -> fatal ~code:"io.error" "%s" msg
+  | Failure msg -> fatal ~code:"cli.failure" "%s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
 
 let cell_finder liberty =
   match liberty with
@@ -26,8 +70,7 @@ let cell_finder liberty =
     let lib =
       try Mm_netlist.Liberty.load_file path
       with Mm_netlist.Liberty.Parse_error { line; msg } ->
-        Printf.eprintf "error in %s:%d: %s\n" path line msg;
-        exit 1
+        fatal ~loc:(Diag.loc ~line path) ~code:"io.liberty" "%s" msg
     in
     fun name ->
       (match
@@ -44,27 +87,35 @@ let read_design ?liberty path =
       Mm_netlist.Verilog.read_file ~lib:(cell_finder liberty) path
     else Mm_netlist.Netlist_io.read_file path
   with
-  | Failure msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
+  | Failure msg -> fatal ~loc:(Diag.loc path) ~code:"io.netlist" "%s" msg
   | Mm_netlist.Verilog.Error { line; msg } ->
-    Printf.eprintf "error in %s:%d: %s\n" path line msg;
-    exit 1
+    fatal ~loc:(Diag.loc ~line path) ~code:"io.verilog" "%s" msg
+  | Sys_error msg -> fatal ~code:"io.read" "%s" msg
 
 let mode_name_of_path path = Filename.remove_extension (Filename.basename path)
 
-let load_mode design path =
+let load_mode ~policy design path =
   let name = mode_name_of_path path in
-  match Resolve.mode_of_file design ~name path with
-  | r ->
-    List.iter (Printf.eprintf "warning(%s): %s\n" name) r.Resolve.warnings;
+  match policy with
+  | Merge_flow.Permissive ->
+    let r = Resolve.mode_of_file_robust design ~name path in
+    print_diags r.Resolve.diags;
     r.Resolve.mode
-  | exception Mm_sdc.Parser.Error msg ->
-    Printf.eprintf "error in %s: %s\n" path msg;
-    exit 1
-  | exception Mm_sdc.Lexer.Error { line; msg } ->
-    Printf.eprintf "error in %s:%d: %s\n" path line msg;
-    exit 1
+  | Merge_flow.Strict -> (
+    match Resolve.mode_of_file design ~name path with
+    | r ->
+      print_diags r.Resolve.diags;
+      r.Resolve.mode
+    | exception Mm_sdc.Parser.Error { loc; msg } ->
+      fatal ?loc ~code:(Mm_sdc.Parser.error_code msg) "%s" msg
+    | exception Mm_sdc.Lexer.Error { line; col; msg } ->
+      fatal
+        ~loc:{ Diag.file = path; line; col }
+        ~code:(Mm_sdc.Parser.lex_code msg) "%s" msg
+    | exception Sys_error msg -> fatal ~code:"io.read" "%s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
 
 let netlist_arg =
   let doc = "Netlist file: .v structural Verilog or the .nl text format." in
@@ -78,6 +129,22 @@ let sdc_args =
   let doc = "SDC mode files." in
   Arg.(non_empty & pos_all file [] & info [] ~docv:"SDC" ~doc)
 
+let policy_arg =
+  let strict =
+    ( Merge_flow.Strict,
+      Arg.info [ "strict" ]
+        ~doc:"Fail fast: any malformed constraint aborts the run (default)." )
+  in
+  let permissive =
+    ( Merge_flow.Permissive,
+      Arg.info [ "permissive" ]
+        ~doc:
+          "Recover and report: malformed commands are skipped with \
+           diagnostics, broken modes are quarantined, and failing merge \
+           groups fall back to individual modes." )
+  in
+  Arg.(value & vflag Merge_flow.Strict [ strict; permissive ])
+
 (* ------------------------------------------------------------------ *)
 
 let merge_cmd =
@@ -85,10 +152,40 @@ let merge_cmd =
     let doc = "Directory for the merged SDC files (created if missing)." in
     Arg.(value & opt string "merged_out" & info [ "o"; "out" ] ~doc)
   in
-  let run netlist liberty sdcs outdir =
+  let diag_json =
+    let doc = "Additionally dump all diagnostics as a JSON array to stderr." in
+    Arg.(value & flag & info [ "diag-json" ] ~doc)
+  in
+  let run netlist liberty sdcs outdir policy diag_json =
+    guard_io @@ fun () ->
     let design = read_design ?liberty netlist in
-    let modes = List.map (load_mode design) sdcs in
-    let result = Merge_flow.run modes in
+    let result =
+      match Merge_flow.run_files ~policy ~design sdcs with
+      | r -> r
+      | exception Mm_sdc.Parser.Error { loc; msg } ->
+        fatal ?loc ~code:(Mm_sdc.Parser.error_code msg) "%s" msg
+      | exception Mm_sdc.Lexer.Error { line; col; msg } ->
+        fatal
+          ~loc:{ Diag.file = "<sdc>"; line; col }
+          ~code:(Mm_sdc.Parser.lex_code msg) "%s" msg
+    in
+    print_diags result.Merge_flow.diags;
+    List.iter
+      (fun (q : Merge_flow.quarantined) ->
+        print_diags q.Merge_flow.q_diags;
+        print_diag
+          (Diag.makef Diag.Warning ~code:"merge.quarantined"
+             "mode %s quarantined at %s stage; merged without it"
+             q.Merge_flow.q_name
+             (Merge_flow.stage_to_string q.Merge_flow.q_stage)))
+      result.Merge_flow.quarantined;
+    if diag_json then
+      Printf.eprintf "%s\n"
+        (Diag.render_json
+           (result.Merge_flow.diags
+           @ List.concat_map
+               (fun (q : Merge_flow.quarantined) -> q.Merge_flow.q_diags)
+               result.Merge_flow.quarantined));
     print_string (Mm_core.Report.mergeability_text result.Merge_flow.mergeability);
     Printf.printf "Merged %d modes into %d (%.1f%% reduction) in %.2fs\n"
       result.Merge_flow.n_individual result.Merge_flow.n_merged
@@ -97,9 +194,7 @@ let merge_cmd =
     List.iteri
       (fun i (g : Merge_flow.group) ->
         let mode = g.Merge_flow.grp_mode in
-        let path =
-          Filename.concat outdir (Printf.sprintf "merged_%d.sdc" i)
-        in
+        let path = Filename.concat outdir (Printf.sprintf "merged_%d.sdc" i) in
         let oc = open_out path in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
@@ -121,12 +216,21 @@ let merge_cmd =
           | Some e -> not e.Mm_core.Equiv.equivalent
           | None -> false)
         result.Merge_flow.groups
-    then exit 2
+    then begin
+      print_diag
+        (Diag.make Diag.Fatal ~code:"merge.not-equivalent"
+           "a merged mode failed the equivalence check");
+      exit exit_fatal
+    end;
+    finish ()
   in
   let info =
     Cmd.info "merge" ~doc:"Merge SDC timing modes into superset modes."
   in
-  Cmd.v info Term.(const run $ netlist_arg $ liberty_arg $ sdc_args $ outdir)
+  Cmd.v info
+    Term.(
+      const run $ netlist_arg $ liberty_arg $ sdc_args $ outdir $ policy_arg
+      $ diag_json)
 
 let sta_cmd =
   let paths_arg =
@@ -143,11 +247,12 @@ let sta_cmd =
       & opt corner_conv Mm_timing.Corner.typical
       & info [ "corner" ] ~doc:"PVT corner: typical, slow or fast.")
   in
-  let run netlist liberty sdcs paths corner =
+  let run netlist liberty sdcs paths corner policy =
+    guard_io @@ fun () ->
     let design = read_design ?liberty netlist in
     List.iter
       (fun path ->
-        let mode = load_mode design path in
+        let mode = load_mode ~policy design path in
         let ctx = Context.create design mode in
         let report = Sta.analyze ~ctx ~corner design mode in
         Printf.printf "mode %s @ %s: %d endpoints, %d tags, %.3fs\n"
@@ -176,22 +281,26 @@ let sta_cmd =
           List.iter
             (fun p -> print_string (Sta.path_to_string design p))
             (Sta.worst_paths ~ctx ~corner ~n:paths design mode))
-      sdcs
+      sdcs;
+    finish ()
   in
   let info =
     Cmd.info "sta"
       ~doc:"Run wire-load-model STA on each mode (slacks, DRC, worst paths)."
   in
   Cmd.v info
-    Term.(const run $ netlist_arg $ liberty_arg $ sdc_args $ paths_arg $ corner_arg)
+    Term.(
+      const run $ netlist_arg $ liberty_arg $ sdc_args $ paths_arg $ corner_arg
+      $ policy_arg)
 
 let lint_cmd =
-  let run netlist liberty sdcs =
+  let run netlist liberty sdcs policy =
+    guard_io @@ fun () ->
     let design = read_design ?liberty netlist in
     let dirty = ref false in
     List.iter
       (fun path ->
-        let mode = load_mode design path in
+        let mode = load_mode ~policy design path in
         let ctx = Context.create design mode in
         let findings = Mm_core.Lint.run ctx in
         Printf.printf "mode %s: %d finding(s)\n" mode.Mode.mode_name
@@ -201,41 +310,47 @@ let lint_cmd =
           print_endline (Mm_core.Lint.to_string findings)
         end)
       sdcs;
-    if !dirty then exit 1
+    if !dirty then exit exit_warn;
+    finish ()
   in
   let info =
     Cmd.info "lint" ~doc:"Constraint-quality checks for each mode."
   in
-  Cmd.v info Term.(const run $ netlist_arg $ liberty_arg $ sdc_args)
+  Cmd.v info
+    Term.(const run $ netlist_arg $ liberty_arg $ sdc_args $ policy_arg)
 
 let relations_cmd =
-  let run netlist liberty sdcs =
+  let run netlist liberty sdcs policy =
+    guard_io @@ fun () ->
     let design = read_design ?liberty netlist in
     List.iter
       (fun path ->
-        let mode = load_mode design path in
+        let mode = load_mode ~policy design path in
         let ctx = Context.create design mode in
         let rels = Mm_core.Relation_prop.endpoint_relations ctx in
         Mm_util.Tab.print
           ~title:(Printf.sprintf "Timing relationships of %s" mode.Mode.mode_name)
           (Mm_core.Report.relations_table design rels))
-      sdcs
+      sdcs;
+    finish ()
   in
   let info =
     Cmd.info "relations"
       ~doc:"Print per-endpoint timing relationships (paper Table 1 style)."
   in
-  Cmd.v info Term.(const run $ netlist_arg $ liberty_arg $ sdc_args)
+  Cmd.v info
+    Term.(const run $ netlist_arg $ liberty_arg $ sdc_args $ policy_arg)
 
 let check_cmd =
   let merged_arg =
     let doc = "The merged-mode SDC to validate." in
     Arg.(required & opt (some file) None & info [ "m"; "merged" ] ~doc)
   in
-  let run netlist liberty merged sdcs =
+  let run netlist liberty merged sdcs policy =
+    guard_io @@ fun () ->
     let design = read_design ?liberty netlist in
-    let merged_mode = load_mode design merged in
-    let individuals = List.map (load_mode design) sdcs in
+    let merged_mode = load_mode ~policy design merged in
+    let individuals = List.map (load_mode ~policy design) sdcs in
     let report =
       Mm_core.Equiv.check ~individual:individuals
         ~rename:(fun _mode clock -> clock)
@@ -247,7 +362,13 @@ let check_cmd =
       (List.length report.Mm_core.Equiv.pessimistic);
     List.iter (Printf.printf "  %s\n") report.Mm_core.Equiv.unsound;
     List.iter (Printf.printf "  %s\n") report.Mm_core.Equiv.pessimistic;
-    if not report.Mm_core.Equiv.equivalent then exit 2
+    if not report.Mm_core.Equiv.equivalent then begin
+      print_diag
+        (Diag.make Diag.Fatal ~code:"merge.not-equivalent"
+           "merged mode is not equivalent to the individual modes");
+      exit exit_fatal
+    end;
+    finish ()
   in
   let info =
     Cmd.info "check"
@@ -255,7 +376,9 @@ let check_cmd =
         "Equivalence-check a merged mode against individual modes (clock \
          names must already coincide)."
   in
-  Cmd.v info Term.(const run $ netlist_arg $ liberty_arg $ merged_arg $ sdc_args)
+  Cmd.v info
+    Term.(
+      const run $ netlist_arg $ liberty_arg $ merged_arg $ sdc_args $ policy_arg)
 
 let gen_cmd =
   let outdir =
@@ -278,6 +401,7 @@ let gen_cmd =
       & info [ "families" ] ~doc:"Modes per mergeable family, e.g. 3,2.")
   in
   let run outdir seed domains regs families =
+    guard_io @@ fun () ->
     let params =
       {
         Mm_workload.Gen_design.default_params with
@@ -319,7 +443,8 @@ let gen_cmd =
             (fun () -> output_string oc sdc);
           Printf.printf "wrote %s\n" path
         done)
-      families
+      families;
+    finish ()
   in
   let info =
     Cmd.info "gen" ~doc:"Generate a synthetic design and mode suite."

@@ -25,7 +25,7 @@ set_multicycle_path 2 -through [get_pins inv1/Z]
 set_false_path -through [get_pins and1/Z]
 |}
   in
-  List.iter (Printf.printf "warning: %s\n") result.Resolve.warnings;
+  List.iter (Printf.printf "warning: %s\n") (Resolve.warnings result);
   let mode = result.Resolve.mode in
 
   (* 3. Compute timing relationships (paper, Table 1). *)

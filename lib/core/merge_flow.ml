@@ -1,5 +1,18 @@
 module Mode = Mm_sdc.Mode
+module Resolve = Mm_sdc.Resolve
 module Stat = Mm_util.Stat
+module Diag = Mm_util.Diag
+
+type policy = Strict | Permissive
+
+type stage = Load | Probe | Merge
+
+let stage_to_string = function
+  | Load -> "load"
+  | Probe -> "probe"
+  | Merge -> "merge"
+
+type quarantined = { q_name : string; q_stage : stage; q_diags : Diag.t list }
 
 type group = {
   grp_members : string list;
@@ -12,65 +25,257 @@ type group = {
 type result = {
   groups : group list;
   mergeability : Mergeability.t;
+  quarantined : quarantined list;
+  degraded : string list list;
+  diags : Diag.t list;
   n_individual : int;
   n_merged : int;
   reduction_percent : float;
   runtime_s : float;
 }
 
-let run ?tolerance ?(check_equivalence = true) modes =
-  let t0 = Unix.gettimeofday () in
+let exn_diag ~code ~name exn =
+  Diag.makef ~loc:(Diag.loc name) Diag.Error ~code "%s: %s" name
+    (Printexc.to_string exn)
+
+(* All-singleton fallback when the mergeability analysis itself dies in
+   permissive mode: no edges, every mode its own clique. *)
+let degenerate_mergeability modes =
+  let n = List.length modes in
+  {
+    Mergeability.mode_names =
+      Array.of_list (List.map (fun m -> m.Mode.mode_name) modes);
+    adjacency = Array.make_matrix n n false;
+    cliques = List.init n (fun i -> [ i ]);
+    pair_reasons = Hashtbl.create 1;
+  }
+
+let singleton_group ?tolerance ~ctx_cache (single : Mode.t) =
+  let prelim =
+    Prelim.merge ?tolerance ~ctx_cache ~name:single.Mode.mode_name [ single ]
+  in
+  {
+    grp_members = [ single.Mode.mode_name ];
+    grp_prelim = prelim;
+    grp_refine = None;
+    grp_equiv = None;
+    grp_mode = single;
+  }
+
+let merged_group ?tolerance ~check_equivalence ~ctx_cache ~name members =
+  let prelim = Prelim.merge ?tolerance ~ctx_cache ~name members in
+  let refine = Refine.run ~ctx_cache ~prelim ~individual:members () in
+  let equiv =
+    if check_equivalence then
+      Some
+        (Equiv.check ~ctx_cache ~individual:members
+           ~rename:(Prelim.rename_of prelim)
+           ~merged:refine.Refine.refined ())
+    else None
+  in
+  {
+    grp_members = List.map (fun (m : Mode.t) -> m.Mode.mode_name) members;
+    grp_prelim = prelim;
+    grp_refine = Some refine;
+    grp_equiv = equiv;
+    grp_mode = refine.Refine.refined;
+  }
+
+let run_core ?tolerance ~check_equivalence ~policy ~t0 ~pre_quarantined
+    ~pre_diags modes =
   let ctx_cache = Hashtbl.create 32 in
-  let mergeability = Mergeability.analyze ?tolerance ~ctx_cache modes in
+  let diags = Diag.collector () in
+  List.iter (Diag.add diags) pre_diags;
+  let quarantined = ref (List.rev pre_quarantined) in
+  (* Quarantine diagnostics live on the quarantine record itself, not
+     in the run-level stream. *)
+  let quarantine name stage qds =
+    quarantined := { q_name = name; q_stage = stage; q_diags = qds } :: !quarantined
+  in
+  (* Permissive stage 1: probe each mode's singleton merge (context
+     construction + clock propagation). A mode that cannot even stand
+     alone is quarantined before it can poison the pairwise analysis.
+     The context cache makes the probe's work reusable downstream. *)
+  let modes =
+    match policy with
+    | Strict -> modes
+    | Permissive ->
+      List.filter
+        (fun (m : Mode.t) ->
+          match singleton_group ?tolerance ~ctx_cache m with
+          | _ -> true
+          | exception exn ->
+            quarantine m.Mode.mode_name Probe
+              [ exn_diag ~code:"merge.mode-failed" ~name:m.Mode.mode_name exn ];
+            false)
+        modes
+  in
+  (* Stage 2: mergeability graph + clique cover. *)
+  let mergeability =
+    match policy with
+    | Strict -> Mergeability.analyze ?tolerance ~ctx_cache modes
+    | Permissive -> (
+      try Mergeability.analyze ?tolerance ~ctx_cache modes
+      with exn ->
+        Diag.addf diags Diag.Error ~code:"merge.analysis-failed"
+          "mergeability analysis failed (%s); keeping all modes individual"
+          (Printexc.to_string exn);
+        degenerate_mergeability modes)
+  in
   let cliques = Mergeability.clique_modes mergeability modes in
+  (* Stage 3: per-clique merge, with per-group degradation in
+     permissive mode — a group that fails to merge, refine or validate
+     falls back to its individual modes ("when in doubt, don't merge"). *)
+  let degraded = ref [] in
+  let degrade_members members reason =
+    let names = List.map (fun (m : Mode.t) -> m.Mode.mode_name) members in
+    degraded := names :: !degraded;
+    Diag.addf diags Diag.Warning ~code:"merge.group-degraded"
+      "group [%s] kept as individual modes: %s" (String.concat ", " names)
+      reason;
+    List.filter_map
+      (fun (m : Mode.t) ->
+        match singleton_group ?tolerance ~ctx_cache m with
+        | g -> Some g
+        | exception exn ->
+          quarantine m.Mode.mode_name Merge
+            [ exn_diag ~code:"merge.mode-failed" ~name:m.Mode.mode_name exn ];
+          None)
+      members
+  in
   let groups =
-    List.mapi
-      (fun gi members ->
-        let names = List.map (fun (m : Mode.t) -> m.Mode.mode_name) members in
-        let merged_name = Printf.sprintf "merged_%d" gi in
-        match members with
-        | [ single ] ->
-          let prelim =
-            Prelim.merge ?tolerance ~ctx_cache ~name:single.Mode.mode_name
-              [ single ]
-          in
-          {
-            grp_members = names;
-            grp_prelim = prelim;
-            grp_refine = None;
-            grp_equiv = None;
-            grp_mode = single;
-          }
-        | _ ->
-          let prelim = Prelim.merge ?tolerance ~ctx_cache ~name:merged_name members in
-          let refine = Refine.run ~ctx_cache ~prelim ~individual:members () in
-          let equiv =
-            if check_equivalence then
-              Some
-                (Equiv.check ~ctx_cache ~individual:members
-                   ~rename:(Prelim.rename_of prelim)
-                   ~merged:refine.Refine.refined ())
-            else None
-          in
-          {
-            grp_members = names;
-            grp_prelim = prelim;
-            grp_refine = Some refine;
-            grp_equiv = equiv;
-            grp_mode = refine.Refine.refined;
-          })
-      cliques
+    List.concat
+      (List.mapi
+         (fun gi members ->
+           let merged_name = Printf.sprintf "merged_%d" gi in
+           match members, policy with
+           | [ single ], Strict ->
+             [ singleton_group ?tolerance ~ctx_cache single ]
+           | [ single ], Permissive -> (
+             match singleton_group ?tolerance ~ctx_cache single with
+             | g -> [ g ]
+             | exception exn ->
+               quarantine single.Mode.mode_name Merge
+                 [
+                   exn_diag ~code:"merge.mode-failed"
+                     ~name:single.Mode.mode_name exn;
+                 ];
+               [])
+           | _, Strict ->
+             [
+               merged_group ?tolerance ~check_equivalence ~ctx_cache
+                 ~name:merged_name members;
+             ]
+           | _, Permissive -> (
+             match
+               merged_group ?tolerance ~check_equivalence ~ctx_cache
+                 ~name:merged_name members
+             with
+             | g -> (
+               match g.grp_equiv with
+               | Some e when not e.Equiv.equivalent ->
+                 degrade_members members
+                   (Printf.sprintf
+                      "merged mode failed the equivalence check (%d mismatches)"
+                      e.Equiv.mismatches)
+               | _ -> [ g ])
+             | exception exn ->
+               degrade_members members
+                 (Printf.sprintf "merge failed with %s" (Printexc.to_string exn))))
+         cliques)
   in
   let n_individual = List.length modes and n_merged = List.length groups in
   {
     groups;
     mergeability;
+    quarantined = List.rev !quarantined;
+    degraded = List.rev !degraded;
+    diags = Diag.to_list diags;
     n_individual;
     n_merged;
     reduction_percent =
       Stat.reduction_percent (float_of_int n_individual) (float_of_int n_merged);
     runtime_s = Unix.gettimeofday () -. t0;
   }
+
+let run ?tolerance ?(check_equivalence = true) ?(policy = Strict) modes =
+  run_core ?tolerance ~check_equivalence ~policy
+    ~t0:(Unix.gettimeofday ())
+    ~pre_quarantined:[] ~pre_diags:[] modes
+
+(* ------------------------------------------------------------------ *)
+(* Source loading with per-mode quarantine                             *)
+
+type source = { src_name : string; src_file : string option; src_text : string }
+
+let source_of_file path =
+  {
+    src_name = Filename.remove_extension (Filename.basename path);
+    src_file = Some path;
+    src_text = Mm_sdc.Parser.read_whole_file path;
+  }
+
+let run_sources ?tolerance ?(check_equivalence = true) ?(policy = Strict)
+    ~design sources =
+  let t0 = Unix.gettimeofday () in
+  let pre_quarantined = ref [] and pre_diags = ref [] in
+  let modes =
+    List.filter_map
+      (fun src ->
+        (* The diagnostic location falls back to the mode name so that
+           quarantined in-memory sources still carry a located report. *)
+        let file = Option.value src.src_file ~default:src.src_name in
+        match policy with
+        | Strict ->
+          let r = Resolve.mode_of_string ~file design ~name:src.src_name src.src_text in
+          pre_diags := !pre_diags @ r.Resolve.diags;
+          Some r.Resolve.mode
+        | Permissive ->
+          let r =
+            Resolve.mode_of_string_robust ~file design ~name:src.src_name
+              src.src_text
+          in
+          if Diag.has_errors r.Resolve.diags then begin
+            pre_quarantined :=
+              { q_name = src.src_name; q_stage = Load; q_diags = r.Resolve.diags }
+              :: !pre_quarantined;
+            None
+          end
+          else begin
+            pre_diags := !pre_diags @ r.Resolve.diags;
+            Some r.Resolve.mode
+          end)
+      sources
+  in
+  run_core ?tolerance ~check_equivalence ~policy ~t0
+    ~pre_quarantined:(List.rev !pre_quarantined)
+    ~pre_diags:!pre_diags modes
+
+let run_files ?tolerance ?check_equivalence ?(policy = Strict) ~design paths =
+  (* In strict mode an unreadable file raises [Sys_error]; in
+     permissive mode it is quarantined up front with a fatal io.read
+     diagnostic and the remaining files still merge. *)
+  let io_failed = ref [] in
+  let sources =
+    List.filter_map
+      (fun path ->
+        match source_of_file path with
+        | s -> Some s
+        | exception Sys_error msg ->
+          if policy = Strict then raise (Sys_error msg);
+          io_failed :=
+            {
+              q_name = Filename.remove_extension (Filename.basename path);
+              q_stage = Load;
+              q_diags =
+                [ Diag.makef ~loc:(Diag.loc path) Diag.Fatal ~code:"io.read" "%s" msg ];
+            }
+            :: !io_failed;
+          None)
+      paths
+  in
+  let r = run_sources ?tolerance ?check_equivalence ~policy ~design sources in
+  { r with quarantined = List.rev !io_failed @ r.quarantined }
 
 let merged_modes r = List.map (fun g -> g.grp_mode) r.groups
 

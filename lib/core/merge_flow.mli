@@ -3,7 +3,36 @@
     mergeability analysis -> greedy clique cover -> per clique:
     preliminary merge, refinement, equivalence check. Produces the
     reduced mode set plus the full per-group evidence, and the summary
-    numbers reported in the paper's Table 5. *)
+    numbers reported in the paper's Table 5.
+
+    {2 Fault tolerance}
+
+    The flow runs under a {!policy}:
+
+    - [Strict] (default) is fail-fast: any load, resolution or merge
+      failure raises, exactly as a regression run wants.
+    - [Permissive] degrades instead of aborting. A mode whose SDC fails
+      to load/resolve, or which crashes even standing alone, is
+      {e quarantined} — excluded from the merge with its diagnostics
+      attached — while the remaining modes still merge. A clique whose
+      preliminary merge, refinement or equivalence validation fails
+      falls back to keeping that clique's modes individual
+      (correctness-preserving degradation: "when in doubt, don't
+      merge"). Permissive mode never raises on bad constraint input. *)
+
+type policy = Strict | Permissive
+
+type stage = Load | Probe | Merge
+(** Where a quarantined mode fell out: SDC loading/resolution, the
+    standalone viability probe, or the merge itself. *)
+
+val stage_to_string : stage -> string
+
+type quarantined = {
+  q_name : string;               (** mode name *)
+  q_stage : stage;
+  q_diags : Mm_util.Diag.t list; (** at least one, located *)
+}
 
 type group = {
   grp_members : string list;     (** individual mode names *)
@@ -16,7 +45,14 @@ type group = {
 type result = {
   groups : group list;
   mergeability : Mergeability.t;
-  n_individual : int;
+  quarantined : quarantined list;
+      (** modes excluded from the merge, with diagnostics (empty under
+          [Strict], which raises instead) *)
+  degraded : string list list;
+      (** cliques that fell back to individual modes *)
+  diags : Mm_util.Diag.t list;
+      (** run-level diagnostics, including load warnings *)
+  n_individual : int;  (** modes that entered the merge (quarantined excluded) *)
   n_merged : int;
   reduction_percent : float;
   runtime_s : float;
@@ -25,10 +61,45 @@ type result = {
 val run :
   ?tolerance:Mm_util.Toler.t ->
   ?check_equivalence:bool ->
+  ?policy:policy ->
   Mm_sdc.Mode.t list ->
   result
 (** [check_equivalence] (default true) re-runs the comparison on the
-    final merged mode of each group as independent validation. *)
+    final merged mode of each group as independent validation; under
+    [Permissive] a group failing it is degraded to individual modes. *)
+
+(** {2 Loading from SDC sources with per-mode quarantine} *)
+
+type source = {
+  src_name : string;          (** mode name *)
+  src_file : string option;   (** diagnostic location, when on disk *)
+  src_text : string;          (** SDC text *)
+}
+
+val source_of_file : string -> source
+(** @raise Sys_error when unreadable. *)
+
+val run_sources :
+  ?tolerance:Mm_util.Toler.t ->
+  ?check_equivalence:bool ->
+  ?policy:policy ->
+  design:Mm_netlist.Design.t ->
+  source list ->
+  result
+(** Load each source against [design] and merge. Under [Strict] a
+    syntax error raises ({!Mm_sdc.Parser.Error} / {!Mm_sdc.Lexer.Error});
+    under [Permissive] parsing recovers at command boundaries and a
+    mode with error-severity diagnostics is quarantined. *)
+
+val run_files :
+  ?tolerance:Mm_util.Toler.t ->
+  ?check_equivalence:bool ->
+  ?policy:policy ->
+  design:Mm_netlist.Design.t ->
+  string list ->
+  result
+(** {!run_sources} over {!source_of_file}; unreadable files quarantine
+    under [Permissive] instead of raising. *)
 
 val merged_modes : result -> Mm_sdc.Mode.t list
 

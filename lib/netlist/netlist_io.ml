@@ -66,14 +66,17 @@ let parse_lines lines =
             | "out" -> Design.Out
             | _ -> fail lineno "port direction must be 'in' or 'out'"
           in
-          ignore (Design.add_port d name dir)
+          (try ignore (Design.add_port d name dir)
+           with Invalid_argument msg -> fail lineno msg)
         | _ -> fail lineno "usage: port <in|out> <name>")
       | "inst" :: rest -> (
         let d = get_design lineno in
         match rest with
         | [ name; cell ] -> (
           match Library.find cell with
-          | Some c -> ignore (Design.add_inst d name c)
+          | Some c -> (
+            try ignore (Design.add_inst d name c)
+            with Invalid_argument msg -> fail lineno msg)
           | None -> fail lineno (Printf.sprintf "unknown cell %s" cell))
         | _ -> fail lineno "usage: inst <name> <cell>")
       | "net" :: rest -> (

@@ -3,18 +3,24 @@ type tok =
   | Bracket of tok list
   | Brace of string list
 
-exception Error of { line : int; msg : string }
-
-let error line msg = raise (Error { line; msg })
+exception Error of { line : int; col : int; msg : string }
 
 (* The lexer is a single pass with an explicit position; [line] tracks
-   newline count for error messages. *)
-type state = { src : string; mutable pos : int; mutable line : int }
+   newline count and [bol] the offset of the current line start, so
+   errors carry line:col. *)
+type state = { src : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let col st = st.pos - st.bol + 1
+let error st line msg = raise (Error { line; col = col st; msg })
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
 let advance st =
-  (match peek st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | _ -> ());
   st.pos <- st.pos + 1
 
 let is_word_char c =
@@ -46,12 +52,12 @@ let read_quoted st =
   let buf = Buffer.create 16 in
   let rec go () =
     match peek st with
-    | None -> error line0 "unterminated string"
+    | None -> error st line0 "unterminated string"
     | Some '"' -> advance st
     | Some '\\' ->
       advance st;
       (match peek st with
-      | None -> error line0 "unterminated string"
+      | None -> error st line0 "unterminated string"
       | Some c ->
         Buffer.add_char buf c;
         advance st;
@@ -72,7 +78,7 @@ let read_brace st =
   let depth = ref 1 in
   let rec go () =
     match peek st with
-    | None -> error line0 "unterminated brace list"
+    | None -> error st line0 "unterminated brace list"
     | Some '{' ->
       incr depth;
       Buffer.add_char buf '{';
@@ -109,21 +115,20 @@ let skip_comment st =
 
 (* Reads tokens until an end condition; [closing] is [true] inside
    brackets (terminates on ']'), [false] at top level (terminates on
-   newline / ';' / EOF). Returns tokens plus a flag telling whether the
-   command continues (used only at top level). *)
+   newline / ';' / EOF). *)
 let rec read_tokens st ~closing =
   let toks = ref [] in
   let push t = toks := t :: !toks in
   let rec go () =
     match peek st with
     | None ->
-      if closing then error st.line "unterminated [" else List.rev !toks
+      if closing then error st st.line "unterminated [" else List.rev !toks
     | Some ']' ->
       if closing then begin
         advance st;
         List.rev !toks
       end
-      else error st.line "unbalanced ]"
+      else error st st.line "unbalanced ]"
     | Some ('\n' | ';') when not closing ->
       advance st;
       List.rev !toks
@@ -155,26 +160,66 @@ let rec read_tokens st ~closing =
     | Some '"' ->
       push (Atom (read_quoted st));
       go ()
-    | Some '}' -> error st.line "unbalanced }"
+    | Some '}' -> error st st.line "unbalanced }"
     | Some _ ->
       push (Atom (read_word st));
       go ()
   in
   go ()
 
-let tokenize src =
-  let st = { src; pos = 0; line = 1 } in
+type located = { lc_line : int; lc_col : int; lc_toks : tok list }
+
+(* Consume whitespace, command separators and comments so the next
+   read starts exactly at a command's first character. *)
+let skip_blank st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\r' | '\n' | ';') ->
+      advance st;
+      go ()
+    | Some '#' ->
+      skip_comment st;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+(* Recovery resynchronisation: drop input up to and including the next
+   command boundary (newline or ';'). Always makes progress. *)
+let resync st =
+  let rec go () =
+    match peek st with
+    | None -> ()
+    | Some ('\n' | ';') -> advance st
+    | Some _ ->
+      advance st;
+      go ()
+  in
+  go ()
+
+let tokenize_located ?on_error src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
   let cmds = ref [] in
   let rec go () =
+    skip_blank st;
     if st.pos < String.length st.src then begin
+      let lc_line = st.line and lc_col = col st in
       (match read_tokens st ~closing:false with
       | [] -> ()
-      | toks -> cmds := toks :: !cmds);
+      | toks -> cmds := { lc_line; lc_col; lc_toks = toks } :: !cmds
+      | exception Error { line; col; msg } -> (
+        match on_error with
+        | None -> raise (Error { line; col; msg })
+        | Some f ->
+          f ~line ~col ~msg;
+          resync st));
       go ()
     end
   in
   go ();
   List.rev !cmds
+
+let tokenize src = List.map (fun c -> c.lc_toks) (tokenize_located src)
 
 let rec tok_to_string = function
   | Atom s -> s

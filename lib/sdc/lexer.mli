@@ -10,11 +10,27 @@ type tok =
   | Bracket of tok list  (** a [\[...\]] command substitution *)
   | Brace of string list (** a [{...}] word list *)
 
-exception Error of { line : int; msg : string }
+exception Error of { line : int; col : int; msg : string }
 
 val tokenize : string -> tok list list
 (** Split the source into commands; each command is its token list.
     @raise Error on unbalanced delimiters. *)
+
+type located = {
+  lc_line : int;  (** 1-based line of the command's first character *)
+  lc_col : int;   (** 1-based column of the command's first character *)
+  lc_toks : tok list;
+}
+
+val tokenize_located :
+  ?on_error:(line:int -> col:int -> msg:string -> unit) -> string -> located list
+(** Like {!tokenize} but each command carries its source position.
+
+    Without [on_error] this raises {!Error} exactly like {!tokenize}.
+    With [on_error] the lexer runs in recovery mode: a malformed
+    command reports through the callback, input is resynchronised at
+    the next command boundary (newline or [;]) and lexing continues —
+    one bad command never discards the rest of the file. *)
 
 val tok_to_string : tok -> string
 (** Round-trip a token back to SDC text (for diagnostics). *)

@@ -1,8 +1,13 @@
 open Ast
+module Diag = Mm_util.Diag
 
-exception Error of string
+exception Error of { loc : Diag.loc option; msg : string }
 
-let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+(* Internal: command parsers raise [Msg]; [parse_command] attaches the
+   command's source location before the exception escapes. *)
+exception Msg of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Msg s)) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Object queries                                                      *)
@@ -485,7 +490,7 @@ let parse_propagated cur =
     ~on_pos:(fun t -> objs := !objs @ objects_of_tok cur.cmd t);
   Set_propagated_clock !objs
 
-let parse_command toks =
+let parse_command_toks toks =
   match toks with
   | [] -> err "empty command"
   | Lexer.Atom word :: rest -> (
@@ -515,13 +520,79 @@ let parse_command toks =
     | _ -> err "unknown command %s" word)
   | t :: _ -> err "command must start with a word, got %s" (Lexer.tok_to_string t)
 
-let parse_string src = List.map parse_command (Lexer.tokenize src)
+let parse_command ?loc toks =
+  try parse_command_toks toks with Msg msg -> raise (Error { loc; msg })
 
-let parse_file path =
+(* ------------------------------------------------------------------ *)
+(* Error codes                                                         *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let lex_code msg =
+  if contains msg "unterminated string" then "lex.unterminated-string"
+  else if contains msg "unterminated brace" then "lex.unterminated-brace"
+  else if contains msg "unterminated [" then "lex.unterminated-bracket"
+  else if contains msg "unbalanced" then "lex.unbalanced"
+  else "lex.error"
+
+let error_code msg =
+  if contains msg "unterminated" || contains msg "unbalanced" then lex_code msg
+  else if contains msg "unknown command" then "sdc.unknown-command"
+  else if contains msg "unknown flag" then "sdc.unknown-flag"
+  else if contains msg "expects" || contains msg "missing"
+          || contains msg "required" then "sdc.bad-args"
+  else "sdc.parse"
+
+(* ------------------------------------------------------------------ *)
+(* Whole-source entry points                                           *)
+
+let loc_of ?file line col =
+  { Diag.file = (match file with Some f -> f | None -> "<string>"); line; col }
+
+let parse_string ?file src =
+  match Lexer.tokenize_located src with
+  | located ->
+    List.map
+      (fun { Lexer.lc_line; lc_col; lc_toks } ->
+        parse_command ~loc:(loc_of ?file lc_line lc_col) lc_toks)
+      located
+  | exception Lexer.Error { line; col; msg } ->
+    raise (Error { loc = Some (loc_of ?file line col); msg })
+
+let read_whole_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let n = in_channel_length ic in
-      let buf = really_input_string ic n in
-      parse_string buf)
+      really_input_string ic n)
+
+let parse_file path = parse_string ~file:path (read_whole_file path)
+
+let parse_string_recover ?file src =
+  let diags = Diag.collector () in
+  let located =
+    Lexer.tokenize_located
+      ~on_error:(fun ~line ~col ~msg ->
+        Diag.addf diags
+          ~loc:(loc_of ?file line col)
+          Diag.Error ~code:(lex_code msg) "%s" msg)
+      src
+  in
+  let cmds =
+    List.filter_map
+      (fun { Lexer.lc_line; lc_col; lc_toks } ->
+        match parse_command ~loc:(loc_of ?file lc_line lc_col) lc_toks with
+        | cmd -> Some cmd
+        | exception Error { loc; msg } ->
+          Diag.addf diags ?loc Diag.Error ~code:(error_code msg) "%s" msg;
+          None)
+      located
+  in
+  cmds, Diag.to_list diags
+
+let parse_file_recover path =
+  parse_string_recover ~file:path (read_whole_file path)

@@ -1,14 +1,38 @@
 (** Parser from token trees to {!Ast.command}s. *)
 
-exception Error of string
-(** Raised with a message naming the offending command and argument. *)
+exception Error of { loc : Mm_util.Diag.loc option; msg : string }
+(** Raised with a message naming the offending command and argument,
+    plus the source location of the command when known. *)
 
-val parse_command : Lexer.tok list -> Ast.command
-(** Parse one command. @raise Error on malformed input, unknown
-    command words or unknown flags. *)
+val parse_command : ?loc:Mm_util.Diag.loc -> Lexer.tok list -> Ast.command
+(** Parse one command; [loc] is attached to any {!Error} raised.
+    @raise Error on malformed input, unknown command words or unknown
+    flags. *)
 
-val parse_string : string -> Ast.command list
-(** Tokenise and parse a whole SDC source.
+val parse_string : ?file:string -> string -> Ast.command list
+(** Tokenise and parse a whole SDC source. [file] (default
+    ["<string>"]) names the source in error locations.
     @raise Error / {!Lexer.Error}. *)
 
 val parse_file : string -> Ast.command list
+
+val read_whole_file : string -> string
+(** Read a file into a string. @raise Sys_error on IO failure. *)
+
+val parse_string_recover :
+  ?file:string -> string -> Ast.command list * Mm_util.Diag.t list
+(** Error-recovering variant: never raises on syntax. Each malformed
+    command (lexing or parsing) becomes a located [Error]-severity
+    diagnostic and the parse resynchronises at the next command
+    boundary, so the well-formed remainder of the file is kept. *)
+
+val parse_file_recover : string -> Ast.command list * Mm_util.Diag.t list
+
+val error_code : string -> string
+(** Stable diagnostic code for a parse-error message
+    (e.g. ["sdc.unknown-command"], ["lex.unterminated-brace"]);
+    ["sdc.parse"] when unclassified. *)
+
+val lex_code : string -> string
+(** Stable diagnostic code for a lexer-error message; ["lex.error"]
+    when unclassified. *)

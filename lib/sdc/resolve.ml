@@ -1,8 +1,11 @@
 module Design = Mm_netlist.Design
 module Glob = Mm_util.Glob
+module Diag = Mm_util.Diag
 open Ast
 
-type result = { mode : Mode.t; warnings : string list }
+type result = { mode : Mode.t; diags : Diag.t list }
+
+let warnings r = Diag.messages r.diags
 
 (* Expansion result of one object query. *)
 type objset = {
@@ -32,10 +35,11 @@ type state = {
   mutable senses : Mode.clock_sense list;
   mutable envs : Mode.env_constraint list;
   mutable drcs : Mode.drc_limit list;
-  mutable warnings : string list;
+  floc : Diag.loc option; (* file-level location for resolve diagnostics *)
+  diags : Diag.collector;
 }
 
-let warn st fmt = Printf.ksprintf (fun s -> st.warnings <- s :: st.warnings) fmt
+let warn st ~code fmt = Diag.addf st.diags ?loc:st.floc Diag.Warning ~code fmt
 
 let clock_names st = List.map (fun c -> c.Mode.clk_name) st.clocks
 
@@ -52,14 +56,14 @@ let match_ports st pats =
         match Design.find_port d name with
         | Some p -> [ Design.port_pin d p ]
         | None ->
-          warn st "get_ports: no port matches %s" pat;
+          warn st ~code:"sdc.no-match" "get_ports: no port matches %s" pat;
           [])
       | None ->
         let acc = ref [] in
         Design.iter_ports d (fun p ->
             if Glob.matches g (Design.port_name d p) then
               acc := Design.port_pin d p :: !acc);
-        if !acc = [] then warn st "get_ports: no port matches %s" pat;
+        if !acc = [] then warn st ~code:"sdc.no-match" "get_ports: no port matches %s" pat;
         List.rev !acc)
     pats
 
@@ -73,7 +77,7 @@ let match_pins st pats =
         match Design.pin_of_name d name with
         | Some p -> [ p ]
         | None ->
-          warn st "get_pins: no pin matches %s" pat;
+          warn st ~code:"sdc.no-match" "get_pins: no pin matches %s" pat;
           [])
       | None ->
         let acc = ref [] in
@@ -82,7 +86,7 @@ let match_pins st pats =
             | Design.Inst_pin _ ->
               if Glob.matches g (Design.pin_name d p) then acc := p :: !acc
             | Design.Port_pin _ -> ());
-        if !acc = [] then warn st "get_pins: no pin matches %s" pat;
+        if !acc = [] then warn st ~code:"sdc.no-match" "get_pins: no pin matches %s" pat;
         List.rev !acc)
     pats
 
@@ -96,13 +100,13 @@ let match_cells st pats =
         match Design.find_inst d name with
         | Some i -> [ i ]
         | None ->
-          warn st "get_cells: no cell matches %s" pat;
+          warn st ~code:"sdc.no-match" "get_cells: no cell matches %s" pat;
           [])
       | None ->
         let acc = ref [] in
         Design.iter_insts d (fun i ->
             if Glob.matches g (Design.inst_name d i) then acc := i :: !acc);
-        if !acc = [] then warn st "get_cells: no cell matches %s" pat;
+        if !acc = [] then warn st ~code:"sdc.no-match" "get_cells: no cell matches %s" pat;
         List.rev !acc)
     pats
 
@@ -112,7 +116,7 @@ let match_clocks st pats =
     (fun pat ->
       let g = Glob.compile pat in
       let hits = List.filter (Glob.matches g) names in
-      if hits = [] then warn st "get_clocks: no clock matches %s" pat;
+      if hits = [] then warn st ~code:"sdc.no-match" "get_clocks: no clock matches %s" pat;
       hits)
     pats
 
@@ -128,7 +132,7 @@ let match_nets st pats =
       | Some name -> (
         match Design.find_net d name with
         | Some n -> nets := [ n ]
-        | None -> warn st "get_nets: no net matches %s" pat)
+        | None -> warn st ~code:"sdc.no-match" "get_nets: no net matches %s" pat)
       | None ->
         Design.iter_nets d (fun n ->
             if Glob.matches g (Design.net_name d n) then nets := n :: !nets));
@@ -172,10 +176,10 @@ let resolve_name st n =
           match Design.net_driver st.design net with
           | Some p -> { empty_objset with o_pins = [ p ] }
           | None ->
-            warn st "object %s: net has no driver" n;
+            warn st ~code:"sdc.no-driver" "object %s: net has no driver" n;
             empty_objset)
         | None ->
-          warn st "unresolved object %s" n;
+          warn st ~code:"sdc.unresolved-object" "unresolved object %s" n;
           empty_objset))
 
 let expand_query st = function
@@ -206,12 +210,12 @@ let expand_objects st objs =
 let pins_only st ctx objs =
   let o = expand_objects st objs in
   if o.o_insts <> [] || o.o_clocks <> [] then
-    warn st "%s: expected pins/ports only" ctx;
+    warn st ~code:"sdc.type-mismatch" "%s: expected pins/ports only" ctx;
   o.o_pins
 
 let clocks_only st ctx objs =
   let o = expand_objects st objs in
-  if o.o_pins <> [] || o.o_insts <> [] then warn st "%s: expected clocks" ctx;
+  if o.o_pins <> [] || o.o_insts <> [] then warn st ~code:"sdc.type-mismatch" "%s: expected clocks" ctx;
   o.o_clocks
 
 (* ------------------------------------------------------------------ *)
@@ -239,7 +243,7 @@ let add_clock st (c : Mode.clock) ~add =
   List.iter
     (fun old ->
       if not (String.equal old.Mode.clk_name c.clk_name) then
-        warn st "clock %s displaced by %s (no -add)" old.Mode.clk_name
+        warn st ~code:"sdc.clock-displaced" "clock %s displaced by %s (no -add)" old.Mode.clk_name
           c.clk_name)
     removed;
   st.clocks <- c :: List.filter (fun e -> not (displaced e)) st.clocks
@@ -253,7 +257,7 @@ let apply_create_clock st (c : create_clock) =
       match sources with
       | p :: _ -> Design.pin_name st.design p
       | [] ->
-        warn st "create_clock: unnamed virtual clock";
+        warn st ~code:"sdc.virtual-clock" "create_clock: unnamed virtual clock";
         "virtual")
   in
   let waveform =
@@ -287,10 +291,10 @@ let apply_generated_clock st (g : create_generated_clock) =
       match candidates with c :: _ -> Some c.Mode.clk_name | [] -> None)
   in
   match master_name with
-  | None -> warn st "create_generated_clock: cannot determine master clock"
+  | None -> warn st ~code:"sdc.no-master" "create_generated_clock: cannot determine master clock"
   | Some master -> (
     match List.find_opt (fun c -> String.equal c.Mode.clk_name master) st.clocks with
-    | None -> warn st "create_generated_clock: unknown master %s" master
+    | None -> warn st ~code:"sdc.unknown-master" "create_generated_clock: unknown master %s" master
     | Some mclk ->
       let period =
         mclk.Mode.period *. float_of_int g.divide_by /. float_of_int g.multiply_by
@@ -302,7 +306,7 @@ let apply_generated_clock st (g : create_generated_clock) =
           match targets with
           | p :: _ -> Design.pin_name st.design p
           | [] ->
-            warn st "create_generated_clock: unnamed clock";
+            warn st ~code:"sdc.virtual-clock" "create_generated_clock: unnamed clock";
             "gen")
       in
       let waveform =
@@ -383,7 +387,7 @@ let apply_io_delay st (d : io_delay) ~input =
   let pins = pins_only st (if input then "set_input_delay" else "set_output_delay") d.io_ports in
   (match d.io_clock with
   | Some c when not (List.exists (String.equal c) (clock_names st)) ->
-    warn st "io delay references unknown clock %s" c
+    warn st ~code:"sdc.unknown-clock" "io delay references unknown clock %s" c
   | _ -> ());
   List.iter
     (fun pin ->
@@ -406,14 +410,14 @@ let apply_case st (c : set_case_analysis) =
     (fun pin ->
       match List.assoc_opt pin st.cases with
       | Some v when v <> c.ca_value ->
-        warn st "conflicting case values on %s" (Design.pin_name st.design pin)
+        warn st ~code:"sdc.conflicting-case" "conflicting case values on %s" (Design.pin_name st.design pin)
       | Some _ -> ()
       | None -> st.cases <- (pin, c.ca_value) :: st.cases)
     pins
 
 let apply_disable st (dt : set_disable_timing) =
   let o = expand_objects st dt.dis_objects in
-  if o.o_clocks <> [] then warn st "set_disable_timing: clocks not supported";
+  if o.o_clocks <> [] then warn st ~code:"sdc.unsupported" "set_disable_timing: clocks not supported";
   List.iter (fun p -> st.disables <- Mode.Dis_pin p :: st.disables) o.o_pins;
   List.iter
     (fun i -> st.disables <- Mode.Dis_inst (i, dt.dis_from, dt.dis_to) :: st.disables)
@@ -514,7 +518,7 @@ let apply st = function
   | Set_env e -> apply_env st e
   | Set_drc d -> apply_drc st d
 
-let mode design ~name cmds =
+let mode ?file ?(diags = []) design ~name cmds =
   let st =
     {
       design;
@@ -528,7 +532,8 @@ let mode design ~name cmds =
       senses = [];
       envs = [];
       drcs = [];
-      warnings = [];
+      floc = Option.map Diag.loc file;
+      diags = Diag.collector ();
     }
   in
   List.iter (apply st) cmds;
@@ -552,15 +557,51 @@ let mode design ~name cmds =
         envs = List.rev st.envs;
         drcs = List.rev st.drcs;
       };
-    warnings = List.rev st.warnings;
+    diags = diags @ Diag.to_list st.diags;
   }
 
-let mode_of_string design ~name src = mode design ~name (Parser.parse_string src)
-let mode_of_file design ~name path = mode design ~name (Parser.parse_file path)
+let mode_of_string ?file design ~name src =
+  mode ?file design ~name (Parser.parse_string ?file src)
+
+let mode_of_file design ~name path =
+  mode ~file:path design ~name (Parser.parse_file path)
+
+(* Robust variants: syntax errors become diagnostics instead of
+   exceptions; the well-formed commands still resolve. A resolution
+   crash (a bug or an unexpected design/constraint combination) is
+   downgraded to a Fatal diagnostic on an empty mode, so callers can
+   quarantine rather than die. *)
+let mode_of_string_robust ?file design ~name src =
+  let cmds, parse_diags = Parser.parse_string_recover ?file src in
+  match mode ?file ~diags:parse_diags design ~name cmds with
+  | r -> r
+  | exception exn ->
+    let loc = Option.map Diag.loc file in
+    {
+      mode = (mode ?file design ~name []).mode;
+      diags =
+        parse_diags
+        @ [
+            Diag.makef ?loc Diag.Fatal ~code:"sdc.resolve-crash"
+              "resolution of mode %s failed: %s" name (Printexc.to_string exn);
+          ];
+    }
+
+let mode_of_file_robust design ~name path =
+  match Parser.read_whole_file path with
+  | src -> mode_of_string_robust ~file:path design ~name src
+  | exception Sys_error msg ->
+    {
+      mode = (mode design ~name []).mode;
+      diags =
+        [
+          Diag.makef ~loc:(Diag.loc path) Diag.Fatal ~code:"io.read" "%s" msg;
+        ];
+    }
 
 let mode_exn design ~name cmds =
   let r = mode design ~name cmds in
-  match r.warnings with
+  match warnings r with
   | [] -> r.mode
   | w ->
     failwith

@@ -2,20 +2,43 @@
 
     Commands are processed in file order (clocks must precede
     [get_clocks] references, as in real tools). Unresolvable objects
-    yield warnings rather than failures so that partially applicable
-    constraint sets can still be analysed. *)
+    yield [Warning] diagnostics rather than failures so that partially
+    applicable constraint sets can still be analysed. *)
 
-type result = { mode : Mode.t; warnings : string list }
+type result = { mode : Mode.t; diags : Mm_util.Diag.t list }
+
+val warnings : result -> string list
+(** Diagnostic messages only (legacy warning-list shape). *)
 
 val mode :
-  Mm_netlist.Design.t -> name:string -> Ast.command list -> result
+  ?file:string ->
+  ?diags:Mm_util.Diag.t list ->
+  Mm_netlist.Design.t ->
+  name:string ->
+  Ast.command list ->
+  result
+(** [file] names the source in diagnostic locations; [diags] are
+    prepended to the result (e.g. parse diagnostics from a recovering
+    front end). *)
 
 val mode_of_string :
-  Mm_netlist.Design.t -> name:string -> string -> result
+  ?file:string -> Mm_netlist.Design.t -> name:string -> string -> result
 (** Parse then resolve. @raise Parser.Error / Lexer.Error on syntax. *)
 
 val mode_of_file : Mm_netlist.Design.t -> name:string -> string -> result
 
+val mode_of_string_robust :
+  ?file:string -> Mm_netlist.Design.t -> name:string -> string -> result
+(** Error-recovering parse + resolve: never raises. Syntax errors
+    become located [Error] diagnostics (the surviving commands still
+    resolve); a resolution crash becomes a [Fatal] diagnostic on an
+    empty mode. *)
+
+val mode_of_file_robust :
+  Mm_netlist.Design.t -> name:string -> string -> result
+(** Like {!mode_of_string_robust}; an unreadable file yields a [Fatal]
+    [io.read] diagnostic instead of raising [Sys_error]. *)
+
 val mode_exn : Mm_netlist.Design.t -> name:string -> Ast.command list -> Mode.t
-(** Like {!mode} but raises [Failure] on any warning — used by tests
+(** Like {!mode} but raises [Failure] on any diagnostic — used by tests
     and the paper walkthrough where constraints must resolve fully. *)

@@ -1,0 +1,109 @@
+type severity = Info | Warning | Error | Fatal
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+  | Fatal -> "fatal"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2 | Fatal -> 3
+
+type loc = { file : string; line : int; col : int }
+
+let loc ?(line = 0) ?(col = 0) file = { file; line; col }
+
+type t = {
+  severity : severity;
+  code : string;
+  dloc : loc option;
+  message : string;
+}
+
+let make ?loc severity ~code message = { severity; code; dloc = loc; message }
+
+let makef ?loc severity ~code fmt =
+  Printf.ksprintf (fun s -> make ?loc severity ~code s) fmt
+
+let loc_prefix = function
+  | None -> ""
+  | Some { file; line; col } ->
+    let b = Buffer.create 32 in
+    if file <> "" then Buffer.add_string b file;
+    if line > 0 then begin
+      if Buffer.length b > 0 then Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int line);
+      if col > 0 then begin
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int col)
+      end
+    end;
+    if Buffer.length b > 0 then Buffer.add_string b ": ";
+    Buffer.contents b
+
+let to_string d =
+  Printf.sprintf "%s%s[%s]: %s" (loc_prefix d.dloc)
+    (severity_to_string d.severity)
+    d.code d.message
+
+(* Minimal JSON string escaping (we depend on no JSON library). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf {|{"severity":"%s","code":"%s"|}
+       (severity_to_string d.severity)
+       (json_escape d.code));
+  (match d.dloc with
+  | None -> ()
+  | Some { file; line; col } ->
+    Buffer.add_string b (Printf.sprintf {|,"file":"%s"|} (json_escape file));
+    if line > 0 then Buffer.add_string b (Printf.sprintf {|,"line":%d|} line);
+    if col > 0 then Buffer.add_string b (Printf.sprintf {|,"col":%d|} col));
+  Buffer.add_string b
+    (Printf.sprintf {|,"message":"%s"}|} (json_escape d.message));
+  Buffer.contents b
+
+let render_text ds = String.concat "\n" (List.map to_string ds)
+let render_json ds = "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+let messages ds = List.map (fun d -> d.message) ds
+
+let max_severity = function
+  | [] -> None
+  | d :: ds ->
+    Some
+      (List.fold_left
+         (fun acc d ->
+           if severity_rank d.severity > severity_rank acc then d.severity
+           else acc)
+         d.severity ds)
+
+let has_errors ds =
+  List.exists (fun d -> severity_rank d.severity >= severity_rank Error) ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+type collector = { mutable rev : t list }
+
+let collector () = { rev = [] }
+let add c d = c.rev <- d :: c.rev
+
+let addf c ?loc severity ~code fmt =
+  Printf.ksprintf (fun s -> add c (make ?loc severity ~code s)) fmt
+
+let to_list c = List.rev c.rev
+let is_empty c = c.rev = []

@@ -140,7 +140,7 @@ let generate design info sp =
              let name = Printf.sprintf "m%d_%d" family index in
              let src = sdc_of_mode_spec info sp ~family ~index in
              let r = Resolve.mode_of_string design ~name src in
-             match r.Resolve.warnings with
+             match Resolve.warnings r with
              | [] -> r.Resolve.mode
              | w ->
                failwith

@@ -47,7 +47,7 @@ let build () =
 
 let resolve d name src =
   let r = Resolve.mode_of_string d ~name src in
-  match r.Resolve.warnings with
+  match Resolve.warnings r with
   | [] -> r.Resolve.mode
   | w ->
     failwith

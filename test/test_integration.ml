@@ -60,7 +60,7 @@ let flow_cases =
           (fun (m : Mode.t) ->
             let sdc = Mode.to_sdc m in
             let rr = Resolve.mode_of_string design ~name:m.Mode.mode_name sdc in
-            check Alcotest.(list string) "no warnings" [] rr.Resolve.warnings;
+            check Alcotest.(list string) "no warnings" [] (Resolve.warnings rr);
             let m2 = rr.Resolve.mode in
             check Alcotest.(list string) "clocks" (Mode.clock_names m)
               (Mode.clock_names m2);
@@ -96,7 +96,7 @@ let flow_cases =
             (fun p ->
               let name = Filename.remove_extension (Filename.basename p) in
               let r = Resolve.mode_of_file design2 ~name p in
-              check Alcotest.(list string) ("warnings " ^ name) [] r.Resolve.warnings;
+              check Alcotest.(list string) ("warnings " ^ name) [] (Resolve.warnings r);
               r.Resolve.mode)
             paths
         in
@@ -173,9 +173,121 @@ let idempotence_case =
       check Alcotest.int "no further merging across families"
         r1.Merge_flow.n_merged r2.Merge_flow.n_merged)
 
+(* ------------------------------------------------------------------ *)
+(* Per-mode quarantine: a corrupt input isolates to its own mode.      *)
+
+module Diag = Mm_util.Diag
+
+let tiny_sources () =
+  let design, _info, modes = Presets.build Presets.tiny in
+  let sources =
+    List.map
+      (fun (m : Mode.t) ->
+        {
+          Merge_flow.src_name = m.Mode.mode_name;
+          src_file = None;
+          src_text = Mode.to_sdc m;
+        })
+      modes
+  in
+  design, sources
+
+let corrupt_text = "create_clock -period bogus -name c [get_ports clk0]\n[{"
+
+let quarantine_cases =
+  [
+    tc "permissive: corrupt source quarantined, other N-1 modes merge"
+      (fun () ->
+        let design, sources = tiny_sources () in
+        let bad = List.hd sources in
+        let sources =
+          { bad with Merge_flow.src_text = corrupt_text } :: List.tl sources
+        in
+        let r =
+          Merge_flow.run_sources ~policy:Merge_flow.Permissive ~design sources
+        in
+        check Alcotest.int "one quarantined" 1 (List.length r.Merge_flow.quarantined);
+        let q = List.hd r.Merge_flow.quarantined in
+        check Alcotest.string "quarantined name" bad.Merge_flow.src_name
+          q.Merge_flow.q_name;
+        check Alcotest.bool "load stage" true (q.Merge_flow.q_stage = Merge_flow.Load);
+        check Alcotest.bool "has located diagnostic" true
+          (List.exists (fun d -> d.Diag.dloc <> None) q.Merge_flow.q_diags);
+        check Alcotest.int "survivors" 3 r.Merge_flow.n_individual;
+        (* The corrupt mode's family partner degrades to a singleton;
+           the untouched family still merges. *)
+        check Alcotest.int "groups" 2 r.Merge_flow.n_merged;
+        List.iter
+          (fun (g : Merge_flow.group) ->
+            match g.Merge_flow.grp_equiv with
+            | Some e -> check Alcotest.bool "equivalent" true e.Equiv.equivalent
+            | None -> ())
+          r.Merge_flow.groups);
+    tc "strict: the same corrupt source fails fast" (fun () ->
+        let design, sources = tiny_sources () in
+        let bad = List.hd sources in
+        let sources =
+          { bad with Merge_flow.src_text = corrupt_text } :: List.tl sources
+        in
+        match Merge_flow.run_sources ~policy:Merge_flow.Strict ~design sources with
+        | _ -> Alcotest.fail "expected a parse error"
+        | exception Mm_sdc.Parser.Error _ -> ()
+        | exception Mm_sdc.Lexer.Error _ -> ());
+    tc "permissive: unreadable file quarantined with io.read" (fun () ->
+        let design, sources = tiny_sources () in
+        let dir = Filename.temp_file "mm_quarantine" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let paths =
+          List.map
+            (fun s ->
+              let p = Filename.concat dir (s.Merge_flow.src_name ^ ".sdc") in
+              let oc = open_out p in
+              output_string oc s.Merge_flow.src_text;
+              close_out oc;
+              p)
+            sources
+        in
+        let missing = Filename.concat dir "ghost.sdc" in
+        let r =
+          Merge_flow.run_files ~policy:Merge_flow.Permissive ~design
+            (missing :: paths)
+        in
+        check Alcotest.int "one quarantined" 1 (List.length r.Merge_flow.quarantined);
+        let q = List.hd r.Merge_flow.quarantined in
+        check Alcotest.string "name" "ghost" q.Merge_flow.q_name;
+        check Alcotest.bool "io.read code" true
+          (List.exists (fun d -> d.Diag.code = "io.read") q.Merge_flow.q_diags);
+        check Alcotest.int "all real modes merged" 2 r.Merge_flow.n_merged;
+        List.iter Sys.remove paths;
+        Unix.rmdir dir);
+    tc "strict: unreadable file raises Sys_error" (fun () ->
+        let design, _ = tiny_sources () in
+        match
+          Merge_flow.run_files ~policy:Merge_flow.Strict ~design
+            [ "/nonexistent/ghost.sdc" ]
+        with
+        | _ -> Alcotest.fail "expected Sys_error"
+        | exception Sys_error _ -> ());
+    tc "permissive equals strict on clean inputs" (fun () ->
+        let design, sources = tiny_sources () in
+        let rp =
+          Merge_flow.run_sources ~policy:Merge_flow.Permissive ~design sources
+        in
+        let rs =
+          Merge_flow.run_sources ~policy:Merge_flow.Strict ~design sources
+        in
+        check Alcotest.int "same merged count" rs.Merge_flow.n_merged
+          rp.Merge_flow.n_merged;
+        check Alcotest.int "nothing quarantined" 0
+          (List.length rp.Merge_flow.quarantined);
+        check Alcotest.int "nothing degraded" 0 (List.length rp.Merge_flow.degraded));
+  ]
+
 let () =
   Alcotest.run "integration"
     [
       "flow",
       flow_cases @ [ sta_never_optimistic_case; idempotence_case; random_flow_prop ];
+      "quarantine", quarantine_cases;
     ]

@@ -1,0 +1,175 @@
+(* Fault-injection robustness suite (dune alias @robustness).
+
+   Replays a fixed set of seeded corruptions (see Mm_workload.Fuzz_inputs)
+   against the permissive merge flow and asserts the fault-tolerance
+   contract: the flow never raises, every quarantined mode carries at
+   least one located diagnostic, and whatever still merges passes the
+   equivalence check. Seeds are fixed integers, so a failure
+   reproduces exactly. *)
+
+module Design = Mm_netlist.Design
+module Netlist_io = Mm_netlist.Netlist_io
+module Mode = Mm_sdc.Mode
+module Merge_flow = Mm_core.Merge_flow
+module Equiv = Mm_core.Equiv
+module Presets = Mm_workload.Presets
+module Fuzz = Mm_workload.Fuzz_inputs
+module Diag = Mm_util.Diag
+module Prng = Mm_util.Prng
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let n_seeds = 250
+
+(* Built once; each fuzz iteration reuses the design and clean texts. *)
+let design, clean_sources =
+  let design, _info, modes = Presets.build Presets.tiny in
+  let sources =
+    List.map
+      (fun (m : Mode.t) ->
+        {
+          Merge_flow.src_name = m.Mode.mode_name;
+          src_file = None;
+          src_text = Mode.to_sdc m;
+        })
+      modes
+  in
+  design, sources
+
+let corrupt_one ~seed sources =
+  let n = List.length sources in
+  let victim = seed mod n in
+  List.mapi
+    (fun i s ->
+      if i = victim then
+        { s with Merge_flow.src_text = Fuzz.corrupt_seeded ~seed s.Merge_flow.src_text }
+      else s)
+    sources
+
+let located d = d.Diag.dloc <> None
+
+let fuzz_case ~check_equivalence ~label n_lo n_hi =
+  tc label (fun () ->
+      let failures = ref [] in
+      for seed = n_lo to n_hi - 1 do
+        let sources = corrupt_one ~seed clean_sources in
+        match
+          Merge_flow.run_sources ~check_equivalence
+            ~policy:Merge_flow.Permissive ~design sources
+        with
+        | r ->
+          List.iter
+            (fun (q : Merge_flow.quarantined) ->
+              if q.Merge_flow.q_diags = [] then
+                failures :=
+                  Printf.sprintf "seed %d: %s quarantined without diagnostics"
+                    seed q.Merge_flow.q_name
+                  :: !failures
+              else if not (List.exists located q.Merge_flow.q_diags) then
+                failures :=
+                  Printf.sprintf "seed %d: %s has no located diagnostic" seed
+                    q.Merge_flow.q_name
+                  :: !failures)
+            r.Merge_flow.quarantined;
+          List.iter
+            (fun (g : Merge_flow.group) ->
+              match g.Merge_flow.grp_equiv with
+              | Some e when not e.Equiv.equivalent ->
+                failures :=
+                  Printf.sprintf "seed %d: group [%s] failed equivalence" seed
+                    (String.concat ", " g.Merge_flow.grp_members)
+                  :: !failures
+              | _ -> ())
+            r.Merge_flow.groups;
+          (* Quarantine + survivors must account for every input mode. *)
+          let accounted =
+            r.Merge_flow.n_individual + List.length r.Merge_flow.quarantined
+          in
+          if accounted <> List.length sources then
+            failures :=
+              Printf.sprintf "seed %d: %d of %d modes unaccounted for" seed
+                (List.length sources - accounted)
+                (List.length sources)
+              :: !failures
+        | exception exn ->
+          failures :=
+            Printf.sprintf "seed %d: permissive flow raised %s" seed
+              (Printexc.to_string exn)
+            :: !failures
+      done;
+      match !failures with
+      | [] -> ()
+      | fs ->
+        Alcotest.failf "%d fault-tolerance violations:\n%s" (List.length fs)
+          (String.concat "\n" (List.rev fs)))
+
+(* Multi-fault: corrupt every source at once with heavier rounds. The
+   run may quarantine everything, but must still return and report. *)
+let all_corrupt_case =
+  tc "all sources corrupted at once: flow still returns" (fun () ->
+      for seed = 0 to 49 do
+        let sources =
+          List.mapi
+            (fun i s ->
+              {
+                s with
+                Merge_flow.src_text =
+                  Fuzz.corrupt_seeded ~seed:(seed * 131 + i) ~rounds:6
+                    s.Merge_flow.src_text;
+              })
+            clean_sources
+        in
+        match
+          Merge_flow.run_sources ~check_equivalence:false
+            ~policy:Merge_flow.Permissive ~design sources
+        with
+        | r ->
+          List.iter
+            (fun (q : Merge_flow.quarantined) ->
+              check Alcotest.bool "quarantine carries diagnostics" true
+                (q.Merge_flow.q_diags <> []))
+            r.Merge_flow.quarantined
+        | exception exn ->
+          Alcotest.failf "seed %d: raised %s" seed (Printexc.to_string exn)
+      done)
+
+(* Corrupted netlist text must fail with Failure (a reportable parse
+   error), never an unhandled internal exception. *)
+let netlist_corruption_case =
+  tc "corrupt netlist text fails only with Failure" (fun () ->
+      let clean = Netlist_io.to_string design in
+      for seed = 0 to 99 do
+        let txt = Fuzz.corrupt_seeded ~seed ~rounds:4 clean in
+        match Netlist_io.of_string txt with
+        | _ -> ()
+        | exception Failure _ -> ()
+        | exception exn ->
+          Alcotest.failf "seed %d: unexpected exception %s" seed
+            (Printexc.to_string exn)
+      done)
+
+(* The corruption itself must be deterministic, or failures would not
+   reproduce. *)
+let determinism_case =
+  tc "corruption is seed-deterministic" (fun () ->
+      let src = (List.hd clean_sources).Merge_flow.src_text in
+      for seed = 0 to 19 do
+        check Alcotest.string "same seed, same corruption"
+          (Fuzz.corrupt_seeded ~seed src)
+          (Fuzz.corrupt_seeded ~seed src)
+      done)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "fuzz",
+        [
+          fuzz_case ~check_equivalence:true
+            ~label:(Printf.sprintf "seeds 0-%d: quarantine contract holds" (n_seeds - 1))
+            0 n_seeds;
+          all_corrupt_case;
+          netlist_corruption_case;
+          determinism_case;
+        ] );
+    ]

@@ -7,6 +7,7 @@ module Ast = Mm_sdc.Ast
 module Resolve = Mm_sdc.Resolve
 module Mode = Mm_sdc.Mode
 module Design = Mm_netlist.Design
+module Diag = Mm_util.Diag
 
 let check = Alcotest.check
 let tc name f = Alcotest.test_case name `Quick f
@@ -69,6 +70,20 @@ let parse1 src =
   | [ cmd ] -> cmd
   | cmds -> Alcotest.failf "expected one command, got %d" (List.length cmds)
 
+(* Parse errors now carry the command's source location; assert both
+   the message and (when given) the 1-based line it points at. *)
+let expect_parse_error ?line msg src =
+  match Parser.parse_string src with
+  | _ -> Alcotest.failf "expected a parse error for: %s" src
+  | exception Parser.Error { loc; msg = m } ->
+    check Alcotest.string "msg" msg m;
+    (match line with
+    | None -> ()
+    | Some l -> (
+      match loc with
+      | Some dl -> check Alcotest.int "line" l dl.Mm_util.Diag.line
+      | None -> Alcotest.fail "expected a located error"))
+
 let parser_cases =
   [
     tc "create_clock full form" (fun () ->
@@ -84,8 +99,8 @@ let parser_cases =
         | Ast.Create_clock c -> check (Alcotest.float 0.) "period" 10. c.Ast.period
         | _ -> Alcotest.fail "wrong command");
     tc "create_clock requires period" (fun () ->
-        Alcotest.check_raises "err" (Parser.Error "create_clock: -period is required")
-          (fun () -> ignore (parse1 "create_clock -name x [get_ports p]")));
+        expect_parse_error ~line:1 "create_clock: -period is required"
+          "create_clock -name x [get_ports p]");
     tc "generated clock" (fun () ->
         match
           parse1
@@ -173,9 +188,8 @@ let parser_cases =
           check Alcotest.bool "kind" true (g.Ast.cg_kind = Ast.Physically_exclusive)
         | _ -> Alcotest.fail "wrong");
     tc "clock groups requires exclusivity" (fun () ->
-        Alcotest.check_raises "err"
-          (Parser.Error "set_clock_groups: missing exclusivity flag") (fun () ->
-            ignore (parse1 "set_clock_groups -group [get_clocks a]")));
+        expect_parse_error ~line:1 "set_clock_groups: missing exclusivity flag"
+          "set_clock_groups -group [get_clocks a]");
     tc "clock sense" (fun () ->
         match
           parse1 "set_clock_sense -stop_propagation -clock [get_clocks a] [get_pins m/Z]"
@@ -211,16 +225,123 @@ let parser_cases =
         | Ast.Set_propagated_clock [ Ast.All_clocks ] -> ()
         | _ -> Alcotest.fail "wrong");
     tc "unknown command rejected" (fun () ->
-        Alcotest.check_raises "err" (Parser.Error "unknown command set_blah")
-          (fun () -> ignore (parse1 "set_blah 1 2")));
+        expect_parse_error ~line:1 "unknown command set_blah" "set_blah 1 2");
     tc "unknown flag rejected" (fun () ->
-        Alcotest.check_raises "err" (Parser.Error "create_clock: unknown flag -bogus")
-          (fun () -> ignore (parse1 "create_clock -bogus -period 1 x")));
+        expect_parse_error ~line:1 "create_clock: unknown flag -bogus"
+          "create_clock -bogus -period 1 x");
     tc "all_registers query" (fun () ->
         match parse1 "set_false_path -from [all_registers -clock_pins]" with
         | Ast.Set_false_path { ps_from = Some [ Ast.All_registers { clock_pins = true } ]; _ } ->
           ()
         | _ -> Alcotest.fail "wrong");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Error recovery: parse_string_recover golden diagnostics             *)
+
+let rendered diags = List.map Diag.to_string diags
+
+let recover_cases =
+  [
+    tc "bad clock value: located diagnostic, rest of file kept" (fun () ->
+        let cmds, diags =
+          Parser.parse_string_recover ~file:"t.sdc"
+            "create_clock -period xyz -name c [get_ports clk1]\n\
+             set_case_analysis 0 sel1"
+        in
+        check Alcotest.int "one survivor" 1 (List.length cmds);
+        check
+          Alcotest.(list string)
+          "golden"
+          [
+            "t.sdc:1:1: error[sdc.bad-args]: create_clock: -period expects a \
+             number, got xyz";
+          ]
+          (rendered diags));
+    tc "unknown command: code and location" (fun () ->
+        let cmds, diags =
+          Parser.parse_string_recover ~file:"t.sdc"
+            "create_clock -period 1 -name c [get_ports clk1]\n\
+             set_blah 1 2\n\
+             set_case_analysis 0 sel1"
+        in
+        check Alcotest.int "two survivors" 2 (List.length cmds);
+        check
+          Alcotest.(list string)
+          "golden"
+          [ "t.sdc:2:1: error[sdc.unknown-command]: unknown command set_blah" ]
+          (rendered diags));
+    tc "truncated file: unterminated bracket diagnostic" (fun () ->
+        let cmds, diags =
+          Parser.parse_string_recover ~file:"t.sdc"
+            "set_case_analysis 0 sel1\nset_false_path -from [get_ports in1"
+        in
+        check Alcotest.int "one survivor" 1 (List.length cmds);
+        match diags with
+        | [ d ] ->
+          check Alcotest.string "code" "lex.unterminated-bracket" d.Diag.code;
+          check Alcotest.bool "located" true (d.Diag.dloc <> None)
+        | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+    tc "semicolon resynchronisation keeps same-line commands" (fun () ->
+        let cmds, diags =
+          Parser.parse_string_recover "set_bogus 1; set_case_analysis 0 sel1"
+        in
+        check Alcotest.int "one survivor" 1 (List.length cmds);
+        check Alcotest.int "one diag" 1 (List.length diags));
+    tc "multiple errors each recover independently" (fun () ->
+        let cmds, diags =
+          Parser.parse_string_recover
+            "set_blah\n\
+             create_clock -period 1 -name a [get_ports clk1]\n\
+             set_false_path -wrong_flag\n\
+             set_case_analysis 1 sel1"
+        in
+        check Alcotest.int "two survivors" 2 (List.length cmds);
+        check Alcotest.int "two diags" 2 (List.length diags);
+        check Alcotest.bool "all error severity" true
+          (List.for_all (fun d -> d.Diag.severity = Diag.Error) diags));
+    tc "strict parse of the same input still raises" (fun () ->
+        expect_parse_error ~line:1 "unknown command set_blah"
+          "set_blah\nset_case_analysis 1 sel1");
+    tc "clean input yields no diagnostics" (fun () ->
+        let cmds, diags =
+          Parser.parse_string_recover
+            "create_clock -period 1 -name c [get_ports clk1]"
+        in
+        check Alcotest.int "one" 1 (List.length cmds);
+        check Alcotest.(list string) "none" [] (rendered diags));
+  ]
+
+(* Resolve diagnostics through the robust front end. *)
+let robust_resolve_cases =
+  [
+    tc "unknown port resolves to a located warning diagnostic" (fun () ->
+        let d = Mm_workload.Paper_circuit.build () in
+        let r =
+          Resolve.mode_of_string_robust ~file:"t.sdc" d ~name:"t"
+            "set_case_analysis 0 nosuchpin"
+        in
+        check
+          Alcotest.(list string)
+          "golden"
+          [ "t.sdc: warning[sdc.unresolved-object]: unresolved object nosuchpin" ]
+          (rendered r.Resolve.diags);
+        check Alcotest.bool "not an error" false (Diag.has_errors r.Resolve.diags));
+    tc "corrupt command quarantinable, valid clock still resolves" (fun () ->
+        let d = Mm_workload.Paper_circuit.build () in
+        let r =
+          Resolve.mode_of_string_robust ~file:"t.sdc" d ~name:"t"
+            "create_clock -period bogus -name c [get_ports clk1]\n\
+             create_clock -period 2 -name ok [get_ports clk2]"
+        in
+        check Alcotest.(list string) "good clock kept" [ "ok" ]
+          (Mode.clock_names r.Resolve.mode);
+        check Alcotest.bool "has errors" true (Diag.has_errors r.Resolve.diags));
+    tc "strict mode_of_string still raises on syntax" (fun () ->
+        let d = Mm_workload.Paper_circuit.build () in
+        match Resolve.mode_of_string d ~name:"t" "set_blah 1" with
+        | _ -> Alcotest.fail "expected Parser.Error"
+        | exception Parser.Error _ -> ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -296,7 +417,7 @@ let resolve_cases =
   [
     tc "glob expands ports" (fun () ->
         let _d, r = resolve_ok "create_clock -name c -period 1 [get_ports clk*]" in
-        check Alcotest.(list string) "warnings" [] r.Resolve.warnings;
+        check Alcotest.(list string) "warnings" [] (Resolve.warnings r);
         match r.Resolve.mode.Mode.clocks with
         | [ c ] -> check Alcotest.int "four sources" 4 (List.length c.Mode.sources)
         | _ -> Alcotest.fail "one clock expected");
@@ -311,7 +432,7 @@ let resolve_cases =
              create_clock -name b -period 2 [get_ports clk1]"
         in
         check Alcotest.(list string) "only b" [ "b" ] (Mode.clock_names r.Resolve.mode);
-        check Alcotest.bool "warned" true (r.Resolve.warnings <> []));
+        check Alcotest.bool "warned" true (Resolve.warnings r <> []));
     tc "clock with add keeps both" (fun () ->
         let _d, r =
           resolve_ok
@@ -331,10 +452,10 @@ let resolve_cases =
         | None -> Alcotest.fail "no generated clock");
     tc "unresolved object warns" (fun () ->
         let _d, r = resolve_ok "set_case_analysis 0 nosuchpin" in
-        check Alcotest.bool "warned" true (r.Resolve.warnings <> []));
+        check Alcotest.bool "warned" true (Resolve.warnings r <> []));
     tc "conflicting case in one mode warns" (fun () ->
         let _d, r = resolve_ok "set_case_analysis 0 sel1\nset_case_analysis 1 sel1" in
-        check Alcotest.bool "warned" true (r.Resolve.warnings <> []);
+        check Alcotest.bool "warned" true (Resolve.warnings r <> []);
         check Alcotest.int "kept first" 1 (List.length r.Resolve.mode.Mode.cases));
     tc "exceptions resolve points" (fun () ->
         let d, r =
@@ -374,7 +495,7 @@ let resolve_cases =
              (List.filter (fun d -> d.Mode.iod_input) r.Resolve.mode.Mode.io_delays)));
     tc "io delay unknown clock warns" (fun () ->
         let _d, r = resolve_ok "set_input_delay 0.5 -clock nope [get_ports in1]" in
-        check Alcotest.bool "warned" true (r.Resolve.warnings <> []));
+        check Alcotest.bool "warned" true (Resolve.warnings r <> []));
     tc "clock attrs accumulate" (fun () ->
         let _d, r =
           resolve_ok
@@ -426,7 +547,7 @@ let mode_cases =
         in
         let m = (Resolve.mode_of_string d ~name:"m" src).Resolve.mode in
         let r2 = Resolve.mode d ~name:"m" (Mode.to_commands m) in
-        check Alcotest.(list string) "no warnings" [] r2.Resolve.warnings;
+        check Alcotest.(list string) "no warnings" [] (Resolve.warnings r2);
         let m2 = r2.Resolve.mode in
         check Alcotest.(list string) "clocks" (Mode.clock_names m) (Mode.clock_names m2);
         check Alcotest.int "cases" (List.length m.Mode.cases) (List.length m2.Mode.cases);
@@ -516,7 +637,7 @@ let full_mode_roundtrip_prop =
          in
          let m = (Resolve.mode_of_string design ~name:"m" src).Resolve.mode in
          let r2 = Resolve.mode design ~name:"m" (Mode.to_commands m) in
-         r2.Resolve.warnings = []
+         Resolve.warnings r2 = []
          &&
          let m2 = r2.Resolve.mode in
          Mode.clock_names m = Mode.clock_names m2
@@ -532,6 +653,8 @@ let () =
     [
       "lexer", lexer_cases;
       "parser", parser_cases;
+      "recover", recover_cases;
+      "robust-resolve", robust_resolve_cases;
       "writer", writer_cases @ [ roundtrip_prop ];
       "resolve", resolve_cases;
       "mode", mode_cases @ [ full_mode_roundtrip_prop ];

@@ -19,7 +19,7 @@ let tc name f = Alcotest.test_case name `Quick f
 
 let resolve d src =
   let r = Resolve.mode_of_string d ~name:"t" src in
-  (match r.Resolve.warnings with
+  (match Resolve.warnings r with
   | [] -> ()
   | w -> Alcotest.failf "resolve warnings: %s" (String.concat "; " w));
   r.Resolve.mode
