@@ -17,6 +17,8 @@ module Context = Mm_timing.Context
 module Sta = Mm_timing.Sta
 module Tab = Mm_util.Tab
 module Stat = Mm_util.Stat
+module Obs = Mm_util.Obs
+module Metrics = Mm_util.Metrics
 module Pc = Mm_workload.Paper_circuit
 module Presets = Mm_workload.Presets
 module Prelim = Mm_core.Prelim
@@ -27,6 +29,14 @@ module Report = Mm_core.Report
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* One shared timer for every phase measurement: the Obs monotonic
+   clock, i.e. the same clock the pipeline spans run on. *)
+let time f =
+  Gc.compact ();
+  let t0 = Obs.Clock.now_ns () in
+  let r = f () in
+  r, Obs.Clock.elapsed_s t0
 
 (* ------------------------------------------------------------------ *)
 (* Table 1 and Figure 1: the example circuit and its relationships     *)
@@ -98,7 +108,8 @@ let figure2 () =
 (* Tables 5 and 6: designs A-F                                         *)
 
 type design_run = {
-  dr_preset : Presets.preset;
+  dr_name : string;
+  dr_paper : Presets.preset option;  (* paper columns, when a preset *)
   dr_cells : int;
   dr_flow : Merge_flow.result;
   dr_sta_ind : float;
@@ -107,15 +118,8 @@ type design_run = {
   dr_all_equivalent : bool;
 }
 
-let run_design (p : Presets.preset) =
-  let design, _info, modes = Presets.build p in
+let run_modes ~name ?paper design modes =
   let flow = Merge_flow.run modes in
-  let time f =
-    Gc.compact ();
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    r, Unix.gettimeofday () -. t0
-  in
   let ind_reports, sta_ind =
     time (fun () -> List.map (fun m -> Sta.analyze design m) modes)
   in
@@ -136,7 +140,8 @@ let run_design (p : Presets.preset) =
       flow.Merge_flow.groups
   in
   {
-    dr_preset = p;
+    dr_name = name;
+    dr_paper = paper;
     dr_cells = Design.n_insts design;
     dr_flow = flow;
     dr_sta_ind = sta_ind;
@@ -145,8 +150,105 @@ let run_design (p : Presets.preset) =
     dr_all_equivalent = all_equivalent;
   }
 
+let run_design (p : Presets.preset) =
+  let design, _info, modes = Presets.build p in
+  run_modes ~name:p.Presets.pr_name ~paper:p design modes
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_<run>.json: the committed bench trajectory. Table 5/6 numbers *)
+(* per design plus the full observability snapshot (metric counters    *)
+(* and per-stage span durations) of the run that produced them.        *)
+
+let bench_json runs =
+  let jf = Metrics.json_float in
+  let b = Buffer.create 4096 in
+  let row5 r =
+    Printf.sprintf
+      {|{"design":"%s","cells":%d,"n_individual":%d,"n_merged":%d,"reduction_percent":%s,"merge_runtime_s":%s}|}
+      (Metrics.json_escape r.dr_name)
+      r.dr_cells r.dr_flow.Merge_flow.n_individual
+      r.dr_flow.Merge_flow.n_merged
+      (jf r.dr_flow.Merge_flow.reduction_percent)
+      (jf r.dr_flow.Merge_flow.runtime_s)
+  in
+  let row6 r =
+    Printf.sprintf
+      {|{"design":"%s","sta_individual_s":%s,"sta_merged_s":%s,"sta_reduction_percent":%s,"conformity":%s,"equivalent":%b,"quarantined":%d,"degraded_cliques":%d}|}
+      (Metrics.json_escape r.dr_name)
+      (jf r.dr_sta_ind) (jf r.dr_sta_mrg)
+      (jf (Stat.reduction_percent r.dr_sta_ind r.dr_sta_mrg))
+      (jf r.dr_conformity) r.dr_all_equivalent
+      (List.length r.dr_flow.Merge_flow.quarantined)
+      (List.length r.dr_flow.Merge_flow.degraded)
+  in
+  Buffer.add_string b {|{"schema":"modemerge-bench/1","run":"paper_tables",|};
+  Buffer.add_string b
+    (Printf.sprintf {|"table5":[%s],|}
+       (String.concat "," (List.map row5 runs)));
+  Buffer.add_string b
+    (Printf.sprintf {|"table6":[%s],|}
+       (String.concat "," (List.map row6 runs)));
+  Buffer.add_string b
+    (Printf.sprintf
+       {|"summary":{"avg_reduction_percent":%s,"avg_sta_reduction_percent":%s,"avg_conformity":%s},|}
+       (jf (Stat.mean (List.map (fun r -> r.dr_flow.Merge_flow.reduction_percent) runs)))
+       (jf (Stat.mean (List.map (fun r -> Stat.reduction_percent r.dr_sta_ind r.dr_sta_mrg) runs)))
+       (jf (Stat.mean (List.map (fun r -> r.dr_conformity) runs))));
+  (* Obs.metrics_json is {"metrics":...,"spans":...} — embed verbatim. *)
+  Buffer.add_string b
+    (Printf.sprintf {|"observability":%s}|} (Obs.metrics_json ()));
+  Buffer.contents b
+
+let bench_file = "BENCH_paper_tables.json"
+
+let write_bench_json runs =
+  let oc = open_out bench_file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (bench_json runs);
+      output_char oc '\n');
+  Printf.printf "\nwrote %s\n" bench_file
+
+(* Mandatory keys the bench trajectory (and CI's @bench-smoke) relies
+   on: a run that stops emitting one of these is a regression even if
+   it exits 0. *)
+let mandatory_keys =
+  [
+    {|"table5"|}; {|"table6"|}; {|"merge_runtime_s"|}; {|"conformity"|};
+    {|"merge.cliques"|}; {|"sta.tags_propagated"|}; {|"spans"|};
+    {|"sta.analyze"|};
+  ]
+
+let contains ~needle hay =
+  let nh = String.length needle and lh = String.length hay in
+  let rec go i = i + nh <= lh && (String.sub hay i nh = needle || go (i + 1)) in
+  go 0
+
+let validate_bench_json () =
+  let ic = open_in bench_file in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let missing = List.filter (fun k -> not (contains ~needle:k s)) mandatory_keys in
+  if missing <> [] then begin
+    Printf.eprintf "%s is missing mandatory keys: %s\n" bench_file
+      (String.concat ", " missing);
+    exit 1
+  end;
+  Printf.printf "%s: all %d mandatory keys present\n" bench_file
+    (List.length mandatory_keys)
+
 let tables56 () =
+  (* Tables 5/6 are the committed bench trajectory, so they run with
+     tracing on and export the observability snapshot alongside. *)
+  Obs.set_enabled true;
+  Obs.reset ();
+  Metrics.reset ();
   let runs = List.map run_design Presets.all in
+  let paper r = Option.get r.dr_paper in
   section "Table 5: mode reduction and merging runtime (designs A-F)";
   Printf.printf
     "(sizes are the paper's designs scaled ~1:100; paper columns shown for \
@@ -163,10 +265,10 @@ let tables56 () =
   in
   List.iter
     (fun r ->
-      let p = r.dr_preset in
+      let p = paper r in
       Tab.add_row t5
         [
-          p.Presets.pr_name;
+          r.dr_name;
           string_of_int r.dr_cells;
           string_of_int r.dr_flow.Merge_flow.n_individual;
           string_of_int r.dr_flow.Merge_flow.n_merged;
@@ -184,7 +286,7 @@ let tables56 () =
       "Average"; ""; ""; "";
       Stat.fmt_f1 (avg (fun r -> r.dr_flow.Merge_flow.reduction_percent));
       ""; ""; "";
-      Stat.fmt_f1 (avg (fun r -> r.dr_preset.Presets.paper_reduction));
+      Stat.fmt_f1 (avg (fun r -> (paper r).Presets.paper_reduction));
     ];
   Tab.print t5;
 
@@ -201,10 +303,10 @@ let tables56 () =
   in
   List.iter
     (fun r ->
-      let p = r.dr_preset in
+      let p = paper r in
       Tab.add_row t6
         [
-          p.Presets.pr_name;
+          r.dr_name;
           Stat.fmt_time_s r.dr_sta_ind;
           Stat.fmt_time_s r.dr_sta_mrg;
           Stat.fmt_f1 (Stat.reduction_percent r.dr_sta_ind r.dr_sta_mrg);
@@ -226,11 +328,31 @@ let tables56 () =
       Stat.fmt_f2 (Stat.mean (List.map (fun r -> r.dr_conformity) runs));
       "";
       Stat.fmt_f1
-        (Stat.mean (List.map (fun r -> r.dr_preset.Presets.paper_sta_reduction) runs));
+        (Stat.mean (List.map (fun r -> (paper r).Presets.paper_sta_reduction) runs));
       Stat.fmt_f2
-        (Stat.mean (List.map (fun r -> r.dr_preset.Presets.paper_conformity) runs));
+        (Stat.mean (List.map (fun r -> (paper r).Presets.paper_conformity) runs));
     ];
-  Tab.print t6
+  Tab.print t6;
+  write_bench_json runs
+
+(* ------------------------------------------------------------------ *)
+(* Smoke run for @bench-smoke: the paper circuit's two-mode merge       *)
+(* (Constraint Set 6), tracing on, BENCH json emitted and validated.    *)
+(* Fast enough for every CI run, unlike the full A-F preset sweep.      *)
+
+let smoke () =
+  section "Bench smoke: paper circuit, Constraint Set 6, observability on";
+  Obs.set_enabled true;
+  Obs.reset ();
+  Metrics.reset ();
+  let d = Pc.build () in
+  let a, b = Pc.constraint_set6 d in
+  let r = run_modes ~name:"paper_circuit" d [ a; b ] in
+  Printf.printf "  merged %d -> %d mode(s), %.1f%% reduction, conformity %.2f\n"
+    r.dr_flow.Merge_flow.n_individual r.dr_flow.Merge_flow.n_merged
+    r.dr_flow.Merge_flow.reduction_percent r.dr_conformity;
+  write_bench_json [ r ];
+  validate_bench_json ()
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: quantify the design choices DESIGN.md calls out          *)
@@ -391,12 +513,6 @@ let scale_sweep () =
         }
       in
       let modes = Mm_workload.Gen_modes.generate design info suite in
-      let time f =
-        Gc.compact ();
-        let t0 = Unix.gettimeofday () in
-        let r = f () in
-        r, Unix.gettimeofday () -. t0
-      in
       let flow, t_merge = time (fun () -> Merge_flow.run modes) in
       let _, t_ind =
         time (fun () -> List.map (fun m -> Sta.analyze design m) modes)
@@ -498,6 +614,7 @@ let () =
   | "table2" | "table3" | "table4" | "walkthrough" -> tables234 ()
   | "figure2" -> figure2 ()
   | "table5" | "table6" -> tables56 ()
+  | "smoke" -> smoke ()
   | "bech" -> bechamel_suite ()
   | "all" ->
     tables ();
@@ -506,6 +623,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown target %s (use \
-       tables|table1|table2|figure2|table5|ablations|scale|bech|all)\n"
+       tables|table1|table2|figure2|table5|smoke|ablations|scale|bech|all)\n"
       other;
     exit 1

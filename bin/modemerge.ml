@@ -24,6 +24,7 @@ module Context = Mm_timing.Context
 module Sta = Mm_timing.Sta
 module Merge_flow = Mm_core.Merge_flow
 module Diag = Mm_util.Diag
+module Obs = Mm_util.Obs
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -129,6 +130,52 @@ let sdc_args =
   let doc = "SDC mode files." in
   Arg.(non_empty & pos_all file [] & info [] ~docv:"SDC" ~doc)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: --trace / --metrics / --profile                      *)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON file of the run's pipeline spans \
+     (open in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a flat metrics JSON file: pipeline counters (e.g. \
+     sta.tags_propagated, merge.cliques) plus per-stage span durations."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Print a per-stage profile tree (call counts, total/self wall time) \
+     to stderr after the run."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc contents;
+      output_char oc '\n')
+
+(* Span recording is off by default (it is the only part of the
+   observability layer with a per-callsite cost); any of the three
+   flags turns it on, since all three exporters read the span sink.
+   Export runs from at_exit so every exit path — including the
+   fatal-diagnostic ones — still writes the (possibly partial) trace. *)
+let obs_setup ~trace ~metrics ~profile =
+  if trace <> None || metrics <> None || profile then begin
+    Obs.set_enabled true;
+    at_exit (fun () ->
+        Option.iter (fun p -> write_file p (Obs.trace_event_json ())) trace;
+        Option.iter (fun p -> write_file p (Obs.metrics_json ())) metrics;
+        if profile then prerr_string (Obs.profile_tree ()))
+  end
+
 let policy_arg =
   let strict =
     ( Merge_flow.Strict,
@@ -156,8 +203,9 @@ let merge_cmd =
     let doc = "Additionally dump all diagnostics as a JSON array to stderr." in
     Arg.(value & flag & info [ "diag-json" ] ~doc)
   in
-  let run netlist liberty sdcs outdir policy diag_json =
+  let run netlist liberty sdcs outdir policy diag_json trace metrics profile =
     guard_io @@ fun () ->
+    obs_setup ~trace ~metrics ~profile;
     let design = read_design ?liberty netlist in
     let result =
       match Merge_flow.run_files ~policy ~design sdcs with
@@ -199,7 +247,18 @@ let merge_cmd =
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc (Mode.to_sdc mode));
-        Printf.printf "  group [%s] -> %s%s\n"
+        (* Post-merge STA sanity pass: one analysis per merged mode, so
+           the run reports QoR (tag count, worst slack) next to the
+           equivalence verdict. *)
+        let rep = Sta.analyze design mode in
+        let slack_txt =
+          match Sta.worst_setup_by_endpoint rep with
+          | [] -> ""
+          | l ->
+            Printf.sprintf ", worst slack %.3f"
+              (List.fold_left (fun a (_, s) -> Float.min a s) Float.infinity l)
+        in
+        Printf.printf "  group [%s] -> %s%s (STA: %d tags%s)\n"
           (String.concat ", " g.Merge_flow.grp_members)
           path
           (match g.Merge_flow.grp_equiv with
@@ -207,7 +266,8 @@ let merge_cmd =
           | Some e ->
             Printf.sprintf " (NOT equivalent: %d mismatches)"
               e.Mm_core.Equiv.mismatches
-          | None -> ""))
+          | None -> "")
+          rep.Sta.rep_n_tags slack_txt)
       result.Merge_flow.groups;
     if
       List.exists
@@ -230,7 +290,7 @@ let merge_cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ liberty_arg $ sdc_args $ outdir $ policy_arg
-      $ diag_json)
+      $ diag_json $ trace_arg $ metrics_arg $ profile_arg)
 
 let sta_cmd =
   let paths_arg =
@@ -247,8 +307,9 @@ let sta_cmd =
       & opt corner_conv Mm_timing.Corner.typical
       & info [ "corner" ] ~doc:"PVT corner: typical, slow or fast.")
   in
-  let run netlist liberty sdcs paths corner policy =
+  let run netlist liberty sdcs paths corner policy trace metrics profile =
     guard_io @@ fun () ->
+    obs_setup ~trace ~metrics ~profile;
     let design = read_design ?liberty netlist in
     List.iter
       (fun path ->
@@ -291,7 +352,7 @@ let sta_cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ liberty_arg $ sdc_args $ paths_arg $ corner_arg
-      $ policy_arg)
+      $ policy_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let lint_cmd =
   let run netlist liberty sdcs policy =

@@ -26,17 +26,17 @@ let () =
     (List.length modes) (List.length corners)
     (List.length modes * List.length corners);
 
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mm_util.Obs.Clock.now_ns () in
   let flow = Merge_flow.run modes in
-  let merge_cost = Unix.gettimeofday () -. t0 in
+  let merge_cost = Mm_util.Obs.Clock.elapsed_s t0 in
   let merged = Merge_flow.merged_modes flow in
   Printf.printf "One-time merge: %d -> %d modes in %.2fs\n" (List.length modes)
     (List.length merged) merge_cost;
 
   let sta_sweep mode_set =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mm_util.Obs.Clock.now_ns () in
     let reports = Sta.analyze_scenarios design ~modes:mode_set ~corners in
-    Unix.gettimeofday () -. t0, reports
+    Mm_util.Obs.Clock.elapsed_s t0, reports
   in
   let t_ind, _ = sta_sweep modes in
   let t_mrg, merged_reports = sta_sweep merged in

@@ -62,9 +62,9 @@ let () =
 
   (* STA cost and QoR comparison. *)
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mm_util.Obs.Clock.now_ns () in
     let r = f () in
-    r, Unix.gettimeofday () -. t0
+    r, Mm_util.Obs.Clock.elapsed_s t0
   in
   let ind_reports, t_ind =
     time (fun () -> List.map (fun m -> Sta.analyze design m) modes)

@@ -662,7 +662,10 @@ let dedup_fixes fixes =
   go [] fixes
 
 let run ~individual ~merged =
-  let p1_rows, p1_fixes, p1_uns, p1_pes = pass1 ~individual ~merged in
+  let module Obs = Mm_util.Obs in
+  let p1_rows, p1_fixes, p1_uns, p1_pes =
+    Obs.with_span "compare.pass1" (fun () -> pass1 ~individual ~merged)
+  in
   let ambiguous_eps =
     List.filter_map
       (fun r -> if r.p1_bucket.bk_verdict = Ambiguous then Some r.p1_ep else None)
@@ -670,16 +673,22 @@ let run ~individual ~merged =
     |> List.sort_uniq compare
   in
   let p2_rows, p2_fixes, p2_uns, p2_pes, ambiguous_pairs =
-    pass2 ~individual ~merged ambiguous_eps
+    Obs.with_span "compare.pass2"
+      ~attrs:[ "ambiguous_endpoints", string_of_int (List.length ambiguous_eps) ]
+      (fun () -> pass2 ~individual ~merged ambiguous_eps)
   in
   let p3_rows, p3_fixes, p3_uns, p3_pes =
-    pass3 ~individual ~merged ambiguous_pairs
+    Obs.with_span "compare.pass3"
+      ~attrs:[ "ambiguous_pairs", string_of_int (List.length ambiguous_pairs) ]
+      (fun () -> pass3 ~individual ~merged ambiguous_pairs)
   in
+  let fixes = dedup_fixes (p1_fixes @ p2_fixes @ p3_fixes) in
+  Mm_util.Metrics.incr ~by:(List.length fixes) "compare.fixes";
   {
     pass1 = p1_rows;
     pass2 = p2_rows;
     pass3 = p3_rows;
-    fixes = dedup_fixes (p1_fixes @ p2_fixes @ p3_fixes);
+    fixes;
     unsound = List.sort_uniq compare (p1_uns @ p2_uns @ p3_uns);
     pessimism = List.sort_uniq compare (p1_pes @ p2_pes @ p3_pes);
   }

@@ -13,6 +13,10 @@ type report = {
 }
 
 let check ?ctx_cache ~individual ~rename ~merged () =
+  Mm_util.Obs.with_span
+    ~attrs:[ "merged", merged.Mode.mode_name ]
+    "merge.equiv"
+  @@ fun () ->
   let design = merged.Mode.design in
   let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 8 in
   let ctx_of (m : Mode.t) =

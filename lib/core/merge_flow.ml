@@ -2,6 +2,8 @@ module Mode = Mm_sdc.Mode
 module Resolve = Mm_sdc.Resolve
 module Stat = Mm_util.Stat
 module Diag = Mm_util.Diag
+module Obs = Mm_util.Obs
+module Metrics = Mm_util.Metrics
 
 type policy = Strict | Permissive
 
@@ -83,13 +85,19 @@ let merged_group ?tolerance ~check_equivalence ~ctx_cache ~name members =
 
 let run_core ?tolerance ~check_equivalence ~policy ~t0 ~pre_quarantined
     ~pre_diags modes =
+  Obs.with_span
+    ~attrs:[ "modes", string_of_int (List.length modes) ]
+    "merge.flow"
+  @@ fun () ->
   let ctx_cache = Hashtbl.create 32 in
   let diags = Diag.collector () in
   List.iter (Diag.add diags) pre_diags;
   let quarantined = ref (List.rev pre_quarantined) in
+  Metrics.incr ~by:(List.length pre_quarantined) "merge.quarantined";
   (* Quarantine diagnostics live on the quarantine record itself, not
      in the run-level stream. *)
   let quarantine name stage qds =
+    Metrics.incr "merge.quarantined";
     quarantined := { q_name = name; q_stage = stage; q_diags = qds } :: !quarantined
   in
   (* Permissive stage 1: probe each mode's singleton merge (context
@@ -123,6 +131,7 @@ let run_core ?tolerance ~check_equivalence ~policy ~t0 ~pre_quarantined
         degenerate_mergeability modes)
   in
   let cliques = Mergeability.clique_modes mergeability modes in
+  Metrics.incr ~by:(List.length cliques) "merge.cliques";
   (* Stage 3: per-clique merge, with per-group degradation in
      permissive mode — a group that fails to merge, refine or validate
      falls back to its individual modes ("when in doubt, don't merge"). *)
@@ -130,6 +139,7 @@ let run_core ?tolerance ~check_equivalence ~policy ~t0 ~pre_quarantined
   let degrade_members members reason =
     let names = List.map (fun (m : Mode.t) -> m.Mode.mode_name) members in
     degraded := names :: !degraded;
+    Metrics.incr "merge.degraded_cliques";
     Diag.addf diags Diag.Warning ~code:"merge.group-degraded"
       "group [%s] kept as individual modes: %s" (String.concat ", " names)
       reason;
@@ -148,6 +158,14 @@ let run_core ?tolerance ~check_equivalence ~policy ~t0 ~pre_quarantined
       (List.mapi
          (fun gi members ->
            let merged_name = Printf.sprintf "merged_%d" gi in
+           Obs.with_span "merge.group"
+             ~attrs:
+               [
+                 "members",
+                 String.concat ","
+                   (List.map (fun (m : Mode.t) -> m.Mode.mode_name) members);
+               ]
+           @@ fun () ->
            match members, policy with
            | [ single ], Strict ->
              [ singleton_group ?tolerance ~ctx_cache single ]
@@ -195,12 +213,12 @@ let run_core ?tolerance ~check_equivalence ~policy ~t0 ~pre_quarantined
     n_merged;
     reduction_percent =
       Stat.reduction_percent (float_of_int n_individual) (float_of_int n_merged);
-    runtime_s = Unix.gettimeofday () -. t0;
+    runtime_s = Obs.Clock.elapsed_s t0;
   }
 
 let run ?tolerance ?(check_equivalence = true) ?(policy = Strict) modes =
   run_core ?tolerance ~check_equivalence ~policy
-    ~t0:(Unix.gettimeofday ())
+    ~t0:(Obs.Clock.now_ns ())
     ~pre_quarantined:[] ~pre_diags:[] modes
 
 (* ------------------------------------------------------------------ *)
@@ -217,9 +235,12 @@ let source_of_file path =
 
 let run_sources ?tolerance ?(check_equivalence = true) ?(policy = Strict)
     ~design sources =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let pre_quarantined = ref [] and pre_diags = ref [] in
   let modes =
+    Obs.with_span "merge.load"
+      ~attrs:[ "sources", string_of_int (List.length sources) ]
+    @@ fun () ->
     List.filter_map
       (fun src ->
         (* The diagnostic location falls back to the mode name so that
@@ -275,6 +296,7 @@ let run_files ?tolerance ?check_equivalence ?(policy = Strict) ~design paths =
       paths
   in
   let r = run_sources ?tolerance ?check_equivalence ~policy ~design sources in
+  Metrics.incr ~by:(List.length !io_failed) "merge.quarantined";
   { r with quarantined = List.rev !io_failed @ r.quarantined }
 
 let merged_modes r = List.map (fun g -> g.grp_mode) r.groups

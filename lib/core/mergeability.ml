@@ -1,5 +1,7 @@
 module Mode = Mm_sdc.Mode
 module Design = Mm_netlist.Design
+module Obs = Mm_util.Obs
+module Metrics = Mm_util.Metrics
 module Context = Mm_timing.Context
 module Clock_prop = Mm_timing.Clock_prop
 module Graph = Mm_timing.Graph
@@ -151,6 +153,10 @@ let exact_cliques ?(limit = 20) adjacency =
   end
 
 let analyze ?tolerance ?ctx_cache ?(strategy = Greedy) modes =
+  Obs.with_span
+    ~attrs:[ "modes", string_of_int (List.length modes) ]
+    "merge.mergeability"
+  @@ fun () ->
   let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 16 in
   let arr = Array.of_list modes in
   let n = Array.length arr in
@@ -165,6 +171,7 @@ let analyze ?tolerance ?ctx_cache ?(strategy = Greedy) modes =
         Hashtbl.replace pair_reasons (i, j) check.reasons
     done
   done;
+  Metrics.incr ~by:(n * (n - 1) / 2) "merge.pairs_checked";
   let cliques =
     match strategy with
     | Greedy -> greedy_cliques adjacency

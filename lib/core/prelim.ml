@@ -1,6 +1,8 @@
 module Design = Mm_netlist.Design
 module Mode = Mm_sdc.Mode
 module Toler = Mm_util.Toler
+module Obs = Mm_util.Obs
+module Metrics = Mm_util.Metrics
 module Context = Mm_timing.Context
 module Clock_prop = Mm_timing.Clock_prop
 module Graph = Mm_timing.Graph
@@ -636,6 +638,10 @@ let merge_drcs modes =
 let merge ?(tolerance = Toler.default) ?(max_refine_iters = 5) ?ctx_cache
     ?(uniquify = true) ~name modes =
   (match modes with [] -> invalid_arg "Prelim.merge: no modes" | _ :: _ -> ());
+  Obs.with_span
+    ~attrs:[ "merged", name; "modes", string_of_int (List.length modes) ]
+    "merge.prelim"
+  @@ fun () ->
   let design = (List.hd modes).Mode.design in
   let conflicts = ref [] in
   (* Individual contexts, shared by uniquification and refinement. *)
@@ -684,6 +690,9 @@ let merge ?(tolerance = Toler.default) ?(max_refine_iters = 5) ?ctx_cache
     clock_refinement ~max_iters:max_refine_iters design modes ctxs clock_map
       merged0
   in
+  Metrics.incr ~by:(List.length uniquified) "prelim.exceptions_uniquified";
+  Metrics.incr ~by:(List.length dropped_exceptions) "prelim.exceptions_dropped";
+  Metrics.incr ~by:(List.length !conflicts) "prelim.conflicts";
   {
     merged;
     clock_map;

@@ -138,6 +138,10 @@ let data_clock_refinement (prelim : Prelim.t) individual ctxs merged =
   { merged with Mode.exceptions = merged.Mode.exceptions @ excs }, fixes, excs
 
 let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
+  Mm_util.Obs.with_span
+    ~attrs:[ "merged", prelim.Prelim.merged.Mode.mode_name ]
+    "merge.refine"
+  @@ fun () ->
   let design = prelim.Prelim.merged.Mode.design in
   let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 8 in
   let ctx_of (m : Mode.t) =
@@ -180,4 +184,6 @@ let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
     end
   in
   let refined, added, final_compare, iterations = loop merged step1_excs 1 in
+  Mm_util.Metrics.incr ~by:(List.length added) "refine.false_paths_added";
+  Mm_util.Metrics.observe "refine.iterations" (float_of_int iterations);
   { refined; data_clock_fixes; added_exceptions = added; final_compare; iterations }

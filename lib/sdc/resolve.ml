@@ -1,6 +1,8 @@
 module Design = Mm_netlist.Design
 module Glob = Mm_util.Glob
 module Diag = Mm_util.Diag
+module Obs = Mm_util.Obs
+module Metrics = Mm_util.Metrics
 open Ast
 
 type result = { mode : Mode.t; diags : Diag.t list }
@@ -519,6 +521,7 @@ let apply st = function
   | Set_drc d -> apply_drc st d
 
 let mode ?file ?(diags = []) design ~name cmds =
+  Obs.with_span ~attrs:[ "mode", name ] "sdc.resolve" @@ fun () ->
   let st =
     {
       design;
@@ -561,10 +564,18 @@ let mode ?file ?(diags = []) design ~name cmds =
   }
 
 let mode_of_string ?file design ~name src =
-  mode ?file design ~name (Parser.parse_string ?file src)
+  let cmds =
+    Obs.with_span ~attrs:[ "mode", name ] "sdc.parse" (fun () ->
+        Parser.parse_string ?file src)
+  in
+  mode ?file design ~name cmds
 
 let mode_of_file design ~name path =
-  mode ~file:path design ~name (Parser.parse_file path)
+  let cmds =
+    Obs.with_span ~attrs:[ "mode", name ] "sdc.parse" (fun () ->
+        Parser.parse_file path)
+  in
+  mode ~file:path design ~name cmds
 
 (* Robust variants: syntax errors become diagnostics instead of
    exceptions; the well-formed commands still resolve. A resolution
@@ -572,7 +583,15 @@ let mode_of_file design ~name path =
    downgraded to a Fatal diagnostic on an empty mode, so callers can
    quarantine rather than die. *)
 let mode_of_string_robust ?file design ~name src =
-  let cmds, parse_diags = Parser.parse_string_recover ?file src in
+  let cmds, parse_diags =
+    Obs.with_span ~attrs:[ "mode", name ] "sdc.parse" (fun () ->
+        Parser.parse_string_recover ?file src)
+  in
+  (* Each recovering-parse diagnostic is one malformed construct the
+     parser skipped and resynchronised past. *)
+  (match parse_diags with
+  | [] -> ()
+  | ds -> Metrics.incr ~by:(List.length ds) "sdc.commands_recovered");
   match mode ?file ~diags:parse_diags design ~name cmds with
   | r -> r
   | exception exn ->

@@ -1,6 +1,8 @@
 module Design = Mm_netlist.Design
 module Lib_cell = Mm_netlist.Lib_cell
 module Mode = Mm_sdc.Mode
+module Obs = Mm_util.Obs
+module Metrics = Mm_util.Metrics
 
 type endpoint_slack = {
   es_pin : Design.pin_id;
@@ -394,32 +396,40 @@ let check_endpoint ?(corner = Corner.typical) (ctx : Context.t) tags n_checked
     tags.(ep_pin)
 
 let analyze ?ctx ?(corner = Corner.typical) design mode =
-  let t0 = Unix.gettimeofday () in
-  let ctx = match ctx with Some c -> c | None -> Context.create design mode in
-  let tags, n_tags = propagate ~corner ctx in
-  let n_checked = ref 0 in
-  let slacks =
-    List.map
-      (fun ep ->
-        let acc =
-          { worst_setup = None; worst_hold = None; capture_period = None }
-        in
-        check_endpoint ~corner ctx tags n_checked ep acc;
-        {
-          es_pin = Graph.endpoint_pin ep;
-          es_setup = acc.worst_setup;
-          es_hold = acc.worst_hold;
-          es_capture_period = acc.capture_period;
-        })
-      ctx.Context.graph.Graph.endpoints
+  let (slacks, drc, n_tags, n_checked), runtime =
+    Obs.timed ~attrs:[ "mode", mode.Mode.mode_name ] "sta.analyze" @@ fun () ->
+    let ctx = match ctx with Some c -> c | None -> Context.create design mode in
+    let tags, n_tags =
+      Obs.with_span "sta.propagate" (fun () -> propagate ~corner ctx)
+    in
+    let n_checked = ref 0 in
+    let slacks =
+      Obs.with_span "sta.check" @@ fun () ->
+      List.map
+        (fun ep ->
+          let acc =
+            { worst_setup = None; worst_hold = None; capture_period = None }
+          in
+          check_endpoint ~corner ctx tags n_checked ep acc;
+          {
+            es_pin = Graph.endpoint_pin ep;
+            es_setup = acc.worst_setup;
+            es_hold = acc.worst_hold;
+            es_capture_period = acc.capture_period;
+          })
+        ctx.Context.graph.Graph.endpoints
+    in
+    Metrics.incr ~by:n_tags "sta.tags_propagated";
+    Metrics.incr ~by:!n_checked "sta.endpoints_checked";
+    slacks, drc_checks ctx, n_tags, !n_checked
   in
   {
     rep_mode = mode.Mode.mode_name;
     rep_slacks = slacks;
-    rep_drc = drc_checks ctx;
+    rep_drc = drc;
     rep_n_tags = n_tags;
-    rep_n_checked = !n_checked;
-    rep_runtime = Unix.gettimeofday () -. t0;
+    rep_n_checked = n_checked;
+    rep_runtime = runtime;
   }
 
 let analyze_scenarios design ~modes ~corners =

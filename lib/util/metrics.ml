@@ -1,0 +1,90 @@
+type histogram = { h_count : int; h_sum : float; h_min : float; h_max : float }
+
+type value = Counter of int | Gauge of float | Histogram of histogram
+
+type item = { name : string; value : value }
+
+let lock = Mutex.create ()
+let tbl : (string, value) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let incr ?(by = 1) name =
+  with_lock (fun () ->
+      let v =
+        match Hashtbl.find_opt tbl name with
+        | Some (Counter n) -> Counter (n + by)
+        | _ -> Counter by
+      in
+      Hashtbl.replace tbl name v)
+
+let set name x = with_lock (fun () -> Hashtbl.replace tbl name (Gauge x))
+
+let observe name x =
+  with_lock (fun () ->
+      let v =
+        match Hashtbl.find_opt tbl name with
+        | Some (Histogram h) ->
+          Histogram
+            {
+              h_count = h.h_count + 1;
+              h_sum = h.h_sum +. x;
+              h_min = Float.min h.h_min x;
+              h_max = Float.max h.h_max x;
+            }
+        | _ -> Histogram { h_count = 1; h_sum = x; h_min = x; h_max = x }
+      in
+      Hashtbl.replace tbl name v)
+
+let get name = with_lock (fun () -> Hashtbl.find_opt tbl name)
+
+let get_counter name =
+  match get name with Some (Counter n) -> n | Some _ | None -> 0
+
+let snapshot () =
+  let items =
+    with_lock (fun () ->
+        Hashtbl.fold (fun name value acc -> { name; value } :: acc) tbl [])
+  in
+  List.sort (fun a b -> String.compare a.name b.name) items
+
+let reset () = with_lock (fun () -> Hashtbl.reset tbl)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.9g" x else "0"
+
+let json_of_value = function
+  | Counter n -> string_of_int n
+  | Gauge x -> json_float x
+  | Histogram h ->
+    Printf.sprintf {|{"count":%d,"sum":%s,"min":%s,"max":%s,"mean":%s}|}
+      h.h_count (json_float h.h_sum) (json_float h.h_min) (json_float h.h_max)
+      (json_float (if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count))
+
+let json_of_items items =
+  let field { name; value } =
+    Printf.sprintf {|"%s":%s|} (json_escape name) (json_of_value value)
+  in
+  "{" ^ String.concat "," (List.map field items) ^ "}"
+
+let to_json () = json_of_items (snapshot ())

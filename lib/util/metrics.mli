@@ -1,0 +1,80 @@
+(** Process-wide metrics registry.
+
+    Named counters, gauges and histograms accumulated by the pipeline
+    stages and exported as flat JSON — the numeric half of the
+    observability layer ({!Obs} holds the tracing half). The registry
+    is global and thread-safe (one mutex, coarse-grained: every
+    operation is O(1) and instrumentation sites record per-stage
+    aggregates, never per-element values, so contention is nil).
+
+    Metric names are stable dotted identifiers and, like {!Diag} error
+    codes, part of the tool's observable interface — scripts and the
+    bench trajectory ([BENCH_*.json]) key on them, so renaming one is
+    a breaking change. The registered families:
+
+    - [sdc.*]     front-end work (e.g. [sdc.commands_recovered])
+    - [prelim.*]  preliminary merging (e.g. [prelim.exceptions_uniquified])
+    - [refine.*]  refinement (e.g. [refine.false_paths_added])
+    - [compare.*] the 3-pass comparison (e.g. [compare.fixes])
+    - [merge.*]   the merge flow (e.g. [merge.cliques],
+                  [merge.quarantined], [merge.degraded_cliques])
+    - [sta.*]     the STA engine (e.g. [sta.tags_propagated],
+                  [sta.endpoints_checked])
+
+    Unlike {!Obs} spans, the registry is always on: recording is a few
+    hashtable operations per pipeline stage and costs nothing
+    measurable, and robustness counters ([merge.quarantined]) must be
+    visible even in runs that never enable tracing. *)
+
+type histogram = {
+  h_count : int;   (** number of observations *)
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram
+
+type item = { name : string; value : value }
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to counter [name], creating it at 0. *)
+
+val set : string -> float -> unit
+(** Set gauge [name] (last write wins). *)
+
+val observe : string -> float -> unit
+(** Record one observation into histogram [name]. *)
+
+val get_counter : string -> int
+(** Current counter value; 0 when absent (or not a counter). *)
+
+val get : string -> value option
+
+val snapshot : unit -> item list
+(** All metrics, sorted by name. *)
+
+val reset : unit -> unit
+(** Drop every metric (tests and fresh bench runs). *)
+
+(** {2 JSON rendering}
+
+    The registry renders as one flat object keyed by metric name:
+    counters as integers, gauges as numbers, histograms as
+    [{"count":n,"sum":s,"min":a,"max":b,"mean":m}]. *)
+
+val to_json : unit -> string
+
+val json_of_items : item list -> string
+
+(** {2 JSON helpers shared with {!Obs}} *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)
+
+val json_float : float -> string
+(** Render a float as a JSON number; non-finite values become [0] so an
+    exported file never contains [nan]/[inf] tokens. *)

@@ -1,0 +1,229 @@
+module Clock = struct
+  (* CLOCK_MONOTONIC via the bechamel stub library — a C call with no
+     OCaml-side allocation ([@noalloc], unboxed int64). *)
+  let now_ns () = Monotonic_clock.now ()
+  let ns_to_s ns = Int64.to_float ns /. 1e9
+  let elapsed_s t0 = ns_to_s (Int64.sub (now_ns ()) t0)
+end
+
+type span = {
+  sp_id : int;
+  sp_parent : int;
+  sp_depth : int;
+  sp_tid : int;
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start_ns : int64;
+  sp_dur_ns : int64;
+}
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+let next_id = Atomic.make 0
+let lock = Mutex.create ()
+let sink : span list ref = ref []
+
+(* Open spans of the current domain, innermost first: (id, depth). The
+   nesting structure is domain-local; only the completed-span sink is
+   shared. *)
+let stack_key : (int * int) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let record sp =
+  Mutex.lock lock;
+  sink := sp :: !sink;
+  Mutex.unlock lock
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent, depth =
+      match !stack with [] -> -1, 0 | (p, d) :: _ -> p, d + 1
+    in
+    stack := (id, depth) :: !stack;
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Int64.sub (Clock.now_ns ()) t0 in
+        (match !stack with
+        | (i, _) :: rest when i = id -> stack := rest
+        | _ -> ());
+        record
+          {
+            sp_id = id;
+            sp_parent = parent;
+            sp_depth = depth;
+            sp_tid = (Domain.self () :> int);
+            sp_name = name;
+            sp_attrs = attrs;
+            sp_start_ns = t0;
+            sp_dur_ns = dur;
+          })
+      f
+  end
+
+let timed ?attrs name f =
+  let t0 = Clock.now_ns () in
+  let r = with_span ?attrs name f in
+  r, Clock.elapsed_s t0
+
+let spans () =
+  Mutex.lock lock;
+  let l = !sink in
+  Mutex.unlock lock;
+  List.sort
+    (fun a b -> compare (a.sp_start_ns, a.sp_id) (b.sp_start_ns, b.sp_id))
+    l
+
+let reset () =
+  Mutex.lock lock;
+  sink := [];
+  Mutex.unlock lock
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation: one node per distinct span path (root name / ... /     *)
+(* span name), in first-seen order, with parent/child links.           *)
+
+type node = {
+  nd_name : string;
+  nd_depth : int;
+  mutable nd_count : int;
+  mutable nd_total_ns : int64;
+  mutable nd_children : string list; (* child path keys, reverse order *)
+}
+
+let aggregate () =
+  let ss = spans () in
+  let path_of_id = Hashtbl.create 64 in (* span id -> path key *)
+  let nodes = Hashtbl.create 64 in      (* path key -> node *)
+  let roots = ref [] in                 (* root path keys, reverse order *)
+  List.iter
+    (fun s ->
+      let parent_path =
+        if s.sp_parent < 0 then None else Hashtbl.find_opt path_of_id s.sp_parent
+      in
+      let path =
+        match parent_path with
+        | None -> s.sp_name
+        | Some p -> p ^ "\x00" ^ s.sp_name
+      in
+      Hashtbl.replace path_of_id s.sp_id path;
+      (match Hashtbl.find_opt nodes path with
+      | Some n ->
+        n.nd_count <- n.nd_count + 1;
+        n.nd_total_ns <- Int64.add n.nd_total_ns s.sp_dur_ns
+      | None ->
+        Hashtbl.replace nodes path
+          {
+            nd_name = s.sp_name;
+            nd_depth = s.sp_depth;
+            nd_count = 1;
+            nd_total_ns = s.sp_dur_ns;
+            nd_children = [];
+          };
+        (match parent_path with
+        | None -> roots := path :: !roots
+        | Some p -> (
+          match Hashtbl.find_opt nodes p with
+          | Some pn -> pn.nd_children <- path :: pn.nd_children
+          | None -> roots := path :: !roots))))
+    ss;
+  List.rev !roots, nodes
+
+let self_ns nodes n =
+  let child_total =
+    List.fold_left
+      (fun acc c ->
+        match Hashtbl.find_opt nodes c with
+        | Some cn -> Int64.add acc cn.nd_total_ns
+        | None -> acc)
+      0L n.nd_children
+  in
+  let s = Int64.sub n.nd_total_ns child_total in
+  if Int64.compare s 0L < 0 then 0L else s
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let profile_tree () =
+  let roots, nodes = aggregate () in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-44s %8s %10s %10s\n" "span" "calls" "total(s)" "self(s)");
+  let rec emit path =
+    match Hashtbl.find_opt nodes path with
+    | None -> ()
+    | Some n ->
+      let label = String.make (2 * n.nd_depth) ' ' ^ n.nd_name in
+      Buffer.add_string b
+        (Printf.sprintf "%-44s %8d %10.4f %10.4f\n" label n.nd_count
+           (Clock.ns_to_s n.nd_total_ns)
+           (Clock.ns_to_s (self_ns nodes n)));
+      List.iter emit (List.rev n.nd_children)
+  in
+  List.iter emit roots;
+  Buffer.contents b
+
+let trace_event_json () =
+  let ss = spans () in
+  let base = match ss with [] -> 0L | s :: _ -> s.sp_start_ns in
+  let us ns = Int64.to_float ns /. 1e3 in
+  let event s =
+    let args =
+      match s.sp_attrs with
+      | [] -> ""
+      | attrs ->
+        let field (k, v) =
+          Printf.sprintf {|"%s":"%s"|} (Metrics.json_escape k)
+            (Metrics.json_escape v)
+        in
+        Printf.sprintf {|,"args":{%s}|}
+          (String.concat "," (List.map field attrs))
+    in
+    Printf.sprintf
+      {|{"name":"%s","cat":"modemerge","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d%s}|}
+      (Metrics.json_escape s.sp_name)
+      (Metrics.json_float (us (Int64.sub s.sp_start_ns base)))
+      (Metrics.json_float (us s.sp_dur_ns))
+      s.sp_tid args
+  in
+  Printf.sprintf {|{"traceEvents":[%s],"displayTimeUnit":"ms"}|}
+    (String.concat "," (List.map event ss))
+
+(* Per-name aggregates for the flat export: nodes of the same span name
+   merged across paths. *)
+let span_summaries () =
+  let roots, nodes = aggregate () in
+  ignore roots;
+  let by_name = Hashtbl.create 32 in
+  let order = ref [] in
+  Hashtbl.iter
+    (fun _path n ->
+      let self = self_ns nodes n in
+      match Hashtbl.find_opt by_name n.nd_name with
+      | Some (count, total, slf) ->
+        Hashtbl.replace by_name n.nd_name
+          (count + n.nd_count, Int64.add total n.nd_total_ns, Int64.add slf self)
+      | None ->
+        order := n.nd_name :: !order;
+        Hashtbl.replace by_name n.nd_name (n.nd_count, n.nd_total_ns, self))
+    nodes;
+  List.map
+    (fun name ->
+      let count, total, self = Hashtbl.find by_name name in
+      name, count, Clock.ns_to_s total, Clock.ns_to_s self)
+    (List.sort String.compare !order)
+
+let metrics_json () =
+  let span_field (name, calls, total_s, self_s) =
+    Printf.sprintf {|"%s":{"calls":%d,"total_s":%s,"self_s":%s}|}
+      (Metrics.json_escape name) calls
+      (Metrics.json_float total_s)
+      (Metrics.json_float self_s)
+  in
+  Printf.sprintf {|{"metrics":%s,"spans":{%s}}|} (Metrics.to_json ())
+    (String.concat "," (List.map span_field (span_summaries ())))

@@ -1,0 +1,96 @@
+(** Pipeline tracing: hierarchical spans on a monotonic clock.
+
+    The tracing half of the observability layer ({!Metrics} holds the
+    numbers). A {e span} is one timed region of the pipeline — an SDC
+    parse, a preliminary merge, a tag propagation — with a name, an
+    optional set of key/value attributes, and a start/duration pair
+    read from the process monotonic clock. Spans nest: the span opened
+    by {!with_span} while another is live on the same domain becomes
+    its child, so a run records a forest mirroring the call structure
+    of the merge flow.
+
+    Recording is {b off by default} and costs one atomic load per
+    {!with_span} when disabled — instrumentation can therefore live
+    permanently in hot paths. When enabled (CLI [--trace]/[--profile],
+    the bench harness, tests) completed spans accumulate in a
+    thread-safe in-memory sink until {!reset}.
+
+    Span names are a stable taxonomy, like {!Diag} codes and
+    {!Metrics} names (see DESIGN.md "Observability"):
+
+    - [merge.flow] > [merge.mergeability] | [merge.load] | [merge.group]
+      > [merge.prelim] | [merge.refine] | [merge.equiv]
+    - [compare.pass1] / [compare.pass2] / [compare.pass3]
+    - [sdc.parse] / [sdc.resolve]
+    - [sta.analyze] > [sta.propagate] | [sta.check]
+
+    Three exporters: a human-readable profile tree
+    ({!profile_tree}), Chrome [trace_event] JSON ({!trace_event_json},
+    loadable in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}), and a flat metrics JSON ({!metrics_json}) combining the
+    {!Metrics} registry with per-span duration aggregates — the format
+    committed as [BENCH_<run>.json]. *)
+
+(** The monotonic clock behind every span — also the timer the pipeline
+    uses for its reported runtimes ([Merge_flow.result.runtime_s],
+    [Sta.report.rep_runtime]), so profile and report never disagree
+    about what the wall clock did. *)
+module Clock : sig
+  val now_ns : unit -> int64
+  (** Monotonic nanoseconds from an arbitrary origin ([CLOCK_MONOTONIC];
+      never jumps on NTP adjustment, unlike [Unix.gettimeofday]). *)
+
+  val elapsed_s : int64 -> float
+  (** [elapsed_s t0] is seconds from [t0] (a {!now_ns} reading) to now. *)
+
+  val ns_to_s : int64 -> float
+end
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+type span = {
+  sp_id : int;          (** unique per process, in start order per domain *)
+  sp_parent : int;      (** [sp_id] of the enclosing span, or -1 *)
+  sp_depth : int;       (** 0 for roots *)
+  sp_tid : int;         (** domain id, for multi-domain traces *)
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start_ns : int64;  (** {!Clock.now_ns} at open *)
+  sp_dur_ns : int64;
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span. The span is recorded
+    even when [f] raises. When recording is disabled this is just
+    [f ()]. *)
+
+val timed : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * float
+(** Like {!with_span} but additionally returns the elapsed seconds —
+    measured whether or not recording is enabled. This is how pipeline
+    stages derive their reported runtimes from the span machinery
+    instead of keeping separate hand-rolled timers. *)
+
+val spans : unit -> span list
+(** Completed spans in start order. Parents precede their children. *)
+
+val reset : unit -> unit
+(** Drop recorded spans (leaves the enabled flag and {!Metrics} alone). *)
+
+(** {2 Exporters} *)
+
+val profile_tree : unit -> string
+(** Human-readable call tree: per node (one line per distinct span
+    path) the call count, total and self wall time, children indented
+    under parents and ordered by first occurrence. *)
+
+val trace_event_json : unit -> string
+(** Chrome [trace_event] format: [{"traceEvents":[...]}] with one
+    complete ("ph":"X") event per span, microsecond timestamps
+    rebased to the earliest span. Open in [chrome://tracing] or
+    Perfetto. *)
+
+val metrics_json : unit -> string
+(** Flat machine-readable snapshot:
+    [{"metrics":{...},"spans":{name:{"calls":n,"total_s":t,"self_s":s}}}]
+    — the {!Metrics} registry plus per-span-name duration aggregates. *)

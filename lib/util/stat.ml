@@ -1,11 +1,16 @@
-let mean = function
-  | [] -> 0.
-  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+let mean_opt = function
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+
+let mean xs = Option.value ~default:0. (mean_opt xs)
 
 let percent part whole = if whole = 0. then 0. else 100. *. part /. whole
 
 let reduction_percent before after =
-  if before = 0. then 0. else 100. *. (before -. after) /. before
+  if Float.is_nan before || Float.is_nan after || before <= 0. then 0.
+  else
+    let r = 100. *. (before -. after) /. before in
+    if Float.is_finite r then r else 0.
 
 let fmt_f1 v = Printf.sprintf "%.1f" v
 let fmt_f2 v = Printf.sprintf "%.2f" v

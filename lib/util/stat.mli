@@ -1,14 +1,26 @@
-(** Small numeric helpers used by the benchmark harness and reports. *)
+(** Small numeric helpers used by the benchmark harness and reports.
+
+    Convention: the [float]-returning aggregates ([mean], [percent],
+    [reduction_percent]) return [0.] on empty or degenerate input —
+    convenient for report cells, but indistinguishable from a true
+    zero. Callers that must tell the two apart (e.g. metrics export)
+    use {!mean_opt}. *)
+
+val mean_opt : float list -> float option
+(** Arithmetic mean; [None] on the empty list. *)
 
 val mean : float list -> float
-(** Arithmetic mean; 0. on the empty list. *)
+(** Arithmetic mean; [0.] on the empty list (see the module convention). *)
 
 val percent : float -> float -> float
-(** [percent part whole] is [100 * part / whole]; 0. when [whole = 0]. *)
+(** [percent part whole] is [100 * part / whole]; [0.] when [whole = 0]. *)
 
 val reduction_percent : float -> float -> float
 (** [reduction_percent before after] is the percentage reduction from
-    [before] to [after]; 0. when [before = 0]. *)
+    [before] to [after]. Robust for metrics export: [0.] when [before]
+    is zero, negative or NaN (no meaningful baseline), and {e negative}
+    when [after > before] — a regression is reported as a negative
+    reduction, never as nonsense. Always finite for finite input. *)
 
 val fmt_f1 : float -> string
 (** Format with one decimal, e.g. ["67.5"]. *)

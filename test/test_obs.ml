@@ -1,0 +1,230 @@
+(* Obs tracing/metrics: span capture and nesting, registry semantics,
+   exporter output, and the span/metric names the pipeline emits —
+   those names are a stable contract (DESIGN.md section 9), so a rename
+   must fail here. *)
+
+module Obs = Mm_util.Obs
+module Metrics = Mm_util.Metrics
+module Pc = Mm_workload.Paper_circuit
+module Merge_flow = Mm_core.Merge_flow
+module Sta = Mm_timing.Sta
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let fresh () =
+  Obs.reset ();
+  Metrics.reset ();
+  Obs.set_enabled true
+
+let span_names () = List.map (fun s -> s.Obs.sp_name) (Obs.spans ())
+
+let contains ~needle hay =
+  let nh = String.length needle and lh = String.length hay in
+  let rec go i = i + nh <= lh && (String.sub hay i nh = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let span_cases =
+  [
+    tc "disabled records nothing" (fun () ->
+        Obs.reset ();
+        Obs.set_enabled false;
+        let r = Obs.with_span "off" (fun () -> 41 + 1) in
+        check Alcotest.int "result" 42 r;
+        check Alcotest.int "no spans" 0 (List.length (Obs.spans ())));
+    tc "nesting and order" (fun () ->
+        fresh ();
+        Obs.with_span "outer" (fun () ->
+            Obs.with_span "inner1" (fun () -> ());
+            Obs.with_span "inner2" (fun () -> ()));
+        Obs.set_enabled false;
+        check
+          (Alcotest.list Alcotest.string)
+          "start order"
+          [ "outer"; "inner1"; "inner2" ]
+          (span_names ());
+        let by_name n =
+          List.find (fun s -> s.Obs.sp_name = n) (Obs.spans ())
+        in
+        let outer = by_name "outer" in
+        let inner1 = by_name "inner1" and inner2 = by_name "inner2" in
+        check Alcotest.int "outer is a root" (-1) outer.Obs.sp_parent;
+        check Alcotest.int "outer depth" 0 outer.Obs.sp_depth;
+        check Alcotest.int "inner1 parent" outer.Obs.sp_id inner1.Obs.sp_parent;
+        check Alcotest.int "inner2 parent" outer.Obs.sp_id inner2.Obs.sp_parent;
+        check Alcotest.int "inner depth" 1 inner1.Obs.sp_depth;
+        check Alcotest.bool "inner within outer" true
+          (inner1.Obs.sp_start_ns >= outer.Obs.sp_start_ns
+          && Int64.add inner2.Obs.sp_start_ns inner2.Obs.sp_dur_ns
+             <= Int64.add outer.Obs.sp_start_ns outer.Obs.sp_dur_ns));
+    tc "attrs preserved" (fun () ->
+        fresh ();
+        Obs.with_span ~attrs:[ "mode", "func" ] "s" (fun () -> ());
+        Obs.set_enabled false;
+        let s = List.hd (Obs.spans ()) in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+          "attrs" [ "mode", "func" ] s.Obs.sp_attrs);
+    tc "span recorded on exception" (fun () ->
+        fresh ();
+        (try Obs.with_span "boom" (fun () -> failwith "x")
+         with Failure _ -> ());
+        Obs.set_enabled false;
+        check
+          (Alcotest.list Alcotest.string)
+          "recorded" [ "boom" ] (span_names ()));
+    tc "timed measures even when disabled" (fun () ->
+        Obs.reset ();
+        Obs.set_enabled false;
+        let r, dt = Obs.timed "t" (fun () -> 7) in
+        check Alcotest.int "result" 7 r;
+        check Alcotest.bool "non-negative duration" true (dt >= 0.);
+        check Alcotest.int "no span when disabled" 0
+          (List.length (Obs.spans ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+
+let metrics_cases =
+  [
+    tc "counter accumulates" (fun () ->
+        Metrics.reset ();
+        Metrics.incr "c";
+        Metrics.incr ~by:4 "c";
+        check Alcotest.int "value" 5 (Metrics.get_counter "c");
+        check Alcotest.int "absent counter is 0" 0 (Metrics.get_counter "nope"));
+    tc "gauge overwrites" (fun () ->
+        Metrics.reset ();
+        Metrics.set "g" 1.5;
+        Metrics.set "g" 2.5;
+        (match Metrics.get "g" with
+        | Some (Metrics.Gauge v) -> check (Alcotest.float 1e-9) "gauge" 2.5 v
+        | _ -> Alcotest.fail "expected gauge"));
+    tc "histogram summarises" (fun () ->
+        Metrics.reset ();
+        List.iter (Metrics.observe "h") [ 1.; 2.; 6. ];
+        match Metrics.get "h" with
+        | Some (Metrics.Histogram h) ->
+          check Alcotest.int "count" 3 h.Metrics.h_count;
+          check (Alcotest.float 1e-9) "sum" 9. h.Metrics.h_sum;
+          check (Alcotest.float 1e-9) "min" 1. h.Metrics.h_min;
+          check (Alcotest.float 1e-9) "max" 6. h.Metrics.h_max
+        | _ -> Alcotest.fail "expected histogram");
+    tc "snapshot is name-sorted" (fun () ->
+        Metrics.reset ();
+        Metrics.incr "b.two";
+        Metrics.incr "a.one";
+        check
+          (Alcotest.list Alcotest.string)
+          "order" [ "a.one"; "b.two" ]
+          (List.map (fun i -> i.Metrics.name) (Metrics.snapshot ())));
+    tc "json escaping and floats" (fun () ->
+        check Alcotest.string "escape" {|a\"b\\c|} (Metrics.json_escape {|a"b\c|});
+        check Alcotest.string "nan is 0" "0" (Metrics.json_float Float.nan);
+        check Alcotest.string "inf is 0" "0" (Metrics.json_float Float.infinity));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let exporter_cases =
+  [
+    tc "profile tree" (fun () ->
+        fresh ();
+        Obs.with_span "parent" (fun () ->
+            Obs.with_span "child" (fun () -> ());
+            Obs.with_span "child" (fun () -> ()));
+        Obs.set_enabled false;
+        let out = Obs.profile_tree () in
+        check Alcotest.bool "header" true (contains ~needle:"calls" out);
+        check Alcotest.bool "parent row" true (contains ~needle:"parent" out);
+        (* Two calls of the same child aggregate into one row. *)
+        check Alcotest.bool "child aggregated" true
+          (contains ~needle:"  child" out && contains ~needle:" 2 " out));
+    tc "trace event json" (fun () ->
+        fresh ();
+        Obs.with_span ~attrs:[ "k", "v" ] "ev" (fun () -> ());
+        Obs.set_enabled false;
+        let out = Obs.trace_event_json () in
+        check Alcotest.bool "traceEvents array" true
+          (contains ~needle:{|"traceEvents":[|} out);
+        check Alcotest.bool "complete-event phase" true
+          (contains ~needle:{|"ph":"X"|} out);
+        check Alcotest.bool "named" true (contains ~needle:{|"name":"ev"|} out);
+        check Alcotest.bool "args carry attrs" true
+          (contains ~needle:{|"k":"v"|} out);
+        check Alcotest.bool "display unit" true
+          (contains ~needle:{|"displayTimeUnit"|} out));
+    tc "metrics json" (fun () ->
+        fresh ();
+        Metrics.incr ~by:3 "x.count";
+        Obs.with_span "sp" (fun () -> ());
+        Obs.set_enabled false;
+        let out = Obs.metrics_json () in
+        check Alcotest.bool "metrics section" true
+          (contains ~needle:{|"x.count":3|} out);
+        check Alcotest.bool "span summary" true
+          (contains ~needle:{|"sp":{"calls":1|} out));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration: the names the merge flow and STA emit          *)
+
+let integration_cases =
+  [
+    tc "merge flow emits the documented spans" (fun () ->
+        fresh ();
+        let d = Pc.build () in
+        let a, b = Pc.constraint_set6 d in
+        let r = Merge_flow.run [ a; b ] in
+        Obs.set_enabled false;
+        check Alcotest.int "merged to one" 1 r.Merge_flow.n_merged;
+        let names = span_names () in
+        List.iter
+          (fun n ->
+            check Alcotest.bool n true (List.mem n names))
+          [
+            "merge.flow"; "merge.mergeability"; "merge.group"; "merge.prelim";
+            "merge.refine"; "merge.equiv"; "compare.pass1"; "compare.pass2";
+            "compare.pass3";
+          ];
+        check Alcotest.int "one clique" 1 (Metrics.get_counter "merge.cliques");
+        check Alcotest.bool "pairs checked" true
+          (Metrics.get_counter "merge.pairs_checked" >= 1);
+        (* merge.flow must be the root enclosing everything else. *)
+        let flow =
+          List.find (fun s -> s.Obs.sp_name = "merge.flow") (Obs.spans ())
+        in
+        check Alcotest.int "flow at depth 0" 0 flow.Obs.sp_depth;
+        check Alcotest.bool "runtime from the same clock" true
+          (r.Merge_flow.runtime_s > 0.));
+    tc "sta emits propagate/check spans and counters" (fun () ->
+        fresh ();
+        let d = Pc.build () in
+        let m = Pc.constraint_set1 d in
+        let rep = Sta.analyze d m in
+        Obs.set_enabled false;
+        let names = span_names () in
+        List.iter
+          (fun n -> check Alcotest.bool n true (List.mem n names))
+          [ "sta.analyze"; "sta.propagate"; "sta.check" ];
+        check Alcotest.bool "tags counted" true
+          (Metrics.get_counter "sta.tags_propagated" > 0);
+        check Alcotest.bool "endpoints counted" true
+          (Metrics.get_counter "sta.endpoints_checked" > 0);
+        check Alcotest.bool "rep_runtime non-negative" true
+          (rep.Sta.rep_runtime >= 0.));
+  ]
+
+let () =
+  Alcotest.run "mm_obs"
+    [
+      "span", span_cases;
+      "metrics", metrics_cases;
+      "exporter", exporter_cases;
+      "integration", integration_cases;
+    ]

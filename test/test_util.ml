@@ -274,6 +274,14 @@ let stat_cases =
     tc "mean" (fun () ->
         check (Alcotest.float 1e-9) "mean" 2. (Stat.mean [ 1.; 2.; 3. ]);
         check (Alcotest.float 1e-9) "empty" 0. (Stat.mean []));
+    tc "mean_opt" (fun () ->
+        check
+          (Alcotest.option (Alcotest.float 1e-9))
+          "some" (Some 2.)
+          (Stat.mean_opt [ 1.; 2.; 3. ]);
+        check
+          (Alcotest.option (Alcotest.float 1e-9))
+          "empty is None" None (Stat.mean_opt []));
     tc "percent" (fun () ->
         check (Alcotest.float 1e-9) "half" 50. (Stat.percent 1. 2.);
         check (Alcotest.float 1e-9) "zero denom" 0. (Stat.percent 1. 0.));
@@ -281,6 +289,18 @@ let stat_cases =
         check (Alcotest.float 1e-6) "95 to 16" 83.15789473684211
           (Stat.reduction_percent 95. 16.);
         check (Alcotest.float 1e-9) "zero" 0. (Stat.reduction_percent 0. 5.));
+    tc "reduction robust" (fun () ->
+        (* after > before is a slowdown: negative but meaningful. *)
+        check (Alcotest.float 1e-9) "slowdown" (-50.)
+          (Stat.reduction_percent 2. 3.);
+        check (Alcotest.float 1e-9) "negative before" 0.
+          (Stat.reduction_percent (-1.) 3.);
+        check (Alcotest.float 1e-9) "nan before" 0.
+          (Stat.reduction_percent Float.nan 3.);
+        check (Alcotest.float 1e-9) "nan after" 0.
+          (Stat.reduction_percent 3. Float.nan);
+        check Alcotest.bool "always finite" true
+          (Float.is_finite (Stat.reduction_percent 1e-300 1e300)));
     tc "formatting" (fun () ->
         check Alcotest.string "f1" "67.5" (Stat.fmt_f1 67.5);
         check Alcotest.string "f2" "62.52" (Stat.fmt_f2 62.52);
