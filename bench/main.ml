@@ -159,7 +159,71 @@ let run_design (p : Presets.preset) =
 (* per design plus the full observability snapshot (metric counters    *)
 (* and per-stage span durations) of the run that produced them.        *)
 
-let bench_json runs =
+(* One row of the domain-scaling sweep: the same workload merged and
+   STA-swept at a fixed --jobs count. *)
+type scaling_row = { sc_jobs : int; sc_merge_s : float; sc_sta_s : float }
+
+let scaling_json ~design_name rows =
+  let jf = Metrics.json_float in
+  let base =
+    match rows with r :: _ -> r.sc_merge_s | [] -> 0.0
+  in
+  let row r =
+    Printf.sprintf
+      {|{"jobs":%d,"merge_s":%s,"sta_s":%s,"merge_speedup":%s}|}
+      r.sc_jobs (jf r.sc_merge_s) (jf r.sc_sta_s)
+      (jf (if r.sc_merge_s > 0.0 then base /. r.sc_merge_s else 0.0))
+  in
+  Printf.sprintf {|{"design":"%s","runs":[%s]}|}
+    (Metrics.json_escape design_name)
+    (String.concat "," (List.map row rows))
+
+(* The sweep itself: merge + per-mode STA at each jobs count. The
+   workload and the results are identical at every point (the task
+   graph is deterministic); only the wall clock moves. On a single
+   hardware thread every point degenerates to sequential execution and
+   the recorded speedup is honestly ~1.0. *)
+let scaling_sweep ~jobs_list ~name design modes =
+  section
+    (Printf.sprintf "Scaling: %s merge + STA sweep vs worker domains" name);
+  let t =
+    Tab.create
+      ~aligns:[ Tab.Right; Tab.Right; Tab.Right; Tab.Right ]
+      [ "Jobs"; "Merge (s)"; "STA sweep (s)"; "Merge speedup" ]
+  in
+  let rows =
+    List.map
+      (fun jobs ->
+        let _, merge_s =
+          time (fun () -> Merge_flow.run ~check_equivalence:false ~jobs modes)
+        in
+        let _, sta_s =
+          time (fun () ->
+              Mm_util.Pool.with_pool ~jobs @@ fun pool ->
+              ignore (Sta.analyze_many ~pool design modes))
+        in
+        { sc_jobs = jobs; sc_merge_s = merge_s; sc_sta_s = sta_s })
+      jobs_list
+  in
+  let base = match rows with r :: _ -> r.sc_merge_s | [] -> 0.0 in
+  List.iter
+    (fun r ->
+      Tab.add_row t
+        [
+          string_of_int r.sc_jobs;
+          Stat.fmt_time_s r.sc_merge_s;
+          Stat.fmt_time_s r.sc_sta_s;
+          Printf.sprintf "%.2fx"
+            (if r.sc_merge_s > 0.0 then base /. r.sc_merge_s else 0.0);
+        ])
+    rows;
+  Tab.print t;
+  Printf.printf
+    "(hardware threads available: %d; speedup saturates at that count)\n"
+    (Domain.recommended_domain_count ());
+  rows
+
+let bench_json ~scaling runs =
   let jf = Metrics.json_float in
   let b = Buffer.create 4096 in
   let row5 r =
@@ -194,6 +258,7 @@ let bench_json runs =
        (jf (Stat.mean (List.map (fun r -> r.dr_flow.Merge_flow.reduction_percent) runs)))
        (jf (Stat.mean (List.map (fun r -> Stat.reduction_percent r.dr_sta_ind r.dr_sta_mrg) runs)))
        (jf (Stat.mean (List.map (fun r -> r.dr_conformity) runs))));
+  Buffer.add_string b (Printf.sprintf {|"scaling":%s,|} scaling);
   (* Obs.metrics_json is {"metrics":...,"spans":...} — embed verbatim. *)
   Buffer.add_string b
     (Printf.sprintf {|"observability":%s}|} (Obs.metrics_json ()));
@@ -201,12 +266,12 @@ let bench_json runs =
 
 let bench_file = "BENCH_paper_tables.json"
 
-let write_bench_json runs =
+let write_bench_json ~scaling runs =
   let oc = open_out bench_file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc (bench_json runs);
+      output_string oc (bench_json ~scaling runs);
       output_char oc '\n');
   Printf.printf "\nwrote %s\n" bench_file
 
@@ -217,7 +282,7 @@ let mandatory_keys =
   [
     {|"table5"|}; {|"table6"|}; {|"merge_runtime_s"|}; {|"conformity"|};
     {|"merge.cliques"|}; {|"sta.tags_propagated"|}; {|"spans"|};
-    {|"sta.analyze"|};
+    {|"sta.analyze"|}; {|"scaling"|}; {|"merge_speedup"|};
   ]
 
 let contains ~needle hay =
@@ -333,7 +398,17 @@ let tables56 () =
         (Stat.mean (List.map (fun r -> (paper r).Presets.paper_conformity) runs));
     ];
   Tab.print t6;
-  write_bench_json runs
+  (* Domain-scaling record for the committed trajectory: design A at
+     1/2/4/8 worker domains. *)
+  let pa = List.hd Presets.all in
+  let design_a, _info, modes_a = Presets.build pa in
+  let rows =
+    scaling_sweep ~jobs_list:[ 1; 2; 4; 8 ] ~name:pa.Presets.pr_name design_a
+      modes_a
+  in
+  write_bench_json
+    ~scaling:(scaling_json ~design_name:pa.Presets.pr_name rows)
+    runs
 
 (* ------------------------------------------------------------------ *)
 (* Smoke run for @bench-smoke: the paper circuit's two-mode merge       *)
@@ -351,7 +426,30 @@ let smoke () =
   Printf.printf "  merged %d -> %d mode(s), %.1f%% reduction, conformity %.2f\n"
     r.dr_flow.Merge_flow.n_individual r.dr_flow.Merge_flow.n_merged
     r.dr_flow.Merge_flow.reduction_percent r.dr_conformity;
-  write_bench_json [ r ];
+  (* Mini scaling record (two points) so the smoke json carries every
+     mandatory key; the full 1/2/4/8 sweep lives in the scaling target. *)
+  let rows = scaling_sweep ~jobs_list:[ 1; 2 ] ~name:"paper_circuit" d [ a; b ] in
+  write_bench_json ~scaling:(scaling_json ~design_name:"paper_circuit" rows) [ r ];
+  validate_bench_json ()
+
+(* ------------------------------------------------------------------ *)
+(* Standalone scaling target: design A merged and STA-swept at         *)
+(* 1/2/4/8 worker domains, recorded under "scaling" in the bench json.  *)
+
+let scaling_target () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Metrics.reset ();
+  let pa = List.hd Presets.all in
+  let design, _info, modes = Presets.build pa in
+  let rows =
+    scaling_sweep ~jobs_list:[ 1; 2; 4; 8 ] ~name:pa.Presets.pr_name design
+      modes
+  in
+  let r = run_design pa in
+  write_bench_json
+    ~scaling:(scaling_json ~design_name:pa.Presets.pr_name rows)
+    [ r ];
   validate_bench_json ()
 
 (* ------------------------------------------------------------------ *)
@@ -615,6 +713,7 @@ let () =
   | "figure2" -> figure2 ()
   | "table5" | "table6" -> tables56 ()
   | "smoke" -> smoke ()
+  | "scaling" -> scaling_target ()
   | "bech" -> bechamel_suite ()
   | "all" ->
     tables ();
@@ -623,6 +722,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown target %s (use \
-       tables|table1|table2|figure2|table5|smoke|ablations|scale|bech|all)\n"
+       tables|table1|table2|figure2|table5|smoke|scaling|ablations|scale|bech|all)\n"
       other;
     exit 1

@@ -176,6 +176,16 @@ let obs_setup ~trace ~metrics ~profile =
         if profile then prerr_string (Obs.profile_tree ()))
   end
 
+let jobs_arg =
+  let doc =
+    "Number of worker domains for the parallel pipeline stages (mode \
+     loading, mergeability checks, per-clique merges, STA sweeps). \
+     Defaults to $(b,MM_JOBS) or the hardware's recommended domain \
+     count; 1 runs fully sequentially. Results are identical for any \
+     value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let policy_arg =
   let strict =
     ( Merge_flow.Strict,
@@ -203,12 +213,13 @@ let merge_cmd =
     let doc = "Additionally dump all diagnostics as a JSON array to stderr." in
     Arg.(value & flag & info [ "diag-json" ] ~doc)
   in
-  let run netlist liberty sdcs outdir policy diag_json trace metrics profile =
+  let run netlist liberty sdcs outdir policy jobs diag_json trace metrics
+      profile =
     guard_io @@ fun () ->
     obs_setup ~trace ~metrics ~profile;
     let design = read_design ?liberty netlist in
     let result =
-      match Merge_flow.run_files ~policy ~design sdcs with
+      match Merge_flow.run_files ~policy ?jobs ~design sdcs with
       | r -> r
       | exception Mm_sdc.Parser.Error { loc; msg } ->
         fatal ?loc ~code:(Mm_sdc.Parser.error_code msg) "%s" msg
@@ -239,18 +250,24 @@ let merge_cmd =
       result.Merge_flow.n_individual result.Merge_flow.n_merged
       result.Merge_flow.reduction_percent result.Merge_flow.runtime_s;
     if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+    (* Post-merge STA sanity pass: one analysis per merged mode (a
+       parallel sweep), so the run reports QoR (tag count, worst slack)
+       next to the equivalence verdict. *)
+    let reports =
+      Mm_util.Pool.with_pool ?jobs @@ fun pool ->
+      Sta.analyze_many ~pool design
+        (List.map
+           (fun (g : Merge_flow.group) -> g.Merge_flow.grp_mode)
+           result.Merge_flow.groups)
+    in
     List.iteri
-      (fun i (g : Merge_flow.group) ->
+      (fun i ((g : Merge_flow.group), rep) ->
         let mode = g.Merge_flow.grp_mode in
         let path = Filename.concat outdir (Printf.sprintf "merged_%d.sdc" i) in
         let oc = open_out path in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc (Mode.to_sdc mode));
-        (* Post-merge STA sanity pass: one analysis per merged mode, so
-           the run reports QoR (tag count, worst slack) next to the
-           equivalence verdict. *)
-        let rep = Sta.analyze design mode in
         let slack_txt =
           match Sta.worst_setup_by_endpoint rep with
           | [] -> ""
@@ -268,7 +285,7 @@ let merge_cmd =
               e.Mm_core.Equiv.mismatches
           | None -> "")
           rep.Sta.rep_n_tags slack_txt)
-      result.Merge_flow.groups;
+      (List.combine result.Merge_flow.groups reports);
     if
       List.exists
         (fun (g : Merge_flow.group) ->
@@ -290,7 +307,7 @@ let merge_cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ liberty_arg $ sdc_args $ outdir $ policy_arg
-      $ diag_json $ trace_arg $ metrics_arg $ profile_arg)
+      $ jobs_arg $ diag_json $ trace_arg $ metrics_arg $ profile_arg)
 
 let sta_cmd =
   let paths_arg =
@@ -307,15 +324,17 @@ let sta_cmd =
       & opt corner_conv Mm_timing.Corner.typical
       & info [ "corner" ] ~doc:"PVT corner: typical, slow or fast.")
   in
-  let run netlist liberty sdcs paths corner policy trace metrics profile =
+  let run netlist liberty sdcs paths corner policy jobs trace metrics profile =
     guard_io @@ fun () ->
     obs_setup ~trace ~metrics ~profile;
     let design = read_design ?liberty netlist in
-    List.iter
-      (fun path ->
-        let mode = load_mode ~policy design path in
-        let ctx = Context.create design mode in
-        let report = Sta.analyze ~ctx ~corner design mode in
+    let modes = List.map (load_mode ~policy design) sdcs in
+    let reports =
+      Mm_util.Pool.with_pool ?jobs @@ fun pool ->
+      Sta.analyze_many ~corner ~pool design modes
+    in
+    List.iter2
+      (fun mode report ->
         Printf.printf "mode %s @ %s: %d endpoints, %d tags, %.3fs\n"
           report.Sta.rep_mode corner.Mm_timing.Corner.corner_name
           (List.length report.Sta.rep_slacks)
@@ -341,8 +360,8 @@ let sta_cmd =
         if paths > 0 then
           List.iter
             (fun p -> print_string (Sta.path_to_string design p))
-            (Sta.worst_paths ~ctx ~corner ~n:paths design mode))
-      sdcs;
+            (Sta.worst_paths ~corner ~n:paths design mode))
+      modes reports;
     finish ()
   in
   let info =
@@ -352,7 +371,7 @@ let sta_cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ liberty_arg $ sdc_args $ paths_arg $ corner_arg
-      $ policy_arg $ trace_arg $ metrics_arg $ profile_arg)
+      $ policy_arg $ jobs_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let lint_cmd =
   let run netlist liberty sdcs policy =

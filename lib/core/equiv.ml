@@ -18,19 +18,18 @@ let check ?ctx_cache ~individual ~rename ~merged () =
     "merge.equiv"
   @@ fun () ->
   let design = merged.Mode.design in
-  let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 8 in
-  let ctx_of (m : Mode.t) =
-    match Hashtbl.find_opt ctx_cache m.Mode.mode_name with
+  let ctx_cache =
+    match ctx_cache with
     | Some c -> c
-    | None ->
-      let c = Context.create design m in
-      Hashtbl.replace ctx_cache m.Mode.mode_name c;
-      c
+    | None -> Mm_timing.Ctx_cache.create ()
   in
   let sides =
     List.map
       (fun (m : Mode.t) ->
-        { Compare.ctx = ctx_of m; rename = rename m.Mode.mode_name })
+        {
+          Compare.ctx = Mm_timing.Ctx_cache.find ctx_cache m;
+          rename = rename m.Mode.mode_name;
+        })
       individual
   in
   let ctx_m = Context.create design merged in

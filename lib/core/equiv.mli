@@ -34,7 +34,7 @@ type report = {
 }
 
 val check :
-  ?ctx_cache:(string, Mm_timing.Context.t) Hashtbl.t ->
+  ?ctx_cache:Mm_timing.Ctx_cache.t ->
   individual:Mm_sdc.Mode.t list ->
   rename:(string -> string -> string) ->
   merged:Mm_sdc.Mode.t ->

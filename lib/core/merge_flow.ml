@@ -4,6 +4,8 @@ module Stat = Mm_util.Stat
 module Diag = Mm_util.Diag
 module Obs = Mm_util.Obs
 module Metrics = Mm_util.Metrics
+module Pool = Mm_util.Pool
+module Ctx_cache = Mm_timing.Ctx_cache
 
 type policy = Strict | Permissive
 
@@ -83,47 +85,167 @@ let merged_group ?tolerance ~check_equivalence ~ctx_cache ~name members =
     grp_mode = refine.Refine.refined;
   }
 
-let run_core ?tolerance ~check_equivalence ~policy ~t0 ~pre_quarantined
+(* ------------------------------------------------------------------ *)
+(* Task values
+
+   Every pipeline stage is expressed as a batch of pure tasks whose
+   outcomes the driver folds in input order, so the result is
+   byte-identical whether the batch ran on one domain or many. Tasks
+   never touch shared mutable state: each gets a {!Ctx_cache.fork} of
+   the run's cache, and quarantines/degradations/diagnostics travel in
+   the outcome value instead of being pushed into shared refs. *)
+
+(* Outcome of one stage-3 clique task. *)
+type task_out = {
+  tk_groups : group list;
+  tk_quarantined : quarantined list;
+  tk_degraded : string list list;
+  tk_diags : Diag.t list;
+}
+
+(* Permissive stage-1 task: probe one mode's singleton merge (context
+   construction + clock propagation). A mode that cannot even stand
+   alone is quarantined before it can poison the pairwise analysis.
+   The probe's group is kept — stage 3 reuses it for singleton cliques
+   and degraded members instead of merging the mode a second time. *)
+let probe_task ?tolerance ~ctx_cache (m : Mode.t) =
+  let ctx_cache = Ctx_cache.fork ctx_cache in
+  match singleton_group ?tolerance ~ctx_cache m with
+  | g -> Ok (m, g)
+  | exception exn ->
+    Error
+      {
+        q_name = m.Mode.mode_name;
+        q_stage = Probe;
+        q_diags =
+          [ exn_diag ~code:"merge.mode-failed" ~name:m.Mode.mode_name exn ];
+      }
+
+(* Stage-3 task: merge one clique. [probed] holds the memoized
+   singleton groups from stage 1 (empty under [Strict]); it is written
+   before the stage-3 batch is published and only read afterwards. *)
+let clique_task ?tolerance ~check_equivalence ~policy ~probed ~ctx_cache
+    (gi, members) =
+  let ctx_cache = Ctx_cache.fork ctx_cache in
+  let merged_name = Printf.sprintf "merged_%d" gi in
+  let singleton (m : Mode.t) =
+    match Hashtbl.find_opt probed m.Mode.mode_name with
+    | Some g -> g
+    | None -> singleton_group ?tolerance ~ctx_cache m
+  in
+  let ok g = { tk_groups = [ g ]; tk_quarantined = []; tk_degraded = []; tk_diags = [] } in
+  let quarantine (m : Mode.t) exn =
+    {
+      q_name = m.Mode.mode_name;
+      q_stage = Merge;
+      q_diags = [ exn_diag ~code:"merge.mode-failed" ~name:m.Mode.mode_name exn ];
+    }
+  in
+  (* Permissive fallback: keep the clique's modes individual
+     ("when in doubt, don't merge"). *)
+  let degrade reason =
+    let names = List.map (fun (m : Mode.t) -> m.Mode.mode_name) members in
+    let diag =
+      Diag.makef Diag.Warning ~code:"merge.group-degraded"
+        "group [%s] kept as individual modes: %s" (String.concat ", " names)
+        reason
+    in
+    let groups, quarantines =
+      List.fold_left
+        (fun (gs, qs) (m : Mode.t) ->
+          match singleton m with
+          | g -> g :: gs, qs
+          | exception exn -> gs, quarantine m exn :: qs)
+        ([], []) members
+    in
+    {
+      tk_groups = List.rev groups;
+      tk_quarantined = List.rev quarantines;
+      tk_degraded = [ names ];
+      tk_diags = [ diag ];
+    }
+  in
+  Obs.with_span "merge.group"
+    ~attrs:
+      [
+        "members",
+        String.concat ","
+          (List.map (fun (m : Mode.t) -> m.Mode.mode_name) members);
+      ]
+  @@ fun () ->
+  match members, policy with
+  | [ single ], Strict -> ok (singleton single)
+  | [ single ], Permissive -> (
+    match singleton single with
+    | g -> ok g
+    | exception exn ->
+      {
+        tk_groups = [];
+        tk_quarantined = [ quarantine single exn ];
+        tk_degraded = [];
+        tk_diags = [];
+      })
+  | _, Strict ->
+    ok
+      (merged_group ?tolerance ~check_equivalence ~ctx_cache ~name:merged_name
+         members)
+  | _, Permissive -> (
+    match
+      merged_group ?tolerance ~check_equivalence ~ctx_cache ~name:merged_name
+        members
+    with
+    | g -> (
+      match g.grp_equiv with
+      | Some e when not e.Equiv.equivalent ->
+        degrade
+          (Printf.sprintf
+             "merged mode failed the equivalence check (%d mismatches)"
+             e.Equiv.mismatches)
+      | _ -> ok g)
+    | exception exn ->
+      degrade (Printf.sprintf "merge failed with %s" (Printexc.to_string exn)))
+
+let run_core ?tolerance ~check_equivalence ~policy ~pool ~t0 ~pre_quarantined
     ~pre_diags modes =
   Obs.with_span
     ~attrs:[ "modes", string_of_int (List.length modes) ]
     "merge.flow"
   @@ fun () ->
-  let ctx_cache = Hashtbl.create 32 in
+  Metrics.set "merge.jobs" (float_of_int (Pool.jobs pool));
+  let ctx_cache = Ctx_cache.create () in
   let diags = Diag.collector () in
   List.iter (Diag.add diags) pre_diags;
-  let quarantined = ref (List.rev pre_quarantined) in
-  Metrics.incr ~by:(List.length pre_quarantined) "merge.quarantined";
   (* Quarantine diagnostics live on the quarantine record itself, not
      in the run-level stream. *)
-  let quarantine name stage qds =
+  let quarantined = ref (List.rev pre_quarantined) in
+  Metrics.incr ~by:(List.length pre_quarantined) "merge.quarantined";
+  let quarantine q =
     Metrics.incr "merge.quarantined";
-    quarantined := { q_name = name; q_stage = stage; q_diags = qds } :: !quarantined
+    quarantined := q :: !quarantined
   in
-  (* Permissive stage 1: probe each mode's singleton merge (context
-     construction + clock propagation). A mode that cannot even stand
-     alone is quarantined before it can poison the pairwise analysis.
-     The context cache makes the probe's work reusable downstream. *)
+  (* Stage 1 (permissive): per-mode probe tasks. *)
+  let probed = Hashtbl.create 16 in
   let modes =
     match policy with
     | Strict -> modes
     | Permissive ->
-      List.filter
-        (fun (m : Mode.t) ->
-          match singleton_group ?tolerance ~ctx_cache m with
-          | _ -> true
-          | exception exn ->
-            quarantine m.Mode.mode_name Probe
-              [ exn_diag ~code:"merge.mode-failed" ~name:m.Mode.mode_name exn ];
-            false)
-        modes
+      List.filter_map
+        (function
+          | Ok ((m : Mode.t), g) ->
+            Hashtbl.replace probed m.Mode.mode_name g;
+            Some m
+          | Error q ->
+            quarantine q;
+            None)
+        (Pool.map pool (probe_task ?tolerance ~ctx_cache) modes)
   in
-  (* Stage 2: mergeability graph + clique cover. *)
+  (* Stage 2: mergeability graph + clique cover (pairwise checks are
+     pool tasks inside [Mergeability.analyze]). *)
   let mergeability =
     match policy with
-    | Strict -> Mergeability.analyze ?tolerance ~ctx_cache modes
+    | Strict -> Mergeability.analyze ?tolerance ~ctx_cache ~pool modes
     | Permissive -> (
-      try Mergeability.analyze ?tolerance ~ctx_cache modes
+      try Mergeability.analyze ?tolerance ~ctx_cache ~pool modes
       with exn ->
         Diag.addf diags Diag.Error ~code:"merge.analysis-failed"
           "mergeability analysis failed (%s); keeping all modes individual"
@@ -132,82 +254,32 @@ let run_core ?tolerance ~check_equivalence ~policy ~t0 ~pre_quarantined
   in
   let cliques = Mergeability.clique_modes mergeability modes in
   Metrics.incr ~by:(List.length cliques) "merge.cliques";
-  (* Stage 3: per-clique merge, with per-group degradation in
-     permissive mode — a group that fails to merge, refine or validate
-     falls back to its individual modes ("when in doubt, don't merge"). *)
-  let degraded = ref [] in
-  let degrade_members members reason =
-    let names = List.map (fun (m : Mode.t) -> m.Mode.mode_name) members in
-    degraded := names :: !degraded;
-    Metrics.incr "merge.degraded_cliques";
-    Diag.addf diags Diag.Warning ~code:"merge.group-degraded"
-      "group [%s] kept as individual modes: %s" (String.concat ", " names)
-      reason;
-    List.filter_map
-      (fun (m : Mode.t) ->
-        match singleton_group ?tolerance ~ctx_cache m with
-        | g -> Some g
-        | exception exn ->
-          quarantine m.Mode.mode_name Merge
-            [ exn_diag ~code:"merge.mode-failed" ~name:m.Mode.mode_name exn ];
-          None)
-      members
+  (* Stage 3: per-clique merge tasks, folded in clique order. *)
+  let outs =
+    Obs.with_span
+      ~attrs:[ "cliques", string_of_int (List.length cliques) ]
+      "merge.clique_sweep"
+    @@ fun () ->
+    Pool.map pool
+      (clique_task ?tolerance ~check_equivalence ~policy ~probed ~ctx_cache)
+      (List.mapi (fun gi members -> gi, members) cliques)
   in
-  let groups =
-    List.concat
-      (List.mapi
-         (fun gi members ->
-           let merged_name = Printf.sprintf "merged_%d" gi in
-           Obs.with_span "merge.group"
-             ~attrs:
-               [
-                 "members",
-                 String.concat ","
-                   (List.map (fun (m : Mode.t) -> m.Mode.mode_name) members);
-               ]
-           @@ fun () ->
-           match members, policy with
-           | [ single ], Strict ->
-             [ singleton_group ?tolerance ~ctx_cache single ]
-           | [ single ], Permissive -> (
-             match singleton_group ?tolerance ~ctx_cache single with
-             | g -> [ g ]
-             | exception exn ->
-               quarantine single.Mode.mode_name Merge
-                 [
-                   exn_diag ~code:"merge.mode-failed"
-                     ~name:single.Mode.mode_name exn;
-                 ];
-               [])
-           | _, Strict ->
-             [
-               merged_group ?tolerance ~check_equivalence ~ctx_cache
-                 ~name:merged_name members;
-             ]
-           | _, Permissive -> (
-             match
-               merged_group ?tolerance ~check_equivalence ~ctx_cache
-                 ~name:merged_name members
-             with
-             | g -> (
-               match g.grp_equiv with
-               | Some e when not e.Equiv.equivalent ->
-                 degrade_members members
-                   (Printf.sprintf
-                      "merged mode failed the equivalence check (%d mismatches)"
-                      e.Equiv.mismatches)
-               | _ -> [ g ])
-             | exception exn ->
-               degrade_members members
-                 (Printf.sprintf "merge failed with %s" (Printexc.to_string exn))))
-         cliques)
+  let groups, degraded =
+    List.fold_left
+      (fun (gs, ds) out ->
+        List.iter quarantine out.tk_quarantined;
+        Metrics.incr ~by:(List.length out.tk_degraded) "merge.degraded_cliques";
+        List.iter (Diag.add diags) out.tk_diags;
+        List.rev_append out.tk_groups gs, List.rev_append out.tk_degraded ds)
+      ([], []) outs
   in
+  let groups = List.rev groups and degraded = List.rev degraded in
   let n_individual = List.length modes and n_merged = List.length groups in
   {
     groups;
     mergeability;
     quarantined = List.rev !quarantined;
-    degraded = List.rev !degraded;
+    degraded;
     diags = Diag.to_list diags;
     n_individual;
     n_merged;
@@ -216,8 +288,9 @@ let run_core ?tolerance ~check_equivalence ~policy ~t0 ~pre_quarantined
     runtime_s = Obs.Clock.elapsed_s t0;
   }
 
-let run ?tolerance ?(check_equivalence = true) ?(policy = Strict) modes =
-  run_core ?tolerance ~check_equivalence ~policy
+let run ?tolerance ?(check_equivalence = true) ?(policy = Strict) ?jobs modes =
+  Pool.with_pool ?jobs @@ fun pool ->
+  run_core ?tolerance ~check_equivalence ~policy ~pool
     ~t0:(Obs.Clock.now_ns ())
     ~pre_quarantined:[] ~pre_diags:[] modes
 
@@ -233,46 +306,51 @@ let source_of_file path =
     src_text = Mm_sdc.Parser.read_whole_file path;
   }
 
-let run_sources ?tolerance ?(check_equivalence = true) ?(policy = Strict)
+(* Load task: parse and resolve one source. Pure — quarantine vs mode
+   travels in the outcome, diagnostics alongside. *)
+let load_task ~policy ~design src =
+  (* The diagnostic location falls back to the mode name so that
+     quarantined in-memory sources still carry a located report. *)
+  let file = Option.value src.src_file ~default:src.src_name in
+  match policy with
+  | Strict ->
+    let r =
+      Resolve.mode_of_string ~file design ~name:src.src_name src.src_text
+    in
+    Ok (r.Resolve.mode, r.Resolve.diags)
+  | Permissive ->
+    let r =
+      Resolve.mode_of_string_robust ~file design ~name:src.src_name
+        src.src_text
+    in
+    if Diag.has_errors r.Resolve.diags then
+      Error { q_name = src.src_name; q_stage = Load; q_diags = r.Resolve.diags }
+    else Ok (r.Resolve.mode, r.Resolve.diags)
+
+let run_sources ?tolerance ?(check_equivalence = true) ?(policy = Strict) ?jobs
     ~design sources =
+  Pool.with_pool ?jobs @@ fun pool ->
   let t0 = Obs.Clock.now_ns () in
-  let pre_quarantined = ref [] and pre_diags = ref [] in
-  let modes =
+  let loaded =
     Obs.with_span "merge.load"
       ~attrs:[ "sources", string_of_int (List.length sources) ]
-    @@ fun () ->
-    List.filter_map
-      (fun src ->
-        (* The diagnostic location falls back to the mode name so that
-           quarantined in-memory sources still carry a located report. *)
-        let file = Option.value src.src_file ~default:src.src_name in
-        match policy with
-        | Strict ->
-          let r = Resolve.mode_of_string ~file design ~name:src.src_name src.src_text in
-          pre_diags := !pre_diags @ r.Resolve.diags;
-          Some r.Resolve.mode
-        | Permissive ->
-          let r =
-            Resolve.mode_of_string_robust ~file design ~name:src.src_name
-              src.src_text
-          in
-          if Diag.has_errors r.Resolve.diags then begin
-            pre_quarantined :=
-              { q_name = src.src_name; q_stage = Load; q_diags = r.Resolve.diags }
-              :: !pre_quarantined;
-            None
-          end
-          else begin
-            pre_diags := !pre_diags @ r.Resolve.diags;
-            Some r.Resolve.mode
-          end)
-      sources
+    @@ fun () -> Pool.map pool (load_task ~policy ~design) sources
   in
-  run_core ?tolerance ~check_equivalence ~policy ~t0
-    ~pre_quarantined:(List.rev !pre_quarantined)
-    ~pre_diags:!pre_diags modes
+  (* Fold outcomes in source order; diagnostics accumulate by reversed
+     cons (the old [!d @ r.diags] was quadratic in the source count). *)
+  let modes, pre_quarantined, pre_diags =
+    List.fold_left
+      (fun (ms, qs, ds) -> function
+        | Ok (mode, diags) -> mode :: ms, qs, List.rev_append diags ds
+        | Error q -> ms, q :: qs, ds)
+      ([], [], []) loaded
+  in
+  run_core ?tolerance ~check_equivalence ~policy ~pool ~t0
+    ~pre_quarantined:(List.rev pre_quarantined)
+    ~pre_diags:(List.rev pre_diags) (List.rev modes)
 
-let run_files ?tolerance ?check_equivalence ?(policy = Strict) ~design paths =
+let run_files ?tolerance ?check_equivalence ?(policy = Strict) ?jobs ~design
+    paths =
   (* In strict mode an unreadable file raises [Sys_error]; in
      permissive mode it is quarantined up front with a fatal io.read
      diagnostic and the remaining files still merge. *)
@@ -295,7 +373,9 @@ let run_files ?tolerance ?check_equivalence ?(policy = Strict) ~design paths =
           None)
       paths
   in
-  let r = run_sources ?tolerance ?check_equivalence ~policy ~design sources in
+  let r =
+    run_sources ?tolerance ?check_equivalence ~policy ?jobs ~design sources
+  in
   Metrics.incr ~by:(List.length !io_failed) "merge.quarantined";
   { r with quarantined = List.rev !io_failed @ r.quarantined }
 

@@ -18,7 +18,20 @@
       preliminary merge, refinement or equivalence validation fails
       falls back to keeping that clique's modes individual
       (correctness-preserving degradation: "when in doubt, don't
-      merge"). Permissive mode never raises on bad constraint input. *)
+      merge"). Permissive mode never raises on bad constraint input.
+
+    {2 Parallel execution}
+
+    Every stage is a batch of pure tasks executed on an
+    {!Mm_util.Pool}: per-source load tasks, per-mode probe tasks, the
+    pairwise mergeability checks, and per-clique merge tasks. Task
+    outcomes carry their groups, quarantines, degradations and
+    diagnostics as values, and the driver folds them in input order —
+    so the result (groups, diagnostics, quarantine and degradation
+    lists, metric counters) is byte-identical for any [jobs] count.
+    [jobs] defaults to {!Mm_util.Pool.default_jobs} ([MM_JOBS] or the
+    hardware's recommended domain count); [jobs = 1] runs sequentially
+    on the calling domain with no domains spawned. *)
 
 type policy = Strict | Permissive
 
@@ -62,6 +75,7 @@ val run :
   ?tolerance:Mm_util.Toler.t ->
   ?check_equivalence:bool ->
   ?policy:policy ->
+  ?jobs:int ->
   Mm_sdc.Mode.t list ->
   result
 (** [check_equivalence] (default true) re-runs the comparison on the
@@ -83,6 +97,7 @@ val run_sources :
   ?tolerance:Mm_util.Toler.t ->
   ?check_equivalence:bool ->
   ?policy:policy ->
+  ?jobs:int ->
   design:Mm_netlist.Design.t ->
   source list ->
   result
@@ -95,6 +110,7 @@ val run_files :
   ?tolerance:Mm_util.Toler.t ->
   ?check_equivalence:bool ->
   ?policy:policy ->
+  ?jobs:int ->
   design:Mm_netlist.Design.t ->
   string list ->
   result

@@ -2,7 +2,9 @@ module Mode = Mm_sdc.Mode
 module Design = Mm_netlist.Design
 module Obs = Mm_util.Obs
 module Metrics = Mm_util.Metrics
+module Pool = Mm_util.Pool
 module Context = Mm_timing.Context
+module Ctx_cache = Mm_timing.Ctx_cache
 module Clock_prop = Mm_timing.Clock_prop
 module Graph = Mm_timing.Graph
 
@@ -17,14 +19,7 @@ let blocked_clocks ctx_cache (prelim : Prelim.t) individual =
   let reasons = ref [] in
   List.iter
     (fun (m : Mode.t) ->
-      let ctx_i : Context.t =
-        match Hashtbl.find_opt ctx_cache m.Mode.mode_name with
-        | Some c -> c
-        | None ->
-          let c = Context.create design m in
-          Hashtbl.replace ctx_cache m.Mode.mode_name c;
-          c
-      in
+      let ctx_i : Context.t = Ctx_cache.find ctx_cache m in
       List.iter
         (function
           | Graph.Sp_reg { sp_clock; _ } ->
@@ -53,7 +48,9 @@ let blocked_clocks ctx_cache (prelim : Prelim.t) individual =
   List.rev !reasons
 
 let check_pair ?tolerance ?ctx_cache a b =
-  let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 4 in
+  let ctx_cache =
+    match ctx_cache with Some c -> c | None -> Ctx_cache.create ()
+  in
   (* Stage 1: value/tolerance conflicts are detected without any graph
      work (refinement disabled), which rejects most non-mergeable pairs
      cheaply — important for the O(N^2) sweep over many modes. *)
@@ -152,25 +149,42 @@ let exact_cliques ?(limit = 20) adjacency =
     List.map (List.sort compare) !best |> List.sort compare
   end
 
-let analyze ?tolerance ?ctx_cache ?(strategy = Greedy) modes =
+let analyze ?tolerance ?ctx_cache ?pool ?(strategy = Greedy) modes =
   Obs.with_span
     ~attrs:[ "modes", string_of_int (List.length modes) ]
     "merge.mergeability"
   @@ fun () ->
-  let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 16 in
+  let ctx_cache =
+    match ctx_cache with Some c -> c | None -> Ctx_cache.create ()
+  in
   let arr = Array.of_list modes in
   let n = Array.length arr in
   let adjacency = Array.make_matrix n n false in
   let pair_reasons = Hashtbl.create 16 in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let check = check_pair ?tolerance ~ctx_cache arr.(i) arr.(j) in
+  let pairs = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      pairs := (i, j) :: !pairs
+    done
+  done;
+  (* Each pairwise check is an independent task: a forked cache handle
+     keeps lookups lock-free after the first touch of each mode. *)
+  let check_one (i, j) =
+    let ctx_cache = Ctx_cache.fork ctx_cache in
+    check_pair ?tolerance ~ctx_cache arr.(i) arr.(j)
+  in
+  let checks =
+    match pool with
+    | Some pool -> Pool.map pool check_one !pairs
+    | None -> List.map check_one !pairs
+  in
+  List.iter2
+    (fun (i, j) check ->
       adjacency.(i).(j) <- check.mergeable;
       adjacency.(j).(i) <- check.mergeable;
       if not check.mergeable then
-        Hashtbl.replace pair_reasons (i, j) check.reasons
-    done
-  done;
+        Hashtbl.replace pair_reasons (i, j) check.reasons)
+    !pairs checks;
   Metrics.incr ~by:(n * (n - 1) / 2) "merge.pairs_checked";
   let cliques =
     match strategy with

@@ -12,7 +12,7 @@ type pair_check = { mergeable : bool; reasons : string list }
 
 val check_pair :
   ?tolerance:Mm_util.Toler.t ->
-  ?ctx_cache:(string, Mm_timing.Context.t) Hashtbl.t ->
+  ?ctx_cache:Mm_timing.Ctx_cache.t ->
   Mm_sdc.Mode.t ->
   Mm_sdc.Mode.t ->
   pair_check
@@ -41,10 +41,15 @@ val exact_cliques : ?limit:int -> bool array array -> int list list
 
 val analyze :
   ?tolerance:Mm_util.Toler.t ->
-  ?ctx_cache:(string, Mm_timing.Context.t) Hashtbl.t ->
+  ?ctx_cache:Mm_timing.Ctx_cache.t ->
+  ?pool:Mm_util.Pool.t ->
   ?strategy:strategy ->
   Mm_sdc.Mode.t list ->
   t
+(** The O(N^2) pairwise sweep runs on [pool] when given — each pair is
+    an independent task over a {!Mm_timing.Ctx_cache.fork} of
+    [ctx_cache]; results are folded in pair order, so the analysis is
+    identical with and without a pool. *)
 
 val clique_modes : t -> Mm_sdc.Mode.t list -> Mm_sdc.Mode.t list list
 (** Map the clique cover back to mode values (same order as given to

@@ -4,6 +4,7 @@ module Toler = Mm_util.Toler
 module Obs = Mm_util.Obs
 module Metrics = Mm_util.Metrics
 module Context = Mm_timing.Context
+module Ctx_cache = Mm_timing.Ctx_cache
 module Clock_prop = Mm_timing.Clock_prop
 module Graph = Mm_timing.Graph
 
@@ -646,16 +647,9 @@ let merge ?(tolerance = Toler.default) ?(max_refine_iters = 5) ?ctx_cache
   let conflicts = ref [] in
   (* Individual contexts, shared by uniquification and refinement. *)
   let ctx_cache =
-    match ctx_cache with Some c -> c | None -> Hashtbl.create 8
+    match ctx_cache with Some c -> c | None -> Ctx_cache.create ()
   in
-  let ctx_of (m : Mode.t) =
-    match Hashtbl.find_opt ctx_cache m.Mode.mode_name with
-    | Some c -> c
-    | None ->
-      let c = Context.create design m in
-      Hashtbl.replace ctx_cache m.Mode.mode_name c;
-      c
-  in
+  let ctx_of (m : Mode.t) = Ctx_cache.find ctx_cache m in
   let merged_clocks, clock_map = union_clocks modes in
   let attrs = merge_attrs ~tolerance conflicts modes clock_map merged_clocks in
   let io_delays = union_io_delays modes clock_map in

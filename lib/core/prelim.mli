@@ -45,7 +45,7 @@ val rename_of : t -> string -> string -> string
 val merge :
   ?tolerance:Mm_util.Toler.t ->
   ?max_refine_iters:int ->
-  ?ctx_cache:(string, Mm_timing.Context.t) Hashtbl.t ->
+  ?ctx_cache:Mm_timing.Ctx_cache.t ->
   ?uniquify:bool ->
   name:string ->
   Mm_sdc.Mode.t list ->

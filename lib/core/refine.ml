@@ -143,16 +143,12 @@ let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
     "merge.refine"
   @@ fun () ->
   let design = prelim.Prelim.merged.Mode.design in
-  let ctx_cache = match ctx_cache with Some c -> c | None -> Hashtbl.create 8 in
-  let ctx_of (m : Mode.t) =
-    match Hashtbl.find_opt ctx_cache m.Mode.mode_name with
+  let ctx_cache =
+    match ctx_cache with
     | Some c -> c
-    | None ->
-      let c = Context.create design m in
-      Hashtbl.replace ctx_cache m.Mode.mode_name c;
-      c
+    | None -> Mm_timing.Ctx_cache.create ()
   in
-  let ctxs = List.map ctx_of individual in
+  let ctxs = List.map (Mm_timing.Ctx_cache.find ctx_cache) individual in
   let sides =
     List.map2
       (fun (m : Mode.t) ctx ->

@@ -27,7 +27,7 @@ type t = {
 
 val run :
   ?max_iters:int ->
-  ?ctx_cache:(string, Mm_timing.Context.t) Hashtbl.t ->
+  ?ctx_cache:Mm_timing.Ctx_cache.t ->
   prelim:Prelim.t ->
   individual:Mm_sdc.Mode.t list ->
   unit ->

@@ -1,0 +1,43 @@
+module Mode = Mm_sdc.Mode
+
+type store = { lock : Mutex.t; tbl : (string, Context.t) Hashtbl.t }
+
+type t = { local : (string, Context.t) Hashtbl.t; store : store }
+
+let create () =
+  {
+    local = Hashtbl.create 8;
+    store = { lock = Mutex.create (); tbl = Hashtbl.create 16 };
+  }
+
+let fork t = { local = Hashtbl.create 8; store = t.store }
+
+let find t (mode : Mode.t) =
+  let name = mode.Mode.mode_name in
+  match Hashtbl.find_opt t.local name with
+  | Some c -> c
+  | None ->
+    let s = t.store in
+    Mutex.lock s.lock;
+    let cached = Hashtbl.find_opt s.tbl name in
+    Mutex.unlock s.lock;
+    let c =
+      match cached with
+      | Some c -> c
+      | None ->
+        (* Built outside the lock: context construction is the expensive
+           step and must not serialise the pool. *)
+        let c = Context.create mode.Mode.design mode in
+        Mutex.lock s.lock;
+        let c =
+          match Hashtbl.find_opt s.tbl name with
+          | Some winner -> winner
+          | None ->
+            Hashtbl.replace s.tbl name c;
+            c
+        in
+        Mutex.unlock s.lock;
+        c
+    in
+    Hashtbl.replace t.local name c;
+    c

@@ -1,0 +1,37 @@
+(** Domain-safe analysis-context cache.
+
+    Building a {!Context.t} (graph + constant/clock propagation +
+    exception matcher) is the expensive part of every merge-pipeline
+    stage, and the same individual mode is needed by many stages — the
+    singleton probe, every pairwise mergeability check it appears in,
+    and its clique's merge. Historically the stages shared one raw
+    [(string, Context.t) Hashtbl.t]; that is not safe once stages run
+    on a domain pool.
+
+    A {!t} is a {e per-task handle}: a private, lock-free read-through
+    table in front of a mutex-guarded shared store. Lookups hit the
+    private table first; misses consult the store under its lock;
+    store misses build the context {e outside} the lock (two domains
+    may race to build the same context — the first one stored wins and
+    the duplicate is dropped, which is harmless because contexts for
+    the same mode are interchangeable). {!fork} makes a new handle
+    over the same store, which is how the pipeline hands one logical
+    cache to a batch of pool tasks.
+
+    Contexts are cached by mode name, so all modes entering one cache
+    must have distinct names and belong to the same design — true by
+    construction in the merge flow, which derives mode names from
+    distinct source files. *)
+
+type t
+
+val create : unit -> t
+(** A fresh cache (new shared store, new private table). *)
+
+val fork : t -> t
+(** A new handle over the same shared store, with an empty private
+    table. Hand one fork to each parallel task. *)
+
+val find : t -> Mm_sdc.Mode.t -> Context.t
+(** The cached context for [mode] (keyed by [mode_name]), building and
+    publishing it on miss. *)

@@ -18,12 +18,18 @@ type pexc = {
 type t = {
   pexcs : pexc array;
   through_at : (Design.pin_id, (int * int) list) Hashtbl.t;
+  (* The interning tables are the only mutable state a prepared matcher
+     carries, and a context may be consulted from pool domains — every
+     access to [states]/[state_list]/[n_states] happens under [mx].
+     [pexcs] and [through_at] are immutable after [prepare]. *)
+  mx : Mutex.t;
   states : (int array, int) Hashtbl.t;
   mutable state_list : int array array;
   mutable n_states : int;
   edge_sensitive : bool;
 }
 
+(* Requires [t.mx] held. *)
 let intern t v =
   match Hashtbl.find_opt t.states v with
   | Some id -> id
@@ -125,14 +131,25 @@ let prepare (g : Graph.t) (clocks : Clock_prop.t) (mode : Mode.t) =
   {
     pexcs;
     through_at;
+    mx = Mutex.create ();
     states = Hashtbl.create 64;
     state_list = [||];
     n_states = 0;
     edge_sensitive;
   }
 
+let locked t f =
+  Mutex.lock t.mx;
+  match f () with
+  | r ->
+    Mutex.unlock t.mx;
+    r
+  | exception e ->
+    Mutex.unlock t.mx;
+    raise e
+
 let n_exceptions t = Array.length t.pexcs
-let n_states t = t.n_states
+let n_states t = locked t (fun () -> t.n_states)
 let edge_sensitive t = t.edge_sensitive
 
 let edge_compatible restriction actual =
@@ -170,12 +187,13 @@ let initial_state t ~start_pins ~launch_clock
       if not ((pin_hit || clock_hit) && edge_ok) then v.(i) <- -1
     end
   done;
-  intern t v
+  locked t (fun () -> intern t v)
 
 let advance t state pin =
   match Hashtbl.find_opt t.through_at pin with
   | None -> state
   | Some hits ->
+    locked t @@ fun () ->
     let v = t.state_list.(state) in
     let changed = ref false in
     let v' = Array.copy v in
@@ -189,7 +207,7 @@ let advance t state pin =
     if !changed then intern t v' else state
 
 let matches_at t state ~end_pins ~capture_clock ?(data_edge = Mode.Any_edge) () =
-  let v = t.state_list.(state) in
+  let v = locked t (fun () -> t.state_list.(state)) in
   let acc = ref [] in
   for i = Array.length t.pexcs - 1 downto 0 do
     let pe = t.pexcs.(i) in

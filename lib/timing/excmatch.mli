@@ -19,7 +19,13 @@
     Whole progress vectors are interned so a tag is just
     (launch clock index, state id) — the representation shared by the
     STA arrival propagation and the relation propagation of the
-    mode-merging core. *)
+    mode-merging core.
+
+    The interning tables are the only post-{!prepare} mutable state of
+    a context; they are mutex-guarded, so a prepared matcher (and
+    therefore a cached {!Context.t}) may be consulted from multiple
+    domains of the {!Mm_util.Pool}. State ids are stable: once
+    returned, an id denotes the same progress vector forever. *)
 
 type t
 

@@ -432,6 +432,14 @@ let analyze ?ctx ?(corner = Corner.typical) design mode =
     rep_runtime = runtime;
   }
 
+(* Per-mode STA is embarrassingly parallel: each task builds its own
+   context, so tasks share nothing but the immutable design. *)
+let analyze_many ?corner ?pool design modes =
+  let one (m : Mode.t) = analyze ?corner design m in
+  match pool with
+  | Some pool -> Mm_util.Pool.map pool one modes
+  | None -> List.map one modes
+
 let analyze_scenarios design ~modes ~corners =
   List.concat_map
     (fun (m : Mode.t) ->

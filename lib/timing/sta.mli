@@ -47,6 +47,17 @@ val analyze :
 (** Run a full analysis; [ctx] can be supplied to reuse a prepared
     context, [corner] applies PVT derating (default {!Corner.typical}). *)
 
+val analyze_many :
+  ?corner:Corner.t ->
+  ?pool:Mm_util.Pool.t ->
+  Mm_netlist.Design.t ->
+  Mm_sdc.Mode.t list ->
+  report list
+(** One {!analyze} per mode, reports in input order. Runs the modes as
+    independent pool tasks when [pool] is given — each task builds its
+    own context, so the reports (and the [sta.*] counters) are
+    identical with and without a pool. *)
+
 val analyze_scenarios :
   Mm_netlist.Design.t ->
   modes:Mm_sdc.Mode.t list ->

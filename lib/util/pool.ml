@@ -1,0 +1,140 @@
+(* Fixed domain pool. Workers block on a condition variable between
+   batches; a batch is published as a bump of [seq] plus a [run_one]
+   closure that claims task indices from an atomic cursor, so the
+   domains never contend on anything but the two counters. Results land
+   in a per-batch array indexed by input position — that array, read
+   after the completion handshake (mutex + condition), is what makes
+   the fold deterministic. *)
+
+type batch = { run_one : unit -> bool }
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t; (* workers: new batch or shutdown *)
+  batch_done : Condition.t; (* caller: all tasks of the batch finished *)
+  mutable seq : int;
+  mutable current : batch option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "MM_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.n_jobs
+
+let worker t =
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.seq = !last do
+      Condition.wait t.wake t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      last := t.seq;
+      let b = t.current in
+      Mutex.unlock t.mutex;
+      (match b with
+      | Some b -> while b.run_one () do () done
+      | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let n_jobs = max 1 jobs in
+  let t =
+    {
+      n_jobs;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      batch_done = Condition.create ();
+      seq = 0;
+      current = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  if n_jobs > 1 then
+    t.domains <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ?jobs f =
+  let t = create ~jobs:(match jobs with Some j -> j | None -> default_jobs ()) in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Re-raise the lowest-index failure — the exception a sequential
+   left-to-right run would have hit first. *)
+let collect results =
+  Array.iter
+    (function
+      | Some (Error (exn, bt)) -> Printexc.raise_with_backtrace exn bt
+      | Some (Ok _) | None -> ())
+    results;
+  Array.to_list
+    (Array.map
+       (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+       results)
+
+let map_array t f arr =
+  let n = Array.length arr in
+  Metrics.incr ~by:n "pool.tasks_executed";
+  if t.n_jobs = 1 || n <= 1 then
+    collect (Array.map (fun x -> Some (try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()))) arr)
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let run_one () =
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i >= n then false
+      else begin
+        let r =
+          try Ok (f arr.(i))
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some r;
+        if Atomic.fetch_and_add completed 1 = n - 1 then begin
+          Mutex.lock t.mutex;
+          Condition.broadcast t.batch_done;
+          Mutex.unlock t.mutex
+        end;
+        true
+      end
+    in
+    Mutex.lock t.mutex;
+    t.seq <- t.seq + 1;
+    t.current <- Some { run_one };
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    (* The calling domain is a full participant. *)
+    while run_one () do () done;
+    Mutex.lock t.mutex;
+    while Atomic.get completed < n do
+      Condition.wait t.batch_done t.mutex
+    done;
+    t.current <- None;
+    Mutex.unlock t.mutex;
+    collect results
+  end
+
+let map t f xs = map_array t f (Array.of_list xs)
+
+let map_reduce t ~map:f ~fold ~init xs =
+  List.fold_left fold init (map t f xs)

@@ -1,0 +1,60 @@
+(** Fixed domain pool with deterministic, input-order result folding.
+
+    The merge pipeline is organised as lists of {e pure tasks} — each
+    task returns an outcome value instead of mutating shared state —
+    and this pool executes a task list on [jobs] domains while keeping
+    the {e results} in input order. Running with [jobs = N] therefore
+    produces byte-identical output to [jobs = 1]; only wall-clock time
+    changes.
+
+    Semantics:
+
+    - {!map} and {!map_reduce} preserve input order regardless of the
+      execution interleaving.
+    - A raising task does not abort its siblings; once the whole batch
+      has finished, the exception of the {e lowest-index} failing task
+      is re-raised (with its backtrace) — the same exception a
+      sequential left-to-right run would have surfaced first.
+    - At [jobs = 1] no domain is ever spawned and every task runs
+      inline on the calling domain — the graceful sequential fallback.
+    - Each executed task increments the [pool.tasks_executed] counter
+      ({!Metrics}), identically in the sequential and parallel paths.
+
+    The pool is {e not} reentrant: a task must not call {!map} on the
+    pool executing it (the pipeline only dispatches from the driver
+    domain, never from inside a task). *)
+
+type t
+
+val default_jobs : unit -> int
+(** Worker count used when the caller does not pin one: the [MM_JOBS]
+    environment variable when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** A pool executing up to [jobs] tasks concurrently ([jobs - 1]
+    spawned domains plus the calling domain, which participates in
+    every batch). [jobs] is clamped to at least 1; at 1 the pool is
+    purely sequential. Call {!shutdown} when done. *)
+
+val jobs : t -> int
+(** The (clamped) concurrency of the pool. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent. The pool must not be used
+    afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool ([jobs] defaulting to
+    {!default_jobs}) and shuts it down afterwards, even on raise. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element, in parallel across the
+    pool's domains, returning results in the order of [xs]. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> fold:('acc -> 'b -> 'acc) -> init:'acc -> 'a list -> 'acc
+(** [map_reduce t ~map ~fold ~init xs] folds the mapped results
+    {e in input order}: [fold (... (fold init (map x0))) (map xn)].
+    The fold itself runs on the calling domain, so it may touch
+    non-domain-safe state. *)

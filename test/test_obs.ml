@@ -84,6 +84,29 @@ let span_cases =
         check Alcotest.bool "non-negative duration" true (dt >= 0.);
         check Alcotest.int "no span when disabled" 0
           (List.length (Obs.spans ())));
+    tc "span stacks are per-domain" (fun () ->
+        (* The open-span stack lives in domain-local storage: a span
+           recorded on a spawned domain roots its own tree there and
+           never attaches to (or corrupts) the caller's open span. *)
+        fresh ();
+        Obs.with_span "caller" (fun () ->
+            let d =
+              Domain.spawn (fun () ->
+                  Obs.with_span "worker" (fun () ->
+                      Obs.with_span "worker.child" (fun () -> ())))
+            in
+            Domain.join d;
+            Obs.with_span "caller.child" (fun () -> ()));
+        Obs.set_enabled false;
+        let by_name n = List.find (fun s -> s.Obs.sp_name = n) (Obs.spans ()) in
+        let caller = by_name "caller" and worker = by_name "worker" in
+        check Alcotest.int "worker roots its own domain" (-1)
+          worker.Obs.sp_parent;
+        check Alcotest.int "worker child under worker" worker.Obs.sp_id
+          (by_name "worker.child").Obs.sp_parent;
+        check Alcotest.int "caller nesting unaffected" caller.Obs.sp_id
+          (by_name "caller.child").Obs.sp_parent;
+        check Alcotest.int "caller still a root" (-1) caller.Obs.sp_parent);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -188,9 +211,9 @@ let integration_cases =
           (fun n ->
             check Alcotest.bool n true (List.mem n names))
           [
-            "merge.flow"; "merge.mergeability"; "merge.group"; "merge.prelim";
-            "merge.refine"; "merge.equiv"; "compare.pass1"; "compare.pass2";
-            "compare.pass3";
+            "merge.flow"; "merge.mergeability"; "merge.clique_sweep";
+            "merge.group"; "merge.prelim"; "merge.refine"; "merge.equiv";
+            "compare.pass1"; "compare.pass2"; "compare.pass3";
           ];
         check Alcotest.int "one clique" 1 (Metrics.get_counter "merge.cliques");
         check Alcotest.bool "pairs checked" true
@@ -218,6 +241,20 @@ let integration_cases =
           (Metrics.get_counter "sta.endpoints_checked" > 0);
         check Alcotest.bool "rep_runtime non-negative" true
           (rep.Sta.rep_runtime >= 0.));
+    tc "parallel pipeline metric names are stable" (fun () ->
+        (* merge.jobs (gauge) and pool.tasks_executed (counter) are part
+           of the stable metric-name contract, like the span names. *)
+        fresh ();
+        let d = Pc.build () in
+        let a, b = Pc.constraint_set6 d in
+        ignore (Merge_flow.run ~jobs:2 [ a; b ]);
+        Obs.set_enabled false;
+        (match Metrics.get "merge.jobs" with
+        | Some (Metrics.Gauge v) ->
+          check (Alcotest.float 1e-9) "merge.jobs records the pool size" 2.0 v
+        | _ -> Alcotest.fail "merge.jobs gauge missing");
+        check Alcotest.bool "pool.tasks_executed counted" true
+          (Metrics.get_counter "pool.tasks_executed" > 0));
   ]
 
 let () =

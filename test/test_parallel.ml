@@ -1,0 +1,193 @@
+(* @parallel-stress: determinism of the task-graph pipeline.
+
+   The merge flow promises that its result — groups, merged SDC text,
+   diagnostics, quarantine and degradation lists, metric counters — is
+   byte-identical for any --jobs count (the driver folds task outcomes
+   in input order). This suite runs randomly generated workloads,
+   including corrupted sources that exercise the quarantine and
+   degradation paths, once at jobs=1 and once at jobs=4 and compares a
+   full fingerprint of both results. Heavier than tier-1, so it lives
+   on the @parallel-stress alias. *)
+
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Diag = Mm_util.Diag
+module Metrics = Mm_util.Metrics
+module Merge_flow = Mm_core.Merge_flow
+module Gen_design = Mm_workload.Gen_design
+module Gen_modes = Mm_workload.Gen_modes
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Result fingerprint: everything the determinism contract covers.
+   Span timings and runtime_s are explicitly excluded; metric counters
+   are included (gauges like merge.jobs differ by construction). *)
+
+let fingerprint_group (g : Merge_flow.group) =
+  Printf.sprintf "group members=[%s] sdc=<<%s>> refine=%b equiv=%s"
+    (String.concat "," g.Merge_flow.grp_members)
+    (Mode.to_sdc g.Merge_flow.grp_mode)
+    (g.Merge_flow.grp_refine <> None)
+    (match g.Merge_flow.grp_equiv with
+    | None -> "-"
+    | Some e ->
+      Printf.sprintf "eq=%b,mm=%d" e.Mm_core.Equiv.equivalent
+        e.Mm_core.Equiv.mismatches)
+
+let fingerprint_quarantine (q : Merge_flow.quarantined) =
+  Printf.sprintf "quarantine %s@%s: %s" q.Merge_flow.q_name
+    (Merge_flow.stage_to_string q.Merge_flow.q_stage)
+    (String.concat " | " (List.map Diag.to_string q.Merge_flow.q_diags))
+
+let counters () =
+  List.filter_map
+    (fun (i : Metrics.item) ->
+      match i.Metrics.value with
+      | Metrics.Counter c -> Some (Printf.sprintf "%s=%d" i.Metrics.name c)
+      | Metrics.Gauge _ | Metrics.Histogram _ -> None)
+    (Metrics.snapshot ())
+
+let fingerprint (r : Merge_flow.result) =
+  String.concat "\n"
+    (Printf.sprintf "n=%d->%d" r.Merge_flow.n_individual r.Merge_flow.n_merged
+     :: List.map fingerprint_group r.Merge_flow.groups
+    @ List.map fingerprint_quarantine r.Merge_flow.quarantined
+    @ List.map
+        (fun names -> "degraded " ^ String.concat "," names)
+        r.Merge_flow.degraded
+    @ List.map Diag.to_string r.Merge_flow.diags
+    @ counters ())
+
+let run_once ~jobs ~policy ~design sources =
+  Metrics.reset ();
+  let r = Merge_flow.run_sources ~policy ~jobs ~design sources in
+  fingerprint r
+
+(* ------------------------------------------------------------------ *)
+(* Random workloads                                                    *)
+
+type workload = {
+  wl_seed : int;
+  wl_families : int list;
+  wl_corrupt : bool;  (* break every third source (permissive only) *)
+}
+
+let build_workload wl =
+  let params =
+    {
+      Gen_design.default_params with
+      Gen_design.seed = wl.wl_seed;
+      n_domains = 2;
+      regs_per_domain = 12;
+      stages = 2;
+      combo_depth = 2;
+    }
+  in
+  let design, info = Gen_design.generate params in
+  let suite =
+    {
+      Gen_modes.sp_seed = wl.wl_seed + 1;
+      families = wl.wl_families;
+      base_period = 2.0;
+      scan_family = false;
+    }
+  in
+  let sources =
+    List.concat
+      (List.mapi
+         (fun family n ->
+           List.init n (fun index ->
+               let text = Gen_modes.sdc_of_mode_spec info suite ~family ~index in
+               let text =
+                 (* An unterminated command: the robust parser reports
+                    an error and the mode quarantines at Load. *)
+                 if wl.wl_corrupt && (family + index) mod 3 = 0 then
+                   text ^ "\ncreate_clock -period\n"
+                 else text
+               in
+               {
+                 Merge_flow.src_name = Printf.sprintf "m%d_%d" family index;
+                 src_file = None;
+                 src_text = text;
+               }))
+         wl.wl_families)
+  in
+  design, sources
+
+let check_deterministic ~policy wl =
+  let design, sources = build_workload wl in
+  let a = run_once ~jobs:1 ~policy ~design sources in
+  let b = run_once ~jobs:4 ~policy ~design sources in
+  Metrics.reset ();
+  check Alcotest.string
+    (Printf.sprintf "seed=%d jobs=1 vs jobs=4" wl.wl_seed)
+    a b
+
+let workload_gen =
+  QCheck2.Gen.(
+    let* seed = 0 -- 10_000 in
+    let* families = list_size (1 -- 3) (1 -- 3) in
+    let* corrupt = bool in
+    return { wl_seed = seed; wl_families = families; wl_corrupt = corrupt })
+
+let props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"strict merge is jobs-invariant" ~count:6
+         workload_gen (fun wl ->
+           check_deterministic ~policy:Merge_flow.Strict
+             { wl with wl_corrupt = false };
+           true));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"permissive merge with corrupted sources is jobs-invariant"
+         ~count:6 workload_gen (fun wl ->
+           check_deterministic ~policy:Merge_flow.Permissive wl;
+           true));
+  ]
+
+(* Fixed regression points: the paper circuit end to end, and a
+   degradation-heavy permissive workload. *)
+let fixed_cases =
+  [
+    tc "paper circuit jobs-invariant" (fun () ->
+        let d = Mm_workload.Paper_circuit.build () in
+        let a, b = Mm_workload.Paper_circuit.constraint_set6 d in
+        let src (m : Mode.t) name =
+          { Merge_flow.src_name = name; src_file = None; src_text = Mode.to_sdc m }
+        in
+        let sources = [ src a "csA"; src b "csB" ] in
+        let one = run_once ~jobs:1 ~policy:Merge_flow.Strict ~design:d sources in
+        let four = run_once ~jobs:4 ~policy:Merge_flow.Strict ~design:d sources in
+        Metrics.reset ();
+        check Alcotest.string "fingerprints" one four);
+    tc "quarantine order is jobs-invariant" (fun () ->
+        let d = Mm_workload.Paper_circuit.build () in
+        let bad name =
+          { Merge_flow.src_name = name; src_file = None;
+            src_text = "create_clock -period\n" }
+        in
+        let good name =
+          let m = Mm_workload.Paper_circuit.constraint_set1 d in
+          { Merge_flow.src_name = name; src_file = None;
+            src_text = Mode.to_sdc m }
+        in
+        let sources = [ bad "q0"; good "g0"; bad "q1"; good "g1"; bad "q2" ] in
+        let one =
+          run_once ~jobs:1 ~policy:Merge_flow.Permissive ~design:d sources
+        in
+        let four =
+          run_once ~jobs:4 ~policy:Merge_flow.Permissive ~design:d sources
+        in
+        Metrics.reset ();
+        check Alcotest.string "fingerprints" one four;
+        check Alcotest.bool "quarantines present" true
+          (let l = String.split_on_char '\n' one in
+           List.exists (fun s -> String.length s >= 10 && String.sub s 0 10 = "quarantine") l));
+  ]
+
+let () =
+  Alcotest.run "mm_parallel"
+    [ "determinism", fixed_cases @ props ]

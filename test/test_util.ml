@@ -5,6 +5,8 @@ module Prng = Mm_util.Prng
 module Vec = Mm_util.Vec
 module Tab = Mm_util.Tab
 module Stat = Mm_util.Stat
+module Pool = Mm_util.Pool
+module Metrics = Mm_util.Metrics
 
 let check = Alcotest.check
 let tc name f = Alcotest.test_case name `Quick f
@@ -307,6 +309,93 @@ let stat_cases =
         check Alcotest.string "time" "1.204" (Stat.fmt_time_s 1.2041));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let pool_cases =
+  [
+    tc "map preserves order at jobs=1" (fun () ->
+        Pool.with_pool ~jobs:1 @@ fun p ->
+        check
+          (Alcotest.list Alcotest.int)
+          "squares" [ 1; 4; 9; 16 ]
+          (Pool.map p (fun x -> x * x) [ 1; 2; 3; 4 ]));
+    tc "map preserves order on 4 domains" (fun () ->
+        Pool.with_pool ~jobs:4 @@ fun p ->
+        let xs = List.init 100 Fun.id in
+        check
+          (Alcotest.list Alcotest.int)
+          "order"
+          (List.map (fun x -> x * 3) xs)
+          (Pool.map p (fun x -> x * 3) xs));
+    tc "parallel result equals sequential" (fun () ->
+        let f x = (x * 7919) mod 101 in
+        let xs = List.init 257 Fun.id in
+        let seq = Pool.with_pool ~jobs:1 (fun p -> Pool.map p f xs) in
+        let par = Pool.with_pool ~jobs:4 (fun p -> Pool.map p f xs) in
+        check (Alcotest.list Alcotest.int) "identical" seq par);
+    tc "empty and singleton batches" (fun () ->
+        Pool.with_pool ~jobs:4 @@ fun p ->
+        check (Alcotest.list Alcotest.int) "empty" []
+          (Pool.map p (fun x -> x) []);
+        check (Alcotest.list Alcotest.int) "one" [ 8 ]
+          (Pool.map p (fun x -> 2 * x) [ 4 ]));
+    tc "pool is reusable across batches" (fun () ->
+        Pool.with_pool ~jobs:4 @@ fun p ->
+        for i = 1 to 10 do
+          check (Alcotest.list Alcotest.int) "batch"
+            [ i; i + 1 ]
+            (Pool.map p (fun x -> x + i) [ 0; 1 ])
+        done);
+    tc "map_reduce folds in input order" (fun () ->
+        Pool.with_pool ~jobs:4 @@ fun p ->
+        let s =
+          Pool.map_reduce p ~map:string_of_int
+            ~fold:(fun acc x -> acc ^ x)
+            ~init:"" [ 1; 2; 3; 4; 5 ]
+        in
+        check Alcotest.string "concat" "12345" s);
+    tc "lowest-index exception is re-raised" (fun () ->
+        Pool.with_pool ~jobs:4 @@ fun p ->
+        match
+          Pool.map p
+            (fun x -> if x >= 3 then failwith (string_of_int x) else x)
+            [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+        with
+        | _ -> Alcotest.fail "expected Failure"
+        | exception Failure msg ->
+          check Alcotest.string "sequential-first failure" "3" msg);
+    tc "pool survives a failed batch" (fun () ->
+        Pool.with_pool ~jobs:4 @@ fun p ->
+        (try ignore (Pool.map p (fun _ -> failwith "boom") [ 1; 2; 3 ])
+         with Failure _ -> ());
+        check (Alcotest.list Alcotest.int) "next batch ok" [ 2; 4 ]
+          (Pool.map p (fun x -> 2 * x) [ 1; 2 ]));
+    tc "tasks_executed counts per task at any jobs" (fun () ->
+        let count jobs =
+          Metrics.reset ();
+          Pool.with_pool ~jobs (fun p ->
+              ignore (Pool.map p Fun.id (List.init 10 Fun.id)));
+          Metrics.get_counter "pool.tasks_executed"
+        in
+        check Alcotest.int "jobs=1" 10 (count 1);
+        check Alcotest.int "jobs=4" 10 (count 4);
+        Metrics.reset ());
+    tc "default_jobs honours MM_JOBS" (fun () ->
+        Unix.putenv "MM_JOBS" "3";
+        check Alcotest.int "env wins" 3 (Pool.default_jobs ());
+        Unix.putenv "MM_JOBS" "bogus";
+        check Alcotest.int "bad value falls back"
+          (Domain.recommended_domain_count ())
+          (Pool.default_jobs ());
+        Unix.putenv "MM_JOBS" "0";
+        check Alcotest.int "non-positive falls back"
+          (Domain.recommended_domain_count ())
+          (Pool.default_jobs ());
+        (* Empty string parses as no override. *)
+        Unix.putenv "MM_JOBS" "");
+  ]
+
 let () =
   Alcotest.run "mm_util"
     [
@@ -316,4 +405,5 @@ let () =
       "vec", vec_cases;
       "tab", tab_cases;
       "stat", stat_cases;
+      "pool", pool_cases;
     ]
