@@ -433,6 +433,51 @@ let smoke () =
   validate_bench_json ()
 
 (* ------------------------------------------------------------------ *)
+(* Audit smoke for @audit-smoke: merge the paper circuit with the      *)
+(* audit report enabled, check the jobs=1 and jobs=4 reports are       *)
+(* byte-identical, write BENCH_audit.json and validate the mandatory   *)
+(* schema keys — @bench-smoke's mirror for the provenance layer.       *)
+
+let audit_file = "BENCH_audit.json"
+
+let audit_smoke () =
+  section "Audit smoke: paper circuit, Constraint Set 6, provenance audit";
+  let d = Pc.build () in
+  let a, b = Pc.constraint_set6 d in
+  let audit_at jobs =
+    (* Counters feed the audit's coverage section; reset between runs
+       so both job counts start from the same cumulative state. *)
+    Metrics.reset ();
+    Mm_core.Audit.to_json (Merge_flow.run ~jobs [ a; b ])
+  in
+  let j1 = audit_at 1 in
+  let j4 = audit_at 4 in
+  if j1 <> j4 then begin
+    Printf.eprintf "audit reports differ between jobs=1 and jobs=4\n";
+    exit 1
+  end;
+  let oc = open_out audit_file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc j1;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" audit_file;
+  let missing =
+    List.filter
+      (fun k -> not (contains ~needle:(Printf.sprintf "%S" k) j1))
+      Mm_core.Audit.mandatory_keys
+  in
+  if missing <> [] then begin
+    Printf.eprintf "audit json missing mandatory keys: %s\n"
+      (String.concat ", " missing);
+    exit 1
+  end;
+  Printf.printf "  audit ok: %d bytes, jobs-invariant, all %d mandatory keys\n"
+    (String.length j1)
+    (List.length Mm_core.Audit.mandatory_keys)
+
+(* ------------------------------------------------------------------ *)
 (* Standalone scaling target: design A merged and STA-swept at         *)
 (* 1/2/4/8 worker domains, recorded under "scaling" in the bench json.  *)
 
@@ -713,6 +758,7 @@ let () =
   | "figure2" -> figure2 ()
   | "table5" | "table6" -> tables56 ()
   | "smoke" -> smoke ()
+  | "audit" -> audit_smoke ()
   | "scaling" -> scaling_target ()
   | "bech" -> bechamel_suite ()
   | "all" ->
@@ -722,6 +768,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown target %s (use \
-       tables|table1|table2|figure2|table5|smoke|scaling|ablations|scale|bech|all)\n"
+       tables|table1|table2|figure2|table5|smoke|audit|scaling|ablations|scale|bech|all)\n"
       other;
     exit 1

@@ -2,6 +2,7 @@
 
    Subcommands:
      merge      merge N SDC mode files against a netlist
+     explain    lineage of merged constraints / pair verdicts
      sta        run wire-load-model STA (+ worst paths, DRC, corners)
      relations  print Table-1 style timing relationships
      lint       constraint-quality checks for each mode
@@ -204,6 +205,18 @@ let policy_arg =
 
 (* ------------------------------------------------------------------ *)
 
+(* Shared by merge and explain: run the flow with parser/lexer errors
+   routed through the exit-code convention. *)
+let run_flow ?check_equivalence ~policy ?jobs ~design sdcs =
+  match Merge_flow.run_files ?check_equivalence ~policy ?jobs ~design sdcs with
+  | r -> r
+  | exception Mm_sdc.Parser.Error { loc; msg } ->
+    fatal ?loc ~code:(Mm_sdc.Parser.error_code msg) "%s" msg
+  | exception Mm_sdc.Lexer.Error { line; col; msg } ->
+    fatal
+      ~loc:{ Diag.file = "<sdc>"; line; col }
+      ~code:(Mm_sdc.Parser.lex_code msg) "%s" msg
+
 let merge_cmd =
   let outdir =
     let doc = "Directory for the merged SDC files (created if missing)." in
@@ -213,21 +226,36 @@ let merge_cmd =
     let doc = "Additionally dump all diagnostics as a JSON array to stderr." in
     Arg.(value & flag & info [ "diag-json" ] ~doc)
   in
-  let run netlist liberty sdcs outdir policy jobs diag_json trace metrics
-      profile =
+  let audit_arg =
+    let doc =
+      "Write a machine-readable audit report: schema-versioned JSON with \
+       the mergeability verdict matrix, per-constraint lineage tables and \
+       the comparison coverage counters. Byte-identical for any --jobs \
+       value."
+    in
+    Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"FILE" ~doc)
+  in
+  let annotate_arg =
+    let doc =
+      "Embed provenance comments in the emitted SDC: a '# prov: <id> \
+       <rule> [modes]' line above every constraint."
+    in
+    Arg.(value & flag & info [ "annotate" ] ~doc)
+  in
+  let dot_arg =
+    let doc =
+      "Also write a Graphviz merged_N.dot per merged mode: the timing \
+       graph's clock network with merged-vs-individual edge attribution \
+       (red = propagation present only in the merged mode)."
+    in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let run netlist liberty sdcs outdir policy jobs diag_json audit annotate dot
+      trace metrics profile =
     guard_io @@ fun () ->
     obs_setup ~trace ~metrics ~profile;
     let design = read_design ?liberty netlist in
-    let result =
-      match Merge_flow.run_files ~policy ?jobs ~design sdcs with
-      | r -> r
-      | exception Mm_sdc.Parser.Error { loc; msg } ->
-        fatal ?loc ~code:(Mm_sdc.Parser.error_code msg) "%s" msg
-      | exception Mm_sdc.Lexer.Error { line; col; msg } ->
-        fatal
-          ~loc:{ Diag.file = "<sdc>"; line; col }
-          ~code:(Mm_sdc.Parser.lex_code msg) "%s" msg
-    in
+    let result = run_flow ~policy ?jobs ~design sdcs in
     print_diags result.Merge_flow.diags;
     List.iter
       (fun (q : Merge_flow.quarantined) ->
@@ -249,7 +277,48 @@ let merge_cmd =
     Printf.printf "Merged %d modes into %d (%.1f%% reduction) in %.2fs\n"
       result.Merge_flow.n_individual result.Merge_flow.n_merged
       result.Merge_flow.reduction_percent result.Merge_flow.runtime_s;
+    (* The audit reads only deterministic merge data, so it is written
+       before the STA pass touches the process. *)
+    Option.iter
+      (fun path ->
+        Mm_core.Audit.write path result;
+        Printf.printf "audit report -> %s\n" path)
+      audit;
     if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+    if dot then begin
+      (* Rebuild the individual sides to attribute clock-network edges;
+         quarantined modes simply contribute no side. *)
+      let by_name = Hashtbl.create 8 in
+      List.iter
+        (fun path ->
+          match load_mode ~policy design path with
+          | m -> Hashtbl.replace by_name m.Mode.mode_name m
+          | exception _ -> ())
+        sdcs;
+      List.iteri
+        (fun i (g : Merge_flow.group) ->
+          let sides =
+            List.filter_map
+              (fun name ->
+                match Hashtbl.find_opt by_name name with
+                | None -> None
+                | Some m ->
+                  Some
+                    {
+                      Mm_timing.Dot.side_name = name;
+                      side_ctx = Context.create design m;
+                      side_rename =
+                        Mm_core.Prelim.rename_of g.Merge_flow.grp_prelim name;
+                    })
+              g.Merge_flow.grp_members
+          in
+          let ctx = Context.create design g.Merge_flow.grp_mode in
+          let path = Filename.concat outdir (Printf.sprintf "merged_%d.dot" i) in
+          Mm_timing.Dot.write path ~individual:sides ~clock_network_only:true
+            ctx;
+          Printf.printf "clock-network graph -> %s\n" path)
+        result.Merge_flow.groups
+    end;
     (* Post-merge STA sanity pass: one analysis per merged mode (a
        parallel sweep), so the run reports QoR (tag count, worst slack)
        next to the equivalence verdict. *)
@@ -264,10 +333,15 @@ let merge_cmd =
       (fun i ((g : Merge_flow.group), rep) ->
         let mode = g.Merge_flow.grp_mode in
         let path = Filename.concat outdir (Printf.sprintf "merged_%d.sdc" i) in
+        let text =
+          if annotate then
+            Mm_core.Provenance.annotated_sdc g.Merge_flow.grp_prov mode
+          else Mode.to_sdc mode
+        in
         let oc = open_out path in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc (Mode.to_sdc mode));
+          (fun () -> output_string oc text);
         let slack_txt =
           match Sta.worst_setup_by_endpoint rep with
           | [] -> ""
@@ -307,7 +381,129 @@ let merge_cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ liberty_arg $ sdc_args $ outdir $ policy_arg
-      $ jobs_arg $ diag_json $ trace_arg $ metrics_arg $ profile_arg)
+      $ jobs_arg $ diag_json $ audit_arg $ annotate_arg $ dot_arg $ trace_arg
+      $ metrics_arg $ profile_arg)
+
+let explain_cmd =
+  let line_arg =
+    let doc =
+      "Explain one merged-SDC constraint: the exact command text as it \
+       appears in the emitted merged SDC (leading/trailing whitespace \
+       ignored)."
+    in
+    Arg.(value & opt (some string) None & info [ "line" ] ~docv:"SDC" ~doc)
+  in
+  let id_arg =
+    let doc = "Explain a constraint by provenance id, e.g. merged_0#c12." in
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc)
+  in
+  let pair_arg =
+    let doc =
+      "Explain a mode pair's mergeability verdict, e.g. --pair cs1,cs2."
+    in
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' string string)) None
+      & info [ "pair" ] ~docv:"A,B" ~doc)
+  in
+  let run netlist liberty sdcs policy jobs line id pr =
+    guard_io @@ fun () ->
+    let design = read_design ?liberty netlist in
+    (* The merge is re-run to rebuild lineage; ids are stable across
+       runs and --jobs values, so an id taken from an audit file or an
+       annotated SDC resolves here. Equivalence checking is skipped —
+       explain only needs the lineage. *)
+    let result = run_flow ~check_equivalence:false ~policy ?jobs ~design sdcs in
+    let explain_entries found =
+      List.iter
+        (fun (scope, e) ->
+          Printf.printf "[%s]\n%s\n" scope (Mm_util.Prov.explain_entry e))
+        found
+    in
+    let explained = ref false in
+    Option.iter
+      (fun line ->
+        explained := true;
+        let found =
+          List.concat_map
+            (fun (g : Merge_flow.group) ->
+              List.map
+                (fun e -> Mm_util.Prov.scope g.Merge_flow.grp_prov, e)
+                (Mm_util.Prov.find_line g.Merge_flow.grp_prov line))
+            result.Merge_flow.groups
+        in
+        if found = [] then begin
+          warned := true;
+          Printf.printf "no merged constraint matches: %s\n" (String.trim line)
+        end
+        else explain_entries found)
+      line;
+    Option.iter
+      (fun id ->
+        explained := true;
+        let found =
+          List.filter_map
+            (fun (g : Merge_flow.group) ->
+              Option.map
+                (fun e -> Mm_util.Prov.scope g.Merge_flow.grp_prov, e)
+                (Mm_util.Prov.find_id g.Merge_flow.grp_prov id))
+            result.Merge_flow.groups
+        in
+        if found = [] then begin
+          warned := true;
+          Printf.printf "no constraint with id %s\n" id
+        end
+        else explain_entries found)
+      id;
+    Option.iter
+      (fun (a, b) ->
+        explained := true;
+        let m = result.Merge_flow.mergeability in
+        let names = m.Mm_core.Mergeability.mode_names in
+        let index_of n = Array.to_list names |> List.find_index (( = ) n) in
+        match index_of a, index_of b with
+        | Some i, Some j when i <> j ->
+          let i, j = if i < j then i, j else j, i in
+          if m.Mm_core.Mergeability.adjacency.(i).(j) then
+            Printf.printf "%s and %s are mergeable\n" names.(i) names.(j)
+          else begin
+            let reasons =
+              Option.value ~default:[]
+                (Hashtbl.find_opt m.Mm_core.Mergeability.pair_reasons (i, j))
+            in
+            Printf.printf "%s and %s are NOT mergeable\n" names.(i) names.(j);
+            (match reasons with
+            | first :: _ ->
+              Printf.printf "  first blocking reason: %s\n" first
+            | [] -> ());
+            List.iter (Printf.printf "  - %s\n") reasons
+          end
+        | _ ->
+          warned := true;
+          Printf.printf "unknown mode pair %s,%s (known: %s)\n" a b
+            (String.concat ", " (Array.to_list names)))
+      pr;
+    if not !explained then
+      (* No query: dump the full lineage of every merged mode. *)
+      List.iter
+        (fun (g : Merge_flow.group) ->
+          List.iter
+            (fun e -> Printf.printf "%s\n" (Mm_util.Prov.explain_entry e))
+            (Mm_util.Prov.entries g.Merge_flow.grp_prov))
+        result.Merge_flow.groups;
+    finish ()
+  in
+  let info =
+    Cmd.info "explain"
+      ~doc:
+        "Explain the lineage of merged constraints: which rule produced a \
+         constraint from which source modes, or why a mode pair did not \
+         merge."
+  in
+  Cmd.v info
+    Term.(
+      const run $ netlist_arg $ liberty_arg $ sdc_args $ policy_arg $ jobs_arg
+      $ line_arg $ id_arg $ pair_arg)
 
 let sta_cmd =
   let paths_arg =
@@ -539,4 +735,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ merge_cmd; sta_cmd; relations_cmd; lint_cmd; check_cmd; gen_cmd ]))
+          [
+            merge_cmd; explain_cmd; sta_cmd; relations_cmd; lint_cmd;
+            check_cmd; gen_cmd;
+          ]))

@@ -1,0 +1,34 @@
+(** Machine-readable merge audit report ([--audit out.json]).
+
+    One schema-versioned JSON object per merge run:
+
+    - ["audit_schema_version"] — currently [1];
+    - ["summary"] — mode counts, reduction, clique/quarantine totals;
+    - ["mergeability"] — mode names, clique cover, and the pairwise
+      verdict matrix in canonical (i, j) index order, each pair with
+      its first blocking reason and the full reason list;
+    - ["groups"] — per emitted mode: members, equivalence verdict,
+      refinement stats, and the full per-constraint lineage table
+      ({!Mm_util.Prov.to_json});
+    - ["quarantined"] / ["degraded"] — fault-tolerance outcomes;
+    - ["coverage"] — the stable per-pass coverage counters
+      ([compare.endpoints_visited], [compare.endpoints_pruned],
+      [compare.pairs_compared], [compare.reconv_points],
+      [merge.pairs_checked], [merge.cliques]).
+
+    The report contains no timings, gauges or hash-ordered data, so
+    its bytes are identical across [--jobs] values (DESIGN.md §11). *)
+
+val schema_version : int
+
+val mandatory_keys : string list
+(** Top-level keys every audit file must carry — what the
+    [@audit-smoke] alias validates. *)
+
+val coverage_counters : string list
+(** The stable counter names exported in the ["coverage"] section. *)
+
+val to_json : Merge_flow.result -> string
+
+val write : string -> Merge_flow.result -> unit
+(** Write {!to_json} (plus trailing newline) to the path. *)

@@ -32,7 +32,34 @@ type pass3_row = {
   p3_bucket : bucket;
 }
 
-type fix = { fix_exc : Mode.exc; fix_reason : string }
+type evidence = {
+  ev_pass : int;
+  ev_startpoint : string option;
+  ev_through : string option;
+  ev_endpoint : string;
+  ev_launch : string option;
+  ev_capture : string option;
+  ev_ind : string;
+  ev_mrg : string;
+}
+
+type fix = { fix_exc : Mode.exc; fix_reason : string; fix_evidence : evidence }
+
+let evidence_to_string ev =
+  let point =
+    match ev.ev_startpoint, ev.ev_through with
+    | None, _ -> Printf.sprintf "at endpoint %s" ev.ev_endpoint
+    | Some sp, None -> Printf.sprintf "%s -> %s" sp ev.ev_endpoint
+    | Some sp, Some t -> Printf.sprintf "%s -> %s -> %s" sp t ev.ev_endpoint
+  in
+  let clocks =
+    match ev.ev_launch, ev.ev_capture with
+    | None, _ -> ""
+    | Some l, None -> Printf.sprintf " [launch %s]" l
+    | Some l, Some c -> Printf.sprintf " [launch %s capture %s]" l c
+  in
+  Printf.sprintf "pass%d %s%s: ind=%s mrg=%s" ev.ev_pass point clocks ev.ev_ind
+    ev.ev_mrg
 
 type result = {
   pass1 : pass1_row list;
@@ -268,7 +295,7 @@ let tighter_or_equal a b =
    - individual times, merged checks tighter    -> pessimism (safe)
    - individual times, merged relaxes or drops  -> unsound
    Returns (fixes, unsound, pessimism). *)
-let resolve_mismatch ~where ~from_points ~through ~to_points
+let resolve_mismatch ~where ~ev ~from_points ~through ~to_points
     ?(to_edge = Mode.Any_edge) decision =
   match decision with
   | D_match | D_ambiguous -> [], [], []
@@ -278,6 +305,10 @@ let resolve_mismatch ~where ~from_points ~through ~to_points
       | Some p -> p
     in
     let si, hi = eff_or_fp eff_ind and sm, hm = eff_or_fp eff_mrg in
+    let pair_str s h = Printf.sprintf "%s/%s" (Cs.to_string s) (Cs.to_string h) in
+    let ev =
+      { ev with ev_ind = pair_str si hi; ev_mrg = pair_str sm hm }
+    in
     let component ~setup ind mrg =
       if Cs.equal ind mrg then [], [], []
       else if not (times ind) then begin
@@ -290,6 +321,7 @@ let resolve_mismatch ~where ~from_points ~through ~to_points
                     Mode.exc ~setup ~hold:(not setup) ?from_:from_points
                       ~through ?to_:to_points ~to_edge kind;
                   fix_reason = where;
+                  fix_evidence = ev;
                 };
               ],
               [],
@@ -336,7 +368,8 @@ let resolve_mismatch ~where ~from_points ~through ~to_points
    the capture clock restrict the exception — a capture restriction is
    encoded as "-through <endpoint pin> -to <capture clock>", which is
    precise because endpoint pins have no fanout. *)
-let fixes_for_point ~where ~prefix_pins ~ep judged =
+let fixes_for_point ~where ~pass ~sp_name ~through_name ~ep_name ~prefix_pins
+    ~ep judged =
   let mismatches =
     List.filter (fun jb -> jb.bucket.bk_verdict = Mismatch) judged
   in
@@ -347,6 +380,18 @@ let fixes_for_point ~where ~prefix_pins ~ep judged =
       List.for_all (fun jb -> jb.decision = first.decision) l
     in
     let mk ~with_launch ~with_capture jb =
+      let ev =
+        {
+          ev_pass = pass;
+          ev_startpoint = sp_name;
+          ev_through = through_name;
+          ev_endpoint = ep_name;
+          ev_launch = (if with_launch then Some jb.bucket.bk_launch else None);
+          ev_capture = (if with_capture then Some jb.bucket.bk_capture else None);
+          ev_ind = "";
+          ev_mrg = "";
+        }
+      in
       let from_points, through =
         match prefix_pins, with_launch with
         | [], false -> None, []
@@ -362,7 +407,7 @@ let fixes_for_point ~where ~prefix_pins ~ep judged =
           through @ [ [ ep ] ], Some [ Mode.P_clock jb.bucket.bk_capture ]
         else through, Some [ Mode.P_pin ep ]
       in
-      resolve_mismatch ~where ~from_points ~through ~to_points
+      resolve_mismatch ~where ~ev ~from_points ~through ~to_points
         ~to_edge:jb.bucket.bk_edge jb.decision
     in
     if List.length mismatches = List.length judged && uniform rest_mismatches
@@ -431,16 +476,23 @@ let pass1 ~individual ~(merged : Context.t) =
       in
       let judged = make_buckets ~fine:false ind_rels mrels in
       List.iter (fun jb -> rows := { p1_ep = ep; p1_bucket = jb.bucket } :: !rows) judged;
+      let ep_name = Design.pin_name design ep in
       let f, u, p =
         fixes_for_point
-          ~where:(Printf.sprintf "pass1: endpoint %s" (Design.pin_name design ep))
-          ~prefix_pins:[] ~ep judged
+          ~where:(Printf.sprintf "pass1: endpoint %s" ep_name)
+          ~pass:1 ~sp_name:None ~through_name:None ~ep_name ~prefix_pins:[] ~ep
+          judged
       in
       fixes := f @ !fixes;
       unsound := u @ !unsound;
       pessimism := p @ !pessimism)
     mrg_rels;
-  List.rev !rows, List.rev !fixes, List.rev !unsound, List.rev !pessimism
+  Mm_util.Metrics.incr ~by:(List.length mrg_rels) "compare.endpoints_visited";
+  ( List.length mrg_rels,
+    List.rev !rows,
+    List.rev !fixes,
+    List.rev !unsound,
+    List.rev !pessimism )
 
 (* ------------------------------------------------------------------ *)
 (* Pass 2                                                              *)
@@ -458,7 +510,7 @@ let find_endpoint (ctx : Context.t) pin =
 let pass2 ~individual ~(merged : Context.t) ambiguous_eps =
   let design = merged.Context.design in
   let rows = ref [] and fixes = ref [] and unsound = ref []
-  and pessimism = ref [] and ambiguous_pairs = ref [] in
+  and pessimism = ref [] and ambiguous_pairs = ref [] and compared = ref 0 in
   List.iter
     (fun ep_pin ->
       match find_endpoint merged ep_pin with
@@ -492,6 +544,7 @@ let pass2 ~individual ~(merged : Context.t) ambiguous_eps =
               in
               if List.for_all (( = ) []) ind_rels && mrels = [] then ()
               else begin
+                incr compared;
                 let judged = make_buckets ~fine:false ind_rels mrels in
                 List.iter
                   (fun jb ->
@@ -501,12 +554,12 @@ let pass2 ~individual ~(merged : Context.t) ambiguous_eps =
                     if jb.bucket.bk_verdict = Ambiguous then
                       ambiguous_pairs := (sp, ep) :: !ambiguous_pairs)
                   judged;
+                let sp_name = Design.pin_name design sp_pin
+                and ep_name = Design.pin_name design ep_pin in
                 let f, u, p =
                   fixes_for_point
-                    ~where:
-                      (Printf.sprintf "pass2: %s -> %s"
-                         (Design.pin_name design sp_pin)
-                         (Design.pin_name design ep_pin))
+                    ~where:(Printf.sprintf "pass2: %s -> %s" sp_name ep_name)
+                    ~pass:2 ~sp_name:(Some sp_name) ~through_name:None ~ep_name
                     ~prefix_pins:[ sp_pin ] ~ep:ep_pin judged
                 in
                 fixes := f @ !fixes;
@@ -516,6 +569,7 @@ let pass2 ~individual ~(merged : Context.t) ambiguous_eps =
             end)
           merged.Context.graph.Graph.startpoints)
     ambiguous_eps;
+  Mm_util.Metrics.incr ~by:!compared "compare.pairs_compared";
   ( List.rev !rows,
     List.rev !fixes,
     List.rev !unsound,
@@ -548,7 +602,7 @@ let successors (ctx : Context.t) pin =
 let pass3 ~individual ~(merged : Context.t) pairs =
   let design = merged.Context.design in
   let rows = ref [] and fixes = ref [] and unsound = ref []
-  and pessimism = ref [] in
+  and pessimism = ref [] and reconv = ref 0 in
   List.iter
     (fun (sp, ep) ->
       let sp_pin = Graph.startpoint_pin sp and ep_pin = Graph.endpoint_pin ep in
@@ -615,6 +669,7 @@ let pass3 ~individual ~(merged : Context.t) pairs =
         if List.for_all (( = ) []) ind_rels && mrels = [] then
           List.iter push (successors merged t)
         else begin
+          incr reconv;
           let judged = make_buckets ~fine ind_rels mrels in
           let any_ambiguous = ref false in
           List.iter
@@ -626,14 +681,15 @@ let pass3 ~individual ~(merged : Context.t) pairs =
                   { p3_sp = sp_pin; p3_through = t; p3_ep = ep_pin; p3_bucket = jb.bucket }
                   :: !rows)
             judged;
+          let sp_name = Design.pin_name design sp_pin
+          and t_name = Design.pin_name design t
+          and ep_name = Design.pin_name design ep_pin in
           let f, u, p =
             fixes_for_point
               ~where:
-                (Printf.sprintf "pass3: %s -> %s -> %s"
-                   (Design.pin_name design sp_pin)
-                   (Design.pin_name design t)
-                   (Design.pin_name design ep_pin))
-              ~prefix_pins:[ sp_pin; t ] ~ep:ep_pin judged
+                (Printf.sprintf "pass3: %s -> %s -> %s" sp_name t_name ep_name)
+              ~pass:3 ~sp_name:(Some sp_name) ~through_name:(Some t_name)
+              ~ep_name ~prefix_pins:[ sp_pin; t ] ~ep:ep_pin judged
           in
           fixes := f @ !fixes;
           unsound := u @ !unsound;
@@ -647,6 +703,7 @@ let pass3 ~individual ~(merged : Context.t) pairs =
         end
       done)
     pairs;
+  Mm_util.Metrics.incr ~by:!reconv "compare.reconv_points";
   List.rev !rows, List.rev !fixes, List.rev !unsound, List.rev !pessimism
 
 (* ------------------------------------------------------------------ *)
@@ -663,7 +720,7 @@ let dedup_fixes fixes =
 
 let run ~individual ~merged =
   let module Obs = Mm_util.Obs in
-  let p1_rows, p1_fixes, p1_uns, p1_pes =
+  let n_eps, p1_rows, p1_fixes, p1_uns, p1_pes =
     Obs.with_span "compare.pass1" (fun () -> pass1 ~individual ~merged)
   in
   let ambiguous_eps =
@@ -672,6 +729,9 @@ let run ~individual ~merged =
       p1_rows
     |> List.sort_uniq compare
   in
+  Mm_util.Metrics.incr
+    ~by:(max 0 (n_eps - List.length ambiguous_eps))
+    "compare.endpoints_pruned";
   let p2_rows, p2_fixes, p2_uns, p2_pes, ambiguous_pairs =
     Obs.with_span "compare.pass2"
       ~attrs:[ "ambiguous_endpoints", string_of_int (List.length ambiguous_eps) ]

@@ -43,9 +43,29 @@ type pass3_row = {
   p3_bucket : bucket;
 }
 
+(** Structured provenance for a fix: which pass produced it, the
+    comparison point (endpoint, startpoint–endpoint pair, or
+    reconvergence through-pin triple), the clock scoping of the
+    mismatching bucket, and the effective setup/hold states on both
+    sides. This is what the audit report and [modemerge explain] show
+    as the reason a refinement false path exists. *)
+type evidence = {
+  ev_pass : int;  (** 1, 2 or 3 *)
+  ev_startpoint : string option;  (** pin name; [None] in pass 1 *)
+  ev_through : string option;  (** reconvergence pin name; pass 3 only *)
+  ev_endpoint : string;  (** pin name *)
+  ev_launch : string option;
+      (** launch clock, when the fix is scoped to one launch bucket *)
+  ev_capture : string option;
+      (** capture clock, when additionally scoped per bucket *)
+  ev_ind : string;  (** individual-union effective state, [setup/hold] *)
+  ev_mrg : string;  (** merged-mode effective state, [setup/hold] *)
+}
+
 type fix = {
   fix_exc : Mm_sdc.Mode.exc;
   fix_reason : string;
+  fix_evidence : evidence;
 }
 
 type result = {
@@ -70,6 +90,16 @@ type side = {
 }
 
 val run : individual:side list -> merged:Mm_timing.Context.t -> result
+(** Besides the result, each run accumulates the stable coverage
+    counters [compare.endpoints_visited], [compare.endpoints_pruned]
+    (pass-1 endpoints that never escalated to pass 2),
+    [compare.pairs_compared] (pass-2 startpoint/endpoint pairs with
+    relations on either side) and [compare.reconv_points] (pass-3
+    through-pins whose relation sets were bucketed) in {!Mm_util.Metrics}. *)
+
+val evidence_to_string : evidence -> string
+(** One-line human rendering, e.g.
+    ["pass2 CK1->ff3/D at endpoint ff9/D: ind=FP/FP mrg=V/V"]. *)
 
 val is_clean : result -> bool
 (** No mismatches anywhere, no unsoundness and no pessimism: the strict

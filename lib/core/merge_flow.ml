@@ -24,6 +24,7 @@ type group = {
   grp_refine : Refine.t option;
   grp_equiv : Equiv.report option;
   grp_mode : Mode.t;
+  grp_prov : Mm_util.Prov.store;
 }
 
 type result = {
@@ -64,6 +65,7 @@ let singleton_group ?tolerance ~ctx_cache (single : Mode.t) =
     grp_refine = None;
     grp_equiv = None;
     grp_mode = single;
+    grp_prov = Provenance.of_single single;
   }
 
 let merged_group ?tolerance ~check_equivalence ~ctx_cache ~name members =
@@ -77,12 +79,15 @@ let merged_group ?tolerance ~check_equivalence ~ctx_cache ~name members =
            ~merged:refine.Refine.refined ())
     else None
   in
+  let mode = refine.Refine.refined in
   {
     grp_members = List.map (fun (m : Mode.t) -> m.Mode.mode_name) members;
     grp_prelim = prelim;
     grp_refine = Some refine;
     grp_equiv = equiv;
-    grp_mode = refine.Refine.refined;
+    grp_mode = mode;
+    grp_prov =
+      Provenance.of_group ~members ~prelim ~refine:(Some refine) ~mode;
   }
 
 (* ------------------------------------------------------------------ *)

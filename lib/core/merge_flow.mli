@@ -53,6 +53,8 @@ type group = {
   grp_refine : Refine.t option;  (** None for singleton groups *)
   grp_equiv : Equiv.report option;
   grp_mode : Mm_sdc.Mode.t;      (** the mode to use downstream *)
+  grp_prov : Mm_util.Prov.store;
+      (** per-constraint lineage of [grp_mode] (see {!Provenance}) *)
 }
 
 type result = {

@@ -16,6 +16,7 @@ type t = {
   uniquified : (string * Mode.exc) list;
   inferred_disables : Design.pin_id list;
   inferred_senses : (string * Design.pin_id) list;
+  derived_groups : Mode.clock_group list;
   conflicts : string list;
 }
 
@@ -656,9 +657,8 @@ let merge ?(tolerance = Toler.default) ?(max_refine_iters = 5) ?ctx_cache
   let cases, dropped_cases = intersect_cases modes in
   let disables = intersect_disables modes in
   let envs = merge_envs ~tolerance conflicts modes in
-  let groups =
-    derive_exclusivity modes clock_map merged_clocks @ inherit_groups modes clock_map
-  in
+  let derived_groups = derive_exclusivity modes clock_map merged_clocks in
+  let groups = derived_groups @ inherit_groups modes clock_map in
   let exceptions, dropped_exceptions, uniquified =
     merge_exceptions ~ctx_of ~uniquify modes clock_map conflicts
   in
@@ -695,5 +695,6 @@ let merge ?(tolerance = Toler.default) ?(max_refine_iters = 5) ?ctx_cache
     uniquified;
     inferred_disables;
     inferred_senses;
+    derived_groups;
     conflicts = List.rev !conflicts;
   }

@@ -33,6 +33,10 @@ type t = {
       (** disable_timing added by clock refinement *)
   inferred_senses : (string * Mm_netlist.Design.pin_id) list;
       (** (merged clock, pin) stop-propagation constraints added *)
+  derived_groups : Mm_sdc.Mode.clock_group list;
+      (** clock groups derived from exclusivity (3.1.7), as opposed to
+          groups inherited from the source modes — the provenance layer
+          attributes the two differently *)
   conflicts : string list;
       (** tolerance/value incompatibilities: non-empty means the modes
           should not have been merged (mergeability veto) *)

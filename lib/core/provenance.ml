@@ -1,0 +1,290 @@
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Writer = Mm_sdc.Writer
+module Prov = Mm_util.Prov
+
+(* Derivation walks [Mode.to_commands_tagged] on the emitted mode, so
+   seeds are 1:1 with the emitted commands and the assigned ids are a
+   function of the merged mode's content alone (jobs-invariant).
+
+   Contributor lookups iterate the member modes in input order and
+   their record lists in definition order — never a hash table — so
+   the attribution lists are canonical (DESIGN.md §11). *)
+
+let pin_name design p = Design.pin_name design p
+
+let evidence_fields (ev : Compare.evidence) reason =
+  [ "pass", string_of_int ev.Compare.ev_pass ]
+  @ (match ev.Compare.ev_startpoint with
+    | Some s -> [ "startpoint", s ]
+    | None -> [])
+  @ (match ev.Compare.ev_through with Some t -> [ "through", t ] | None -> [])
+  @ [ "endpoint", ev.Compare.ev_endpoint ]
+  @ (match ev.Compare.ev_launch with Some l -> [ "launch", l ] | None -> [])
+  @ (match ev.Compare.ev_capture with Some c -> [ "capture", c ] | None -> [])
+  @ [
+      "individual", ev.Compare.ev_ind;
+      "merged", ev.Compare.ev_mrg;
+      "reason", reason;
+    ]
+
+let origin_evidence design = function
+  | Refine.From_data_clock (clock, pin) ->
+    [
+      "kind", "data-clock-cut"; "clock", clock; "pin", pin_name design pin;
+    ]
+  | Refine.From_fix f ->
+    evidence_fields f.Compare.fix_evidence f.Compare.fix_reason
+
+let origin_of_lineage = function
+  | Refine.From_data_clock _ -> Prov.Data_clock_refinement
+  | Refine.From_fix f ->
+    Prov.Comparison_fix { pass = f.Compare.fix_evidence.Compare.ev_pass }
+
+(* A singleton clique re-emits the source mode verbatim: every
+   constraint is a trivial union from that one mode. *)
+let of_single (mode : Mode.t) =
+  let seeds =
+    List.map
+      (fun (_, cmd) ->
+        Prov.seed ~modes:[ mode.Mode.mode_name ]
+          ~notes:[ "singleton clique: constraint carried verbatim" ]
+          ~origin:Prov.Union
+          (Writer.write_command cmd))
+      (Mode.to_commands_tagged mode)
+  in
+  Prov.make ~scope:mode.Mode.mode_name seeds
+
+let of_group ~(members : Mode.t list) ~(prelim : Prelim.t)
+    ~(refine : Refine.t option) ~(mode : Mode.t) =
+  let design = mode.Mode.design in
+  let all_modes = List.map (fun (m : Mode.t) -> m.Mode.mode_name) members in
+  let rename (m : Mode.t) local =
+    Prelim.rename_of prelim m.Mode.mode_name local
+  in
+  let clock_contributors name =
+    List.filter_map
+      (fun (m : Mode.t) ->
+        if
+          List.exists
+            (fun (c : Mode.clock) -> rename m c.Mode.clk_name = name)
+            m.Mode.clocks
+        then Some m.Mode.mode_name
+        else None)
+      members
+  in
+  let clock_rename_notes name =
+    List.concat_map
+      (fun (m : Mode.t) ->
+        List.filter_map
+          (fun (c : Mode.clock) ->
+            if rename m c.Mode.clk_name = name && c.Mode.clk_name <> name then
+              Some
+                (Printf.sprintf "renamed from %s in mode %s" c.Mode.clk_name
+                   m.Mode.mode_name)
+            else None)
+          m.Mode.clocks)
+      members
+  in
+  let attr_contributors name =
+    List.filter_map
+      (fun (m : Mode.t) ->
+        if List.exists (fun (local, _) -> rename m local = name) m.Mode.attrs
+        then Some m.Mode.mode_name
+        else None)
+      members
+  in
+  let env_contributors (e : Mode.env_constraint) =
+    List.filter_map
+      (fun (m : Mode.t) ->
+        if
+          List.exists
+            (fun (e' : Mode.env_constraint) ->
+              e'.Mode.envc_kind = e.Mode.envc_kind
+              && e'.Mode.envc_pin = e.Mode.envc_pin
+              && e'.Mode.envc_minmax = e.Mode.envc_minmax)
+            m.Mode.envs
+        then Some m.Mode.mode_name
+        else None)
+      members
+  in
+  let drc_contributors (l : Mode.drc_limit) =
+    List.filter_map
+      (fun (m : Mode.t) ->
+        if
+          List.exists
+            (fun (l' : Mode.drc_limit) ->
+              l'.Mode.drcl_kind = l.Mode.drcl_kind
+              && l'.Mode.drcl_pin = l.Mode.drcl_pin)
+            m.Mode.drcs
+        then Some m.Mode.mode_name
+        else None)
+      members
+  in
+  let io_contributors (d : Mode.io_delay) =
+    List.filter_map
+      (fun (m : Mode.t) ->
+        if
+          List.exists
+            (fun (d' : Mode.io_delay) ->
+              Mode.io_delay_equal
+                {
+                  d' with
+                  Mode.iod_clock = Option.map (rename m) d'.Mode.iod_clock;
+                }
+                d)
+            m.Mode.io_delays
+        then Some m.Mode.mode_name
+        else None)
+      members
+  in
+  let group_contributors (g : Mode.clock_group) =
+    List.filter_map
+      (fun (m : Mode.t) ->
+        if
+          List.exists
+            (fun (g' : Mode.clock_group) ->
+              g'.Mode.grp_kind = g.Mode.grp_kind
+              && List.map (List.map (rename m)) g'.Mode.grp_clocks
+                 = g.Mode.grp_clocks)
+            m.Mode.groups
+        then Some m.Mode.mode_name
+        else None)
+      members
+  in
+  let sense_evidence (s : Mode.clock_sense) =
+    List.filter_map
+      (fun (clock, pin) ->
+        let clock_matches =
+          match s.Mode.cs_clocks with
+          | Some cs -> List.mem clock cs
+          | None -> true
+        in
+        if clock_matches && List.mem pin s.Mode.cs_pins then
+          Some [ "clock", clock; "pin", pin_name design pin ]
+        else None)
+      prelim.Prelim.inferred_senses
+  in
+  let n_prelim = List.length prelim.Prelim.merged.Mode.exceptions in
+  let exc_seed i (e : Mode.exc) line =
+    if i < n_prelim then
+      match
+        List.find_opt
+          (fun (_, e') -> Mode.exc_equal e e')
+          prelim.Prelim.uniquified
+      with
+      | Some (mn, _) ->
+        Prov.seed ~modes:[ mn ]
+          ~notes:
+            [
+              Printf.sprintf
+                "uniquified: restricted to the clocks of mode %s (3.1.10)" mn;
+            ]
+          ~origin:Prov.Uniquification line
+      | None ->
+        Prov.seed ~modes:all_modes
+          ~notes:[ "kept by intersection: present in every mode (3.1.9)" ]
+          ~origin:Prov.Intersection line
+    else
+      let lineage =
+        match refine with
+        | None -> None
+        | Some r -> List.nth_opt r.Refine.added_lineage (i - n_prelim)
+      in
+      match lineage with
+      | Some (_, (first :: _ as origins)) ->
+        Prov.seed
+          ~evidence:(List.map (origin_evidence design) origins)
+          ~notes:[ "false path added by refinement (3.2)" ]
+          ~origin:(origin_of_lineage first) line
+      | Some (_, []) | None ->
+        (* Positional attribution failed — should not happen; keep the
+           entry rather than dropping the constraint from the audit. *)
+        Prov.seed ~notes:[ "refinement-added (lineage unattributed)" ]
+          ~origin:Prov.Data_clock_refinement line
+  in
+  let seed_of (section, cmd) =
+    let line = Writer.write_command cmd in
+    match section with
+    | Mode.Sec_clock c ->
+      let name = c.Mode.clk_name in
+      Prov.seed ~modes:(clock_contributors name)
+        ~notes:(clock_rename_notes name)
+        ~origin:Prov.Union line
+    | Mode.Sec_attr c ->
+      let name = c.Mode.clk_name in
+      let modes =
+        match attr_contributors name with
+        | [] -> clock_contributors name
+        | ms -> ms
+      in
+      Prov.seed ~modes
+        ~notes:[ "clock attributes tolerance-merged (3.1.2)" ]
+        ~origin:Prov.Tolerance_merge line
+    | Mode.Sec_env e ->
+      Prov.seed ~modes:(env_contributors e)
+        ~notes:[ "environment values tolerance-merged (3.1.6)" ]
+        ~origin:Prov.Tolerance_merge line
+    | Mode.Sec_drc l ->
+      Prov.seed ~modes:(drc_contributors l)
+        ~notes:[ "tightest design-rule limit across modes (3.1.6)" ]
+        ~origin:Prov.Tolerance_merge line
+    | Mode.Sec_case _ ->
+      Prov.seed ~modes:all_modes
+        ~notes:[ "case analysis kept by intersection (3.1.4)" ]
+        ~origin:Prov.Intersection line
+    | Mode.Sec_disable d ->
+      let inferred =
+        match d with
+        | Mode.Dis_pin p -> List.mem p prelim.Prelim.inferred_disables
+        | Mode.Dis_inst _ -> false
+      in
+      if inferred then
+        Prov.seed
+          ~notes:[ "disable inferred by clock-network refinement (3.1.8)" ]
+          ~origin:Prov.Clock_refinement line
+      else
+        Prov.seed ~modes:all_modes
+          ~notes:[ "disable kept by intersection (3.1.5)" ]
+          ~origin:Prov.Intersection line
+    | Mode.Sec_io d ->
+      Prov.seed ~modes:(io_contributors d)
+        ~notes:[ "external delay carried into the union (3.1.3)" ]
+        ~origin:Prov.Union line
+    | Mode.Sec_group g ->
+      if List.mem g prelim.Prelim.derived_groups then
+        Prov.seed
+          ~notes:
+            [ "exclusivity derived: clocks never coexist in a mode (3.1.7)" ]
+          ~origin:Prov.Derived_exclusivity line
+      else
+        Prov.seed ~modes:(group_contributors g)
+          ~notes:[ "clock group inherited from source modes" ]
+          ~origin:Prov.Inherited line
+    | Mode.Sec_sense s ->
+      Prov.seed ~evidence:(sense_evidence s)
+        ~notes:[ "stop-propagation inferred by clock-network refinement (3.1.8)" ]
+        ~origin:Prov.Clock_refinement line
+    | Mode.Sec_exc (i, e) -> exc_seed i e line
+  in
+  Prov.make ~scope:mode.Mode.mode_name
+    (List.map seed_of (Mode.to_commands_tagged mode))
+
+let annotation (e : Prov.entry) =
+  let modes =
+    match e.Prov.pv_modes with
+    | [] -> ""
+    | ms -> " [" ^ String.concat "," ms ^ "]"
+  in
+  Printf.sprintf "prov: %s %s%s" e.Prov.pv_id
+    (Prov.origin_to_string e.Prov.pv_origin)
+    modes
+
+let annotated_sdc store (mode : Mode.t) =
+  let entries = Array.of_list (Prov.entries store) in
+  let cmds = Mode.to_commands mode in
+  Writer.write_commands_annotated
+    ~header:("mode " ^ mode.Mode.mode_name)
+    ~comment:(fun i _ ->
+      if i < Array.length entries then Some (annotation entries.(i)) else None)
+    cmds

@@ -4,10 +4,15 @@ module Context = Mm_timing.Context
 module Clock_prop = Mm_timing.Clock_prop
 module Graph = Mm_timing.Graph
 
+type added_origin =
+  | From_data_clock of string * Design.pin_id
+  | From_fix of Compare.fix
+
 type t = {
   refined : Mode.t;
   data_clock_fixes : (string * Design.pin_id) list;
   added_exceptions : Mode.exc list;
+  added_lineage : (Mode.exc * added_origin list) list;
   final_compare : Compare.result;
   iterations : int;
 }
@@ -44,61 +49,94 @@ let union_data_masks (prelim : Prelim.t) individual ctxs (ctx_m : Context.t) =
    lists several pins in one -through: exceptions identical except for
    their -to pin set merge into one (to-sets union); exceptions
    identical except for a single-group -through merge into one group.
-   Both rewrites are exact unions of the originals' match sets. *)
+   Both rewrites are exact unions of the originals' match sets.
+
+   Each input exception carries a list of lineage tags; merging
+   concatenates the tags, so a coalesced exception remembers every
+   fix/refinement that contributed to it. The merge groups live in an
+   input-ordered association list (not a hash table), so the output
+   order is canonically the first-occurrence input order — the
+   provenance ids and annotated SDC depend on that stability. *)
 let sort_points l = List.sort_uniq compare l
 
-let coalesce_excs excs =
+type 'a merge_slot = {
+  slot_exc : Mode.exc;
+  mutable slot_pts : Mode.point list;  (* merged -to sets, pass A *)
+  mutable slot_pins : Design.pin_id list;  (* merged -through group, pass B *)
+  mutable slot_tags : 'a list;  (* reverse accumulation *)
+}
+
+let coalesce_tagged tagged =
   let norm_from e =
     Option.map sort_points e.Mode.exc_from, e.Mode.exc_kind, e.Mode.exc_setup,
     e.Mode.exc_hold
   in
-  (* Pass A: merge -to sets for equal (kind, sides, from, through). *)
-  let tbl = Hashtbl.create 16 in
-  let order = ref [] in
-  List.iter
-    (fun e ->
-      match e.Mode.exc_to with
-      | Some pts ->
-        let key = norm_from e, List.map sort_points e.Mode.exc_through in
-        (match Hashtbl.find_opt tbl key with
-        | Some acc -> acc := pts @ !acc
-        | None ->
-          let acc = ref pts in
-          Hashtbl.replace tbl key acc;
-          order := (`Merge_to (key, acc, e)) :: !order)
-      | None -> order := `Keep e :: !order)
-    excs;
-  let step_a =
-    List.rev_map
+  (* Ordered grouping: [find] is linear, but refinement adds tens of
+     exceptions at most per iteration. *)
+  let group ~key_of ~merge ~init items =
+    let order = ref [] in
+    List.iter
+      (fun (e, tags) ->
+        match key_of e with
+        | None -> order := `Keep (e, tags) :: !order
+        | Some key -> (
+          let slot_of = function
+            | `Merge (k, slot) when k = key -> Some slot
+            | `Merge _ | `Keep _ -> None
+          in
+          match List.find_map slot_of !order with
+          | Some slot ->
+            merge slot e;
+            slot.slot_tags <- List.rev_append tags slot.slot_tags
+          | None ->
+            let slot =
+              { slot_exc = e; slot_pts = []; slot_pins = [];
+                slot_tags = List.rev tags }
+            in
+            init slot e;
+            order := `Merge (key, slot) :: !order))
+      items;
+    List.rev !order
+  in
+  let finish rebuild grouped =
+    List.map
       (function
-        | `Keep e -> e
-        | `Merge_to (_, acc, e) ->
-          { e with Mode.exc_to = Some (sort_points !acc) })
-      !order
+        | `Keep (e, tags) -> e, tags
+        | `Merge (_, slot) -> rebuild slot, List.rev slot.slot_tags)
+      grouped
+  in
+  (* Pass A: merge -to sets for equal (kind, sides, from, through). *)
+  let step_a =
+    group tagged
+      ~key_of:(fun e ->
+        match e.Mode.exc_to with
+        | Some _ -> Some (norm_from e, List.map sort_points e.Mode.exc_through)
+        | None -> None)
+      ~init:(fun slot e ->
+        slot.slot_pts <- Option.value ~default:[] e.Mode.exc_to)
+      ~merge:(fun slot e ->
+        slot.slot_pts <-
+          Option.value ~default:[] e.Mode.exc_to @ slot.slot_pts)
+    |> finish (fun slot ->
+           { slot.slot_exc with Mode.exc_to = Some (sort_points slot.slot_pts) })
   in
   (* Pass B: merge single-group -through pin sets for equal
      (kind, sides, from, to). *)
-  let tbl = Hashtbl.create 16 in
-  let order = ref [] in
-  List.iter
-    (fun e ->
+  group step_a
+    ~key_of:(fun e ->
       match e.Mode.exc_through with
-      | [ pins ] ->
-        let key = norm_from e, Option.map sort_points e.Mode.exc_to in
-        (match Hashtbl.find_opt tbl key with
-        | Some acc -> acc := pins @ !acc
-        | None ->
-          let acc = ref pins in
-          Hashtbl.replace tbl key acc;
-          order := `Merge_through (acc, e) :: !order)
-      | [] | _ :: _ :: _ -> order := `Keep e :: !order)
-    step_a;
-  List.rev_map
-    (function
-      | `Keep e -> e
-      | `Merge_through (acc, e) ->
-        { e with Mode.exc_through = [ List.sort_uniq compare !acc ] })
-    !order
+      | [ _ ] -> Some (norm_from e, Option.map sort_points e.Mode.exc_to)
+      | [] | _ :: _ :: _ -> None)
+    ~init:(fun slot e ->
+      slot.slot_pins <- (match e.Mode.exc_through with [ p ] -> p | _ -> []))
+    ~merge:(fun slot e ->
+      slot.slot_pins <-
+        (match e.Mode.exc_through with [ p ] -> p | _ -> []) @ slot.slot_pins)
+  |> finish (fun slot ->
+         {
+           slot.slot_exc with
+           Mode.exc_through = [ List.sort_uniq compare slot.slot_pins ];
+         })
 
 let data_clock_refinement (prelim : Prelim.t) individual ctxs merged =
   let design = merged.Mode.design in
@@ -127,15 +165,17 @@ let data_clock_refinement (prelim : Prelim.t) individual ctxs merged =
           done
       end);
   let fixes = List.rev !fixes in
-  let excs =
-    coalesce_excs
+  let tagged =
+    coalesce_tagged
       (List.map
          (fun (clock, pin) ->
-           Mode.exc ~from_:[ Mode.P_clock clock ] ~through:[ [ pin ] ]
-             Mode.False_path)
+           ( Mode.exc ~from_:[ Mode.P_clock clock ] ~through:[ [ pin ] ]
+               Mode.False_path,
+             [ From_data_clock (clock, pin) ] ))
          fixes)
   in
-  { merged with Mode.exceptions = merged.Mode.exceptions @ excs }, fixes, excs
+  let excs = List.map fst tagged in
+  { merged with Mode.exceptions = merged.Mode.exceptions @ excs }, fixes, tagged
 
 let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
   Mm_util.Obs.with_span
@@ -156,7 +196,7 @@ let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
       individual ctxs
   in
   (* Step 1: data-network clock refinement. *)
-  let merged, data_clock_fixes, step1_excs =
+  let merged, data_clock_fixes, step1_tagged =
     data_clock_refinement prelim individual ctxs prelim.Prelim.merged
   in
   (* Step 2: compare/fix loop. *)
@@ -171,15 +211,27 @@ let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
     in
     if new_fixes = [] || iter >= max_iters then merged, added, result, iter
     else begin
-      let excs =
-        coalesce_excs (List.map (fun f -> f.Compare.fix_exc) new_fixes)
+      let tagged =
+        coalesce_tagged
+          (List.map (fun f -> f.Compare.fix_exc, [ From_fix f ]) new_fixes)
       in
+      let excs = List.map fst tagged in
       loop
         { merged with Mode.exceptions = merged.Mode.exceptions @ excs }
-        (added @ excs) (iter + 1)
+        (added @ tagged) (iter + 1)
     end
   in
-  let refined, added, final_compare, iterations = loop merged step1_excs 1 in
+  let refined, added_lineage, final_compare, iterations =
+    loop merged step1_tagged 1
+  in
+  let added = List.map fst added_lineage in
   Mm_util.Metrics.incr ~by:(List.length added) "refine.false_paths_added";
   Mm_util.Metrics.observe "refine.iterations" (float_of_int iterations);
-  { refined; data_clock_fixes; added_exceptions = added; final_compare; iterations }
+  {
+    refined;
+    data_clock_fixes;
+    added_exceptions = added;
+    added_lineage;
+    final_compare;
+    iterations;
+  }

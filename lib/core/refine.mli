@@ -14,12 +14,24 @@
     Requires the individual modes and the clock renaming from
     {!Prelim}. *)
 
+(** Why a refinement exception was added: a step-1 data-network clock
+    cut, or a comparison-pass fix (with its full {!Compare.evidence}).
+    A coalesced exception carries one origin per contributing fix. *)
+type added_origin =
+  | From_data_clock of string * Mm_netlist.Design.pin_id
+      (** (merged clock, frontier pin) *)
+  | From_fix of Compare.fix
+
 type t = {
   refined : Mm_sdc.Mode.t;
   data_clock_fixes : (string * Mm_netlist.Design.pin_id) list;
       (** (merged clock, frontier pin) false paths from step 1 *)
   added_exceptions : Mm_sdc.Mode.exc list;
       (** all exceptions added across both steps *)
+  added_lineage : (Mm_sdc.Mode.exc * added_origin list) list;
+      (** [added_exceptions] in the same order, each paired with every
+          origin that contributed to it (after coalescing) — the
+          provenance source for refinement false paths *)
   final_compare : Compare.result;
       (** the last comparison — clean iff the merge is equivalent *)
   iterations : int;

@@ -311,7 +311,19 @@ let queries_of_mixed_pins design pins =
   if others = [] then []
   else [ Ast.Get_pins (List.map (Design.pin_name design) others) ]
 
-let to_commands t =
+type section =
+  | Sec_clock of clock
+  | Sec_attr of clock
+  | Sec_env of env_constraint
+  | Sec_drc of drc_limit
+  | Sec_case of Design.pin_id * bool
+  | Sec_disable of disable
+  | Sec_io of io_delay
+  | Sec_group of clock_group
+  | Sec_sense of clock_sense
+  | Sec_exc of int * exc
+
+let to_commands_tagged t =
   let design = t.design in
   let clock_cmds =
     List.concat_map
@@ -320,76 +332,87 @@ let to_commands t =
         match c.generated with
         | None ->
           [
-            Ast.Create_clock
-              {
-                cc_name = Some c.clk_name;
-                period = c.period;
-                waveform =
-                  (let r, f = c.waveform in
-                   if Float.equal r 0. && Float.equal f (c.period /. 2.) then None
-                   else Some (r, f));
-                add = true;
-                sources;
-                comment = None;
-              };
+            ( Sec_clock c,
+              Ast.Create_clock
+                {
+                  cc_name = Some c.clk_name;
+                  period = c.period;
+                  waveform =
+                    (let r, f = c.waveform in
+                     if Float.equal r 0. && Float.equal f (c.period /. 2.) then
+                       None
+                     else Some (r, f));
+                  add = true;
+                  sources;
+                  comment = None;
+                } );
           ]
         | Some g ->
           [
-            Ast.Create_generated_clock
-              {
-                gc_name = Some c.clk_name;
-                gc_source = sources;
-                master_clock = Some g.master;
-                divide_by = g.g_divide;
-                multiply_by = g.g_multiply;
-                invert = g.g_invert;
-                gc_add = true;
-                gc_targets = sources;
-              };
+            ( Sec_clock c,
+              Ast.Create_generated_clock
+                {
+                  gc_name = Some c.clk_name;
+                  gc_source = sources;
+                  master_clock = Some g.master;
+                  divide_by = g.g_divide;
+                  multiply_by = g.g_multiply;
+                  invert = g.g_invert;
+                  gc_add = true;
+                  gc_targets = sources;
+                } );
           ])
       t.clocks
   in
   let attr_cmds =
     List.concat_map
-      (fun c -> commands_of_attr c.clk_name (attr_of_clock t c.clk_name))
+      (fun c ->
+        List.map
+          (fun cmd -> Sec_attr c, cmd)
+          (commands_of_attr c.clk_name (attr_of_clock t c.clk_name)))
       t.clocks
   in
   let env_cmds =
     List.map
       (fun e ->
-        Ast.Set_env
-          {
-            env_kind = e.envc_kind;
-            env_value = e.envc_value;
-            env_minmax = e.envc_minmax;
-            env_objects = [ port_query design e.envc_pin ];
-          })
+        ( Sec_env e,
+          Ast.Set_env
+            {
+              env_kind = e.envc_kind;
+              env_value = e.envc_value;
+              env_minmax = e.envc_minmax;
+              env_objects = [ port_query design e.envc_pin ];
+            } ))
       t.envs
   in
   let case_cmds =
     List.map
       (fun (pin, v) ->
-        Ast.Set_case_analysis
-          { ca_value = v; ca_objects = [ Ast.Name (Design.pin_name design pin) ] })
+        ( Sec_case (pin, v),
+          Ast.Set_case_analysis
+            { ca_value = v; ca_objects = [ Ast.Name (Design.pin_name design pin) ] }
+        ))
       t.cases
   in
   let disable_cmds =
     List.map
-      (function
-        | Dis_pin pin ->
-          Ast.Set_disable_timing
-            {
-              dis_objects = [ Ast.Name (Design.pin_name design pin) ];
-              dis_from = None;
-              dis_to = None;
-            }
-        | Dis_inst (inst, from_, to_) ->
-          Ast.Set_disable_timing
-            {
-              dis_objects = [ Ast.Get_cells [ Design.inst_name design inst ] ];
-              dis_from = from_;
-              dis_to = to_;
-            })
+      (fun d ->
+        ( Sec_disable d,
+          match d with
+          | Dis_pin pin ->
+            Ast.Set_disable_timing
+              {
+                dis_objects = [ Ast.Name (Design.pin_name design pin) ];
+                dis_from = None;
+                dis_to = None;
+              }
+          | Dis_inst (inst, from_, to_) ->
+            Ast.Set_disable_timing
+              {
+                dis_objects = [ Ast.Get_cells [ Design.inst_name design inst ] ];
+                dis_from = from_;
+                dis_to = to_;
+              } ))
       t.disables
   in
   let io_cmds =
@@ -405,47 +428,57 @@ let to_commands t =
             io_ports = [ port_query design d.iod_pin ];
           }
         in
-        if d.iod_input then Ast.Set_input_delay cmd else Ast.Set_output_delay cmd)
+        ( Sec_io d,
+          if d.iod_input then Ast.Set_input_delay cmd
+          else Ast.Set_output_delay cmd ))
       t.io_delays
   in
   let group_cmds =
     List.map
       (fun g ->
-        Ast.Set_clock_groups
-          {
-            cg_name = g.grp_name;
-            cg_kind = g.grp_kind;
-            cg_groups = List.map (fun names -> [ Ast.Get_clocks names ]) g.grp_clocks;
-          })
+        ( Sec_group g,
+          Ast.Set_clock_groups
+            {
+              cg_name = g.grp_name;
+              cg_kind = g.grp_kind;
+              cg_groups =
+                List.map (fun names -> [ Ast.Get_clocks names ]) g.grp_clocks;
+            } ))
       t.groups
   in
   let sense_cmds =
     List.map
       (fun s ->
-        Ast.Set_clock_sense
-          {
-            sense_stop = s.cs_stop;
-            sense_clocks =
-              Option.map (fun names -> [ Ast.Get_clocks names ]) s.cs_clocks;
-            sense_pins =
-              [ Ast.Get_pins (List.map (Design.pin_name design) s.cs_pins) ];
-          })
+        ( Sec_sense s,
+          Ast.Set_clock_sense
+            {
+              sense_stop = s.cs_stop;
+              sense_clocks =
+                Option.map (fun names -> [ Ast.Get_clocks names ]) s.cs_clocks;
+              sense_pins =
+                [ Ast.Get_pins (List.map (Design.pin_name design) s.cs_pins) ];
+            } ))
       t.senses
   in
   let drc_cmds =
     List.map
       (fun l ->
-        Ast.Set_drc
-          {
-            drc_kind = l.drcl_kind;
-            drc_value = l.drcl_value;
-            drc_objects = [ Ast.Name (Design.pin_name design l.drcl_pin) ];
-          })
+        ( Sec_drc l,
+          Ast.Set_drc
+            {
+              drc_kind = l.drcl_kind;
+              drc_value = l.drcl_value;
+              drc_objects = [ Ast.Name (Design.pin_name design l.drcl_pin) ];
+            } ))
       t.drcs
   in
-  let exc_cmds = List.map (commands_of_exc design) t.exceptions in
+  let exc_cmds =
+    List.mapi (fun i e -> Sec_exc (i, e), commands_of_exc design e) t.exceptions
+  in
   clock_cmds @ attr_cmds @ env_cmds @ drc_cmds @ case_cmds @ disable_cmds
   @ io_cmds @ group_cmds @ sense_cmds @ exc_cmds
+
+let to_commands t = List.map snd (to_commands_tagged t)
 
 let to_sdc t =
   Writer.write_commands ~header:("mode " ^ t.mode_name) (to_commands t)

@@ -156,6 +156,26 @@ val to_commands : t -> Ast.command list
     attributes, environment, case/disable, IO delays, groups, senses,
     exceptions). *)
 
+(** Which record of the mode an emitted command came from. [Sec_exc]
+    carries the index into {!t.exceptions} so refinement-added
+    exceptions can be attributed positionally. *)
+type section =
+  | Sec_clock of clock
+  | Sec_attr of clock
+  | Sec_env of env_constraint
+  | Sec_drc of drc_limit
+  | Sec_case of Mm_netlist.Design.pin_id * bool
+  | Sec_disable of disable
+  | Sec_io of io_delay
+  | Sec_group of clock_group
+  | Sec_sense of clock_sense
+  | Sec_exc of int * exc
+
+val to_commands_tagged : t -> (section * Ast.command) list
+(** [to_commands] with each command paired with its source record —
+    same commands, same order. The provenance layer relies on this
+    1:1 correspondence for stable per-constraint ids. *)
+
 val to_sdc : t -> string
 (** [Writer.write_commands (to_commands t)] with a mode-name header. *)
 

@@ -176,6 +176,22 @@ let write_commands ?header cmds =
   | None -> body ^ "\n"
   | Some h -> "# " ^ h ^ "\n" ^ body ^ "\n"
 
+let write_commands_annotated ?header ~comment cmds =
+  let lines =
+    List.concat
+      (List.mapi
+         (fun i cmd ->
+           let body = write_command cmd in
+           match comment i cmd with
+           | None -> [ body ]
+           | Some c -> [ "# " ^ c; body ])
+         cmds)
+  in
+  let body = String.concat "\n" lines in
+  match header with
+  | None -> body ^ "\n"
+  | Some h -> "# " ^ h ^ "\n" ^ body ^ "\n"
+
 let write_file path ?header cmds =
   let oc = open_out path in
   Fun.protect

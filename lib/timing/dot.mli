@@ -1,0 +1,27 @@
+(** Graphviz DOT export of the timing graph with clock-propagation
+    attribution ([modemerge merge --dot]).
+
+    Nodes are design pins; pins reached by clocks show their merged
+    clock set. Edges are styled by arc kind (cell arcs solid, net arcs
+    dashed, launch arcs dotted). When the individual-mode sides are
+    supplied, each clock-network edge is attributed: blue with the
+    covering mode names when at least one individual mode propagates a
+    corresponding clock there, red ["merged-only"] when only the merged
+    mode does — the propagation excess that data-clock refinement cuts
+    (paper §3.2). *)
+
+type side = {
+  side_name : string;  (** individual mode name *)
+  side_ctx : Context.t;
+  side_rename : string -> string;
+      (** individual clock name -> merged clock name *)
+}
+
+val export :
+  ?individual:side list -> ?clock_network_only:bool -> Context.t -> string
+(** DOT text for the merged/emitted mode's graph. [clock_network_only]
+    (default false) drops edges whose source carries no clock —
+    usually the readable view for non-trivial designs. *)
+
+val write :
+  string -> ?individual:side list -> ?clock_network_only:bool -> Context.t -> unit

@@ -1,4 +1,10 @@
-type histogram = { h_count : int; h_sum : float; h_min : float; h_max : float }
+type histogram = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_samples : float list;  (* reverse observation order *)
+}
 
 type value = Counter of int | Gauge of float | Histogram of histogram
 
@@ -33,8 +39,11 @@ let observe name x =
               h_sum = h.h_sum +. x;
               h_min = Float.min h.h_min x;
               h_max = Float.max h.h_max x;
+              h_samples = x :: h.h_samples;
             }
-        | _ -> Histogram { h_count = 1; h_sum = x; h_min = x; h_max = x }
+        | _ ->
+          Histogram
+            { h_count = 1; h_sum = x; h_min = x; h_max = x; h_samples = [ x ] }
       in
       Hashtbl.replace tbl name v)
 
@@ -73,13 +82,28 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.9g" x else "0"
 
+(* Nearest-rank on the sorted sample set; [q] in [0,1]. *)
+let percentile h q =
+  match h.h_samples with
+  | [] -> 0.
+  | samples ->
+    let a = Array.of_list samples in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
 let json_of_value = function
   | Counter n -> string_of_int n
   | Gauge x -> json_float x
   | Histogram h ->
-    Printf.sprintf {|{"count":%d,"sum":%s,"min":%s,"max":%s,"mean":%s}|}
+    Printf.sprintf
+      {|{"count":%d,"sum":%s,"min":%s,"max":%s,"mean":%s,"p50":%s,"p90":%s,"p99":%s}|}
       h.h_count (json_float h.h_sum) (json_float h.h_min) (json_float h.h_max)
       (json_float (if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count))
+      (json_float (percentile h 0.50))
+      (json_float (percentile h 0.90))
+      (json_float (percentile h 0.99))
 
 let json_of_items items =
   let field { name; value } =

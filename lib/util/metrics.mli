@@ -31,6 +31,11 @@ type histogram = {
   h_sum : float;
   h_min : float;
   h_max : float;
+  h_samples : float list;
+      (** every observation, newest first — kept so the JSON export can
+          report exact nearest-rank percentiles. Instrumentation sites
+          observe per-stage aggregates (a handful of samples per run),
+          never per-element values, so retention is cheap. *)
 }
 
 type value =
@@ -64,11 +69,17 @@ val reset : unit -> unit
 
     The registry renders as one flat object keyed by metric name:
     counters as integers, gauges as numbers, histograms as
-    [{"count":n,"sum":s,"min":a,"max":b,"mean":m}]. *)
+    [{"count":n,"sum":s,"min":a,"max":b,"mean":m,"p50":…,"p90":…,"p99":…}]
+    where the percentiles are exact nearest-rank values over the
+    retained samples. *)
 
 val to_json : unit -> string
 
 val json_of_items : item list -> string
+
+val percentile : histogram -> float -> float
+(** [percentile h q] is the nearest-rank [q]-quantile ([q] in [0,1]) of
+    the histogram's samples; [0.] for an empty histogram. *)
 
 (** {2 JSON helpers shared with {!Obs}} *)
 

@@ -66,6 +66,25 @@ let with_span ?(attrs = []) name f =
       f
   end
 
+(* Cross-domain span context: the innermost open frame of the capturing
+   domain, re-installable on another domain so spans recorded there
+   attach to the caller's tree instead of rooting their own. *)
+type context = (int * int) option
+
+let capture () =
+  if not (Atomic.get on) then None
+  else
+    match !(Domain.DLS.get stack_key) with [] -> None | top :: _ -> Some top
+
+let with_context ctx f =
+  match ctx with
+  | None -> f ()
+  | Some frame ->
+    let stack = Domain.DLS.get stack_key in
+    let saved = !stack in
+    stack := [ frame ];
+    Fun.protect ~finally:(fun () -> stack := saved) f
+
 let timed ?attrs name f =
   let t0 = Clock.now_ns () in
   let r = with_span ?attrs name f in

@@ -65,6 +65,32 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
     even when [f] raises. When recording is disabled this is just
     [f ()]. *)
 
+(** {2 Cross-domain span context}
+
+    Span nesting is tracked per domain, so a span recorded on a worker
+    domain would normally root its own tree there — and the time it
+    covers would {e not} be subtracted from the dispatching span's self
+    time. A [context] captured on the dispatching domain and installed
+    around the task body ({!Pool} does this for every task) re-parents
+    worker spans under the caller's open span, keeping [self_s] honest
+    for [merge.flow]/[merge.mergeability] under [--jobs > 1]. Note that
+    children executing concurrently may overlap, so a parent's summed
+    child time can exceed its wall time; self time clamps at 0. The
+    owning domain of every span remains visible as [sp_tid] (the [tid]
+    field of the trace_event export). *)
+
+type context
+(** The innermost open span frame of the capturing domain (or nothing,
+    when no span is open / recording is disabled). *)
+
+val capture : unit -> context
+(** Snapshot the current domain's open-span position. *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** [with_context ctx f] runs [f] with the captured frame installed as
+    the current span parent on {e this} domain, restoring the previous
+    stack afterwards. With an empty context this is just [f ()]. *)
+
 val timed : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * float
 (** Like {!with_span} but additionally returns the elapsed seconds —
     measured whether or not recording is enabled. This is how pipeline

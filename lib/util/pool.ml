@@ -101,12 +101,15 @@ let map_array t f arr =
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
     let completed = Atomic.make 0 in
+    (* Re-parent worker-domain spans under the caller's open span so
+       multi-domain profiles keep one tree (see Obs.with_context). *)
+    let ctx = Obs.capture () in
     let run_one () =
       let i = Atomic.fetch_and_add cursor 1 in
       if i >= n then false
       else begin
         let r =
-          try Ok (f arr.(i))
+          try Ok (Obs.with_context ctx (fun () -> f arr.(i)))
           with e -> Error (e, Printexc.get_raw_backtrace ())
         in
         results.(i) <- Some r;

@@ -19,6 +19,11 @@
       inline on the calling domain — the graceful sequential fallback.
     - Each executed task increments the [pool.tasks_executed] counter
       ({!Metrics}), identically in the sequential and parallel paths.
+    - The {!Obs} span context open at the {!map} call is re-installed
+      around every task body, so spans recorded inside tasks — even on
+      worker domains — attach to the dispatching span rather than
+      rooting per-domain trees (each span still carries its own domain
+      id in [sp_tid]).
 
     The pool is {e not} reentrant: a task must not call {!map} on the
     pool executing it (the pipeline only dispatches from the driver
