@@ -14,9 +14,11 @@
 
    Error handling: every problem is reported to stderr as one
    [file:line:col: severity[code]: message] line. Exit codes are
-   0 (clean), 1 (completed with warnings / findings) and 2 (fatal).
-   --strict (default) fails fast on malformed input; --permissive
-   recovers, quarantines broken modes and reports. *)
+   0 (clean), 1 (completed with warnings / findings), 2 (fatal) and
+   3 (completed, but degraded under budget pressure — see --deadline /
+   --budget / --task-timeout). --strict (default) fails fast on
+   malformed input; --permissive recovers, quarantines broken modes
+   and reports. *)
 
 module Design = Mm_netlist.Design
 module Mode = Mm_sdc.Mode
@@ -26,6 +28,7 @@ module Sta = Mm_timing.Sta
 module Merge_flow = Mm_core.Merge_flow
 module Diag = Mm_util.Diag
 module Obs = Mm_util.Obs
+module Govern = Mm_util.Govern
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -34,10 +37,16 @@ open Cmdliner
 let exit_clean = 0
 let exit_warn = 1
 let exit_fatal = 2
+let exit_budget = 3
 
 (* Any Warning-or-worse diagnostic printed during the run turns a
    clean exit into exit code 1. *)
 let warned = ref false
+
+(* Governance changed the outcome (clique split, budget quarantine,
+   conservative pair verdict): exit 3, which beats exit 1 — a budget
+   degradation is always also warned about. *)
+let budget_degraded = ref false
 
 let print_diag d =
   if Diag.severity_rank d.Diag.severity >= Diag.severity_rank Diag.Warning then
@@ -53,7 +62,11 @@ let fatal ?loc ~code fmt =
       exit exit_fatal)
     fmt
 
-let finish () = exit (if !warned then exit_warn else exit_clean)
+let finish () =
+  exit
+    (if !budget_degraded then exit_budget
+     else if !warned then exit_warn
+     else exit_clean)
 
 (* Catch stray IO failures from any subcommand body and route them
    through the exit-code convention instead of a backtrace. *)
@@ -204,18 +217,123 @@ let policy_arg =
   Arg.(value & vflag Merge_flow.Strict [ strict; permissive ])
 
 (* ------------------------------------------------------------------ *)
+(* Resource governance: --deadline / --budget / --task-timeout /
+   --retries / --mem-limit-mb, and crash-safe --checkpoint/--resume.   *)
+
+let deadline_arg =
+  let doc =
+    "Global wall-clock deadline in seconds. When it expires, in-flight \
+     work is cancelled cooperatively and the run degrades (permissive) \
+     or aborts (strict)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC" ~doc)
+
+let budget_arg =
+  let doc =
+    Printf.sprintf
+      "Per-stage budget in seconds, repeatable: $(b,--budget \
+       cliques=2.5). Stages: %s."
+      (String.concat ", " Merge_flow.stage_names)
+  in
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string float) []
+    & info [ "budget" ] ~docv:"STAGE=SEC" ~doc)
+
+let task_timeout_arg =
+  let doc =
+    "Per-task timeout in seconds (one mode load, probe, pair check or \
+     clique merge). A timed-out task is retried with backoff, then \
+     walks the degradation ladder (split, quarantine)."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "task-timeout" ] ~docv:"SEC" ~doc)
+
+let retries_arg =
+  let doc =
+    "Total attempts per governed task, including the first (default 3)."
+  in
+  Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N" ~doc)
+
+let mem_limit_arg =
+  let doc =
+    "Process heap watermark in MiB; exceeding it cancels in-flight work \
+     cooperatively instead of risking an OOM kill."
+  in
+  Arg.(value & opt (some float) None & info [ "mem-limit-mb" ] ~docv:"MB" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Persist each completed pipeline stage to this directory; a killed \
+     run restarted with $(b,--resume) continues from the last completed \
+     stage with byte-identical output."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Reuse completed stages from the $(b,--checkpoint) directory when \
+     its fingerprint matches the current inputs and options."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let budgets_of ~deadline ~stage_budgets ~task_timeout ~retries ~mem_limit =
+  List.iter
+    (fun (stage, _) ->
+      if not (List.mem stage Merge_flow.stage_names) then
+        fatal ~code:"cli.budget" "unknown --budget stage %S (stages: %s)" stage
+          (String.concat ", " Merge_flow.stage_names))
+    stage_budgets;
+  {
+    Merge_flow.bg_deadline_s = deadline;
+    bg_stage_s = stage_budgets;
+    bg_task_s = task_timeout;
+    bg_retry =
+      (match retries with
+      | None -> Govern.default_retry
+      | Some n -> { Govern.default_retry with Govern.max_attempts = max 1 n });
+    bg_mem_limit_mb = mem_limit;
+  }
+
+let checkpoint_spec_of ~checkpoint ~resume ~netlist =
+  match checkpoint with
+  | None ->
+    if resume then
+      fatal ~code:"cli.resume" "--resume requires --checkpoint DIR";
+    None
+  | Some dir ->
+    Some
+      { Merge_flow.ck_dir = dir; ck_resume = resume; ck_key = netlist }
 
 (* Shared by merge and explain: run the flow with parser/lexer errors
    routed through the exit-code convention. *)
-let run_flow ?check_equivalence ~policy ?jobs ~design sdcs =
-  match Merge_flow.run_files ?check_equivalence ~policy ?jobs ~design sdcs with
-  | r -> r
+let run_flow ?check_equivalence ~policy ?jobs ?budgets ?checkpoint ~design sdcs
+    =
+  match
+    Merge_flow.run_files ?check_equivalence ~policy ?jobs ?budgets ?checkpoint
+      ~design sdcs
+  with
+  | r ->
+    if Merge_flow.degraded_under_budget r.Merge_flow.governed then begin
+      budget_degraded := true;
+      let g = r.Merge_flow.governed in
+      print_diag
+        (Diag.makef Diag.Warning ~code:"govern.degraded"
+           "completed degraded under budget pressure: %d clique split(s), %d \
+            budget quarantine(s), %d conservative pair verdict(s)"
+           g.Merge_flow.gov_clique_splits g.Merge_flow.gov_budget_quarantines
+           g.Merge_flow.gov_conservative_pairs)
+    end;
+    r
   | exception Mm_sdc.Parser.Error { loc; msg } ->
     fatal ?loc ~code:(Mm_sdc.Parser.error_code msg) "%s" msg
   | exception Mm_sdc.Lexer.Error { line; col; msg } ->
     fatal
       ~loc:{ Diag.file = "<sdc>"; line; col }
       ~code:(Mm_sdc.Parser.lex_code msg) "%s" msg
+  | exception Govern.Cancelled reason ->
+    fatal ~code:(Govern.reason_code reason) "%s"
+      (Govern.reason_to_string reason)
 
 let merge_cmd =
   let outdir =
@@ -251,11 +369,16 @@ let merge_cmd =
     Arg.(value & flag & info [ "dot" ] ~doc)
   in
   let run netlist liberty sdcs outdir policy jobs diag_json audit annotate dot
-      trace metrics profile =
+      trace metrics profile deadline stage_budgets task_timeout retries
+      mem_limit checkpoint resume =
     guard_io @@ fun () ->
     obs_setup ~trace ~metrics ~profile;
+    let budgets =
+      budgets_of ~deadline ~stage_budgets ~task_timeout ~retries ~mem_limit
+    in
+    let checkpoint = checkpoint_spec_of ~checkpoint ~resume ~netlist in
     let design = read_design ?liberty netlist in
-    let result = run_flow ~policy ?jobs ~design sdcs in
+    let result = run_flow ~policy ?jobs ~budgets ?checkpoint ~design sdcs in
     print_diags result.Merge_flow.diags;
     List.iter
       (fun (q : Merge_flow.quarantined) ->
@@ -382,7 +505,9 @@ let merge_cmd =
     Term.(
       const run $ netlist_arg $ liberty_arg $ sdc_args $ outdir $ policy_arg
       $ jobs_arg $ diag_json $ audit_arg $ annotate_arg $ dot_arg $ trace_arg
-      $ metrics_arg $ profile_arg)
+      $ metrics_arg $ profile_arg $ deadline_arg $ budget_arg
+      $ task_timeout_arg $ retries_arg $ mem_limit_arg $ checkpoint_arg
+      $ resume_arg)
 
 let explain_cmd =
   let line_arg =
@@ -728,6 +853,10 @@ let gen_cmd =
   Cmd.v info Term.(const run $ outdir $ seed $ domains $ regs $ families)
 
 let () =
+  (* Raw backtraces must be recorded for the pool's crash outcomes to
+     carry real failure sites; chaos faults come from MM_CHAOS. *)
+  Printexc.record_backtrace true;
+  Mm_util.Chaos.configure_env ();
   let info =
     Cmd.info "modemerge" ~version:"1.0.0"
       ~doc:"Timing-graph based SDC mode merging (DAC'15 reproduction)."

@@ -2,10 +2,13 @@ module Diag = Mm_util.Diag
 module Metrics = Mm_util.Metrics
 module Prov = Mm_util.Prov
 
-let schema_version = 1
+let schema_version = 2
 
 let mandatory_keys =
-  [ "audit_schema_version"; "summary"; "mergeability"; "groups"; "coverage" ]
+  [
+    "audit_schema_version"; "summary"; "mergeability"; "groups"; "coverage";
+    "governance";
+  ]
 
 (* The coverage section reads only counters, which the parallel-stress
    contract keeps byte-identical across --jobs values; gauges (e.g.
@@ -101,6 +104,23 @@ let quarantined_json (q : Merge_flow.quarantined) =
     (str (Merge_flow.stage_to_string q.Merge_flow.q_stage))
     (Diag.render_json q.Merge_flow.q_diags)
 
+(* Only outcome-affecting governance decisions are reported here —
+   transparent recoveries (retries, absorbed timeouts) live in the
+   metrics export, so a run that recovered cleanly audits
+   byte-identical to one that never faulted. *)
+let governance_json (g : Merge_flow.governed) =
+  let event (e : Merge_flow.govern_event) =
+    Printf.sprintf
+      "{\"stage\":%s,\"scope\":%s,\"action\":%s,\"detail\":%s}"
+      (str e.Merge_flow.ge_stage) (str e.Merge_flow.ge_scope)
+      (str e.Merge_flow.ge_action) (str e.Merge_flow.ge_detail)
+  in
+  Printf.sprintf
+    "{\"clique_splits\":%d,\"budget_quarantines\":%d,\"conservative_pairs\":%d,\"deadline_hit\":%b,\"events\":[%s]}"
+    g.Merge_flow.gov_clique_splits g.Merge_flow.gov_budget_quarantines
+    g.Merge_flow.gov_conservative_pairs g.Merge_flow.gov_deadline_hit
+    (String.concat "," (List.map event g.Merge_flow.gov_events))
+
 let coverage_json () =
   "{"
   ^ String.concat ","
@@ -125,7 +145,9 @@ let to_json (r : Merge_flow.result) =
       String.concat "," (List.map quarantined_json r.Merge_flow.quarantined);
       "],\"degraded\":[";
       String.concat "," (List.map str_list r.Merge_flow.degraded);
-      "],\"coverage\":";
+      "],\"governance\":";
+      governance_json r.Merge_flow.governed;
+      ",\"coverage\":";
       coverage_json ();
       "}";
     ]

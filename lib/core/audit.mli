@@ -2,7 +2,8 @@
 
     One schema-versioned JSON object per merge run:
 
-    - ["audit_schema_version"] — currently [1];
+    - ["audit_schema_version"] — currently [2] (v2 added the
+      ["governance"] section);
     - ["summary"] — mode counts, reduction, clique/quarantine totals;
     - ["mergeability"] — mode names, clique cover, and the pairwise
       verdict matrix in canonical (i, j) index order, each pair with
@@ -11,6 +12,10 @@
       refinement stats, and the full per-constraint lineage table
       ({!Mm_util.Prov.to_json});
     - ["quarantined"] / ["degraded"] — fault-tolerance outcomes;
+    - ["governance"] — outcome-affecting resource-governance decisions
+      (clique splits, budget quarantines, conservative pair verdicts,
+      the chronological event list); transparent recoveries such as
+      retries are metrics-only so recovered runs audit byte-identical;
     - ["coverage"] — the stable per-pass coverage counters
       ([compare.endpoints_visited], [compare.endpoints_pruned],
       [compare.pairs_compared], [compare.reconv_points],

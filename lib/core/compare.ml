@@ -469,6 +469,7 @@ let pass1 ~individual ~(merged : Context.t) =
   and pessimism = ref [] in
   List.iter
     (fun (ep, mrels) ->
+      Mm_util.Govern.checkpoint ();
       let ind_rels =
         List.map
           (fun tbl -> Option.value ~default:[] (Hashtbl.find_opt tbl ep))
@@ -513,6 +514,8 @@ let pass2 ~individual ~(merged : Context.t) ambiguous_eps =
   and pessimism = ref [] and ambiguous_pairs = ref [] and compared = ref 0 in
   List.iter
     (fun ep_pin ->
+      (* Cooperative cancellation point, once per endpoint cone. *)
+      Mm_util.Govern.checkpoint ();
       match find_endpoint merged ep_pin with
       | None -> ()
       | Some ep ->

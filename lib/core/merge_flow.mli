@@ -31,7 +31,43 @@
     lists, metric counters) is byte-identical for any [jobs] count.
     [jobs] defaults to {!Mm_util.Pool.default_jobs} ([MM_JOBS] or the
     hardware's recommended domain count); [jobs = 1] runs sequentially
-    on the calling domain with no domains spawned. *)
+    on the calling domain with no domains spawned.
+
+    {2 Resource governance}
+
+    A run may carry {!budgets}: a global deadline, per-stage budgets
+    (keyed by {!stage_names}), a per-task timeout, a retry policy and
+    a memory watermark — all enforced through {!Mm_util.Govern}
+    cancellation tokens with cooperative checkpoints, so an exhausted
+    budget drains the pool in an orderly way instead of wedging it.
+    Work that blows its budget walks a {e degradation ladder}:
+
+    + {b retry} — re-run under a fresh child budget with exponential
+      backoff ([govern.retries]); transient faults are absorbed here
+      with byte-identical output;
+    + {b split} — a clique whose merge will not fit is split in half
+      and the halves merged under their own budgets, recursively down
+      to singletons ([govern.clique_splits]); splitting forfeits
+      reduction, never correctness;
+    + {b quarantine} — a mode that still does not fit is quarantined
+      exactly like a crashing one (PR-1 policy), counted in the
+      [governed] record.
+
+    Under [Strict] only the retry rung applies; exhausted budgets then
+    raise {!Mm_util.Govern.Cancelled}. The {!governed} result field
+    records every outcome-affecting governance decision (transparent
+    retries are metrics-only, so recovered runs stay byte-identical).
+
+    {2 Checkpoint/resume}
+
+    With a {!checkpoint_spec}, {!run_sources}/{!run_files} persist each
+    completed stage ([load] -> [mergeability] -> [cliques]) to a
+    {!Checkpoint} store; a killed run re-invoked with [ck_resume]
+    restarts from the last completed stage and produces byte-identical
+    merged modes, diagnostics and audit bytes (stage payloads include
+    a metric-counter snapshot). A fingerprint over sources and
+    result-shaping options guards against resuming across edited
+    inputs. *)
 
 type policy = Strict | Permissive
 
@@ -57,6 +93,53 @@ type group = {
       (** per-constraint lineage of [grp_mode] (see {!Provenance}) *)
 }
 
+(** {2 Budgets, governance record, checkpoints} *)
+
+type budgets = {
+  bg_deadline_s : float option;  (** global wall-clock deadline *)
+  bg_stage_s : (string * float) list;
+      (** per-stage budgets, keyed by {!stage_names} *)
+  bg_task_s : float option;      (** per-task timeout *)
+  bg_retry : Mm_util.Govern.retry_policy;
+  bg_mem_limit_mb : float option;  (** process heap watermark *)
+}
+
+val default_budgets : budgets
+(** No deadline, no stage/task budgets, {!Mm_util.Govern.default_retry},
+    no memory limit — governance off. *)
+
+val stage_names : string list
+(** The budgetable stage keys, in pipeline order:
+    [["load"; "mergeability"; "cliques"]]. *)
+
+type govern_event = {
+  ge_stage : string;   (** stage name from {!stage_names} *)
+  ge_scope : string;   (** mode or clique name *)
+  ge_action : string;  (** ["split"], ["quarantine"] or ["conservative"] *)
+  ge_detail : string;
+}
+
+type governed = {
+  gov_clique_splits : int;
+  gov_budget_quarantines : int;
+  gov_conservative_pairs : int;
+  gov_deadline_hit : bool;
+  gov_events : govern_event list;  (** chronological *)
+}
+
+val empty_governed : governed
+
+val degraded_under_budget : governed -> bool
+(** True when governance changed the outcome (splits, budget
+    quarantines or conservative pair verdicts) — the CLI's exit-3
+    condition. *)
+
+type checkpoint_spec = {
+  ck_dir : string;    (** checkpoint directory ([--checkpoint DIR]) *)
+  ck_resume : bool;   (** reuse completed stages ([--resume]) *)
+  ck_key : string;    (** extra fingerprint salt, e.g. the design name *)
+}
+
 type result = {
   groups : group list;
   mergeability : Mergeability.t;
@@ -71,6 +154,9 @@ type result = {
   n_merged : int;
   reduction_percent : float;
   runtime_s : float;
+  governed : governed;
+      (** outcome-affecting governance decisions ({!empty_governed}
+          for an ungoverned or unpressured run) *)
 }
 
 val run :
@@ -78,11 +164,14 @@ val run :
   ?check_equivalence:bool ->
   ?policy:policy ->
   ?jobs:int ->
+  ?budgets:budgets ->
   Mm_sdc.Mode.t list ->
   result
 (** [check_equivalence] (default true) re-runs the comparison on the
     final merged mode of each group as independent validation; under
-    [Permissive] a group failing it is degraded to individual modes. *)
+    [Permissive] a group failing it is degraded to individual modes.
+    No checkpointing on this entry point — pre-built modes have no
+    stable fingerprint; use {!run_sources}/{!run_files}. *)
 
 (** {2 Loading from SDC sources with per-mode quarantine} *)
 
@@ -100,24 +189,35 @@ val run_sources :
   ?check_equivalence:bool ->
   ?policy:policy ->
   ?jobs:int ->
+  ?budgets:budgets ->
+  ?checkpoint:checkpoint_spec ->
   design:Mm_netlist.Design.t ->
   source list ->
   result
 (** Load each source against [design] and merge. Under [Strict] a
     syntax error raises ({!Mm_sdc.Parser.Error} / {!Mm_sdc.Lexer.Error});
     under [Permissive] parsing recovers at command boundaries and a
-    mode with error-severity diagnostics is quarantined. *)
+    mode with error-severity diagnostics is quarantined.
+
+    With [checkpoint], each completed stage persists to [ck_dir]; when
+    [ck_resume] is set and the directory holds a checkpoint whose
+    fingerprint matches, completed stages reload instead of
+    recomputing. A failed resume (missing/torn/mismatched checkpoint)
+    degrades to a fresh run with a [govern.resume] warning. *)
 
 val run_files :
   ?tolerance:Mm_util.Toler.t ->
   ?check_equivalence:bool ->
   ?policy:policy ->
   ?jobs:int ->
+  ?budgets:budgets ->
+  ?checkpoint:checkpoint_spec ->
   design:Mm_netlist.Design.t ->
   string list ->
   result
 (** {!run_sources} over {!source_of_file}; unreadable files quarantine
-    under [Permissive] instead of raising. *)
+    under [Permissive] instead of raising (after the retry rung —
+    transient IO faults are retried with backoff). *)
 
 val merged_modes : result -> Mm_sdc.Mode.t list
 

@@ -3,6 +3,7 @@ module Design = Mm_netlist.Design
 module Obs = Mm_util.Obs
 module Metrics = Mm_util.Metrics
 module Pool = Mm_util.Pool
+module Govern = Mm_util.Govern
 module Context = Mm_timing.Context
 module Ctx_cache = Mm_timing.Ctx_cache
 module Clock_prop = Mm_timing.Clock_prop
@@ -149,7 +150,25 @@ let exact_cliques ?(limit = 20) adjacency =
     List.map (List.sort compare) !best |> List.sort compare
   end
 
-let analyze ?tolerance ?ctx_cache ?pool ?(strategy = Greedy) modes =
+(* Verdict for a pair whose check could not be completed under the
+   governing budget: not mergeable. Merging only shrinks the mode set;
+   declining an edge can never violate the paper's inclusion guarantee,
+   it just forfeits some reduction — the safe direction to degrade. *)
+let conservative_check why =
+  Metrics.incr "govern.conservative_pairs";
+  {
+    mergeable = false;
+    reasons =
+      [
+        Printf.sprintf
+          "governance: pair check abandoned (%s); conservatively treated as \
+           not mergeable"
+          why;
+      ];
+  }
+
+let analyze ?tolerance ?ctx_cache ?pool ?(strategy = Greedy)
+    ?(govern = Govern.never) ?task_budget_s ?(conservative = false) modes =
   Obs.with_span
     ~attrs:[ "modes", string_of_int (List.length modes) ]
     "merge.mergeability"
@@ -173,18 +192,55 @@ let analyze ?tolerance ?ctx_cache ?pool ?(strategy = Greedy) modes =
     let ctx_cache = Ctx_cache.fork ctx_cache in
     check_pair ?tolerance ~ctx_cache arr.(i) arr.(j)
   in
-  let checks =
+  let outcomes =
     match pool with
-    | Some pool -> Pool.map pool check_one !pairs
-    | None -> List.map check_one !pairs
+    | Some pool -> Pool.map_outcome pool ~govern ?task_budget_s check_one !pairs
+    | None ->
+      List.map (fun p -> Govern.run govern (fun () -> check_one p)) !pairs
+  in
+  (* Fold in pair order. An abandoned check gets one direct rescue
+     attempt while the stage token is still live (absorbs transient
+     faults deterministically); if that also fails, the conservative
+     verdict applies — or, outside a governed permissive run, the
+     failure propagates exactly as an ungoverned sweep would. *)
+  let resolve (i, j) = function
+    | Govern.Done c -> c
+    | o when not conservative -> (
+      match Govern.reraise_crash o with
+      | Govern.Interrupted r -> raise (Govern.Cancelled r)
+      | Govern.Done _ | Govern.Crashed _ -> assert false)
+    | o -> (
+      (match o with
+      | Govern.Interrupted (Govern.Deadline_exceeded _) ->
+        Metrics.incr "govern.timeouts"
+      | Govern.Interrupted (Govern.Memory_watermark _) ->
+        Metrics.incr "govern.mem_trips"
+      | _ -> ());
+      let rescued =
+        if Govern.expired govern then None
+        else begin
+          Metrics.incr "govern.retries";
+          match Govern.run govern (fun () -> check_one (i, j)) with
+          | Govern.Done c -> Some c
+          | Govern.Interrupted _ | Govern.Crashed _ -> None
+        end
+      in
+      match rescued, o with
+      | Some c, _ -> c
+      | None, Govern.Interrupted r ->
+        conservative_check (Govern.reason_to_string r)
+      | None, Govern.Crashed { exn; _ } ->
+        conservative_check (Printexc.to_string exn)
+      | None, Govern.Done _ -> assert false)
   in
   List.iter2
-    (fun (i, j) check ->
+    (fun (i, j) outcome ->
+      let check = resolve (i, j) outcome in
       adjacency.(i).(j) <- check.mergeable;
       adjacency.(j).(i) <- check.mergeable;
       if not check.mergeable then
         Hashtbl.replace pair_reasons (i, j) check.reasons)
-    !pairs checks;
+    !pairs outcomes;
   Metrics.incr ~by:(n * (n - 1) / 2) "merge.pairs_checked";
   let cliques =
     match strategy with

@@ -44,12 +44,27 @@ val analyze :
   ?ctx_cache:Mm_timing.Ctx_cache.t ->
   ?pool:Mm_util.Pool.t ->
   ?strategy:strategy ->
+  ?govern:Mm_util.Govern.token ->
+  ?task_budget_s:float ->
+  ?conservative:bool ->
   Mm_sdc.Mode.t list ->
   t
 (** The O(N^2) pairwise sweep runs on [pool] when given — each pair is
     an independent task over a {!Mm_timing.Ctx_cache.fork} of
     [ctx_cache]; results are folded in pair order, so the analysis is
-    identical with and without a pool. *)
+    identical with and without a pool.
+
+    The sweep runs under [govern] (with an optional per-pair
+    [task_budget_s]); an abandoned pair check gets one direct rescue
+    attempt (counted in [govern.retries]). If that also fails and
+    [conservative] is set, the pair is recorded as not mergeable with a
+    ["governance: ..."] reason and counted in
+    [govern.conservative_pairs] — a safe degradation, since declining
+    an edge only costs reduction, never correctness. With
+    [conservative] false (the default, and the strict-policy contract)
+    the underlying failure propagates: crashes re-raise with their
+    original backtrace, expired budgets raise
+    {!Mm_util.Govern.Cancelled}. *)
 
 val clique_modes : t -> Mm_sdc.Mode.t list -> Mm_sdc.Mode.t list list
 (** Map the clique cover back to mode values (same order as given to

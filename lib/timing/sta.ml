@@ -217,6 +217,9 @@ let propagate ?(corner = Corner.typical) (ctx : Context.t) : tag_maps * int =
   (* Topological sweep. *)
   Array.iter
     (fun pin ->
+      (* Cooperative cancellation point: the sweep dominates STA cost,
+         so a blown budget must be observable from inside it. *)
+      Mm_util.Govern.checkpoint ();
       if Hashtbl.length tags.(pin) > 0 then
         List.iter
           (fun aid ->

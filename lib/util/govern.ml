@@ -1,0 +1,241 @@
+type reason =
+  | Deadline_exceeded of { scope : string; budget_s : float }
+  | Cancelled_by of { scope : string; why : string }
+  | Memory_watermark of { used_mb : float; limit_mb : float }
+
+let reason_to_string = function
+  | Deadline_exceeded { scope; budget_s } ->
+    Printf.sprintf "deadline exceeded in %s (budget %.3gs)" scope budget_s
+  | Cancelled_by { scope; why } ->
+    Printf.sprintf "%s cancelled: %s" scope why
+  | Memory_watermark { used_mb; limit_mb } ->
+    Printf.sprintf "memory watermark: %.1f MiB heap over %.1f MiB limit"
+      used_mb limit_mb
+
+let reason_code = function
+  | Deadline_exceeded _ -> "govern.deadline"
+  | Cancelled_by _ -> "govern.cancelled"
+  | Memory_watermark _ -> "govern.memory"
+
+exception Cancelled of reason
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled r -> Some (Printf.sprintf "Govern.Cancelled(%s)" (reason_to_string r))
+    | _ -> None)
+
+type token = {
+  tk_scope : string;
+  tk_deadline_ns : int64 option; (* absolute Obs.Clock.now_ns instant *)
+  tk_budget_s : float; (* the relative budget behind tk_deadline_ns *)
+  tk_flag : reason option Atomic.t;
+  tk_parent : token option;
+}
+
+let never =
+  {
+    tk_scope = "govern";
+    tk_deadline_ns = None;
+    tk_budget_s = infinity;
+    tk_flag = Atomic.make None;
+    tk_parent = None;
+  }
+
+let scope t = t.tk_scope
+
+let deadline_of ~budget_s =
+  Int64.add (Obs.Clock.now_ns ()) (Int64.of_float (budget_s *. 1e9))
+
+let create ?deadline_s ?(scope = "run") () =
+  {
+    tk_scope = scope;
+    tk_deadline_ns = Option.map (fun s -> deadline_of ~budget_s:s) deadline_s;
+    tk_budget_s = Option.value deadline_s ~default:infinity;
+    tk_flag = Atomic.make None;
+    tk_parent = None;
+  }
+
+let sub ?scope ?budget_s parent =
+  if parent == never && budget_s = None && scope = None then never
+  else
+    let own = Option.map (fun s -> deadline_of ~budget_s:s) budget_s in
+    let deadline_ns, budget =
+      match own, parent.tk_deadline_ns with
+      | None, d -> d, parent.tk_budget_s
+      | (Some _ as d), None -> d, Option.get budget_s
+      | Some o, Some p ->
+        if Int64.compare o p <= 0 then Some o, Option.get budget_s
+        else Some p, parent.tk_budget_s
+    in
+    {
+      tk_scope = Option.value scope ~default:parent.tk_scope;
+      tk_deadline_ns = deadline_ns;
+      tk_budget_s = budget;
+      tk_flag = Atomic.make None;
+      tk_parent = Some parent;
+    }
+
+let cancel t ~why =
+  if t != never && Atomic.get t.tk_flag = None then
+    Atomic.set t.tk_flag (Some (Cancelled_by { scope = t.tk_scope; why }))
+
+(* ------------------------------------------------------------------ *)
+(* Memory watermark                                                    *)
+
+let mem_limit_mb : float option Atomic.t = Atomic.make None
+
+let set_memory_limit_mb l = Atomic.set mem_limit_mb l
+let memory_limit_mb () = Atomic.get mem_limit_mb
+
+let words_to_mb w = w *. float_of_int (Sys.word_size / 8) /. (1024. *. 1024.)
+
+let memory_pressure () =
+  match Atomic.get mem_limit_mb with
+  | None -> None
+  | Some limit_mb ->
+    (* quick_stat reads the allocation pointers without walking the
+       heap, so this is safe to call from every checkpoint. *)
+    let st = Gc.quick_stat () in
+    let used_mb =
+      words_to_mb (float_of_int st.Gc.heap_words +. st.Gc.minor_words
+                   -. st.Gc.promoted_words
+                   -. float_of_int st.Gc.free_words
+                   |> Float.max 0.)
+    in
+    if used_mb > limit_mb then Some (Memory_watermark { used_mb; limit_mb })
+    else None
+
+(* ------------------------------------------------------------------ *)
+(* Expiry checks                                                       *)
+
+let rec flagged t =
+  match Atomic.get t.tk_flag with
+  | Some _ as r -> r
+  | None -> ( match t.tk_parent with None -> None | Some p -> flagged p)
+
+(* The deadline tree is already folded into each token's own deadline
+   at [sub] time, so one comparison covers every ancestor budget. *)
+let deadline_hit t =
+  match t.tk_deadline_ns with
+  | None -> None
+  | Some d ->
+    if Int64.compare (Obs.Clock.now_ns ()) d >= 0 then
+      Some (Deadline_exceeded { scope = t.tk_scope; budget_s = t.tk_budget_s })
+    else None
+
+let cancelled t =
+  if t == never then None
+  else
+    match flagged t with
+    | Some _ as r -> r
+    | None -> (
+      match deadline_hit t with
+      | Some _ as r -> r
+      | None -> memory_pressure ())
+
+let check t = match cancelled t with None -> () | Some r -> raise (Cancelled r)
+
+let expired t = cancelled t <> None
+
+let remaining_s t =
+  match t.tk_deadline_ns with
+  | None -> None
+  | Some d ->
+    Some (Float.max 0. (Obs.Clock.ns_to_s (Int64.sub d (Obs.Clock.now_ns ()))))
+
+(* ------------------------------------------------------------------ *)
+(* Ambient token                                                       *)
+
+let current_key : token Domain.DLS.key = Domain.DLS.new_key (fun () -> never)
+
+let current () = Domain.DLS.get current_key
+
+let with_current t f =
+  let saved = Domain.DLS.get current_key in
+  Domain.DLS.set current_key t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key saved) f
+
+let checkpoint () =
+  let t = Domain.DLS.get current_key in
+  if t != never then check t
+  else
+    (* Even ungoverned runs honour an explicit process-wide watermark. *)
+    match Atomic.get mem_limit_mb with
+    | None -> ()
+    | Some _ -> (
+      match memory_pressure () with
+      | None -> ()
+      | Some r -> raise (Cancelled r))
+
+(* ------------------------------------------------------------------ *)
+(* Structured outcomes                                                 *)
+
+type 'a outcome =
+  | Done of 'a
+  | Interrupted of reason
+  | Crashed of { exn : exn; backtrace : Printexc.raw_backtrace }
+
+let run t f =
+  match cancelled t with
+  | Some r -> Interrupted r
+  | None -> (
+    match with_current t f with
+    | v -> Done v
+    | exception Cancelled r -> Interrupted r
+    | exception exn ->
+      Crashed { exn; backtrace = Printexc.get_raw_backtrace () })
+
+let outcome_map f = function
+  | Done v -> Done (f v)
+  | Interrupted r -> Interrupted r
+  | Crashed c -> Crashed c
+
+let reraise_crash = function
+  | Crashed { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace
+  | o -> o
+
+(* ------------------------------------------------------------------ *)
+(* Retry with exponential backoff                                      *)
+
+type retry_policy = {
+  max_attempts : int;
+  base_backoff_s : float;
+  multiplier : float;
+  max_backoff_s : float;
+}
+
+let default_retry =
+  { max_attempts = 3; base_backoff_s = 0.001; multiplier = 2.; max_backoff_s = 0.05 }
+
+let backoff_s p ~attempt =
+  if attempt <= 1 then 0.
+  else
+    Float.min p.max_backoff_s
+      (p.base_backoff_s *. (p.multiplier ** float_of_int (attempt - 2)))
+
+let sleep_s s = if s > 0. then Unix.sleepf s
+
+let with_retry ?(policy = default_retry) ?transient ?(sleep = sleep_s)
+    ?(metric = "govern.retries") token ~scope f =
+  let transient =
+    match transient with
+    | Some p -> p
+    | None -> ( function Cancelled _ -> false | _ -> true)
+  in
+  let max_attempts = max 1 policy.max_attempts in
+  let rec attempt n =
+    check token;
+    match f () with
+    | v -> v
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      if n >= max_attempts || not (transient exn) then
+        Printexc.raise_with_backtrace exn bt
+      else begin
+        Metrics.incr metric;
+        Obs.with_span "govern.backoff" ~attrs:[ "scope", scope ] (fun () ->
+            sleep (backoff_s policy ~attempt:(n + 1)));
+        attempt (n + 1)
+      end
+  in
+  attempt 1

@@ -1,0 +1,173 @@
+(** Resource governance: cancellation, deadlines, retries, watermarks.
+
+    The merge pipeline is a long multi-stage computation whose cost
+    grows with [#modes x #corners]; at production scale a runaway task
+    must not wedge the run and a killed process must not forfeit it.
+    This module is the mechanism half of that contract (policy lives in
+    [Mm_core.Merge_flow]):
+
+    - {b Cancellation tokens} ({!token}) carry an optional absolute
+      deadline on {!Obs.Clock} plus an explicit cancel flag, and form a
+      tree: a child created with {!sub} expires when its own budget or
+      any ancestor does.
+    - {b Cooperative checkpoints}: compute code calls {!checkpoint} at
+      loop boundaries; the ambient token (installed per pool task by
+      {!Mm_util.Pool}) is consulted and {!Cancelled} raised when the
+      budget is gone. When no token is installed the call is a single
+      physical-equality test — checkpoints may live in hot paths.
+    - {b Retry with exponential backoff} ({!with_retry}) for
+      transiently failing work, counted in the [govern.retries] metric.
+    - {b Memory watermarks}: an optional process-wide heap limit
+      checked from {!check} via [Gc.quick_stat] (no heap walk), so a
+      blown watermark surfaces as an orderly {!Cancelled} at the next
+      checkpoint instead of an OOM kill.
+    - {b Structured outcomes} ({!outcome}): {!run} executes a thunk
+      under a token and returns [Done]/[Interrupted]/[Crashed] instead
+      of raising, preserving the raw backtrace of crashes so
+      diagnostics point at the real failure site.
+
+    Determinism note: governance never perturbs results by itself —
+    a token that never expires makes every combinator the identity.
+    Only the {e policies} reacting to [Interrupted] outcomes (see the
+    Merge_flow degradation ladder) change output, and they do so
+    through the same quarantine/degrade values as PR 1. *)
+
+(** Why a computation was interrupted. *)
+type reason =
+  | Deadline_exceeded of { scope : string; budget_s : float }
+  | Cancelled_by of { scope : string; why : string }
+  | Memory_watermark of { used_mb : float; limit_mb : float }
+
+val reason_to_string : reason -> string
+(** Human rendering, e.g.
+    ["deadline exceeded in merge.cliques (budget 2.5s)"]. *)
+
+val reason_code : reason -> string
+(** Stable {!Diag} code: [govern.deadline], [govern.cancelled] or
+    [govern.memory]. *)
+
+exception Cancelled of reason
+(** Raised by {!check}/{!checkpoint} when the governing token has
+    expired. {!Mm_util.Pool.map_outcome} converts it into
+    [Interrupted]; it never escapes a governed pool batch. *)
+
+type token
+
+val never : token
+(** The non-expiring token: no deadline, cannot be cancelled. All
+    governance entry points treat it as "governance off". *)
+
+val create : ?deadline_s:float -> ?scope:string -> unit -> token
+(** Root token. [deadline_s] is a relative budget from now, measured
+    on {!Obs.Clock}; omitted means no deadline. *)
+
+val sub : ?scope:string -> ?budget_s:float -> token -> token
+(** Child token: expires at [min] of the parent's deadline and
+    [now + budget_s], and additionally whenever the parent is
+    cancelled. [sub never] with no budget is [never] itself. *)
+
+val scope : token -> string
+
+val cancel : token -> why:string -> unit
+(** Explicitly cancel (idempotent). {!never} ignores it. *)
+
+val cancelled : token -> reason option
+(** Polling check: explicit cancel, expired deadline (own or
+    ancestor's), or memory watermark — cheapest first. [None] on a
+    live token. *)
+
+val check : token -> unit
+(** @raise Cancelled when {!cancelled} is [Some _]. *)
+
+val expired : token -> bool
+
+val remaining_s : token -> float option
+(** Seconds until the nearest deadline; [None] when undeadlined. *)
+
+(** {2 Ambient token}
+
+    The pool installs each task's token in domain-local storage so
+    compute code deep in the pipeline (comparison passes, STA
+    propagation) can checkpoint without threading a token through
+    every signature. *)
+
+val with_current : token -> (unit -> 'a) -> 'a
+(** Install [token] as this domain's ambient token for the extent of
+    the thunk (restored on raise). *)
+
+val current : unit -> token
+(** The ambient token; {!never} when nothing is installed. *)
+
+val checkpoint : unit -> unit
+(** [check (current ())] — the cooperative cancellation point. Free
+    (one physical-equality test) when no token is installed. *)
+
+(** {2 Memory watermark} *)
+
+val set_memory_limit_mb : float option -> unit
+(** Process-wide heap watermark in MiB of major+minor heap words
+    ([None] disables, the default). Checked by {!check}/{!checkpoint}
+    via [Gc.quick_stat]. *)
+
+val memory_limit_mb : unit -> float option
+
+val memory_pressure : unit -> reason option
+(** [Some (Memory_watermark _)] when the live heap exceeds the
+    configured watermark. *)
+
+(** {2 Structured outcomes} *)
+
+type 'a outcome =
+  | Done of 'a
+  | Interrupted of reason
+      (** the token expired — at entry, or at a checkpoint inside *)
+  | Crashed of { exn : exn; backtrace : Printexc.raw_backtrace }
+      (** the thunk raised; the backtrace is captured at the raise
+          site so a re-raise points at the real failure *)
+
+val run : token -> (unit -> 'a) -> 'a outcome
+(** Execute the thunk with [token] installed as the ambient token,
+    checking it once on entry. Never raises. *)
+
+val outcome_map : ('a -> 'b) -> 'a outcome -> 'b outcome
+
+val reraise_crash : 'a outcome -> 'a outcome
+(** Re-raise a [Crashed] outcome with its original backtrace; identity
+    otherwise. *)
+
+(** {2 Retry with exponential backoff} *)
+
+type retry_policy = {
+  max_attempts : int;  (** total attempts, including the first (>= 1) *)
+  base_backoff_s : float;  (** sleep before attempt 2 *)
+  multiplier : float;  (** backoff growth per further attempt *)
+  max_backoff_s : float;  (** backoff ceiling *)
+}
+
+val default_retry : retry_policy
+(** 3 attempts, 1 ms base, x2, capped at 50 ms — tuned for transient
+    in-process hiccups, not remote services. *)
+
+val backoff_s : retry_policy -> attempt:int -> float
+(** Backoff before [attempt] (2-based): [base * multiplier^(a-2)],
+    capped. *)
+
+val sleep_s : float -> unit
+(** Default sleep ([Unix.sleepf]; no-op for non-positive values). *)
+
+val with_retry :
+  ?policy:retry_policy ->
+  ?transient:(exn -> bool) ->
+  ?sleep:(float -> unit) ->
+  ?metric:string ->
+  token ->
+  scope:string ->
+  (unit -> 'a) ->
+  'a
+(** Run the thunk, re-running it after [transient] failures (default:
+    every exception except {!Cancelled}) with exponential backoff,
+    until it succeeds, attempts are exhausted (the last exception is
+    re-raised with its backtrace), or [token] expires (checked before
+    every attempt; raises {!Cancelled}). Each re-attempt increments
+    [metric] (default ["govern.retries"]). [sleep] is injectable so
+    tests retry without wall-clock delay. *)

@@ -61,6 +61,18 @@ let snapshot () =
 
 let reset () = with_lock (fun () -> Hashtbl.reset tbl)
 
+let counters () =
+  List.filter_map
+    (fun i ->
+      match i.value with
+      | Counter n -> Some (i.name, n)
+      | Gauge _ | Histogram _ -> None)
+    (snapshot ())
+
+let restore_counters cs =
+  with_lock (fun () ->
+      List.iter (fun (name, n) -> Hashtbl.replace tbl name (Counter n)) cs)
+
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 

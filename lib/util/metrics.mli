@@ -65,6 +65,17 @@ val snapshot : unit -> item list
 val reset : unit -> unit
 (** Drop every metric (tests and fresh bench runs). *)
 
+val counters : unit -> (string * int) list
+(** Counters only, sorted by name — the slice of the registry the
+    checkpoint/resume machinery persists at stage boundaries (gauges
+    and histograms carry timings, which are run-local by design). *)
+
+val restore_counters : (string * int) list -> unit
+(** Set each named counter to the given absolute value (creating it if
+    absent). Used by [--resume] to re-establish the counter state of a
+    completed stage so audit coverage sections stay byte-identical to
+    an uninterrupted run. *)
+
 (** {2 JSON rendering}
 
     The registry renders as one flat object keyed by metric name:

@@ -79,24 +79,46 @@ let with_pool ?jobs f =
   let t = create ~jobs:(match jobs with Some j -> j | None -> default_jobs ()) in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-(* Re-raise the lowest-index failure — the exception a sequential
+(* One governed task: a cooperative cancellation checkpoint at entry
+   (after the chaos site, so an injected delay is observed by the
+   deadline check), the task token installed as the ambient Govern
+   token for checkpoints inside the body, and crashes captured with
+   their raw backtrace at the raise site — the re-raise in [collect]
+   then points at the real failure, not the dispatch site. *)
+let run_task ~govern ~task_budget_s f x =
+  let tok =
+    match task_budget_s with
+    | None -> govern
+    | Some budget_s ->
+      Govern.sub ~scope:(Govern.scope govern ^ ".task") ~budget_s govern
+  in
+  Govern.run tok (fun () ->
+      Chaos.hit "pool.task";
+      Govern.check tok;
+      f x)
+
+(* Re-raise the lowest-index crash — the exception a sequential
    left-to-right run would have hit first. *)
 let collect results =
   Array.iter
     (function
-      | Some (Error (exn, bt)) -> Printexc.raise_with_backtrace exn bt
-      | Some (Ok _) | None -> ())
+      | Some (Govern.Crashed { exn; backtrace }) ->
+        Printexc.raise_with_backtrace exn backtrace
+      | Some (Govern.Interrupted r) -> raise (Govern.Cancelled r)
+      | Some (Govern.Done _) | None -> ())
     results;
   Array.to_list
     (Array.map
-       (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+       (function
+         | Some (Govern.Done v) -> v
+         | Some (Govern.Interrupted _ | Govern.Crashed _) | None -> assert false)
        results)
 
-let map_array t f arr =
+let outcome_array t ~govern ~task_budget_s f arr =
   let n = Array.length arr in
   Metrics.incr ~by:n "pool.tasks_executed";
   if t.n_jobs = 1 || n <= 1 then
-    collect (Array.map (fun x -> Some (try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()))) arr)
+    Array.map (fun x -> Some (run_task ~govern ~task_budget_s f x)) arr
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
@@ -108,9 +130,19 @@ let map_array t f arr =
       let i = Atomic.fetch_and_add cursor 1 in
       if i >= n then false
       else begin
+        (* Worker-side cancellation checkpoint: once the batch token
+           has expired, remaining tasks are marked interrupted without
+           running, so an exhausted budget drains the batch instead of
+           wedging the pool. *)
         let r =
-          try Ok (Obs.with_context ctx (fun () -> f arr.(i)))
-          with e -> Error (e, Printexc.get_raw_backtrace ())
+          match Govern.cancelled govern with
+          | Some reason -> Govern.Interrupted reason
+          | None ->
+            Govern.outcome_map
+              (fun v -> v)
+              (run_task ~govern ~task_budget_s
+                 (fun x -> Obs.with_context ctx (fun () -> f x))
+                 arr.(i))
         in
         results.(i) <- Some r;
         if Atomic.fetch_and_add completed 1 = n - 1 then begin
@@ -134,8 +166,17 @@ let map_array t f arr =
     done;
     t.current <- None;
     Mutex.unlock t.mutex;
-    collect results
+    results
   end
+
+let map_outcome t ?(govern = Govern.never) ?task_budget_s f xs =
+  Array.to_list
+    (Array.map
+       (function Some o -> o | None -> assert false)
+       (outcome_array t ~govern ~task_budget_s f (Array.of_list xs)))
+
+let map_array t f arr =
+  collect (outcome_array t ~govern:Govern.never ~task_budget_s:None f arr)
 
 let map t f xs = map_array t f (Array.of_list xs)
 

@@ -55,7 +55,34 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f xs] applies [f] to every element, in parallel across the
-    pool's domains, returning results in the order of [xs]. *)
+    pool's domains, returning results in the order of [xs]. A raising
+    task's exception is re-raised with the backtrace captured at its
+    raise site on the worker domain, so diagnostics point at the real
+    failure rather than the dispatch site. *)
+
+val map_outcome :
+  t ->
+  ?govern:Govern.token ->
+  ?task_budget_s:float ->
+  ('a -> 'b) ->
+  'a list ->
+  'b Govern.outcome list
+(** Governed batch: like {!map} but never raises — every task yields a
+    {!Govern.outcome} in input order.
+
+    - Each task runs under a token derived from [govern] (plus
+      [task_budget_s] when given, yielding a per-task deadline),
+      installed as the ambient {!Govern.current} so checkpoints inside
+      the task body observe it.
+    - Workers re-check [govern] before claiming each task: once the
+      batch token expires, remaining tasks drain as [Interrupted]
+      without running — an exhausted budget empties the pool instead
+      of wedging it.
+    - A task raising {!Govern.Cancelled} (from a cooperative
+      checkpoint) becomes [Interrupted]; any other exception becomes
+      [Crashed] with its raise-site backtrace.
+    - The chaos site [pool.task] fires at each task entry, before the
+      entry cancellation check ({!Mm_util.Chaos}). *)
 
 val map_reduce :
   t -> map:('a -> 'b) -> fold:('acc -> 'b -> 'acc) -> init:'acc -> 'a list -> 'acc

@@ -110,3 +110,68 @@ let corrupt ?(rounds = 3) rng src =
   go 0 src
 
 let corrupt_seeded ~seed ?rounds src = corrupt ?rounds (Prng.create seed) src
+
+(* ------------------------------------------------------------------ *)
+(* Chaos mode: execution-fault scenarios
+
+   Where the mutations above corrupt inputs, a chaos scenario injects
+   an execution fault (delay, exception, mid-run kill) at a named
+   Mm_util.Chaos site. Scenarios are plain data so the chaos suite can
+   build its jobs x fault matrix and render each cell to a spec string
+   for [Chaos.configure] (in-process) or MM_CHAOS (subprocess kills). *)
+
+type chaos_fault = Delay_ms of int | Raise | Kill of int
+
+type chaos_scenario = {
+  cs_name : string;
+  cs_site : string;
+  cs_occurrence : int option; (* None = every occurrence *)
+  cs_fault : chaos_fault;
+}
+
+let chaos_fault_to_string = function
+  | Delay_ms ms -> Printf.sprintf "delay:%d" ms
+  | Raise -> "raise"
+  | Kill status -> Printf.sprintf "kill:%d" status
+
+let chaos_spec scenarios =
+  String.concat ","
+    (List.map
+       (fun c ->
+         Printf.sprintf "%s@%s=%s" c.cs_site
+           (match c.cs_occurrence with
+           | None -> "*"
+           | Some n -> string_of_int n)
+           (chaos_fault_to_string c.cs_fault))
+       scenarios)
+
+(* The standard scenario set. Delay/raise faults are recoverable
+   in-process (absorbed by the retry rung); kill faults terminate the
+   process at a stage boundary and only make sense for subprocess runs
+   exercising --checkpoint/--resume. *)
+let chaos_scenarios =
+  [
+    { cs_name = "task-delay"; cs_site = "pool.task"; cs_occurrence = Some 2;
+      cs_fault = Delay_ms 30 };
+    { cs_name = "task-raise"; cs_site = "pool.task"; cs_occurrence = Some 1;
+      cs_fault = Raise };
+    { cs_name = "task-raise-late"; cs_site = "pool.task";
+      cs_occurrence = Some 5; cs_fault = Raise };
+    { cs_name = "retry-raise"; cs_site = "pool.retry"; cs_occurrence = Some 1;
+      cs_fault = Raise };
+    { cs_name = "io-raise"; cs_site = "io.read"; cs_occurrence = Some 1;
+      cs_fault = Raise };
+    { cs_name = "kill-load"; cs_site = "merge.stage:load";
+      cs_occurrence = Some 1; cs_fault = Kill 137 };
+    { cs_name = "kill-mergeability"; cs_site = "merge.stage:mergeability";
+      cs_occurrence = Some 1; cs_fault = Kill 137 };
+    { cs_name = "kill-cliques"; cs_site = "merge.stage:cliques";
+      cs_occurrence = Some 1; cs_fault = Kill 137 };
+  ]
+
+let chaos_recoverable c = match c.cs_fault with Kill _ -> false | _ -> true
+
+let chaos_matrix ?(jobs = [ 1; 4 ]) () =
+  List.concat_map
+    (fun j -> List.map (fun s -> j, s) chaos_scenarios)
+    jobs

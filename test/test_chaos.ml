@@ -1,0 +1,595 @@
+(* @chaos: execution-fault matrix for the governed merge pipeline.
+
+   Three layers, all deterministic:
+
+   - In-process recovery: every recoverable Fuzz_inputs chaos scenario
+     (task delays, injected raises at the pool/retry/IO sites) is run
+     at jobs=1 and jobs=4 and must produce audit + merged-SDC bytes
+     identical to an unfaulted baseline — the retry rung absorbs the
+     fault transparently, visible only in the govern.* metrics.
+   - Degradation ladder: an exhausted cliques budget forces clique
+     splits down to probed singletons; the outcome must preserve the
+     mode partition and the paper's inclusion guarantee (a QCheck
+     property re-checks this over random workloads and fault mixes at
+     jobs=1 and jobs=4).
+   - Subprocess kill/resume: the modemerge binary (path in the
+     MODEMERGE env var, wired by the dune @chaos rule) is killed by a
+     chaos fault after each pipeline stage and restarted with
+     --checkpoint/--resume; the resumed run's audit JSON and merged
+     SDC files must be byte-identical to an uninterrupted run, and a
+     budget-degraded run must exit with status 3. *)
+
+module Mode = Mm_sdc.Mode
+module Diag = Mm_util.Diag
+module Metrics = Mm_util.Metrics
+module Govern = Mm_util.Govern
+module Chaos = Mm_util.Chaos
+module Merge_flow = Mm_core.Merge_flow
+module Audit = Mm_core.Audit
+module Equiv = Mm_core.Equiv
+module Gen_design = Mm_workload.Gen_design
+module Gen_modes = Mm_workload.Gen_modes
+module Fuzz = Mm_workload.Fuzz_inputs
+
+let () = Printexc.record_backtrace true
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixture: one generated design + mode suite written to disk
+   (run_files is used everywhere so the io.read chaos site is live).   *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch_root =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_chaos_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  at_exit (fun () -> rm_rf dir);
+  dir
+
+let scratch name =
+  let dir = Filename.concat scratch_root name in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let families = [ 3; 2 ]
+
+let mode_names =
+  List.concat
+    (List.mapi
+       (fun family n ->
+         List.init n (fun index -> Printf.sprintf "m%d_%d" family index))
+       families)
+
+let design, sdc_paths =
+  let params =
+    {
+      Gen_design.default_params with
+      Gen_design.seed = 7;
+      n_domains = 2;
+      regs_per_domain = 12;
+      stages = 2;
+      combo_depth = 2;
+    }
+  in
+  let design, info = Gen_design.generate params in
+  let suite =
+    { Gen_modes.sp_seed = 8; families; base_period = 2.0; scan_family = false }
+  in
+  let dir = scratch "workload" in
+  let paths =
+    List.concat
+      (List.mapi
+         (fun family n ->
+           List.init n (fun index ->
+               let path =
+                 Filename.concat dir (Printf.sprintf "m%d_%d.sdc" family index)
+               in
+               write_file path
+                 (Gen_modes.sdc_of_mode_spec info suite ~family ~index);
+               path))
+         families)
+  in
+  design, paths
+
+(* Audit JSON + merged SDC text: exactly the bytes the acceptance
+   contract compares. Metric counters feed the audit's coverage
+   section, so every run resets them first. *)
+let run_files ?(budgets = Merge_flow.default_budgets) ?checkpoint ~jobs ~spec
+    () =
+  Metrics.reset ();
+  (match Chaos.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "chaos spec %S rejected: %s" spec e);
+  Fun.protect ~finally:Chaos.clear (fun () ->
+      let r =
+        Merge_flow.run_files ~policy:Merge_flow.Permissive ~jobs ~budgets
+          ?checkpoint ~design sdc_paths
+      in
+      let bytes =
+        Audit.to_json r ^ "\n"
+        ^ String.concat "\n"
+            (List.map Mode.to_sdc (Merge_flow.merged_modes r))
+      in
+      r, bytes)
+
+let baseline = lazy (snd (run_files ~jobs:1 ~spec:"" ()))
+
+(* ------------------------------------------------------------------ *)
+(* Soundness invariants shared by every ladder outcome                  *)
+
+let sorted l = List.sort compare l
+
+let assert_partition ~ctx names (r : Merge_flow.result) =
+  let grouped =
+    List.concat_map
+      (fun (g : Merge_flow.group) -> g.Merge_flow.grp_members)
+      r.Merge_flow.groups
+  in
+  let quarantined =
+    List.map
+      (fun (q : Merge_flow.quarantined) -> q.Merge_flow.q_name)
+      r.Merge_flow.quarantined
+  in
+  let rec nodup = function
+    | a :: (b :: _ as tl) -> a <> b && nodup tl
+    | _ -> true
+  in
+  check Alcotest.bool (ctx ^ ": no mode lands in two groups") true
+    (nodup (sorted (grouped @ quarantined)));
+  check
+    Alcotest.(list string)
+    (ctx ^ ": groups + quarantine cover every mode")
+    (sorted names)
+    (sorted (grouped @ quarantined))
+
+(* The paper's inclusion guarantee: a surviving merged mode must not
+   relax or drop any check an individual mode requires. Equiv reports
+   such relaxations in [unsound]; permissive degradation paths are
+   only allowed to forfeit reduction, never soundness. *)
+let assert_inclusion ~ctx (r : Merge_flow.result) =
+  List.iter
+    (fun (g : Merge_flow.group) ->
+      match g.Merge_flow.grp_equiv with
+      | None -> ()
+      | Some e ->
+        if e.Equiv.unsound <> [] then
+          Alcotest.failf "%s: group [%s] relaxes required checks: %s" ctx
+            (String.concat "," g.Merge_flow.grp_members)
+            (String.concat "; " e.Equiv.unsound);
+        if List.length g.Merge_flow.grp_members > 1 then
+          check Alcotest.bool
+            (ctx ^ ": surviving multi-mode group validated equivalent")
+            true e.Equiv.equivalent)
+    r.Merge_flow.groups
+
+(* ------------------------------------------------------------------ *)
+(* In-process recovery: the recoverable scenario matrix                *)
+
+let test_recoverable_matrix () =
+  let base = Lazy.force baseline in
+  List.iter
+    (fun (jobs, (sc : Fuzz.chaos_scenario)) ->
+      let _, bytes = run_files ~jobs ~spec:(Fuzz.chaos_spec [ sc ]) () in
+      check Alcotest.string
+        (Printf.sprintf "%s at jobs=%d recovers byte-identical" sc.Fuzz.cs_name
+           jobs)
+        base bytes)
+    (List.filter
+       (fun (_, sc) -> Fuzz.chaos_recoverable sc)
+       (Fuzz.chaos_matrix ()))
+
+let test_combined_faults () =
+  let base = Lazy.force baseline in
+  let spec =
+    Fuzz.chaos_spec (List.filter Fuzz.chaos_recoverable Fuzz.chaos_scenarios)
+  in
+  List.iter
+    (fun jobs ->
+      let _, bytes = run_files ~jobs ~spec () in
+      check Alcotest.string
+        (Printf.sprintf "all recoverable faults at once, jobs=%d" jobs)
+        base bytes;
+      check Alcotest.bool "recovery is visible in govern.retries" true
+        (Metrics.get_counter "govern.retries" > 0))
+    [ 1; 4 ]
+
+let test_timeout_absorbed () =
+  let base = Lazy.force baseline in
+  let budgets =
+    { Merge_flow.default_budgets with Merge_flow.bg_task_s = Some 0.05 }
+  in
+  List.iter
+    (fun jobs ->
+      let _, bytes =
+        run_files ~budgets ~jobs ~spec:"pool.task@1=delay:120" ()
+      in
+      check Alcotest.string
+        (Printf.sprintf "timed-out task rescued byte-identical, jobs=%d" jobs)
+        base bytes;
+      check Alcotest.bool "timeout counted" true
+        (Metrics.get_counter "govern.timeouts" > 0);
+      check Alcotest.bool "rescue counted" true
+        (Metrics.get_counter "govern.retries" > 0))
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* In-process checkpoint/resume                                        *)
+
+let test_checkpoint_transparent () =
+  let base = Lazy.force baseline in
+  let dir = scratch "ck_transparent" in
+  let spec k =
+    { Merge_flow.ck_dir = dir; ck_resume = k; ck_key = "inproc" }
+  in
+  let _, first = run_files ~checkpoint:(spec false) ~jobs:1 ~spec:"" () in
+  check Alcotest.string "checkpointing does not perturb the output" base first;
+  let r, resumed = run_files ~checkpoint:(spec true) ~jobs:1 ~spec:"" () in
+  check Alcotest.string "full-cache resume is byte-identical" base resumed;
+  check Alcotest.bool "resume produced no resume warning" false
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = "govern.resume")
+       r.Merge_flow.diags);
+  (* resume against jobs=4 reuses the same stages (fingerprint skips jobs) *)
+  let _, resumed4 = run_files ~checkpoint:(spec true) ~jobs:4 ~spec:"" () in
+  check Alcotest.string "resume at a different jobs count" base resumed4
+
+let test_failed_resume_degrades () =
+  let base = Lazy.force baseline in
+  let dir = Filename.concat scratch_root "ck_never_written" in
+  let ck = { Merge_flow.ck_dir = dir; ck_resume = true; ck_key = "inproc" } in
+  let r, bytes = run_files ~checkpoint:ck ~jobs:1 ~spec:"" () in
+  check Alcotest.string "failed resume still completes byte-identical" base
+    bytes;
+  check Alcotest.bool "failed resume is diagnosed" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = "govern.resume")
+       r.Merge_flow.diags)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder under an exhausted stage budget                  *)
+
+let test_budget_split_ladder () =
+  let budgets =
+    {
+      Merge_flow.default_budgets with
+      Merge_flow.bg_stage_s = [ "cliques", 0.0 ];
+    }
+  in
+  let outcomes =
+    List.map
+      (fun jobs ->
+        let r, bytes = run_files ~budgets ~jobs ~spec:"" () in
+        let ctx = Printf.sprintf "ladder jobs=%d" jobs in
+        check Alcotest.bool (ctx ^ ": splits recorded in the result") true
+          (r.Merge_flow.governed.Merge_flow.gov_clique_splits > 0);
+        check Alcotest.bool (ctx ^ ": splits recorded in metrics") true
+          (Metrics.get_counter "govern.clique_splits" > 0);
+        check Alcotest.bool (ctx ^ ": flagged degraded-under-budget") true
+          (Merge_flow.degraded_under_budget r.Merge_flow.governed);
+        check Alcotest.bool (ctx ^ ": split events in the audit trail") true
+          (List.exists
+             (fun (e : Merge_flow.govern_event) ->
+               e.Merge_flow.ge_action = "split")
+             r.Merge_flow.governed.Merge_flow.gov_events);
+        assert_partition ~ctx mode_names r;
+        assert_inclusion ~ctx r;
+        bytes)
+      [ 1; 4 ]
+  in
+  match outcomes with
+  | [ b1; b4 ] ->
+    check Alcotest.string "ladder outcome is jobs-invariant" b1 b4
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: every ladder outcome keeps the inclusion guarantee          *)
+
+let build_sources seed fams =
+  let params =
+    {
+      Gen_design.default_params with
+      Gen_design.seed;
+      n_domains = 2;
+      regs_per_domain = 12;
+      stages = 2;
+      combo_depth = 2;
+    }
+  in
+  let design, info = Gen_design.generate params in
+  let suite =
+    {
+      Gen_modes.sp_seed = seed + 1;
+      families = fams;
+      base_period = 2.0;
+      scan_family = false;
+    }
+  in
+  let sources =
+    List.concat
+      (List.mapi
+         (fun family n ->
+           List.init n (fun index ->
+               {
+                 Merge_flow.src_name = Printf.sprintf "m%d_%d" family index;
+                 src_file = None;
+                 src_text = Gen_modes.sdc_of_mode_spec info suite ~family ~index;
+               }))
+         fams)
+  in
+  design, sources
+
+(* Three pressure mixes, all ending in a valid run: a dead cliques
+   budget (guaranteed splits), a single task timeout (retry rung), and
+   a crash plus a crashing first retry (retry rung, twice). *)
+let pressure_of = function
+  | 0 ->
+    ( "cliques-budget",
+      { Merge_flow.default_budgets with Merge_flow.bg_stage_s = [ "cliques", 0.0 ] },
+      "" )
+  | 1 ->
+    ( "task-timeout",
+      { Merge_flow.default_budgets with Merge_flow.bg_task_s = Some 0.03 },
+      "pool.task@3=delay:80" )
+  | _ ->
+    "double-crash", Merge_flow.default_budgets,
+    "pool.task@1=raise,pool.retry@1=raise"
+
+let ladder_case_gen =
+  QCheck2.Gen.(
+    let* seed = 0 -- 5000 in
+    let* fams = list_size (1 -- 2) (1 -- 3) in
+    let* pressure = 0 -- 2 in
+    return (seed, fams, pressure))
+
+let prop_inclusion (seed, fams, pressure) =
+  let name, budgets, spec = pressure_of pressure in
+  let design, sources = build_sources seed fams in
+  let mode_names = List.map (fun s -> s.Merge_flow.src_name) sources in
+  List.iter
+    (fun jobs ->
+      Metrics.reset ();
+      (match Chaos.configure spec with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "chaos spec %S rejected: %s" spec e);
+      Fun.protect ~finally:Chaos.clear (fun () ->
+          let r =
+            Merge_flow.run_sources ~policy:Merge_flow.Permissive ~jobs ~budgets
+              ~design sources
+          in
+          let ctx =
+            Printf.sprintf "seed=%d %s jobs=%d" seed name jobs
+          in
+          assert_partition ~ctx mode_names r;
+          assert_inclusion ~ctx r;
+          check Alcotest.int (ctx ^ ": one group per merged mode")
+            r.Merge_flow.n_merged
+            (List.length r.Merge_flow.groups)))
+    [ 1; 4 ];
+  true
+
+let prop_ladder_inclusion =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"ladder outcomes keep the inclusion guarantee (jobs=1 and jobs=4)"
+       ~count:6 ladder_case_gen prop_inclusion)
+
+(* ------------------------------------------------------------------ *)
+(* Subprocess kill/resume golden test                                  *)
+
+let modemerge =
+  lazy
+    (match Sys.getenv_opt "MODEMERGE" with
+    | Some p when p <> "" -> p
+    | _ ->
+      Alcotest.fail
+        "MODEMERGE not set: run this suite via `dune build @chaos`, which \
+         wires in the modemerge binary")
+
+let sh fmt =
+  Printf.ksprintf
+    (fun cmd ->
+      match Sys.command cmd with
+      | n -> n
+      | exception Sys_error e -> Alcotest.failf "command failed to run: %s" e)
+    fmt
+
+(* One CLI workload, generated by `modemerge gen` so the subprocess
+   tests exercise the shipped tool end to end. *)
+let cli_fixture =
+  lazy
+    (let exe = Lazy.force modemerge in
+     let dir = scratch "cli" in
+     let rc =
+       sh "%s gen -o %s --seed 11 --domains 2 --regs 10 --families 3,2 > %s 2>&1"
+         (Filename.quote exe) (Filename.quote dir)
+         (Filename.quote (Filename.concat dir "gen.log"))
+     in
+     check Alcotest.int "gen exits cleanly" 0 rc;
+     let sdcs =
+       List.map
+         (fun n -> Filename.concat dir (n ^ ".sdc"))
+         [ "m0_0"; "m0_1"; "m0_2"; "m1_0"; "m1_1" ]
+     in
+     List.iter
+       (fun p ->
+         if not (Sys.file_exists p) then
+           Alcotest.failf "gen did not write %s" p)
+       sdcs;
+     exe, Filename.concat dir "design.nl", sdcs)
+
+let merge_argv ~extra ~out ~audit =
+  let exe, netlist, sdcs = Lazy.force cli_fixture in
+  Printf.sprintf "%s merge -n %s --permissive -j 2 -o %s --audit %s %s %s"
+    (Filename.quote exe) (Filename.quote netlist) (Filename.quote out)
+    (Filename.quote audit) extra
+    (String.concat " " (List.map Filename.quote sdcs))
+
+let run_merge ?(env = "") ~tag ~extra () =
+  let out = Filename.concat scratch_root (tag ^ "_out") in
+  rm_rf out;
+  let audit = Filename.concat scratch_root (tag ^ "_audit.json") in
+  let log = Filename.concat scratch_root (tag ^ ".log") in
+  let rc =
+    sh "%s %s > %s 2>&1" env
+      (merge_argv ~extra ~out ~audit)
+      (Filename.quote log)
+  in
+  rc, out, audit
+
+let merged_sdcs out =
+  if not (Sys.file_exists out) then []
+  else
+    List.sort compare
+      (List.filter
+         (fun f -> Filename.check_suffix f ".sdc")
+         (Array.to_list (Sys.readdir out)))
+
+let golden = lazy (run_merge ~tag:"golden" ~extra:"" ())
+
+let assert_same_outputs ~ctx (g_out, g_audit) (out, audit) =
+  check Alcotest.string (ctx ^ ": audit bytes") (read_file g_audit)
+    (read_file audit);
+  let names = merged_sdcs g_out in
+  check Alcotest.bool (ctx ^ ": golden run produced merged SDCs") true
+    (names <> []);
+  check Alcotest.(list string) (ctx ^ ": same merged files") names
+    (merged_sdcs out);
+  List.iter
+    (fun n ->
+      check Alcotest.string
+        (Printf.sprintf "%s: %s bytes" ctx n)
+        (read_file (Filename.concat g_out n))
+        (read_file (Filename.concat out n)))
+    names
+
+let test_kill_resume_golden () =
+  let g_rc, g_out, g_audit = Lazy.force golden in
+  List.iter
+    (fun stage ->
+      let tag = "kill_" ^ stage in
+      let ck = Filename.concat scratch_root (tag ^ "_ck") in
+      rm_rf ck;
+      let extra = Printf.sprintf "--checkpoint %s" (Filename.quote ck) in
+      let rc, _, _ =
+        run_merge
+          ~env:
+            (Printf.sprintf "MM_CHAOS=merge.stage:%s@1=kill:137" stage)
+          ~tag ~extra ()
+      in
+      check Alcotest.int
+        (Printf.sprintf "kill after %s exits with the chaos status" stage)
+        137 rc;
+      let rc2, out, audit =
+        run_merge ~tag
+          ~extra:(Printf.sprintf "%s --resume" extra)
+          ()
+      in
+      check Alcotest.int
+        (Printf.sprintf "resume after %s kill exits like the golden run" stage)
+        g_rc rc2;
+      assert_same_outputs
+        ~ctx:(Printf.sprintf "resume after %s kill" stage)
+        (g_out, g_audit) (out, audit))
+    Merge_flow.stage_names
+
+let test_cli_budget_exit_code () =
+  let rc, out, _ =
+    run_merge ~tag:"budget3" ~extra:"--budget cliques=0" ()
+  in
+  check Alcotest.int "budget-degraded run exits 3" 3 rc;
+  check Alcotest.bool "degraded run still writes merged modes" true
+    (merged_sdcs out <> [])
+
+(* The acceptance check: a chaos run with injected timeouts completes
+   degraded and its metrics export carries nonzero govern.retries,
+   govern.timeouts and govern.clique_splits. *)
+let counter_in_json json name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  let nh = String.length needle and lh = String.length json in
+  let rec find i =
+    if i + nh > lh then None
+    else if String.sub json i nh = needle then Some (i + nh)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    while
+      !j < lh && (match json.[!j] with '0' .. '9' | '.' | ' ' -> true | _ -> false)
+    do
+      incr j
+    done;
+    float_of_string_opt (String.trim (String.sub json i (!j - i)))
+
+let test_cli_metrics_export () =
+  let metrics = Filename.concat scratch_root "chaos_metrics.json" in
+  let rc, out, _ =
+    run_merge
+      ~env:"MM_CHAOS=pool.task@1=delay:150,pool.task@2=raise"
+      ~tag:"metrics"
+      ~extra:
+        (Printf.sprintf "--task-timeout 0.05 --budget cliques=0 --metrics %s"
+           (Filename.quote metrics))
+      ()
+  in
+  check Alcotest.int "chaos + budget run exits 3 (degraded, not dead)" 3 rc;
+  check Alcotest.bool "run still merges" true (merged_sdcs out <> []);
+  let json = read_file metrics in
+  List.iter
+    (fun name ->
+      match counter_in_json json name with
+      | Some v when v > 0. -> ()
+      | Some _ -> Alcotest.failf "metrics export has %s = 0" name
+      | None -> Alcotest.failf "metrics export is missing %s" name)
+    [ "govern.retries"; "govern.timeouts"; "govern.clique_splits" ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mm_chaos"
+    [
+      ( "recovery",
+        [
+          tc "recoverable scenario matrix" test_recoverable_matrix;
+          tc "all recoverable faults at once" test_combined_faults;
+          tc "task timeout absorbed by retry" test_timeout_absorbed;
+        ] );
+      ( "checkpoint",
+        [
+          tc "checkpoint + resume transparent" test_checkpoint_transparent;
+          tc "failed resume degrades to fresh run" test_failed_resume_degrades;
+        ] );
+      ( "ladder",
+        [ tc "cliques budget forces sound splits" test_budget_split_ladder;
+          prop_ladder_inclusion ] );
+      ( "cli",
+        [
+          tc "kill after each stage, resume byte-identical"
+            test_kill_resume_golden;
+          tc "budget-degraded exit code 3" test_cli_budget_exit_code;
+          tc "chaos metrics export" test_cli_metrics_export;
+        ] );
+    ]

@@ -1,0 +1,609 @@
+(* Tier-1 unit tests for the resource-governance layer: Govern tokens
+   (deadlines, cancellation trees, the ambient checkpoint), structured
+   outcomes, retry/backoff, the memory watermark, governed Pool
+   batches with crash backtraces, Chaos fault plans, the crash-safe
+   Checkpoint store and the Metrics counter snapshot/restore used by
+   resume. *)
+
+module Govern = Mm_util.Govern
+module Chaos = Mm_util.Chaos
+module Pool = Mm_util.Pool
+module Metrics = Mm_util.Metrics
+module Checkpoint = Mm_core.Checkpoint
+module Fuzz = Mm_workload.Fuzz_inputs
+
+let () = Printexc.record_backtrace true
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Tokens: deadlines, cancellation, the sub tree                       *)
+
+let test_never () =
+  check Alcotest.bool "never is live" true (Govern.cancelled Govern.never = None);
+  Govern.cancel Govern.never ~why:"ignored";
+  check Alcotest.bool "never ignores cancel" false (Govern.expired Govern.never);
+  check Alcotest.bool "never has no deadline" true
+    (Govern.remaining_s Govern.never = None);
+  Govern.check Govern.never
+
+let test_deadline () =
+  let t = Govern.create ~deadline_s:0.0 ~scope:"d" () in
+  (match Govern.cancelled t with
+  | Some (Govern.Deadline_exceeded { scope; _ }) ->
+    check Alcotest.string "deadline carries scope" "d" scope
+  | _ -> Alcotest.fail "expected Deadline_exceeded");
+  check Alcotest.bool "check raises Cancelled" true
+    (match Govern.check t with
+    | exception Govern.Cancelled (Govern.Deadline_exceeded _) -> true
+    | () -> false);
+  let live = Govern.create ~deadline_s:60.0 () in
+  check Alcotest.bool "live token not expired" false (Govern.expired live);
+  (match Govern.remaining_s live with
+  | Some r -> check Alcotest.bool "remaining_s near budget" true (r > 50. && r <= 60.)
+  | None -> Alcotest.fail "deadlined token must report remaining_s")
+
+let test_cancel () =
+  let t = Govern.create ~scope:"root" () in
+  check Alcotest.bool "fresh token live" true (Govern.cancelled t = None);
+  Govern.cancel t ~why:"user abort";
+  (match Govern.cancelled t with
+  | Some (Govern.Cancelled_by { scope; why }) ->
+    check Alcotest.string "cancel scope" "root" scope;
+    check Alcotest.string "cancel why" "user abort" why
+  | _ -> Alcotest.fail "expected Cancelled_by");
+  (* idempotent: the first reason wins *)
+  Govern.cancel t ~why:"second";
+  match Govern.cancelled t with
+  | Some (Govern.Cancelled_by { why; _ }) ->
+    check Alcotest.string "first cancel wins" "user abort" why
+  | _ -> Alcotest.fail "expected Cancelled_by"
+
+let test_sub_tree () =
+  let p = Govern.create ~scope:"p" () in
+  let blown = Govern.sub ~scope:"c" ~budget_s:0.0 p in
+  check Alcotest.bool "child budget expires child" true (Govern.expired blown);
+  check Alcotest.bool "parent unaffected" false (Govern.expired p);
+  let c2 = Govern.sub ~scope:"c2" p in
+  Govern.cancel p ~why:"stop";
+  check Alcotest.bool "parent cancel reaches child" true (Govern.expired c2);
+  (* the parent deadline folds into the child at sub time *)
+  let p2 = Govern.create ~deadline_s:0.0 ~scope:"p2" () in
+  let c3 = Govern.sub ~scope:"c3" ~budget_s:1000.0 p2 in
+  (match Govern.cancelled c3 with
+  | Some (Govern.Deadline_exceeded _) -> ()
+  | _ -> Alcotest.fail "ancestor deadline must expire the child");
+  check Alcotest.bool "sub of never is still ungoverned" true
+    (Govern.cancelled (Govern.sub Govern.never) = None)
+
+let test_reason_codes () =
+  check Alcotest.string "deadline code" "govern.deadline"
+    (Govern.reason_code
+       (Govern.Deadline_exceeded { scope = "x"; budget_s = 1.0 }));
+  check Alcotest.string "cancel code" "govern.cancelled"
+    (Govern.reason_code (Govern.Cancelled_by { scope = "x"; why = "y" }));
+  check Alcotest.string "memory code" "govern.memory"
+    (Govern.reason_code
+       (Govern.Memory_watermark { used_mb = 2.0; limit_mb = 1.0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Ambient token and the cooperative checkpoint                        *)
+
+let test_ambient_checkpoint () =
+  (* free when nothing is installed *)
+  Govern.checkpoint ();
+  let t = Govern.create ~scope:"amb" () in
+  Govern.cancel t ~why:"gone";
+  let raised =
+    try
+      Govern.with_current t (fun () ->
+          Govern.checkpoint ();
+          false)
+    with Govern.Cancelled (Govern.Cancelled_by _) -> true
+  in
+  check Alcotest.bool "checkpoint observes the ambient token" true raised;
+  (* the previous ambient token is restored on raise *)
+  Govern.checkpoint ()
+
+(* ------------------------------------------------------------------ *)
+(* Structured outcomes                                                 *)
+
+let test_outcomes () =
+  (match Govern.run Govern.never (fun () -> 41 + 1) with
+  | Govern.Done v -> check Alcotest.int "done value" 42 v
+  | _ -> Alcotest.fail "expected Done");
+  let pre = Govern.create () in
+  Govern.cancel pre ~why:"pre";
+  (match Govern.run pre (fun () -> 0) with
+  | Govern.Interrupted (Govern.Cancelled_by _) -> ()
+  | _ -> Alcotest.fail "expected Interrupted at entry");
+  (match Govern.run Govern.never (fun () -> failwith "boom") with
+  | Govern.Crashed { exn = Failure m; _ } ->
+    check Alcotest.string "crash exn" "boom" m
+  | _ -> Alcotest.fail "expected Crashed");
+  (* a checkpoint inside the thunk surfaces as Interrupted, not a raise *)
+  let mid = Govern.create ~scope:"mid" () in
+  (match
+     Govern.run mid (fun () ->
+         Govern.cancel mid ~why:"mid-flight";
+         Govern.checkpoint ();
+         0)
+   with
+  | Govern.Interrupted (Govern.Cancelled_by { why; _ }) ->
+    check Alcotest.string "interrupt reason" "mid-flight" why
+  | _ -> Alcotest.fail "expected Interrupted from checkpoint");
+  (match Govern.outcome_map succ (Govern.Done 1) with
+  | Govern.Done 2 -> ()
+  | _ -> Alcotest.fail "outcome_map maps Done");
+  let crashed = Govern.run Govern.never (fun () -> failwith "again") in
+  try
+    ignore (Govern.reraise_crash crashed);
+    Alcotest.fail "reraise_crash must re-raise"
+  with Failure m -> check Alcotest.string "reraised exn" "again" m
+
+let test_memory_watermark () =
+  Fun.protect
+    ~finally:(fun () -> Govern.set_memory_limit_mb None)
+    (fun () ->
+      check Alcotest.bool "off by default" true
+        (Govern.memory_pressure () = None);
+      Govern.set_memory_limit_mb (Some 0.0001);
+      (match Govern.memory_pressure () with
+      | Some (Govern.Memory_watermark { used_mb; limit_mb }) ->
+        check Alcotest.bool "heap exceeds tiny limit" true (used_mb > limit_mb)
+      | _ -> Alcotest.fail "expected memory pressure");
+      (* any real token observes the process-wide watermark *)
+      (match Govern.cancelled (Govern.create ()) with
+      | Some (Govern.Memory_watermark _) -> ()
+      | _ -> Alcotest.fail "token must observe the watermark");
+      Govern.set_memory_limit_mb None;
+      check Alcotest.bool "cleared" true (Govern.memory_pressure () = None))
+
+(* ------------------------------------------------------------------ *)
+(* Retry with exponential backoff                                      *)
+
+let test_backoff_values () =
+  let p = Govern.default_retry in
+  let f = Alcotest.float 1e-12 in
+  check f "no backoff before attempt 2" 0.0 (Govern.backoff_s p ~attempt:1);
+  check f "base at attempt 2" 0.001 (Govern.backoff_s p ~attempt:2);
+  check f "doubled at attempt 3" 0.002 (Govern.backoff_s p ~attempt:3);
+  check f "capped" 0.05
+    (Govern.backoff_s { p with Govern.base_backoff_s = 0.04 } ~attempt:3)
+
+let test_with_retry_recovers () =
+  Metrics.reset ();
+  let sleeps = ref [] in
+  let calls = ref 0 in
+  let v =
+    Govern.with_retry
+      ~sleep:(fun s -> sleeps := s :: !sleeps)
+      Govern.never ~scope:"t"
+      (fun () ->
+        incr calls;
+        if !calls < 3 then failwith "flaky" else 7)
+  in
+  check Alcotest.int "value" 7 v;
+  check Alcotest.int "attempts" 3 !calls;
+  check Alcotest.int "retries metric" 2 (Metrics.get_counter "govern.retries");
+  check Alcotest.(list (float 1e-12)) "backoff sequence" [ 0.001; 0.002 ]
+    (List.rev !sleeps);
+  Metrics.reset ()
+
+let test_with_retry_exhausts () =
+  let calls = ref 0 in
+  (try
+     ignore
+       (Govern.with_retry ~sleep:ignore Govern.never ~scope:"t" (fun () ->
+            incr calls;
+            failwith "always"));
+     Alcotest.fail "expected the last failure to re-raise"
+   with Failure m -> check Alcotest.string "last exn re-raised" "always" m);
+  check Alcotest.int "all attempts used" 3 !calls
+
+let test_with_retry_non_transient () =
+  let calls = ref 0 in
+  (try
+     ignore
+       (Govern.with_retry ~sleep:ignore
+          ~transient:(function Not_found -> true | _ -> false)
+          Govern.never ~scope:"t"
+          (fun () ->
+            incr calls;
+            failwith "hard"));
+     Alcotest.fail "expected immediate re-raise"
+   with Failure _ -> ());
+  check Alcotest.int "no retry on non-transient" 1 !calls
+
+let test_with_retry_cancelled () =
+  let t = Govern.create () in
+  Govern.cancel t ~why:"off";
+  let calls = ref 0 in
+  (try
+     ignore
+       (Govern.with_retry ~sleep:ignore t ~scope:"t" (fun () ->
+            incr calls;
+            0));
+     Alcotest.fail "expected Cancelled"
+   with Govern.Cancelled _ -> ());
+  check Alcotest.int "cancelled token runs nothing" 0 !calls
+
+let test_with_retry_custom_metric () =
+  Metrics.reset ();
+  let calls = ref 0 in
+  let v =
+    Govern.with_retry ~sleep:ignore ~metric:"test.custom" Govern.never
+      ~scope:"t"
+      (fun () ->
+        incr calls;
+        if !calls < 2 then failwith "once" else 9)
+  in
+  check Alcotest.int "value" 9 v;
+  check Alcotest.int "custom metric" 1 (Metrics.get_counter "test.custom");
+  check Alcotest.int "default metric untouched" 0
+    (Metrics.get_counter "govern.retries");
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Governed pool batches                                               *)
+
+let done_values outs =
+  List.map
+    (function
+      | Govern.Done v -> v
+      | Govern.Interrupted _ -> Alcotest.fail "unexpected Interrupted"
+      | Govern.Crashed _ -> Alcotest.fail "unexpected Crashed")
+    outs
+
+let test_pool_done () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let outs = Pool.map_outcome pool (fun x -> x * 2) [ 1; 2; 3; 4; 5 ] in
+          check
+            Alcotest.(list int)
+            (Printf.sprintf "jobs=%d results in input order" jobs)
+            [ 2; 4; 6; 8; 10 ] (done_values outs)))
+    [ 1; 3 ]
+
+let test_pool_crash_outcome () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let outs =
+        Pool.map_outcome pool
+          (fun x -> if x = 2 then failwith "task2" else x)
+          [ 1; 2; 3 ]
+      in
+      match outs with
+      | [ Govern.Done 1; Govern.Crashed { exn = Failure m; backtrace };
+          Govern.Done 3 ] ->
+        check Alcotest.string "crash exn" "task2" m;
+        check Alcotest.bool "crash carries a real backtrace" true
+          (Printexc.raw_backtrace_to_string backtrace <> "")
+      | _ -> Alcotest.fail "expected Done/Crashed/Done in input order")
+
+let test_pool_map_reraises_with_backtrace () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          match
+            Pool.map pool
+              (fun x -> if x = 1 then failwith "deep failure" else x)
+              [ 0; 1; 2 ]
+          with
+          | _ -> Alcotest.fail "expected the worker crash to re-raise"
+          | exception Failure m ->
+            check Alcotest.string
+              (Printf.sprintf "jobs=%d original exception" jobs)
+              "deep failure" m))
+    [ 1; 4 ]
+
+let test_pool_precancelled_drains () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let t = Govern.create ~scope:"drain" () in
+      Govern.cancel t ~why:"before the batch";
+      let outs = Pool.map_outcome pool ~govern:t (fun x -> x) [ 1; 2; 3 ] in
+      check Alcotest.int "all tasks drained as Interrupted" 3
+        (List.length
+           (List.filter
+              (function Govern.Interrupted _ -> true | _ -> false)
+              outs)))
+
+let test_pool_task_budget () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let t = Govern.create ~scope:"b" () in
+      let outs =
+        Pool.map_outcome pool ~govern:t ~task_budget_s:0.0 (fun x -> x) [ 1; 2 ]
+      in
+      List.iter
+        (function
+          | Govern.Interrupted (Govern.Deadline_exceeded _) -> ()
+          | _ -> Alcotest.fail "expected per-task deadline interruption")
+        outs)
+
+let test_pool_midbatch_cancel () =
+  (* jobs=1 is sequential, so the drain point is deterministic: tasks
+     after the cancelling one never run. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let t = Govern.create ~scope:"mid" () in
+      let outs =
+        Pool.map_outcome pool ~govern:t
+          (fun x ->
+            if x = 1 then Govern.cancel t ~why:"task 1 pulled the plug";
+            x)
+          [ 0; 1; 2; 3 ]
+      in
+      match outs with
+      | [ Govern.Done 0; Govern.Done 1; Govern.Interrupted _;
+          Govern.Interrupted _ ] ->
+        ()
+      | _ -> Alcotest.fail "expected the tail of the batch to drain")
+
+(* ------------------------------------------------------------------ *)
+(* Chaos fault plans                                                   *)
+
+let with_chaos spec f =
+  (match Chaos.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "chaos spec %S rejected: %s" spec e);
+  Fun.protect ~finally:Chaos.clear f
+
+let test_chaos_inactive () =
+  with_chaos "" (fun () ->
+      check Alcotest.bool "empty plan is inactive" false (Chaos.active ());
+      Chaos.hit "pool.task";
+      check Alcotest.int "no counting when inactive" 0
+        (Chaos.hit_count "pool.task"))
+
+let test_chaos_nth_raise () =
+  with_chaos "pool.task@1=raise" (fun () ->
+      check Alcotest.bool "active" true (Chaos.active ());
+      (try
+         Chaos.hit "pool.task";
+         Alcotest.fail "occurrence 1 must raise"
+       with Chaos.Injected site -> check Alcotest.string "site" "pool.task" site);
+      Chaos.hit "pool.task";
+      check Alcotest.int "occurrences counted" 2 (Chaos.hit_count "pool.task");
+      Chaos.hit "io.read";
+      check Alcotest.int "other sites count independently" 1
+        (Chaos.hit_count "io.read"))
+
+let test_chaos_every_occurrence () =
+  with_chaos "x@*=raise" (fun () ->
+      List.iter
+        (fun _ ->
+          try
+            Chaos.hit "x";
+            Alcotest.fail "every occurrence must raise"
+          with Chaos.Injected _ -> ())
+        [ (); (); () ])
+
+let test_chaos_reconfigure_resets () =
+  with_chaos "a@1=raise" (fun () ->
+      (try Chaos.hit "a" with Chaos.Injected _ -> ());
+      (match Chaos.configure "a@1=raise" with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      check Alcotest.int "counters reset on reconfigure" 0 (Chaos.hit_count "a");
+      try
+        Chaos.hit "a";
+        Alcotest.fail "occurrence 1 fires again after reconfigure"
+      with Chaos.Injected _ -> ())
+
+let test_chaos_delay () =
+  with_chaos "slow@1=delay:5" (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Chaos.hit "slow";
+      check Alcotest.bool "delay slept" true (Unix.gettimeofday () -. t0 >= 0.004);
+      Chaos.hit "slow" (* occurrence 2: no delay, no raise *))
+
+let test_chaos_kill_parses () =
+  (* parse only — hitting the site would kill the test runner *)
+  with_chaos "merge.stage:load@1=kill:137,merge.stage:cliques@1=kill" (fun () ->
+      Chaos.hit "pool.task" (* unrelated site is safe *))
+
+let test_chaos_malformed () =
+  List.iter
+    (fun spec ->
+      match Chaos.configure spec with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "malformed spec %S accepted" spec)
+    [
+      "nonsense"; "site@=raise"; "site@0=raise"; "site@one=raise";
+      "site@1=explode"; "site@1=delay:soon"; "site@1=kill:often";
+    ];
+  check Alcotest.bool "no plan installed after errors" false (Chaos.active ())
+
+let test_chaos_scenarios_wellformed () =
+  check Alcotest.string "spec rendering"
+    "pool.task@2=delay:30,io.read@*=raise,merge.stage:load@1=kill:137"
+    (Fuzz.chaos_spec
+       [
+         { Fuzz.cs_name = "d"; cs_site = "pool.task"; cs_occurrence = Some 2;
+           cs_fault = Fuzz.Delay_ms 30 };
+         { Fuzz.cs_name = "r"; cs_site = "io.read"; cs_occurrence = None;
+           cs_fault = Fuzz.Raise };
+         { Fuzz.cs_name = "k"; cs_site = "merge.stage:load";
+           cs_occurrence = Some 1; cs_fault = Fuzz.Kill 137 };
+       ]);
+  (* the standard scenario set parses (kills included — parse only) *)
+  with_chaos (Fuzz.chaos_spec Fuzz.chaos_scenarios) (fun () -> ());
+  check Alcotest.bool "kill scenarios are not in-process recoverable" true
+    (List.exists
+       (fun c -> not (Fuzz.chaos_recoverable c))
+       Fuzz.chaos_scenarios);
+  check Alcotest.bool "recoverable scenarios exist" true
+    (List.exists Fuzz.chaos_recoverable Fuzz.chaos_scenarios);
+  check Alcotest.int "matrix covers jobs x scenarios"
+    (2 * List.length Fuzz.chaos_scenarios)
+    (List.length (Fuzz.chaos_matrix ()))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint store                                                    *)
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_govern_test_%d_%d" (Unix.getpid ()) !counter)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_tmp_dir f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_checkpoint_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let fp = "fp1" in
+      let t = Checkpoint.create ~dir ~fingerprint:fp in
+      check Alcotest.(list string) "fresh store is empty" []
+        (Checkpoint.completed_stages t);
+      check Alcotest.bool "no stage yet" false (Checkpoint.has_stage t "load");
+      Checkpoint.save_stage t ~stage:"load"
+        ~counters:[ "a", 1; "b", 2 ]
+        ([ "x"; "y" ], 42);
+      check Alcotest.bool "stage recorded" true (Checkpoint.has_stage t "load");
+      (match Checkpoint.load_stage t ~stage:"load" with
+      | Some ((l, n), counters) ->
+        check Alcotest.(list string) "payload list" [ "x"; "y" ] l;
+        check Alcotest.int "payload int" 42 n;
+        check
+          Alcotest.(list (pair string int))
+          "counter snapshot" [ "a", 1; "b", 2 ] counters
+      | None -> Alcotest.fail "saved stage must load");
+      Checkpoint.save_stage t ~stage:"mergeability" ~counters:[] 7;
+      match Checkpoint.load_for_resume ~dir ~fingerprint:fp with
+      | Ok t2 ->
+        check Alcotest.(list string) "stages survive reopen, in order"
+          [ "load"; "mergeability" ]
+          (Checkpoint.completed_stages t2)
+      | Error e -> Alcotest.fail e)
+
+let test_checkpoint_fingerprint_guard () =
+  with_tmp_dir (fun dir ->
+      let t = Checkpoint.create ~dir ~fingerprint:"fpA" in
+      Checkpoint.save_stage t ~stage:"load" ~counters:[] 1;
+      match Checkpoint.load_for_resume ~dir ~fingerprint:"fpB" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "mismatched fingerprint must be refused")
+
+let test_checkpoint_torn_payload () =
+  with_tmp_dir (fun dir ->
+      let fp = "fp" in
+      let t = Checkpoint.create ~dir ~fingerprint:fp in
+      Checkpoint.save_stage t ~stage:"load" ~counters:[] 1;
+      Checkpoint.save_stage t ~stage:"mergeability" ~counters:[] 2;
+      (* corrupt the first payload: it and every later stage drop *)
+      let oc = open_out (Filename.concat dir "load.bin") in
+      output_string oc "garbage";
+      close_out oc;
+      (match Checkpoint.load_for_resume ~dir ~fingerprint:fp with
+      | Ok t2 ->
+        check Alcotest.(list string) "torn prefix drops everything" []
+          (Checkpoint.completed_stages t2)
+      | Error _ -> Alcotest.fail "a torn payload degrades, it does not error");
+      (* corrupt only the second: the valid prefix survives *)
+      let t3 = Checkpoint.create ~dir ~fingerprint:fp in
+      Checkpoint.save_stage t3 ~stage:"load" ~counters:[] 1;
+      Checkpoint.save_stage t3 ~stage:"mergeability" ~counters:[] 2;
+      let oc = open_out (Filename.concat dir "mergeability.bin") in
+      output_string oc "garbage";
+      close_out oc;
+      match Checkpoint.load_for_resume ~dir ~fingerprint:fp with
+      | Ok t4 ->
+        check Alcotest.(list string) "valid prefix survives" [ "load" ]
+          (Checkpoint.completed_stages t4)
+      | Error _ -> Alcotest.fail "valid prefix must load")
+
+let test_checkpoint_missing_and_recreate () =
+  with_tmp_dir (fun dir ->
+      (match Checkpoint.load_for_resume ~dir ~fingerprint:"fp" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "missing checkpoint must be an error");
+      let t = Checkpoint.create ~dir ~fingerprint:"fp" in
+      Checkpoint.save_stage t ~stage:"load" ~counters:[] 1;
+      (* create wipes what a previous run left behind *)
+      let t2 = Checkpoint.create ~dir ~fingerprint:"fp" in
+      check Alcotest.(list string) "recreate starts empty" []
+        (Checkpoint.completed_stages t2))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics counter snapshot/restore (the resume contract)              *)
+
+let test_counters_roundtrip () =
+  Metrics.reset ();
+  Metrics.incr ~by:3 "t.alpha";
+  Metrics.incr "t.beta";
+  let snap = Metrics.counters () in
+  check Alcotest.bool "snapshot holds alpha" true (List.mem ("t.alpha", 3) snap);
+  check Alcotest.bool "snapshot holds beta" true (List.mem ("t.beta", 1) snap);
+  Metrics.reset ();
+  check Alcotest.int "reset clears" 0 (Metrics.get_counter "t.alpha");
+  Metrics.restore_counters snap;
+  check Alcotest.int "restored alpha" 3 (Metrics.get_counter "t.alpha");
+  check Alcotest.int "restored beta" 1 (Metrics.get_counter "t.beta");
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mm_govern"
+    [
+      ( "tokens",
+        [
+          tc "never" test_never;
+          tc "deadline" test_deadline;
+          tc "cancel" test_cancel;
+          tc "sub tree" test_sub_tree;
+          tc "reason codes" test_reason_codes;
+          tc "ambient checkpoint" test_ambient_checkpoint;
+          tc "outcomes" test_outcomes;
+          tc "memory watermark" test_memory_watermark;
+        ] );
+      ( "retry",
+        [
+          tc "backoff values" test_backoff_values;
+          tc "recovers" test_with_retry_recovers;
+          tc "exhausts" test_with_retry_exhausts;
+          tc "non-transient" test_with_retry_non_transient;
+          tc "cancelled" test_with_retry_cancelled;
+          tc "custom metric" test_with_retry_custom_metric;
+        ] );
+      ( "pool",
+        [
+          tc "done outcomes" test_pool_done;
+          tc "crash outcome with backtrace" test_pool_crash_outcome;
+          tc "map re-raises worker crash" test_pool_map_reraises_with_backtrace;
+          tc "pre-cancelled batch drains" test_pool_precancelled_drains;
+          tc "task budget" test_pool_task_budget;
+          tc "mid-batch cancel drains tail" test_pool_midbatch_cancel;
+        ] );
+      ( "chaos",
+        [
+          tc "inactive" test_chaos_inactive;
+          tc "nth occurrence raise" test_chaos_nth_raise;
+          tc "every occurrence" test_chaos_every_occurrence;
+          tc "reconfigure resets" test_chaos_reconfigure_resets;
+          tc "delay" test_chaos_delay;
+          tc "kill parses" test_chaos_kill_parses;
+          tc "malformed specs" test_chaos_malformed;
+          tc "scenario helpers" test_chaos_scenarios_wellformed;
+        ] );
+      ( "checkpoint",
+        [
+          tc "roundtrip" test_checkpoint_roundtrip;
+          tc "fingerprint guard" test_checkpoint_fingerprint_guard;
+          tc "torn payload" test_checkpoint_torn_payload;
+          tc "missing and recreate" test_checkpoint_missing_and_recreate;
+        ] );
+      "metrics", [ tc "counter snapshot/restore" test_counters_roundtrip ];
+    ]

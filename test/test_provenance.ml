@@ -43,7 +43,7 @@ let test_audit_mandatory_keys () =
         (contains ~needle:(Printf.sprintf "%S" k) json))
     Audit.mandatory_keys;
   check Alcotest.bool "schema version" true
-    (contains ~needle:"\"audit_schema_version\":1" json)
+    (contains ~needle:"\"audit_schema_version\":2" json)
 
 let test_audit_stable_ids () =
   let r = paper_result ~jobs:1 () in
