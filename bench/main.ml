@@ -259,6 +259,25 @@ let bench_json ~scaling runs =
        (jf (Stat.mean (List.map (fun r -> Stat.reduction_percent r.dr_sta_ind r.dr_sta_mrg) runs)))
        (jf (Stat.mean (List.map (fun r -> r.dr_conformity) runs))));
   Buffer.add_string b (Printf.sprintf {|"scaling":%s,|} scaling);
+  (* The flight recorder's resource sections: whole-run GC totals and
+     the pool.* metric slice (new keys only — existing consumers of the
+     bench json are unaffected). *)
+  Buffer.add_string b
+    (Printf.sprintf {|"gc":{%s},|}
+       (String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf {|"%s":%s|} (Metrics.json_escape k) (jf v))
+             (Obs.gc_totals ()))));
+  let pool_items =
+    List.filter
+      (fun (i : Metrics.item) ->
+        String.length i.Metrics.name >= 5
+        && String.sub i.Metrics.name 0 5 = "pool.")
+      (Metrics.snapshot ())
+  in
+  Buffer.add_string b
+    (Printf.sprintf {|"pool":%s,|} (Metrics.json_of_items pool_items));
   (* Obs.metrics_json is {"metrics":...,"spans":...} — embed verbatim. *)
   Buffer.add_string b
     (Printf.sprintf {|"observability":%s}|} (Obs.metrics_json ()));
@@ -273,7 +292,17 @@ let write_bench_json ~scaling runs =
     (fun () ->
       output_string oc (bench_json ~scaling runs);
       output_char oc '\n');
-  Printf.printf "\nwrote %s\n" bench_file
+  Printf.printf "\nwrote %s\n" bench_file;
+  (* Every bench-json write also lands one flight-recorder history
+     record under .modemerge/history/ (advisory: a read-only checkout
+     must not fail the bench). *)
+  try
+    let r =
+      Mm_util.Runlog.capture ~label:"bench" ~jobs:(Mm_util.Pool.default_jobs ())
+        ()
+    in
+    Printf.printf "history record -> %s\n" (Mm_util.Runlog.append r)
+  with _ -> ()
 
 (* Mandatory keys the bench trajectory (and CI's @bench-smoke) relies
    on: a run that stops emitting one of these is a regression even if
@@ -283,6 +312,8 @@ let mandatory_keys =
     {|"table5"|}; {|"table6"|}; {|"merge_runtime_s"|}; {|"conformity"|};
     {|"merge.cliques"|}; {|"sta.tags_propagated"|}; {|"spans"|};
     {|"sta.analyze"|}; {|"scaling"|}; {|"merge_speedup"|};
+    {|"gc":{|}; {|"gc.minor_words"|}; {|"pool":{|}; {|"pool.tasks_executed"|};
+    {|"pool.occupancy"|};
   ]
 
 let contains ~needle hay =

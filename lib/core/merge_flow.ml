@@ -712,6 +712,9 @@ let drive ?tolerance ~check_equivalence ~policy ~pool ~budgets ~ck ~extra_diags
   in
   restore_gov gs sc.sc_gov;
   if Govern.cancelled root <> None then gs.gs_deadline_hit <- true;
+  (* Whole-run GC totals under gc.* gauges: the resource axis of the
+     flight recorder, refreshed at every stage boundary that matters. *)
+  Obs.record_gc_metrics ();
   let n_individual = List.length sm.sm_modes
   and n_merged = List.length sc.sc_groups in
   {

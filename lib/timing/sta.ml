@@ -424,6 +424,7 @@ let analyze ?ctx ?(corner = Corner.typical) design mode =
     in
     Metrics.incr ~by:n_tags "sta.tags_propagated";
     Metrics.incr ~by:!n_checked "sta.endpoints_checked";
+    Obs.record_gc_metrics ();
     slacks, drc_checks ctx, n_tags, !n_checked
   in
   {

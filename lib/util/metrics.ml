@@ -3,15 +3,35 @@ type histogram = {
   h_sum : float;
   h_min : float;
   h_max : float;
-  h_samples : float list;  (* reverse observation order *)
+  h_samples : float list;  (* retained reservoir, unspecified order *)
 }
 
 type value = Counter of int | Gauge of float | Histogram of histogram
 
 type item = { name : string; value : value }
 
+let max_samples = 1024
+
+(* Internal histogram cell: count/sum/min/max are exact forever; the
+   sample reservoir is Algorithm R over a fixed-size array, so a
+   misplaced per-element [observe] costs bounded memory (8 KiB) no
+   matter how many observations arrive. The PRNG is seeded from the
+   histogram name, so a fixed observation sequence keeps a fixed
+   reservoir. *)
+type hist_state = {
+  mutable hs_count : int;
+  mutable hs_sum : float;
+  mutable hs_min : float;
+  mutable hs_max : float;
+  hs_res : float array; (* length max_samples; hs_filled slots live *)
+  mutable hs_filled : int;
+  hs_rng : Prng.t;
+}
+
+type cell = C of int | G of float | H of hist_state
+
 let lock = Mutex.create ()
-let tbl : (string, value) Hashtbl.t = Hashtbl.create 64
+let tbl : (string, cell) Hashtbl.t = Hashtbl.create 64
 
 let with_lock f =
   Mutex.lock lock;
@@ -21,33 +41,65 @@ let incr ?(by = 1) name =
   with_lock (fun () ->
       let v =
         match Hashtbl.find_opt tbl name with
-        | Some (Counter n) -> Counter (n + by)
-        | _ -> Counter by
+        | Some (C n) -> C (n + by)
+        | _ -> C by
       in
       Hashtbl.replace tbl name v)
 
-let set name x = with_lock (fun () -> Hashtbl.replace tbl name (Gauge x))
+let set name x = with_lock (fun () -> Hashtbl.replace tbl name (G x))
 
 let observe name x =
   with_lock (fun () ->
-      let v =
+      let h =
         match Hashtbl.find_opt tbl name with
-        | Some (Histogram h) ->
-          Histogram
-            {
-              h_count = h.h_count + 1;
-              h_sum = h.h_sum +. x;
-              h_min = Float.min h.h_min x;
-              h_max = Float.max h.h_max x;
-              h_samples = x :: h.h_samples;
-            }
+        | Some (H h) -> h
         | _ ->
-          Histogram
-            { h_count = 1; h_sum = x; h_min = x; h_max = x; h_samples = [ x ] }
+          let h =
+            {
+              hs_count = 0;
+              hs_sum = 0.;
+              hs_min = Float.infinity;
+              hs_max = Float.neg_infinity;
+              hs_res = Array.make max_samples 0.;
+              hs_filled = 0;
+              hs_rng = Prng.create (Hashtbl.hash name);
+            }
+          in
+          Hashtbl.replace tbl name (H h);
+          h
       in
-      Hashtbl.replace tbl name v)
+      h.hs_count <- h.hs_count + 1;
+      h.hs_sum <- h.hs_sum +. x;
+      h.hs_min <- Float.min h.hs_min x;
+      h.hs_max <- Float.max h.hs_max x;
+      if h.hs_filled < max_samples then begin
+        h.hs_res.(h.hs_filled) <- x;
+        h.hs_filled <- h.hs_filled + 1
+      end
+      else begin
+        (* Algorithm R: the n-th observation replaces a random slot
+           with probability max_samples/n, keeping every observation
+           equally likely to be retained. *)
+        let j = Prng.int h.hs_rng h.hs_count in
+        if j < max_samples then h.hs_res.(j) <- x
+      end)
 
-let get name = with_lock (fun () -> Hashtbl.find_opt tbl name)
+let freeze_hist h =
+  {
+    h_count = h.hs_count;
+    h_sum = h.hs_sum;
+    h_min = (if h.hs_count = 0 then 0. else h.hs_min);
+    h_max = (if h.hs_count = 0 then 0. else h.hs_max);
+    h_samples = Array.to_list (Array.sub h.hs_res 0 h.hs_filled);
+  }
+
+let value_of_cell = function
+  | C n -> Counter n
+  | G x -> Gauge x
+  | H h -> Histogram (freeze_hist h)
+
+let get name =
+  with_lock (fun () -> Option.map value_of_cell (Hashtbl.find_opt tbl name))
 
 let get_counter name =
   match get name with Some (Counter n) -> n | Some _ | None -> 0
@@ -55,7 +107,9 @@ let get_counter name =
 let snapshot () =
   let items =
     with_lock (fun () ->
-        Hashtbl.fold (fun name value acc -> { name; value } :: acc) tbl [])
+        Hashtbl.fold
+          (fun name cell acc -> { name; value = value_of_cell cell } :: acc)
+          tbl [])
   in
   List.sort (fun a b -> String.compare a.name b.name) items
 
@@ -71,7 +125,7 @@ let counters () =
 
 let restore_counters cs =
   with_lock (fun () ->
-      List.iter (fun (name, n) -> Hashtbl.replace tbl name (Counter n)) cs)
+      List.iter (fun (name, n) -> Hashtbl.replace tbl name (C n)) cs)
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -94,16 +148,7 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.9g" x else "0"
 
-(* Nearest-rank on the sorted sample set; [q] in [0,1]. *)
-let percentile h q =
-  match h.h_samples with
-  | [] -> 0.
-  | samples ->
-    let a = Array.of_list samples in
-    Array.sort Float.compare a;
-    let n = Array.length a in
-    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
-    a.(max 0 (min (n - 1) (rank - 1)))
+let percentile h q = Stat.percentile q h.h_samples
 
 let json_of_value = function
   | Counter n -> string_of_int n

@@ -4,8 +4,10 @@
     stages and exported as flat JSON — the numeric half of the
     observability layer ({!Obs} holds the tracing half). The registry
     is global and thread-safe (one mutex, coarse-grained: every
-    operation is O(1) and instrumentation sites record per-stage
-    aggregates, never per-element values, so contention is nil).
+    operation is O(1) and instrumentation sites record per-stage or
+    per-task values — never per-element in hot inner loops — so
+    contention is negligible; histogram memory is bounded by
+    {!max_samples} regardless).
 
     Metric names are stable dotted identifiers and, like {!Diag} error
     codes, part of the tool's observable interface — scripts and the
@@ -27,16 +29,25 @@
     visible even in runs that never enable tracing. *)
 
 type histogram = {
-  h_count : int;   (** number of observations *)
-  h_sum : float;
+  h_count : int;   (** number of observations (exact, uncapped) *)
+  h_sum : float;   (** exact sum of every observation *)
   h_min : float;
   h_max : float;
   h_samples : float list;
-      (** every observation, newest first — kept so the JSON export can
-          report exact nearest-rank percentiles. Instrumentation sites
-          observe per-stage aggregates (a handful of samples per run),
-          never per-element values, so retention is cheap. *)
+      (** the retained sample reservoir, in unspecified order. Up to
+          {!max_samples} observations every sample is retained and the
+          exported percentiles are exact; beyond the cap the reservoir
+          is a uniform random subset (Algorithm R, deterministic PRNG
+          seeded from the metric name) and percentiles become unbiased
+          estimates. The cap bounds memory, so even a misplaced
+          per-element [observe] in a hot loop cannot grow the registry
+          unboundedly. *)
 }
+
+val max_samples : int
+(** Reservoir capacity per histogram (1024). [h_count]/[h_sum]/
+    [h_min]/[h_max] stay exact past the cap; only the percentile
+    sample set is capped. *)
 
 type value =
   | Counter of int
@@ -81,16 +92,18 @@ val restore_counters : (string * int) list -> unit
     The registry renders as one flat object keyed by metric name:
     counters as integers, gauges as numbers, histograms as
     [{"count":n,"sum":s,"min":a,"max":b,"mean":m,"p50":…,"p90":…,"p99":…}]
-    where the percentiles are exact nearest-rank values over the
-    retained samples. *)
+    where the percentiles are nearest-rank values over the retained
+    reservoir — exact below {!max_samples} observations, a documented
+    estimate above it. *)
 
 val to_json : unit -> string
 
 val json_of_items : item list -> string
 
 val percentile : histogram -> float -> float
-(** [percentile h q] is the nearest-rank [q]-quantile ([q] in [0,1]) of
-    the histogram's samples; [0.] for an empty histogram. *)
+(** [percentile h q] is the nearest-rank [q]-quantile ([q] in [0,1],
+    {!Stat.percentile}) of the histogram's retained samples; [0.] for
+    an empty histogram. *)
 
 (** {2 JSON helpers shared with {!Obs}} *)
 

@@ -6,6 +6,15 @@ module Clock = struct
   let elapsed_s t0 = ns_to_s (Int64.sub (now_ns ()) t0)
 end
 
+type gc_delta = {
+  gd_minor_words : float;
+  gd_major_words : float;
+  gd_promoted_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+  gd_top_heap_words : int;
+}
+
 type span = {
   sp_id : int;
   sp_parent : int;
@@ -15,15 +24,27 @@ type span = {
   sp_attrs : (string * string) list;
   sp_start_ns : int64;
   sp_dur_ns : int64;
+  sp_gc : gc_delta option;
 }
 
 let on = Atomic.make false
 let set_enabled b = Atomic.set on b
 let enabled () = Atomic.get on
 
+(* GC telemetry is gated separately: Gc.quick_stat is cheap but not
+   free (it allocates a stat record per call), so per-span GC deltas
+   are opt-in on top of tracing (--profile-gc, the perf harness). *)
+let gc_on = Atomic.make false
+let set_gc_enabled b = Atomic.set gc_on b
+let gc_enabled () = Atomic.get gc_on
+
 let next_id = Atomic.make 0
 let lock = Mutex.create ()
 let sink : span list ref = ref []
+
+(* Time-stamped counter samples (Perfetto counter tracks): pool
+   occupancy, queue depth, heap watermark. Shares the sink mutex. *)
+let csink : (string * int64 * float) list ref = ref []
 
 (* Open spans of the current domain, innermost first: (id, depth). The
    nesting structure is domain-local; only the completed-span sink is
@@ -36,6 +57,41 @@ let record sp =
   sink := sp :: !sink;
   Mutex.unlock lock
 
+let sample name v =
+  if Atomic.get on then begin
+    let t = Clock.now_ns () in
+    Mutex.lock lock;
+    csink := (name, t, v) :: !csink;
+    Mutex.unlock lock
+  end
+
+let samples () =
+  Mutex.lock lock;
+  let l = !csink in
+  Mutex.unlock lock;
+  List.sort (fun (_, a, _) (_, b, _) -> Int64.compare a b) l
+
+(* Per-process GC totals under stable gc.* names — the flight
+   recorder's resource axis. quick_stat reads the calling domain's
+   allocation counters plus global heap numbers; under --jobs > 1 the
+   totals are therefore an approximation attributed to the driver
+   domain, which is fine for run-over-run comparison (the workload,
+   not the attribution, is what moves). *)
+let gc_totals () =
+  let s = Gc.quick_stat () in
+  [
+    "gc.minor_words", s.Gc.minor_words;
+    "gc.promoted_words", s.Gc.promoted_words;
+    "gc.major_words", s.Gc.major_words;
+    "gc.minor_collections", float_of_int s.Gc.minor_collections;
+    "gc.major_collections", float_of_int s.Gc.major_collections;
+    "gc.heap_words", float_of_int s.Gc.heap_words;
+    "gc.top_heap_words", float_of_int s.Gc.top_heap_words;
+  ]
+
+let record_gc_metrics () =
+  List.iter (fun (k, v) -> Metrics.set k v) (gc_totals ())
+
 let with_span ?(attrs = []) name f =
   if not (Atomic.get on) then f ()
   else begin
@@ -45,10 +101,30 @@ let with_span ?(attrs = []) name f =
       match !stack with [] -> -1, 0 | (p, d) :: _ -> p, d + 1
     in
     stack := (id, depth) :: !stack;
+    let g0 = if Atomic.get gc_on then Some (Gc.quick_stat ()) else None in
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let dur = Int64.sub (Clock.now_ns ()) t0 in
+        let gc =
+          match g0 with
+          | None -> None
+          | Some g0 ->
+            let g1 = Gc.quick_stat () in
+            sample "gc.heap_words" (float_of_int g1.Gc.heap_words);
+            Some
+              {
+                gd_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+                gd_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+                gd_promoted_words =
+                  g1.Gc.promoted_words -. g0.Gc.promoted_words;
+                gd_minor_collections =
+                  g1.Gc.minor_collections - g0.Gc.minor_collections;
+                gd_major_collections =
+                  g1.Gc.major_collections - g0.Gc.major_collections;
+                gd_top_heap_words = g1.Gc.top_heap_words;
+              }
+        in
         (match !stack with
         | (i, _) :: rest when i = id -> stack := rest
         | _ -> ());
@@ -62,6 +138,7 @@ let with_span ?(attrs = []) name f =
             sp_attrs = attrs;
             sp_start_ns = t0;
             sp_dur_ns = dur;
+            sp_gc = gc;
           })
       f
   end
@@ -101,6 +178,7 @@ let spans () =
 let reset () =
   Mutex.lock lock;
   sink := [];
+  csink := [];
   Mutex.unlock lock
 
 (* ------------------------------------------------------------------ *)
@@ -112,8 +190,20 @@ type node = {
   nd_depth : int;
   mutable nd_count : int;
   mutable nd_total_ns : int64;
+  mutable nd_minor_words : float;    (* summed per-span GC deltas *)
+  mutable nd_major_words : float;
+  mutable nd_minor_cols : int;
+  mutable nd_major_cols : int;
   mutable nd_children : string list; (* child path keys, reverse order *)
 }
+
+let add_gc n = function
+  | None -> ()
+  | Some g ->
+    n.nd_minor_words <- n.nd_minor_words +. g.gd_minor_words;
+    n.nd_major_words <- n.nd_major_words +. g.gd_major_words;
+    n.nd_minor_cols <- n.nd_minor_cols + g.gd_minor_collections;
+    n.nd_major_cols <- n.nd_major_cols + g.gd_major_collections
 
 let aggregate () =
   let ss = spans () in
@@ -134,16 +224,24 @@ let aggregate () =
       (match Hashtbl.find_opt nodes path with
       | Some n ->
         n.nd_count <- n.nd_count + 1;
-        n.nd_total_ns <- Int64.add n.nd_total_ns s.sp_dur_ns
+        n.nd_total_ns <- Int64.add n.nd_total_ns s.sp_dur_ns;
+        add_gc n s.sp_gc
       | None ->
-        Hashtbl.replace nodes path
+        let n =
           {
             nd_name = s.sp_name;
             nd_depth = s.sp_depth;
             nd_count = 1;
             nd_total_ns = s.sp_dur_ns;
+            nd_minor_words = 0.;
+            nd_major_words = 0.;
+            nd_minor_cols = 0;
+            nd_major_cols = 0;
             nd_children = [];
-          };
+          }
+        in
+        add_gc n s.sp_gc;
+        Hashtbl.replace nodes path n;
         (match parent_path with
         | None -> roots := path :: !roots
         | Some p -> (
@@ -168,20 +266,30 @@ let self_ns nodes n =
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
 
-let profile_tree () =
+let profile_tree ?(gc = false) () =
   let roots, nodes = aggregate () in
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    (Printf.sprintf "%-44s %8s %10s %10s\n" "span" "calls" "total(s)" "self(s)");
+    (Printf.sprintf "%-44s %8s %10s %10s" "span" "calls" "total(s)" "self(s)");
+  if gc then
+    Buffer.add_string b
+      (Printf.sprintf " %10s %7s %7s" "alloc(Mw)" "minGC" "majGC");
+  Buffer.add_char b '\n';
   let rec emit path =
     match Hashtbl.find_opt nodes path with
     | None -> ()
     | Some n ->
       let label = String.make (2 * n.nd_depth) ' ' ^ n.nd_name in
       Buffer.add_string b
-        (Printf.sprintf "%-44s %8d %10.4f %10.4f\n" label n.nd_count
+        (Printf.sprintf "%-44s %8d %10.4f %10.4f" label n.nd_count
            (Clock.ns_to_s n.nd_total_ns)
            (Clock.ns_to_s (self_ns nodes n)));
+      if gc then
+        Buffer.add_string b
+          (Printf.sprintf " %10.3f %7d %7d"
+             ((n.nd_minor_words +. n.nd_major_words) /. 1e6)
+             n.nd_minor_cols n.nd_major_cols);
+      Buffer.add_char b '\n';
       List.iter emit (List.rev n.nd_children)
   in
   List.iter emit roots;
@@ -189,8 +297,31 @@ let profile_tree () =
 
 let trace_event_json () =
   let ss = spans () in
-  let base = match ss with [] -> 0L | s :: _ -> s.sp_start_ns in
+  let cs = samples () in
+  let base =
+    match ss, cs with
+    | s :: _, (_, t, _) :: _ -> Int64.min s.sp_start_ns t
+    | s :: _, [] -> s.sp_start_ns
+    | [], (_, t, _) :: _ -> t
+    | [], [] -> 0L
+  in
   let us ns = Int64.to_float ns /. 1e3 in
+  (* Perfetto metadata: name the process, and label each span lane by
+     its OCaml domain id instead of a bare tid. *)
+  let tids =
+    List.sort_uniq compare (List.map (fun s -> s.sp_tid) ss)
+  in
+  let meta =
+    Printf.sprintf
+      {|{"name":"process_name","ph":"M","pid":0,"args":{"name":"modemerge"}}|}
+    :: List.map
+         (fun tid ->
+           Printf.sprintf
+             {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"domain %d%s"}}|}
+             tid tid
+             (if tid = 0 then " (driver)" else " (pool worker)"))
+         tids
+  in
   let event s =
     let args =
       match s.sp_attrs with
@@ -210,8 +341,19 @@ let trace_event_json () =
       (Metrics.json_float (us s.sp_dur_ns))
       s.sp_tid args
   in
+  (* Counter tracks ("ph":"C"): one series per sample name — pool
+     occupancy, queue depth, heap watermark — rendered by Perfetto as
+     counter lanes alongside the span lanes. *)
+  let counter (name, t, v) =
+    Printf.sprintf
+      {|{"name":"%s","cat":"modemerge","ph":"C","ts":%s,"pid":0,"args":{"value":%s}}|}
+      (Metrics.json_escape name)
+      (Metrics.json_float (us (Int64.sub t base)))
+      (Metrics.json_float v)
+  in
   Printf.sprintf {|{"traceEvents":[%s],"displayTimeUnit":"ms"}|}
-    (String.concat "," (List.map event ss))
+    (String.concat ","
+       (meta @ List.map event ss @ List.map counter cs))
 
 (* Per-name aggregates for the flat export: nodes of the same span name
    merged across paths. *)

@@ -24,6 +24,13 @@
     - [sdc.parse] / [sdc.resolve]
     - [sta.analyze] > [sta.propagate] | [sta.check]
 
+    On top of spans the module records two resource axes (the
+    "flight recorder", DESIGN.md §13): per-span {b GC deltas}
+    (allocation words, collection counts — opt-in via
+    {!set_gc_enabled} because [Gc.quick_stat] allocates) and
+    time-stamped {b counter samples} ({!sample} — pool occupancy,
+    queue depth, heap watermark) exported as Perfetto counter tracks.
+
     Three exporters: a human-readable profile tree
     ({!profile_tree}), Chrome [trace_event] JSON ({!trace_event_json},
     loadable in [chrome://tracing] or {{:https://ui.perfetto.dev}
@@ -49,6 +56,25 @@ end
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
+val set_gc_enabled : bool -> unit
+(** Enable per-span GC deltas ([sp_gc]) and [gc.heap_words] counter
+    samples at span close. Only meaningful together with
+    {!set_enabled}; off by default because [Gc.quick_stat] allocates a
+    record per call (two per span). *)
+
+val gc_enabled : unit -> bool
+
+type gc_delta = {
+  gd_minor_words : float;      (** words allocated in the minor heap *)
+  gd_major_words : float;      (** words allocated in the major heap *)
+  gd_promoted_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+  gd_top_heap_words : int;     (** heap watermark {e at span close} (absolute) *)
+}
+(** GC activity between a span's open and close, from two
+    [Gc.quick_stat] readings on the span's own domain. *)
+
 type span = {
   sp_id : int;          (** unique per process, in start order per domain *)
   sp_parent : int;      (** [sp_id] of the enclosing span, or -1 *)
@@ -58,6 +84,7 @@ type span = {
   sp_attrs : (string * string) list;
   sp_start_ns : int64;  (** {!Clock.now_ns} at open *)
   sp_dur_ns : int64;
+  sp_gc : gc_delta option;  (** present iff GC telemetry was enabled *)
 }
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
@@ -101,20 +128,66 @@ val spans : unit -> span list
 (** Completed spans in start order. Parents precede their children. *)
 
 val reset : unit -> unit
-(** Drop recorded spans (leaves the enabled flag and {!Metrics} alone). *)
+(** Drop recorded spans and counter samples (leaves the enabled flags
+    and {!Metrics} alone). *)
+
+(** {2 Counter samples}
+
+    Time-stamped [(name, value)] points on the same monotonic clock as
+    spans — a cheap series sampler for values that only make sense
+    against time (pool worker occupancy, queue depth, heap size).
+    Rendered as Perfetto counter tracks by {!trace_event_json}. *)
+
+val sample : string -> float -> unit
+(** Record one counter sample. No-op when recording is disabled, like
+    {!with_span}. *)
+
+val samples : unit -> (string * int64 * float) list
+(** Recorded counter samples in time order: [(name, t_ns, value)]. *)
+
+(** {2 GC totals}
+
+    Process-lifetime GC counters under stable [gc.*] names — the
+    whole-run view the per-span deltas decompose. Always available
+    (one [Gc.quick_stat] per call); under [--jobs > 1] allocation
+    words are attributed to the calling domain, so totals are a
+    driver-domain approximation — stable run-over-run, which is what
+    the regression gate compares. *)
+
+val gc_totals : unit -> (string * float) list
+(** [gc.minor_words], [gc.promoted_words], [gc.major_words],
+    [gc.minor_collections], [gc.major_collections], [gc.heap_words],
+    [gc.top_heap_words]. *)
+
+val record_gc_metrics : unit -> unit
+(** Publish {!gc_totals} as {!Metrics} gauges under the same names.
+    Pipeline drivers ([Merge_flow.drive], [Sta.analyze]) call this at
+    stage end so every metrics export carries the GC section. *)
 
 (** {2 Exporters} *)
 
-val profile_tree : unit -> string
+val profile_tree : ?gc:bool -> unit -> string
 (** Human-readable call tree: per node (one line per distinct span
     path) the call count, total and self wall time, children indented
-    under parents and ordered by first occurrence. *)
+    under parents and ordered by first occurrence. With [~gc:true]
+    (the [--profile-gc] view) three more columns per node: allocated
+    words in millions (minor + major, summed over the node's spans)
+    and minor/major collection counts — zeros unless the run had
+    {!set_gc_enabled}. *)
 
 val trace_event_json : unit -> string
 (** Chrome [trace_event] format: [{"traceEvents":[...]}] with one
-    complete ("ph":"X") event per span, microsecond timestamps
-    rebased to the earliest span. Open in [chrome://tracing] or
-    Perfetto. *)
+    complete ("ph":"X") event per span, microsecond timestamps rebased
+    to the earliest event. The stream opens with metadata ("ph":"M")
+    events — [process_name] and one [thread_name] per domain id — so
+    Perfetto labels each lane "domain N (driver/pool worker)" instead
+    of a bare tid, and ends with one counter ("ph":"C") event per
+    {!sample} recorded. Open in [chrome://tracing] or Perfetto. *)
+
+val span_summaries : unit -> (string * int * float * float) list
+(** Per-span-name aggregates merged across paths, sorted by name:
+    [(name, calls, total_s, self_s)]. The flat view behind
+    {!metrics_json} and the {!Runlog} history records. *)
 
 val metrics_json : unit -> string
 (** Flat machine-readable snapshot:

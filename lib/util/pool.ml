@@ -97,6 +97,28 @@ let run_task ~govern ~task_budget_s f x =
       Govern.check tok;
       f x)
 
+(* Live tasks across every pool — the occupancy series of the flight
+   recorder. Global, like the Obs sink the samples land in. *)
+let active = Atomic.make 0
+
+(* [run_task] plus the telemetry shell: per-task wall time into the
+   [pool.task_s] histogram, busy nanoseconds into the batch's occupancy
+   accumulator, and an active-worker sample at both edges (no-ops
+   unless tracing is on). Identical in the sequential and parallel
+   paths, so jobs=1 and jobs=N runs emit the same metric names. *)
+let run_task_instrumented ~govern ~task_budget_s ~busy_ns f x =
+  Obs.sample "pool.active_workers"
+    (float_of_int (Atomic.fetch_and_add active 1 + 1));
+  let t0 = Obs.Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Int64.sub (Obs.Clock.now_ns ()) t0 in
+      ignore (Atomic.fetch_and_add busy_ns (Int64.to_int dt));
+      Metrics.observe "pool.task_s" (Int64.to_float dt /. 1e9);
+      Obs.sample "pool.active_workers"
+        (float_of_int (Atomic.fetch_and_add active (-1) - 1)))
+    (fun () -> run_task ~govern ~task_budget_s f x)
+
 (* Re-raise the lowest-index crash — the exception a sequential
    left-to-right run would have hit first. *)
 let collect results =
@@ -114,11 +136,42 @@ let collect results =
          | Some (Govern.Interrupted _ | Govern.Crashed _) | None -> assert false)
        results)
 
+let observe_queue_depth ~n i =
+  let remaining = float_of_int (n - i - 1) in
+  Metrics.observe "pool.queue_depth" remaining;
+  Obs.sample "pool.queue_depth" remaining
+
 let outcome_array t ~govern ~task_budget_s f arr =
   let n = Array.length arr in
   Metrics.incr ~by:n "pool.tasks_executed";
-  if t.n_jobs = 1 || n <= 1 then
-    Array.map (fun x -> Some (run_task ~govern ~task_budget_s f x)) arr
+  Metrics.incr "pool.batches";
+  let busy_ns = Atomic.make 0 in
+  let batch_t0 = Obs.Clock.now_ns () in
+  (* Batch occupancy: summed task time over (wall × workers) — 1.0 is a
+     perfectly packed batch, low values mean workers starved on an
+     uneven tail. Clamped because task edges and the batch edge are
+     read from different clock calls. *)
+  let record_occupancy () =
+    if n > 0 then begin
+      let wall_s = Obs.Clock.elapsed_s batch_t0 in
+      let workers = float_of_int (max 1 (min t.n_jobs n)) in
+      if wall_s > 0. then
+        Metrics.observe "pool.occupancy"
+          (Float.min 1.
+             (float_of_int (Atomic.get busy_ns) /. 1e9 /. (wall_s *. workers)))
+    end
+  in
+  if t.n_jobs = 1 || n <= 1 then begin
+    let results =
+      Array.mapi
+        (fun i x ->
+          observe_queue_depth ~n i;
+          Some (run_task_instrumented ~govern ~task_budget_s ~busy_ns f x))
+        arr
+    in
+    record_occupancy ();
+    results
+  end
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
@@ -130,6 +183,7 @@ let outcome_array t ~govern ~task_budget_s f arr =
       let i = Atomic.fetch_and_add cursor 1 in
       if i >= n then false
       else begin
+        observe_queue_depth ~n i;
         (* Worker-side cancellation checkpoint: once the batch token
            has expired, remaining tasks are marked interrupted without
            running, so an exhausted budget drains the batch instead of
@@ -140,7 +194,7 @@ let outcome_array t ~govern ~task_budget_s f arr =
           | None ->
             Govern.outcome_map
               (fun v -> v)
-              (run_task ~govern ~task_budget_s
+              (run_task_instrumented ~govern ~task_budget_s ~busy_ns
                  (fun x -> Obs.with_context ctx (fun () -> f x))
                  arr.(i))
         in
@@ -166,6 +220,7 @@ let outcome_array t ~govern ~task_budget_s f arr =
     done;
     t.current <- None;
     Mutex.unlock t.mutex;
+    record_occupancy ();
     results
   end
 
@@ -182,3 +237,48 @@ let map t f xs = map_array t f (Array.of_list xs)
 
 let map_reduce t ~map:f ~fold ~init xs =
   List.fold_left fold init (map t f xs)
+
+(* ------------------------------------------------------------------ *)
+(* Utilization report: the pool.* slice of the metrics registry,
+   rendered for the profile footer. Reads the registry rather than
+   pool-local state so it covers every pool the run created. *)
+
+let utilization_report () =
+  let counter name =
+    match Metrics.get name with Some (Metrics.Counter n) -> n | _ -> 0
+  in
+  let hist name =
+    match Metrics.get name with
+    | Some (Metrics.Histogram h) when h.Metrics.h_count > 0 -> Some h
+    | _ -> None
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "pool utilization\n";
+  Buffer.add_string b
+    (Printf.sprintf "  batches          %d\n" (counter "pool.batches"));
+  Buffer.add_string b
+    (Printf.sprintf "  tasks executed   %d\n" (counter "pool.tasks_executed"));
+  (match hist "pool.task_s" with
+  | Some h ->
+    Buffer.add_string b
+      (Printf.sprintf "  task time (s)    p50 %.6f  p90 %.6f  max %.6f\n"
+         (Metrics.percentile h 0.50)
+         (Metrics.percentile h 0.90)
+         h.Metrics.h_max)
+  | None -> ());
+  (match hist "pool.queue_depth" with
+  | Some h ->
+    Buffer.add_string b
+      (Printf.sprintf "  queue depth      p50 %.0f  p90 %.0f  max %.0f\n"
+         (Metrics.percentile h 0.50)
+         (Metrics.percentile h 0.90)
+         h.Metrics.h_max)
+  | None -> ());
+  (match hist "pool.occupancy" with
+  | Some h ->
+    Buffer.add_string b
+      (Printf.sprintf "  occupancy        mean %.2f  min %.2f  max %.2f\n"
+         (h.Metrics.h_sum /. float_of_int h.Metrics.h_count)
+         h.Metrics.h_min h.Metrics.h_max)
+  | None -> ());
+  Buffer.contents b

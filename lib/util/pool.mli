@@ -17,8 +17,16 @@
       sequential left-to-right run would have surfaced first.
     - At [jobs = 1] no domain is ever spawned and every task runs
       inline on the calling domain — the graceful sequential fallback.
-    - Each executed task increments the [pool.tasks_executed] counter
-      ({!Metrics}), identically in the sequential and parallel paths.
+    - Every batch feeds the pool telemetry ({!Metrics}, identically in
+      the sequential and parallel paths): the [pool.tasks_executed] and
+      [pool.batches] counters, the [pool.task_s] per-task wall-time
+      histogram, the [pool.queue_depth] histogram (unclaimed tasks at
+      each claim), and the [pool.occupancy] histogram (per batch,
+      summed task time over wall time × workers — 1.0 is a perfectly
+      packed batch). When {!Obs} tracing is on, the pool additionally
+      samples [pool.active_workers] and [pool.queue_depth] as
+      time-stamped counter tracks ({!Obs.sample}) for the Perfetto
+      timeline.
     - The {!Obs} span context open at the {!map} call is re-installed
       around every task body, so spans recorded inside tasks — even on
       worker domains — attach to the dispatching span rather than
@@ -90,3 +98,10 @@ val map_reduce :
     {e in input order}: [fold (... (fold init (map x0))) (map xn)].
     The fold itself runs on the calling domain, so it may touch
     non-domain-safe state. *)
+
+val utilization_report : unit -> string
+(** Human-readable summary of the [pool.*] slice of the {!Metrics}
+    registry — batch/task counts, task-time and queue-depth
+    percentiles, per-batch occupancy. Covers every pool the run
+    created (the registry is global); printed by [--profile] runs
+    after the span tree. *)

@@ -1,0 +1,559 @@
+(* Run history and the statistical regression gate (DESIGN.md §13).
+   Self-contained on purpose: records are JSONL with a hand-rolled
+   writer and a minimal recursive-descent reader, so the history
+   format has no dependency the rest of the tool doesn't already
+   carry. *)
+
+let schema_version = "modemerge-runlog/1"
+let default_dir = Filename.concat ".modemerge" "history"
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader — just enough for our own writer's output, but
+   tolerant of field order and unknown fields so schema growth stays
+   backward-readable. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' ->
+          incr pos;
+          Buffer.contents b
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !pos + 4 >= n then fail "bad \\u escape";
+            (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+            | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+            | Some _ -> Buffer.add_char b '?' (* metric names are ASCII *)
+            | None -> fail "bad \\u escape");
+            pos := !pos + 4
+          | _ -> fail "bad escape");
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ()
+          | Some '}' -> incr pos
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elems () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elems ()
+          | Some ']' -> incr pos
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems ();
+        Arr (List.rev !items)
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_num = function Num f -> Some f | _ -> None
+let to_int j = Option.map int_of_float (to_num j)
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+
+type span_sum = {
+  ss_name : string;
+  ss_calls : int;
+  ss_total_s : float;
+  ss_self_s : float;
+}
+
+type record = {
+  r_schema : string;
+  r_label : string;
+  r_ts : float;
+  r_git_rev : string;
+  r_jobs : int;
+  r_spans : span_sum list;
+  r_counters : (string * int) list;
+  r_gauges : (string * float) list;
+  r_gc : (string * float) list;
+}
+
+let git_rev () =
+  let read_first_line path =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (String.trim (input_line ic)))
+    with _ -> None
+  in
+  let rec find_root dir depth =
+    if depth > 10 then None
+    else if Sys.file_exists (Filename.concat dir ".git/HEAD") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_root parent (depth + 1)
+  in
+  match (try find_root (Sys.getcwd ()) 0 with _ -> None) with
+  | None -> "unknown"
+  | Some root -> (
+    match read_first_line (Filename.concat root ".git/HEAD") with
+    | Some line when String.length line > 5 && String.sub line 0 5 = "ref: "
+      -> (
+      let ref_path =
+        Filename.concat root
+          (Filename.concat ".git" (String.sub line 5 (String.length line - 5)))
+      in
+      match read_first_line ref_path with
+      | Some rev when rev <> "" -> rev
+      | Some _ | None -> "unknown")
+    | Some rev when rev <> "" -> rev
+    | Some _ | None -> "unknown")
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let capture ~label ~jobs () =
+  let spans =
+    List.map
+      (fun (name, calls, total_s, self_s) ->
+        { ss_name = name; ss_calls = calls; ss_total_s = total_s; ss_self_s = self_s })
+      (Obs.span_summaries ())
+  in
+  let gauges =
+    (* gc.* gauges live in the dedicated gc section, not here. *)
+    List.filter_map
+      (fun (i : Metrics.item) ->
+        match i.Metrics.value with
+        | Metrics.Gauge g when not (starts_with ~prefix:"gc." i.Metrics.name) ->
+          Some (i.Metrics.name, g)
+        | _ -> None)
+      (Metrics.snapshot ())
+  in
+  {
+    r_schema = schema_version;
+    r_label = label;
+    r_ts = Unix.gettimeofday ();
+    r_git_rev = git_rev ();
+    r_jobs = jobs;
+    r_spans = spans;
+    r_counters = Metrics.counters ();
+    r_gauges = gauges;
+    r_gc = Obs.gc_totals ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip                                                    *)
+
+let to_json r =
+  let esc = Metrics.json_escape in
+  (* Unlike the display-oriented Metrics.json_float (9 significant
+     digits), history values must survive the round-trip exactly:
+     epoch timestamps already need 11 digits for sub-second
+     precision. Shortest representation that parses back equal. *)
+  let fl x =
+    if not (Float.is_finite x) then "0"
+    else
+      let s = Printf.sprintf "%.15g" x in
+      if float_of_string s = x then s else Printf.sprintf "%.17g" x
+  in
+  let span ss =
+    Printf.sprintf {|"%s":{"calls":%d,"total_s":%s,"self_s":%s}|}
+      (esc ss.ss_name) ss.ss_calls (fl ss.ss_total_s) (fl ss.ss_self_s)
+  in
+  let int_field (k, v) = Printf.sprintf {|"%s":%d|} (esc k) v in
+  let num_field (k, v) = Printf.sprintf {|"%s":%s|} (esc k) (fl v) in
+  Printf.sprintf
+    {|{"schema":"%s","label":"%s","ts":%s,"git_rev":"%s","jobs":%d,"spans":{%s},"counters":{%s},"gauges":{%s},"gc":{%s}}|}
+    (esc r.r_schema) (esc r.r_label) (fl r.r_ts) (esc r.r_git_rev) r.r_jobs
+    (String.concat "," (List.map span r.r_spans))
+    (String.concat "," (List.map int_field r.r_counters))
+    (String.concat "," (List.map num_field r.r_gauges))
+    (String.concat "," (List.map num_field r.r_gc))
+
+let of_json_string line =
+  match parse_json line with
+  | exception Parse_error _ -> None
+  | j ->
+    let str k d = Option.value ~default:d (Option.bind (member k j) to_str) in
+    let num k d = Option.value ~default:d (Option.bind (member k j) to_num) in
+    let int k d = Option.value ~default:d (Option.bind (member k j) to_int) in
+    let obj_fields k =
+      match member k j with Some (Obj fields) -> fields | _ -> []
+    in
+    let spans =
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Obj _ ->
+            Some
+              {
+                ss_name = name;
+                ss_calls =
+                  Option.value ~default:0 (Option.bind (member "calls" v) to_int);
+                ss_total_s =
+                  Option.value ~default:0.
+                    (Option.bind (member "total_s" v) to_num);
+                ss_self_s =
+                  Option.value ~default:0.
+                    (Option.bind (member "self_s" v) to_num);
+              }
+          | _ -> None)
+        (obj_fields "spans")
+    in
+    let nums k =
+      List.filter_map
+        (fun (name, v) -> Option.map (fun f -> name, f) (to_num v))
+        (obj_fields k)
+    in
+    let counters =
+      List.filter_map
+        (fun (name, v) -> Option.map (fun i -> name, i) (to_int v))
+        (obj_fields "counters")
+    in
+    if member "schema" j = None then None
+    else
+      Some
+        {
+          r_schema = str "schema" "";
+          r_label = str "label" "";
+          r_ts = num "ts" 0.;
+          r_git_rev = str "git_rev" "unknown";
+          r_jobs = int "jobs" 1;
+          r_spans = spans;
+          r_counters = counters;
+          r_gauges = nums "gauges";
+          r_gc = nums "gc";
+        }
+
+(* ------------------------------------------------------------------ *)
+(* History files                                                       *)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let history_file ~dir ~label = Filename.concat dir (label ^ ".jsonl")
+
+let append ?(dir = default_dir) r =
+  mkdir_p dir;
+  let path = history_file ~dir ~label:r.r_label in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_json r);
+      output_char oc '\n');
+  path
+
+let load ?(dir = default_dir) ~label () =
+  let path = history_file ~dir ~label in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> (
+            match String.trim line with
+            | "" -> go acc
+            | line -> (
+              (* Skip damaged or foreign-schema lines instead of
+                 failing the run: history is advisory. *)
+              match of_json_string line with
+              | Some r when r.r_schema = schema_version -> go (r :: acc)
+              | Some _ | None -> go acc))
+        in
+        go [])
+  end
+
+let last n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+
+type status = Regression | Improvement | Ok | Noisy | New | TooSmall
+
+type verdict = {
+  v_name : string;
+  v_status : status;
+  v_current_s : float;
+  v_mean_s : float;
+  v_ci_s : float;
+  v_cv : float;
+  v_n_base : int;
+}
+
+type check_config = {
+  threshold_pct : float;
+  min_self_s : float;
+  max_cv : float;
+  window : int;
+}
+
+let default_config =
+  { threshold_pct = 10.; min_self_s = 0.01; max_cv = 1.0; window = 10 }
+
+let status_label = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Ok -> "ok"
+  | Noisy -> "noisy"
+  | New -> "new"
+  | TooSmall -> "too-small"
+
+let check ?(config = default_config) ~baselines current =
+  let base_self name =
+    List.filter_map
+      (fun r ->
+        Option.map
+          (fun ss -> ss.ss_self_s)
+          (List.find_opt (fun ss -> ss.ss_name = name) r.r_spans))
+      baselines
+  in
+  List.map
+    (fun ss ->
+      let cur = ss.ss_self_s in
+      let base = base_self ss.ss_name in
+      let nb = List.length base in
+      if nb = 0 then
+        {
+          v_name = ss.ss_name;
+          v_status = New;
+          v_current_s = cur;
+          v_mean_s = 0.;
+          v_ci_s = 0.;
+          v_cv = 0.;
+          v_n_base = 0;
+        }
+      else begin
+        let m = Stat.mean base in
+        let ci = Stat.ci95_halfwidth base in
+        (* The CI alone underestimates the noise of a short window
+           (1.96 is the asymptotic z, not a small-n t-quantile), so the
+           band also covers the observed baseline envelope: a value no
+           worse than a previously recorded baseline never flags. *)
+        let bmax = List.fold_left Float.max Float.neg_infinity base in
+        let bmin = List.fold_left Float.min Float.infinity base in
+        let up_band = Float.max ci (bmax -. m) in
+        let dn_band = Float.max ci (m -. bmin) in
+        let cv = if m > 0. then Stat.stddev base /. m else 0. in
+        let min_s = config.min_self_s in
+        let thr = config.threshold_pct /. 100. in
+        let status =
+          if cur < min_s && m < min_s then
+            (* Both sides under the absolute floor: micro-spans whose
+               relative jitter is pure noise. *)
+            TooSmall
+          else if cur > (m *. (1. +. thr)) +. up_band && cur -. m > min_s then
+            if cv <= config.max_cv then Regression
+            else if cur > (2. *. (m +. up_band)) +. min_s then
+              (* Unstable baseline, but the current run is beyond even
+                 double the noise band — a 2x slowdown must not hide
+                 behind its own noise. *)
+              Regression
+            else Noisy
+          else if cur < (m *. (1. -. thr)) -. dn_band && m -. cur > min_s then
+            if cv <= config.max_cv then Improvement else Ok
+          else Ok
+        in
+        {
+          v_name = ss.ss_name;
+          v_status = status;
+          v_current_s = cur;
+          v_mean_s = m;
+          v_ci_s = ci;
+          v_cv = cv;
+          v_n_base = nb;
+        }
+      end)
+    current.r_spans
+
+let has_regression vs = List.exists (fun v -> v.v_status = Regression) vs
+
+let delta_pct v =
+  if v.v_mean_s > 0. then
+    100. *. (v.v_current_s -. v.v_mean_s) /. v.v_mean_s
+  else 0.
+
+let check_report vs =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%-36s %10s %10s %9s %5s  %s\n" "span" "self(s)"
+       "base(s)" "ci95" "n" "status");
+  List.iter
+    (fun v ->
+      let trail =
+        match v.v_status with
+        | New -> "new"
+        | TooSmall -> "too-small"
+        | s ->
+          Printf.sprintf "%s (%+.1f%%)" (status_label s) (delta_pct v)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%-36s %10.4f %10.4f %9.4f %5d  %s\n" v.v_name
+           v.v_current_s v.v_mean_s v.v_ci_s v.v_n_base trail))
+    vs;
+  Buffer.contents b
+
+let diff_report older newer =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "run %s (jobs=%d) -> %s (jobs=%d)\n" older.r_git_rev
+       older.r_jobs newer.r_git_rev newer.r_jobs);
+  Buffer.add_string b
+    (Printf.sprintf "%-36s %10s %10s %9s\n" "span" "old self(s)" "new self(s)"
+       "delta");
+  List.iter
+    (fun ss ->
+      let old_self =
+        Option.map
+          (fun o -> o.ss_self_s)
+          (List.find_opt (fun o -> o.ss_name = ss.ss_name) older.r_spans)
+      in
+      match old_self with
+      | None ->
+        Buffer.add_string b
+          (Printf.sprintf "%-36s %10s %10.4f %9s\n" ss.ss_name "-" ss.ss_self_s
+             "new")
+      | Some o ->
+        let delta =
+          if o > 0. then Printf.sprintf "%+.1f%%" (100. *. (ss.ss_self_s -. o) /. o)
+          else "-"
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%-36s %10.4f %10.4f %9s\n" ss.ss_name o ss.ss_self_s
+             delta))
+    newer.r_spans;
+  let gc_val r k = Option.value ~default:0. (List.assoc_opt k r.r_gc) in
+  let old_alloc = gc_val older "gc.minor_words" +. gc_val older "gc.major_words" in
+  let new_alloc = gc_val newer "gc.minor_words" +. gc_val newer "gc.major_words" in
+  if old_alloc > 0. || new_alloc > 0. then
+    Buffer.add_string b
+      (Printf.sprintf "%-36s %10.3f %10.3f %9s\n" "gc allocated (Mwords)"
+         (old_alloc /. 1e6) (new_alloc /. 1e6)
+         (if old_alloc > 0. then
+            Printf.sprintf "%+.1f%%" (100. *. (new_alloc -. old_alloc) /. old_alloc)
+          else "-"));
+  Buffer.contents b

@@ -149,6 +149,132 @@ let metrics_cases =
         check Alcotest.string "escape" {|a\"b\\c|} (Metrics.json_escape {|a"b\c|});
         check Alcotest.string "nan is 0" "0" (Metrics.json_float Float.nan);
         check Alcotest.string "inf is 0" "0" (Metrics.json_float Float.infinity));
+    tc "histogram reservoir caps retention, not the aggregates" (fun () ->
+        Metrics.reset ();
+        let n = (3 * Metrics.max_samples) + 7 in
+        for i = 1 to n do
+          Metrics.observe "r" (float_of_int i)
+        done;
+        match Metrics.get "r" with
+        | Some (Metrics.Histogram h) ->
+          (* count/sum/min/max stay exact past the cap... *)
+          check Alcotest.int "count exact" n h.Metrics.h_count;
+          check (Alcotest.float 1e-3) "sum exact"
+            (float_of_int (n * (n + 1) / 2))
+            h.Metrics.h_sum;
+          check (Alcotest.float 1e-9) "min exact" 1. h.Metrics.h_min;
+          check (Alcotest.float 1e-9) "max exact" (float_of_int n)
+            h.Metrics.h_max;
+          (* ...while the sample reservoir is bounded and every
+             retained sample is a real observation. *)
+          check Alcotest.int "reservoir at capacity" Metrics.max_samples
+            (List.length h.Metrics.h_samples);
+          check Alcotest.bool "retained values are observations" true
+            (List.for_all
+               (fun s -> s >= 1. && s <= float_of_int n && Float.is_integer s)
+               h.Metrics.h_samples);
+          (* Algorithm R keeps the reservoir an unbiased sample, so the
+             median estimate must land well inside the range (a
+             keep-first-k policy would report ~max_samples/2). *)
+          let p50 = Metrics.percentile h 0.5 in
+          check Alcotest.bool "p50 is an estimate near the middle" true
+            (p50 > float_of_int n *. 0.25 && p50 < float_of_int n *. 0.75)
+        | _ -> Alcotest.fail "expected histogram");
+    tc "histogram under the cap retains everything" (fun () ->
+        Metrics.reset ();
+        for i = 1 to 100 do
+          Metrics.observe "small" (float_of_int i)
+        done;
+        match Metrics.get "small" with
+        | Some (Metrics.Histogram h) ->
+          check Alcotest.int "all samples retained" 100
+            (List.length h.Metrics.h_samples);
+          (* Below the cap percentiles are exact nearest-rank. *)
+          check (Alcotest.float 1e-9) "exact p50" 50.
+            (Metrics.percentile h 0.5);
+          check (Alcotest.float 1e-9) "exact p99" 99.
+            (Metrics.percentile h 0.99)
+        | _ -> Alcotest.fail "expected histogram");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* GC telemetry and counter samples                                    *)
+
+let gc_cases =
+  [
+    tc "spans carry GC deltas only when enabled" (fun () ->
+        fresh ();
+        Obs.with_span "plain" (fun () -> ());
+        Obs.set_gc_enabled true;
+        Obs.with_span "traced" (fun () ->
+            (* Allocate enough to guarantee minor-heap traffic. *)
+            ignore (Sys.opaque_identity (Array.init 4096 string_of_int)));
+        Obs.set_gc_enabled false;
+        Obs.set_enabled false;
+        let by_name n = List.find (fun s -> s.Obs.sp_name = n) (Obs.spans ()) in
+        check Alcotest.bool "disabled span has no delta" true
+          ((by_name "plain").Obs.sp_gc = None);
+        match (by_name "traced").Obs.sp_gc with
+        | None -> Alcotest.fail "enabled span lost its GC delta"
+        | Some g ->
+          check Alcotest.bool "allocated minor words" true
+            (g.Obs.gd_minor_words > 0.);
+          check Alcotest.bool "deltas non-negative" true
+            (g.Obs.gd_major_words >= 0.
+            && g.Obs.gd_promoted_words >= 0.
+            && g.Obs.gd_minor_collections >= 0
+            && g.Obs.gd_major_collections >= 0);
+          check Alcotest.bool "watermark is a live heap size" true
+            (g.Obs.gd_top_heap_words > 0));
+    tc "gc_totals exposes the seven gc.* gauges" (fun () ->
+        let totals = Obs.gc_totals () in
+        check
+          (Alcotest.list Alcotest.string)
+          "names"
+          [
+            "gc.minor_words"; "gc.promoted_words"; "gc.major_words";
+            "gc.minor_collections"; "gc.major_collections"; "gc.heap_words";
+            "gc.top_heap_words";
+          ]
+          (List.map fst totals);
+        check Alcotest.bool "process totals are positive" true
+          (List.assoc "gc.minor_words" totals > 0.
+          && List.assoc "gc.heap_words" totals > 0.));
+    tc "record_gc_metrics lands in the registry" (fun () ->
+        Metrics.reset ();
+        Obs.record_gc_metrics ();
+        match Metrics.get "gc.minor_words" with
+        | Some (Metrics.Gauge v) ->
+          check Alcotest.bool "gauge positive" true (v > 0.)
+        | _ -> Alcotest.fail "gc.minor_words gauge missing");
+    tc "samples are gated and time-ordered" (fun () ->
+        Obs.reset ();
+        Obs.set_enabled false;
+        Obs.sample "track" 1.;
+        check Alcotest.int "disabled sample dropped" 0
+          (List.length (Obs.samples ()));
+        Obs.set_enabled true;
+        Obs.sample "track" 1.;
+        Obs.sample "track" 2.;
+        Obs.set_enabled false;
+        match Obs.samples () with
+        | [ (n1, t1, v1); (n2, t2, v2) ] ->
+          check Alcotest.string "name" "track" n1;
+          check Alcotest.string "name" "track" n2;
+          check (Alcotest.float 1e-9) "first value" 1. v1;
+          check (Alcotest.float 1e-9) "second value" 2. v2;
+          check Alcotest.bool "time order" true (Int64.compare t1 t2 <= 0)
+        | ss -> Alcotest.failf "expected two samples, got %d" (List.length ss));
+    tc "GC telemetry emits a gc.heap_words track at span close" (fun () ->
+        fresh ();
+        Obs.set_gc_enabled true;
+        Obs.with_span "s" (fun () -> ());
+        Obs.set_gc_enabled false;
+        Obs.set_enabled false;
+        check Alcotest.bool "heap track sampled" true
+          (List.exists
+             (fun (n, _, v) -> n = "gc.heap_words" && v > 0.)
+             (Obs.samples ())));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -192,6 +318,75 @@ let exporter_cases =
           (contains ~needle:{|"x.count":3|} out);
         check Alcotest.bool "span summary" true
           (contains ~needle:{|"sp":{"calls":1|} out));
+    tc "trace opens with process/thread metadata" (fun () ->
+        fresh ();
+        Obs.with_span "ev" (fun () -> ());
+        Obs.set_enabled false;
+        let out = Obs.trace_event_json () in
+        check Alcotest.bool "metadata phase" true
+          (contains ~needle:{|"ph":"M"|} out);
+        check Alcotest.bool "process name" true
+          (contains ~needle:{|"name":"process_name"|} out
+          && contains ~needle:{|"name":"modemerge"|} out);
+        check Alcotest.bool "thread name labels the driver domain" true
+          (contains ~needle:{|"name":"thread_name"|} out
+          && contains ~needle:"(driver)" out);
+        (* Metadata must precede the first duration event so Perfetto
+           applies the labels to every lane. *)
+        let idx needle =
+          let nl = String.length needle in
+          let rec go i =
+            if i + nl > String.length out then Alcotest.failf "missing %s" needle
+            else if String.sub out i nl = needle then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        check Alcotest.bool "metadata first" true
+          (idx {|"ph":"M"|} < idx {|"ph":"X"|}));
+    tc "counter samples export as Perfetto counter events" (fun () ->
+        fresh ();
+        Obs.with_span "ev" (fun () -> Obs.sample "my.track" 3.5);
+        Obs.set_enabled false;
+        let out = Obs.trace_event_json () in
+        check Alcotest.bool "counter phase" true
+          (contains ~needle:{|"ph":"C"|} out);
+        check Alcotest.bool "track named" true
+          (contains ~needle:{|"name":"my.track"|} out);
+        check Alcotest.bool "value in args" true
+          (contains ~needle:{|"value":3.5|} out));
+    tc "profile tree gains GC columns only with ~gc" (fun () ->
+        fresh ();
+        Obs.set_gc_enabled true;
+        Obs.with_span "alloc" (fun () ->
+            ignore (Sys.opaque_identity (List.init 2048 string_of_int)));
+        Obs.set_gc_enabled false;
+        Obs.set_enabled false;
+        let plain = Obs.profile_tree () in
+        let gc = Obs.profile_tree ~gc:true () in
+        check Alcotest.bool "plain has no alloc column" false
+          (contains ~needle:"alloc(Mw)" plain);
+        check Alcotest.bool "gc adds alloc column" true
+          (contains ~needle:"alloc(Mw)" gc);
+        check Alcotest.bool "gc adds collection columns" true
+          (contains ~needle:"minGC" gc && contains ~needle:"majGC" gc));
+    tc "span_summaries aggregates by name" (fun () ->
+        fresh ();
+        Obs.with_span "b" (fun () -> Obs.with_span "a" (fun () -> ()));
+        Obs.with_span "a" (fun () -> ());
+        Obs.set_enabled false;
+        match Obs.span_summaries () with
+        | [ ("a", calls_a, total_a, self_a); ("b", calls_b, total_b, self_b) ]
+          ->
+          check Alcotest.int "a calls merged" 2 calls_a;
+          check Alcotest.int "b calls" 1 calls_b;
+          check Alcotest.bool "totals non-negative" true
+            (total_a >= 0. && total_b >= 0.);
+          check Alcotest.bool "self within total" true
+            (self_a <= total_a +. 1e-9 && self_b <= total_b +. 1e-9)
+        | ss ->
+          Alcotest.failf "expected summaries [a; b], got %d rows"
+            (List.length ss));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -255,6 +450,51 @@ let integration_cases =
         | _ -> Alcotest.fail "merge.jobs gauge missing");
         check Alcotest.bool "pool.tasks_executed counted" true
           (Metrics.get_counter "pool.tasks_executed" > 0));
+    tc "pool telemetry names are stable at any jobs" (fun () ->
+        (* pool.batches / pool.task_s / pool.queue_depth /
+           pool.occupancy join the stable-name contract; the sequential
+           and parallel paths must emit the identical set. *)
+        let run jobs =
+          Metrics.reset ();
+          Obs.reset ();
+          Obs.set_enabled true;
+          Mm_util.Pool.with_pool ~jobs (fun p ->
+              ignore (Mm_util.Pool.map p (fun x -> x * x) (List.init 8 Fun.id)));
+          Obs.set_enabled false
+        in
+        List.iter
+          (fun jobs ->
+            run jobs;
+            let where n = Printf.sprintf "%s at jobs=%d" n jobs in
+            check Alcotest.int (where "pool.batches") 1
+              (Metrics.get_counter "pool.batches");
+            check Alcotest.int (where "pool.tasks_executed") 8
+              (Metrics.get_counter "pool.tasks_executed");
+            List.iter
+              (fun n ->
+                match Metrics.get n with
+                | Some (Metrics.Histogram h) ->
+                  check Alcotest.int (where n) 8 h.Metrics.h_count
+                | _ -> Alcotest.failf "%s missing" (where n))
+              [ "pool.task_s"; "pool.queue_depth" ];
+            (match Metrics.get "pool.occupancy" with
+            | Some (Metrics.Histogram h) ->
+              check Alcotest.int (where "pool.occupancy") 1 h.Metrics.h_count;
+              check Alcotest.bool "occupancy within [0,1]" true
+                (h.Metrics.h_max <= 1.0 && h.Metrics.h_min >= 0.)
+            | _ -> Alcotest.fail "pool.occupancy missing");
+            (* The live-worker counter track is sampled up and down
+               around every task. *)
+            check Alcotest.bool (where "pool.active_workers track") true
+              (List.exists
+                 (fun (n, _, _) -> n = "pool.active_workers")
+                 (Obs.samples ())))
+          [ 1; 4 ];
+        let report = Mm_util.Pool.utilization_report () in
+        check Alcotest.bool "utilization report renders" true
+          (contains ~needle:"occupancy" report
+          && contains ~needle:"tasks" report);
+        Metrics.reset ());
   ]
 
 let () =
@@ -262,6 +502,7 @@ let () =
     [
       "span", span_cases;
       "metrics", metrics_cases;
+      "gc", gc_cases;
       "exporter", exporter_cases;
       "integration", integration_cases;
     ]

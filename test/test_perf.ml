@@ -1,0 +1,262 @@
+(* @perf-smoke: subprocess golden runs of the performance flight
+   recorder CLI (`modemerge perf record/diff/check`, DESIGN.md §13).
+
+   The modemerge binary (path in the MODEMERGE env var, wired by the
+   dune @perf-smoke rule) records runs into a scratch history
+   directory; the suite then validates the JSONL schema line by line
+   with Mm_util.Runlog's own parser and golden-tests the regression
+   gate's exit codes in all three directions:
+
+   - identical reruns pass (exit 0) at jobs=1 and jobs=4,
+   - an injected MM_CHAOS task delay flags a regression (exit 1),
+   - a missing baseline is a fatal usage error (exit 2), including
+     when history exists but only at a different job count (span
+     self-times are not comparable across concurrency levels).
+
+   Thresholds are relaxed above the 10% default because CI containers
+   may expose a single core: jobs=4 oversubscribes it and run-to-run
+   span jitter can exceed 2x, while the chaos delay (150ms per pool
+   task) inflates the workload's span self-times by well over 10x —
+   so the pass/fail margins stay far apart even on a noisy box. *)
+
+module Runlog = Mm_util.Runlog
+
+let () = Printexc.record_backtrace true
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Scratch tree + subprocess helpers (same idiom as test_chaos.ml).    *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch_root =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_perf_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  at_exit (fun () -> rm_rf dir);
+  dir
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let nonempty_lines path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let modemerge =
+  lazy
+    (match Sys.getenv_opt "MODEMERGE" with
+    | Some p when p <> "" -> p
+    | _ ->
+      Alcotest.fail
+        "MODEMERGE not set: run this suite via `dune build @perf-smoke`, \
+         which wires in the modemerge binary")
+
+let sh fmt =
+  Printf.ksprintf
+    (fun cmd ->
+      match Sys.command cmd with
+      | n -> n
+      | exception Sys_error e -> Alcotest.failf "command failed to run: %s" e)
+    fmt
+
+(* Run one `modemerge perf` subcommand, capturing stdout+stderr to a
+   log file; returns (exit code, combined output). [env] is a raw
+   VAR=value prefix for the shell (chaos injection). *)
+let perf ?(env = "") args =
+  let log = Filename.concat scratch_root "cmd.log" in
+  let rc =
+    sh "%s %s perf %s > %s 2>&1" env
+      (Filename.quote (Lazy.force modemerge))
+      args (Filename.quote log)
+  in
+  (rc, read_file log)
+
+let hist = Filename.concat scratch_root "history"
+let hist_q = Filename.quote hist
+let perf_jsonl = Filename.concat hist "perf.jsonl"
+
+(* ------------------------------------------------------------------ *)
+(* record: four baseline runs, two per job count                       *)
+
+let test_record () =
+  List.iter
+    (fun jobs ->
+      for i = 1 to 2 do
+        let rc, out =
+          perf (Printf.sprintf "record --jobs %d --repeat 1 --history-dir %s"
+                  jobs hist_q)
+        in
+        if rc <> 0 then
+          Alcotest.failf "record #%d at jobs=%d exited %d:\n%s" i jobs rc out;
+        check Alcotest.bool
+          (Printf.sprintf "record #%d at jobs=%d reports the path" i jobs)
+          true
+          (contains ~needle:"recorded run" out
+          && contains ~needle:"perf.jsonl" out)
+      done)
+    [ 1; 4 ]
+
+let test_schema () =
+  let lines = nonempty_lines perf_jsonl in
+  check Alcotest.int "four history lines" 4 (List.length lines);
+  List.iteri
+    (fun i line ->
+      let where = Printf.sprintf "line %d" (i + 1) in
+      (* Structurally valid JSON object carrying the schema stamp... *)
+      (match Runlog.parse_json line with
+      | Runlog.Obj _ as j ->
+        (match Runlog.member "schema" j with
+        | Some (Runlog.Str s) ->
+          check Alcotest.string (where ^ " schema") Runlog.schema_version s
+        | _ -> Alcotest.failf "%s: no string \"schema\" field" where)
+      | _ -> Alcotest.failf "%s: not a JSON object" where
+      | exception Runlog.Parse_error e ->
+        Alcotest.failf "%s: malformed JSON (%s)" where e);
+      (* ...that round-trips into a full record. *)
+      match Runlog.of_json_string line with
+      | None -> Alcotest.failf "%s: of_json_string rejected it" where
+      | Some r ->
+        check Alcotest.bool (where ^ " jobs is 1 or 4") true
+          (r.Runlog.r_jobs = 1 || r.Runlog.r_jobs = 4);
+        check Alcotest.string (where ^ " label") "perf" r.Runlog.r_label;
+        check Alcotest.bool (where ^ " has spans") true
+          (r.Runlog.r_spans <> []);
+        check Alcotest.bool (where ^ " span times are finite") true
+          (List.for_all
+             (fun s ->
+               Float.is_finite s.Runlog.ss_total_s
+               && Float.is_finite s.Runlog.ss_self_s
+               && s.Runlog.ss_calls > 0)
+             r.Runlog.r_spans);
+        check Alcotest.bool (where ^ " counts pool tasks") true
+          (match List.assoc_opt "pool.tasks_executed" r.Runlog.r_counters with
+          | Some n -> n > 0
+          | None -> false);
+        check Alcotest.bool (where ^ " has GC totals") true
+          (match List.assoc_opt "gc.minor_words" r.Runlog.r_gc with
+          | Some w -> w > 0.
+          | None -> false))
+    lines;
+  (* The library loader agrees with the line-by-line parse. *)
+  let records = Runlog.load ~dir:hist ~label:"perf" () in
+  check Alcotest.int "load sees all four records" 4 (List.length records);
+  check (Alcotest.list Alcotest.int) "jobs in append order" [ 1; 1; 4; 4 ]
+    (List.map (fun r -> r.Runlog.r_jobs) records)
+
+(* ------------------------------------------------------------------ *)
+(* check: identical reruns pass at both job counts                     *)
+
+let run_check ?env ~jobs ~threshold ?(extra = "") () =
+  perf ?env
+    (Printf.sprintf
+       "check --jobs %d --repeat 1 --history-dir %s --threshold %g %s" jobs
+       hist_q threshold extra)
+
+let test_check_pass_j1 () =
+  let rc, out = run_check ~jobs:1 ~threshold:30. ~extra:"--record" () in
+  if rc <> 0 then Alcotest.failf "check at jobs=1 exited %d:\n%s" rc out;
+  check Alcotest.bool "no regression reported" false
+    (contains ~needle:"REGRESSION" out);
+  (* --record on a passing check appends the run to the history. *)
+  check Alcotest.bool "passing check recorded" true
+    (contains ~needle:"check passed; recorded" out);
+  check Alcotest.int "history grew to five lines" 5
+    (List.length (nonempty_lines perf_jsonl))
+
+let test_check_pass_j4 () =
+  let rc, out = run_check ~jobs:4 ~threshold:300. () in
+  if rc <> 0 then Alcotest.failf "check at jobs=4 exited %d:\n%s" rc out;
+  check Alcotest.bool "no regression reported" false
+    (contains ~needle:"REGRESSION" out)
+
+(* ------------------------------------------------------------------ *)
+(* check: an injected slowdown must flag (exit 1)                      *)
+
+let test_check_regression () =
+  let rc, out =
+    run_check ~env:"MM_CHAOS='pool.task@*=delay:150'" ~jobs:1 ~threshold:30. ()
+  in
+  if rc <> 1 then
+    Alcotest.failf "chaos-delayed check expected exit 1, got %d:\n%s" rc out;
+  check Alcotest.bool "report shows a REGRESSION row" true
+    (contains ~needle:"REGRESSION" out);
+  check Alcotest.bool "diagnostic carries the gate code" true
+    (contains ~needle:"perf.regression" out);
+  (* A failing check never records, even with --record. *)
+  check Alcotest.int "history unchanged by the failing run" 5
+    (List.length (nonempty_lines perf_jsonl))
+
+(* ------------------------------------------------------------------ *)
+(* check: missing baselines are a usage error (exit 2)                 *)
+
+let test_check_no_history () =
+  let empty = Filename.quote (Filename.concat scratch_root "empty") in
+  let rc, out =
+    perf
+      (Printf.sprintf "check --jobs 1 --repeat 1 --history-dir %s" empty)
+  in
+  if rc <> 2 then
+    Alcotest.failf "check with no history expected exit 2, got %d:\n%s" rc out;
+  check Alcotest.bool "explains the missing baseline" true
+    (contains ~needle:"no baseline history" out)
+
+let test_check_jobs_mismatch () =
+  (* History exists, but only at jobs=1/4 — a jobs=2 check has no
+     comparable baseline and must refuse rather than compare across
+     concurrency levels. *)
+  let rc, out =
+    perf
+      (Printf.sprintf "check --jobs 2 --repeat 1 --history-dir %s" hist_q)
+  in
+  if rc <> 2 then
+    Alcotest.failf "jobs-mismatched check expected exit 2, got %d:\n%s" rc out;
+  check Alcotest.bool "names the missing job count" true
+    (contains ~needle:"jobs=2" out)
+
+(* ------------------------------------------------------------------ *)
+(* diff: last two runs render                                          *)
+
+let test_diff () =
+  let rc, out = perf (Printf.sprintf "diff --history-dir %s" hist_q) in
+  if rc <> 0 then Alcotest.failf "diff exited %d:\n%s" rc out;
+  check Alcotest.bool "diff shows the allocation delta" true
+    (contains ~needle:"gc allocated" out);
+  check Alcotest.bool "diff shows span rows" true
+    (contains ~needle:"merge.mergeability" out)
+
+let () =
+  Alcotest.run "perf-smoke"
+    [
+      ( "flight recorder",
+        [
+          tc "record appends schema-versioned runs (jobs=1 and jobs=4)"
+            test_record;
+          tc "history lines parse and round-trip" test_schema;
+          tc "check passes on an identical rerun (jobs=1, --record)"
+            test_check_pass_j1;
+          tc "check passes on an identical rerun (jobs=4)" test_check_pass_j4;
+          tc "check flags an injected 150ms task delay (exit 1)"
+            test_check_regression;
+          tc "check without history is fatal (exit 2)" test_check_no_history;
+          tc "check without same-jobs history is fatal (exit 2)"
+            test_check_jobs_mismatch;
+          tc "diff renders the last two runs" test_diff;
+        ] );
+    ]

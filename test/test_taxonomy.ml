@@ -1,0 +1,255 @@
+(* Taxonomy consistency: DESIGN.md §9 vs. an instrumented run.
+
+   DESIGN.md §9 declares the canonical span, metric and counter-track
+   tables as a stable observability contract. This suite parses those
+   tables straight out of the shipped document (a dune dep of the test
+   stanza) and drives one real traced merge+STA pipeline run, then
+   checks both directions:
+
+   - every name the tables mark `always` is actually emitted, and
+   - every emitted name appears in a table (always or conditional),
+
+   so the documentation cannot drift from the instrumentation: adding
+   a span or metric without documenting it fails exactly like
+   documenting one that no longer exists. *)
+
+module Design = Mm_netlist.Design
+module Metrics = Mm_util.Metrics
+module Obs = Mm_util.Obs
+module Pool = Mm_util.Pool
+module Merge_flow = Mm_core.Merge_flow
+module Sta = Mm_timing.Sta
+module Gen_design = Mm_workload.Gen_design
+module Gen_modes = Mm_workload.Gen_modes
+
+let () = Printexc.record_backtrace true
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing the §9 tables out of DESIGN.md                              *)
+
+type entry = { e_name : string; e_always : bool }
+
+type tables = {
+  t_spans : entry list;
+  t_metrics : entry list;
+  t_tracks : entry list;
+}
+
+(* Relative to the test build dir under `dune runtest` (the stanza
+   declares ../DESIGN.md as a dep); the fallback covers `dune exec`
+   from the project root. *)
+let design_md =
+  if Sys.file_exists "../DESIGN.md" then "../DESIGN.md" else "DESIGN.md"
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* A data row looks like [| `name` | ... | always/conditional ... | ... |].
+   Header and separator rows carry no backticked first cell, so they
+   fall through. The "when" cell is located by content rather than
+   column index because the metric table has one more column than the
+   span and track tables. *)
+let parse_row line =
+  if not (starts_with "|" (String.trim line)) then None
+  else
+  let cells =
+    String.split_on_char '|' line |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  match cells with
+  | name :: rest
+    when String.length name > 2
+         && name.[0] = '`'
+         && name.[String.length name - 1] = '`' ->
+    let e_name = String.sub name 1 (String.length name - 2) in
+    let when_cell =
+      List.find_opt
+        (fun c -> c = "always" || starts_with "conditional" c)
+        rest
+    in
+    (match when_cell with
+    | Some w -> Some { e_name; e_always = w = "always" }
+    | None ->
+      Alcotest.failf "DESIGN.md §9 row for `%s` has no when column" e_name)
+  | _ -> None
+
+let tables =
+  lazy
+    (let lines = String.split_on_char '\n' (read_file design_md) in
+     (* Restrict to §9 and track which "### ..." table we are under. *)
+     let spans = ref [] and metrics = ref [] and tracks = ref [] in
+     let in_s9 = ref false in
+     let current = ref None in
+     List.iter
+       (fun line ->
+         if starts_with "## 9." line then in_s9 := true
+         else if starts_with "## " line then in_s9 := false
+         else if !in_s9 then
+           if starts_with "### " line then
+             current :=
+               (if starts_with "### Span" line then Some spans
+                else if starts_with "### Metric" line then Some metrics
+                else if starts_with "### Counter tracks" line then Some tracks
+                else None)
+           else
+             match (!current, parse_row line) with
+             | Some bucket, Some e -> bucket := e :: !bucket
+             | _ -> ())
+       lines;
+     {
+       t_spans = List.rev !spans;
+       t_metrics = List.rev !metrics;
+       t_tracks = List.rev !tracks;
+     })
+
+(* ------------------------------------------------------------------ *)
+(* One instrumented reference run: sources → merge → STA at jobs=2,
+   with span tracing and GC telemetry on, shared by every test case.   *)
+
+type emitted = { em_spans : SS.t; em_metrics : SS.t; em_tracks : SS.t }
+
+let emitted =
+  lazy
+    (Metrics.reset ();
+     Obs.reset ();
+     Obs.set_enabled true;
+     Obs.set_gc_enabled true;
+     let params =
+       {
+         Gen_design.default_params with
+         Gen_design.seed = 7;
+         n_domains = 2;
+         regs_per_domain = 24;
+       }
+     in
+     let design, info = Gen_design.generate params in
+     let suite =
+       {
+         Gen_modes.sp_seed = 8;
+         families = [ 3; 2 ];
+         base_period = 2.0;
+         scan_family = true;
+       }
+     in
+     (* run_sources rather than run so the merge.load / sdc.parse /
+        sdc.resolve spans of the loading stage are exercised too. *)
+     let sources =
+       List.concat
+         (List.mapi
+            (fun family n ->
+              List.init n (fun index ->
+                  {
+                    Merge_flow.src_name = Printf.sprintf "m%d_%d" family index;
+                    src_file = None;
+                    src_text =
+                      Gen_modes.sdc_of_mode_spec info suite ~family ~index;
+                  }))
+            suite.Gen_modes.families)
+     in
+     let result = Merge_flow.run_sources ~jobs:2 ~design sources in
+     Pool.with_pool ~jobs:2 (fun pool ->
+         ignore
+           (Sta.analyze_many ~pool design
+              (List.map
+                 (fun (g : Merge_flow.group) -> g.Merge_flow.grp_mode)
+                 result.Merge_flow.groups)));
+     let em_spans =
+       SS.of_list
+         (List.map (fun (name, _, _, _) -> name) (Obs.span_summaries ()))
+     in
+     let em_metrics =
+       SS.of_list
+         (List.map (fun (i : Metrics.item) -> i.Metrics.name)
+            (Metrics.snapshot ()))
+     in
+     let em_tracks =
+       SS.of_list (List.map (fun (name, _, _) -> name) (Obs.samples ()))
+     in
+     Obs.set_gc_enabled false;
+     Obs.set_enabled false;
+     { em_spans; em_metrics; em_tracks })
+
+(* ------------------------------------------------------------------ *)
+(* Both directions, with name lists in the failure message             *)
+
+let names entries = SS.of_list (List.map (fun e -> e.e_name) entries)
+let always entries =
+  SS.of_list
+    (List.filter_map (fun e -> if e.e_always then Some e.e_name else None)
+       entries)
+
+let assert_consistent ~what ~documented ~emitted =
+  let missing = SS.diff (always documented) emitted in
+  if not (SS.is_empty missing) then
+    Alcotest.failf
+      "%s documented as `always` in DESIGN.md §9 but not emitted by the \
+       reference run: %s"
+      what
+      (String.concat ", " (SS.elements missing));
+  let undocumented = SS.diff emitted (names documented) in
+  if not (SS.is_empty undocumented) then
+    Alcotest.failf "%s emitted but missing from the DESIGN.md §9 table: %s"
+      what
+      (String.concat ", " (SS.elements undocumented))
+
+let test_tables_parse () =
+  let t = Lazy.force tables in
+  (* Guard against a silent parse miss (e.g. a heading rename): the
+     tables are substantial, so a tiny count means the parser found
+     the wrong section, not that the contract shrank. *)
+  check Alcotest.bool "span table found" true (List.length t.t_spans >= 10);
+  check Alcotest.bool "metric table found" true (List.length t.t_metrics >= 20);
+  check Alcotest.bool "track table found" true (List.length t.t_tracks >= 2);
+  let dup entries =
+    let sorted = List.sort compare (List.map (fun e -> e.e_name) entries) in
+    let rec go = function
+      | a :: b :: _ when a = b -> Some a
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go sorted
+  in
+  List.iter
+    (fun (what, entries) ->
+      match dup entries with
+      | Some name -> Alcotest.failf "duplicate %s row: %s" what name
+      | None -> ())
+    [ ("span", t.t_spans); ("metric", t.t_metrics); ("track", t.t_tracks) ]
+
+let test_spans () =
+  assert_consistent ~what:"spans"
+    ~documented:(Lazy.force tables).t_spans
+    ~emitted:(Lazy.force emitted).em_spans
+
+let test_metrics () =
+  assert_consistent ~what:"metrics"
+    ~documented:(Lazy.force tables).t_metrics
+    ~emitted:(Lazy.force emitted).em_metrics
+
+let test_tracks () =
+  assert_consistent ~what:"counter tracks"
+    ~documented:(Lazy.force tables).t_tracks
+    ~emitted:(Lazy.force emitted).em_tracks
+
+let () =
+  Alcotest.run "taxonomy"
+    [
+      ( "design-md-vs-run",
+        [
+          tc "§9 tables parse out of DESIGN.md" test_tables_parse;
+          tc "every documented span emitted, every span documented"
+            test_spans;
+          tc "every documented metric emitted, every metric documented"
+            test_metrics;
+          tc "every documented counter track emitted and documented"
+            test_tracks;
+        ] );
+    ]

@@ -7,6 +7,7 @@ module Tab = Mm_util.Tab
 module Stat = Mm_util.Stat
 module Pool = Mm_util.Pool
 module Metrics = Mm_util.Metrics
+module Runlog = Mm_util.Runlog
 
 let check = Alcotest.check
 let tc name f = Alcotest.test_case name `Quick f
@@ -307,6 +308,253 @@ let stat_cases =
         check Alcotest.string "f1" "67.5" (Stat.fmt_f1 67.5);
         check Alcotest.string "f2" "62.52" (Stat.fmt_f2 62.52);
         check Alcotest.string "time" "1.204" (Stat.fmt_time_s 1.2041));
+    tc "finite drops nan and infinities in order" (fun () ->
+        check
+          (Alcotest.list (Alcotest.float 1e-9))
+          "filtered" [ 1.; 2. ]
+          (Stat.finite [ Float.nan; 1.; Float.infinity; 2.; Float.neg_infinity ]);
+        check (Alcotest.list (Alcotest.float 1e-9)) "empty" [] (Stat.finite []));
+    tc "stddev degenerate inputs" (fun () ->
+        check (Alcotest.float 1e-9) "empty" 0. (Stat.stddev []);
+        check (Alcotest.float 1e-9) "single" 0. (Stat.stddev [ 5. ]);
+        check
+          (Alcotest.option (Alcotest.float 1e-9))
+          "single is None" None
+          (Stat.stddev_opt [ 5. ]);
+        (* One finite sample among garbage still cannot yield a spread. *)
+        check (Alcotest.float 1e-9) "nan-padded single" 0.
+          (Stat.stddev [ Float.nan; 5.; Float.infinity ]);
+        check (Alcotest.float 1e-9) "two samples"
+          (Float.sqrt 0.5)
+          (Stat.stddev [ 1.; 2. ]));
+    tc "ci95 degenerate inputs" (fun () ->
+        check (Alcotest.float 1e-9) "empty" 0. (Stat.ci95_halfwidth []);
+        check (Alcotest.float 1e-9) "single" 0. (Stat.ci95_halfwidth [ 3. ]);
+        check (Alcotest.float 1e-9) "all nan" 0.
+          (Stat.ci95_halfwidth [ Float.nan; Float.nan ]);
+        check (Alcotest.float 1e-9) "two samples"
+          (1.96 *. Float.sqrt 0.5 /. Float.sqrt 2.)
+          (Stat.ci95_halfwidth [ 1.; 2. ]));
+    tc "percentile nearest-rank boundaries" (fun () ->
+        let xs = [ 10.; 20.; 30.; 40. ] in
+        (* rank = ceil (q*n): exactly on a rank boundary selects that
+           sample; epsilon past it selects the next. *)
+        check (Alcotest.float 1e-9) "q=0" 10. (Stat.percentile 0. xs);
+        check (Alcotest.float 1e-9) "q=0.25" 10. (Stat.percentile 0.25 xs);
+        check (Alcotest.float 1e-9) "q just past 0.25" 20.
+          (Stat.percentile 0.2500001 xs);
+        check (Alcotest.float 1e-9) "median of even n" 20.
+          (Stat.percentile 0.5 xs);
+        check (Alcotest.float 1e-9) "q=0.75" 30. (Stat.percentile 0.75 xs);
+        check (Alcotest.float 1e-9) "q=1" 40. (Stat.percentile 1. xs);
+        check (Alcotest.float 1e-9) "q clamped above" 40.
+          (Stat.percentile 2.5 xs);
+        check (Alcotest.float 1e-9) "q clamped below" 10.
+          (Stat.percentile (-1.) xs));
+    tc "percentile degenerate inputs" (fun () ->
+        check (Alcotest.float 1e-9) "empty" 0. (Stat.percentile 0.5 []);
+        check (Alcotest.float 1e-9) "single" 5. (Stat.percentile 0.99 [ 5. ]);
+        check
+          (Alcotest.option (Alcotest.float 1e-9))
+          "all non-finite is None" None
+          (Stat.percentile_opt 0.5 [ Float.nan; Float.infinity ]);
+        (* Non-finite samples are dropped before ranking, so a stray
+           nan cannot shift the percentile. *)
+        check (Alcotest.float 1e-9) "nan dropped before ranking" 3.
+          (Stat.percentile 1. [ Float.nan; 3.; 1. ]);
+        check (Alcotest.float 1e-9) "median odd n" 2.
+          (Stat.median [ 1.; 3.; 2. ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runlog: JSON round-trip and the regression-gate decision table      *)
+
+let span name self =
+  { Runlog.ss_name = name; ss_calls = 1; ss_total_s = self; ss_self_s = self }
+
+let record_of ?(jobs = 1) spans =
+  {
+    Runlog.r_schema = Runlog.schema_version;
+    r_label = "t";
+    r_ts = 1700000000.5;
+    r_git_rev = "deadbeef";
+    r_jobs = jobs;
+    r_spans = spans;
+    r_counters = [ ("pool.tasks_executed", 12); ("merge.cliques", 2) ];
+    r_gauges = [ ("merge.jobs", 4.) ];
+    r_gc = [ ("gc.minor_words", 1234.5); ("gc.major_collections", 3.) ];
+  }
+
+let status : Runlog.status Alcotest.testable =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Runlog.status_label s))
+    ( = )
+
+(* The verdict for one current self-time against fixed baselines, all
+   other spans held constant. *)
+let verdict_of ?config ~base cur =
+  let baselines = List.map (fun s -> record_of [ span "a" s ]) base in
+  match Runlog.check ?config ~baselines (record_of [ span "a" cur ]) with
+  | [ v ] -> v
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs)
+
+let runlog_cases =
+  [
+    tc "record round-trips through JSONL" (fun () ->
+        let r = record_of ~jobs:4 [ span "merge.flow" 1.25; span "sta" 0.5 ] in
+        let line = Runlog.to_json r in
+        check Alcotest.bool "one line" false (String.contains line '\n');
+        match Runlog.of_json_string line with
+        | None -> Alcotest.fail "of_json_string rejected its own rendering"
+        | Some r' ->
+          check Alcotest.string "schema" r.Runlog.r_schema r'.Runlog.r_schema;
+          check Alcotest.string "label" "t" r'.Runlog.r_label;
+          check Alcotest.string "rev" "deadbeef" r'.Runlog.r_git_rev;
+          check (Alcotest.float 1e-6) "ts" r.Runlog.r_ts r'.Runlog.r_ts;
+          check Alcotest.int "jobs" 4 r'.Runlog.r_jobs;
+          check Alcotest.int "spans" 2 (List.length r'.Runlog.r_spans);
+          let s = List.hd r'.Runlog.r_spans in
+          check Alcotest.string "span name" "merge.flow" s.Runlog.ss_name;
+          check (Alcotest.float 1e-9) "span self" 1.25 s.Runlog.ss_self_s;
+          check
+            (Alcotest.option Alcotest.int)
+            "counter" (Some 12)
+            (List.assoc_opt "pool.tasks_executed" r'.Runlog.r_counters);
+          check
+            (Alcotest.option (Alcotest.float 1e-9))
+            "gauge" (Some 4.)
+            (List.assoc_opt "merge.jobs" r'.Runlog.r_gauges);
+          check
+            (Alcotest.option (Alcotest.float 1e-9))
+            "gc" (Some 1234.5)
+            (List.assoc_opt "gc.minor_words" r'.Runlog.r_gc));
+    tc "parse_json structure and escapes" (fun () ->
+        let j =
+          Runlog.parse_json
+            {|{"a":[1,true,null,"s\n\"q\""],"b":{"c":-2.5e1},"d":""}|}
+        in
+        (match Runlog.member "a" j with
+        | Some (Runlog.Arr [ Runlog.Num n; Runlog.Bool true; Runlog.Null;
+                             Runlog.Str s ]) ->
+          check (Alcotest.float 1e-9) "num" 1. n;
+          check Alcotest.string "escapes" "s\n\"q\"" s
+        | _ -> Alcotest.fail "array shape");
+        (match Runlog.member "b" j with
+        | Some b ->
+          (match Runlog.member "c" b with
+          | Some (Runlog.Num n) -> check (Alcotest.float 1e-9) "exp" (-25.) n
+          | _ -> Alcotest.fail "nested num")
+        | None -> Alcotest.fail "nested obj");
+        check Alcotest.bool "member miss is None" true
+          (Runlog.member "zzz" j = None));
+    tc "parse_json rejects malformed input" (fun () ->
+        let rejects s =
+          match Runlog.parse_json s with
+          | _ -> Alcotest.failf "accepted %S" s
+          | exception Runlog.Parse_error _ -> ()
+        in
+        rejects "{";
+        rejects "[1,]";
+        rejects {|{"a":1} trailing|};
+        rejects "tru";
+        rejects "");
+    tc "of_json_string tolerates junk, requires schema" (fun () ->
+        check Alcotest.bool "malformed is None" true
+          (Runlog.of_json_string "{nope" = None);
+        check Alcotest.bool "no schema field is None" true
+          (Runlog.of_json_string {|{"label":"x"}|} = None);
+        (* Unknown fields must be ignored: old readers on new lines. *)
+        match
+          Runlog.of_json_string
+            (Printf.sprintf {|{"schema":"%s","jobs":2,"future_field":[1,2]}|}
+               Runlog.schema_version)
+        with
+        | Some r -> check Alcotest.int "jobs survives" 2 r.Runlog.r_jobs
+        | None -> Alcotest.fail "unknown field broke the parse");
+    tc "last takes the trailing window" (fun () ->
+        check (Alcotest.list Alcotest.int) "tail" [ 2; 3 ]
+          (Runlog.last 2 [ 1; 2; 3 ]);
+        check (Alcotest.list Alcotest.int) "short list" [ 1; 2 ]
+          (Runlog.last 5 [ 1; 2 ]);
+        check (Alcotest.list Alcotest.int) "zero" [] (Runlog.last 0 [ 1 ]));
+    tc "gate: steady baseline verdicts" (fun () ->
+        let base = [ 1.; 1.; 1. ] in
+        check status "within threshold" Runlog.Ok
+          (verdict_of ~base 1.05).Runlog.v_status;
+        check status "regression past threshold" Runlog.Regression
+          (verdict_of ~base 1.2).Runlog.v_status;
+        check status "improvement past threshold" Runlog.Improvement
+          (verdict_of ~base 0.85).Runlog.v_status;
+        let v = verdict_of ~base 1.2 in
+        check Alcotest.int "n_base" 3 v.Runlog.v_n_base;
+        check (Alcotest.float 1e-9) "mean" 1. v.Runlog.v_mean_s);
+    tc "gate: envelope band absorbs recorded spread" (fun () ->
+        (* Baseline max is 2.0: a current run equal to a previously
+           recorded value must never flag even though it is 33% over
+           the mean. *)
+        check status "at recorded max" Runlog.Ok
+          (verdict_of ~base:[ 1.; 2. ] 2.0).Runlog.v_status;
+        check status "beyond mean + band" Runlog.Regression
+          (verdict_of ~base:[ 1.; 2. ] 3.0).Runlog.v_status);
+    tc "gate: noisy baseline and the 2x override" (fun () ->
+        let base = [ 0.1; 2.0 ] in
+        (* cv ≈ 1.28 > max_cv: a moderate excursion is Noisy, not a
+           regression... *)
+        check status "moderate excursion" Runlog.Noisy
+          (verdict_of ~base 4.0).Runlog.v_status;
+        (* ...but a blowup past twice the noise band flags anyway. *)
+        check status "2x override" Runlog.Regression
+          (verdict_of ~base 6.0).Runlog.v_status;
+        check Alcotest.bool "cv reported" true
+          ((verdict_of ~base 4.0).Runlog.v_cv > 1.));
+    tc "gate: micro-spans are never judged" (fun () ->
+        (* 5x growth, but both sides under the 10ms floor. *)
+        check status "too small" Runlog.TooSmall
+          (verdict_of ~base:[ 0.001 ] 0.005).Runlog.v_status);
+    tc "gate: unknown span is New" (fun () ->
+        let baselines = [ record_of [ span "other" 1. ] ] in
+        match Runlog.check ~baselines (record_of [ span "a" 1. ]) with
+        | [ v ] ->
+          check status "new" Runlog.New v.Runlog.v_status;
+          check Alcotest.int "no baselines" 0 v.Runlog.v_n_base
+        | _ -> Alcotest.fail "one verdict expected");
+    tc "gate: config overrides move the line" (fun () ->
+        let config =
+          { Runlog.default_config with Runlog.threshold_pct = 100. }
+        in
+        check status "50% over passes at threshold 100" Runlog.Ok
+          (verdict_of ~config ~base:[ 1.; 1. ] 1.5).Runlog.v_status;
+        let tight =
+          { Runlog.default_config with Runlog.min_self_s = 0.0001 }
+        in
+        check status "micro-span judged once floor drops" Runlog.Regression
+          (verdict_of ~config:tight ~base:[ 0.001; 0.001 ] 0.005)
+            .Runlog.v_status);
+    tc "has_regression is the gate" (fun () ->
+        let baselines = [ record_of [ span "a" 1.; span "b" 1. ] ] in
+        let ok = Runlog.check ~baselines (record_of [ span "a" 1. ]) in
+        check Alcotest.bool "clean run" false (Runlog.has_regression ok);
+        let bad =
+          Runlog.check ~baselines (record_of [ span "a" 1.; span "b" 5. ])
+        in
+        check Alcotest.bool "one bad span gates" true
+          (Runlog.has_regression bad));
+    tc "check_report renders every verdict" (fun () ->
+        let baselines = [ record_of [ span "a" 1. ] ] in
+        let vs =
+          Runlog.check ~baselines (record_of [ span "a" 5.; span "fresh" 1. ])
+        in
+        let report = Runlog.check_report vs in
+        let has needle =
+          let nl = String.length needle and hl = String.length report in
+          let rec go i =
+            i + nl <= hl && (String.sub report i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        check Alcotest.bool "span row" true (has "a");
+        check Alcotest.bool "regression row" true (has "REGRESSION");
+        check Alcotest.bool "new row" true (has "new"));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -405,5 +653,6 @@ let () =
       "vec", vec_cases;
       "tab", tab_cases;
       "stat", stat_cases;
+      "runlog", runlog_cases;
       "pool", pool_cases;
     ]
