@@ -66,7 +66,7 @@ let tables234 () =
       [ a; b ]
   in
   let merged_ctx = Context.create d prelim.Prelim.merged in
-  let cmp = Compare.run ~individual:sides ~merged:merged_ctx in
+  let cmp = Compare.run ~individual:sides ~merged:merged_ctx () in
   section "Table 2: pass-1 timing relationship comparison (Constraint Set 6)";
   Tab.print (Report.pass1_table d cmp.Compare.pass1);
   section "Table 3: pass-2 timing relationship comparison";
@@ -223,7 +223,7 @@ let scaling_sweep ~jobs_list ~name design modes =
     (Domain.recommended_domain_count ());
   rows
 
-let bench_json ~scaling runs =
+let bench_json ~scaling ~sta runs =
   let jf = Metrics.json_float in
   let b = Buffer.create 4096 in
   let row5 r =
@@ -259,6 +259,10 @@ let bench_json ~scaling runs =
        (jf (Stat.mean (List.map (fun r -> Stat.reduction_percent r.dr_sta_ind r.dr_sta_mrg) runs)))
        (jf (Stat.mean (List.map (fun r -> r.dr_conformity) runs))));
   Buffer.add_string b (Printf.sprintf {|"scaling":%s,|} scaling);
+  (* STA microbench section: the compiled-arena payoff (compile-once
+     vs rebuild, full vs incremental re-analysis). "null" when the
+     invoking target did not run the microbench. *)
+  Buffer.add_string b (Printf.sprintf {|"sta":%s,|} sta);
   (* The flight recorder's resource sections: whole-run GC totals and
      the pool.* metric slice (new keys only — existing consumers of the
      bench json are unaffected). *)
@@ -285,14 +289,14 @@ let bench_json ~scaling runs =
 
 let bench_file = "BENCH_paper_tables.json"
 
-let write_bench_json ~scaling runs =
-  let oc = open_out bench_file in
+let write_bench_json ?(file = bench_file) ?(sta = "null") ~scaling runs =
+  let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc (bench_json ~scaling runs);
+      output_string oc (bench_json ~scaling ~sta runs);
       output_char oc '\n');
-  Printf.printf "\nwrote %s\n" bench_file;
+  Printf.printf "\nwrote %s\n" file;
   (* Every bench-json write also lands one flight-recorder history
      record under .modemerge/history/ (advisory: a read-only checkout
      must not fail the bench). *)
@@ -311,7 +315,7 @@ let mandatory_keys =
   [
     {|"table5"|}; {|"table6"|}; {|"merge_runtime_s"|}; {|"conformity"|};
     {|"merge.cliques"|}; {|"sta.tags_propagated"|}; {|"spans"|};
-    {|"sta.analyze"|}; {|"scaling"|}; {|"merge_speedup"|};
+    {|"sta.analyze"|}; {|"scaling"|}; {|"merge_speedup"|}; {|"sta":|};
     {|"gc":{|}; {|"gc.minor_words"|}; {|"pool":{|}; {|"pool.tasks_executed"|};
     {|"pool.occupancy"|};
   ]
@@ -321,8 +325,8 @@ let contains ~needle hay =
   let rec go i = i + nh <= lh && (String.sub hay i nh = needle || go (i + 1)) in
   go 0
 
-let validate_bench_json () =
-  let ic = open_in bench_file in
+let validate_bench_json ?(file = bench_file) () =
+  let ic = open_in file in
   let s =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
@@ -330,12 +334,127 @@ let validate_bench_json () =
   in
   let missing = List.filter (fun k -> not (contains ~needle:k s)) mandatory_keys in
   if missing <> [] then begin
-    Printf.eprintf "%s is missing mandatory keys: %s\n" bench_file
+    Printf.eprintf "%s is missing mandatory keys: %s\n" file
       (String.concat ", " missing);
     exit 1
   end;
-  Printf.printf "%s: all %d mandatory keys present\n" bench_file
+  Printf.printf "%s: all %d mandatory keys present\n" file
     (List.length mandatory_keys)
+
+(* ------------------------------------------------------------------ *)
+(* STA microbench: the compiled-arena payoff (DESIGN.md section 14).   *)
+(* Two measurements per preset:                                        *)
+(*   1. compile-once vs rebuild - overlaying K modes over one cached   *)
+(*      skeleton vs recompiling the CSR arena for every mode;          *)
+(*   2. full vs incremental - the refinement-loop shape: endpoint      *)
+(*      relations re-derived after each appended false path, from      *)
+(*      scratch vs through Context.with_exceptions + the pass-1        *)
+(*      relation cache (dirty-cone re-propagation only).               *)
+(* Results are recorded under "sta" in the bench json, and the run's   *)
+(* sta.compile / sta.incremental_reuse spans land in the Runlog        *)
+(* history record, so `modemerge perf check` gates their self-times.   *)
+
+type sta_row = {
+  st_name : string;
+  st_pins : int;
+  st_modes : int;  (* modes measured in the compile comparison *)
+  st_rebuild_s : float;
+  st_reuse_s : float;
+  st_full_s : float;
+  st_incr_s : float;
+}
+
+let sta_speedup a b = if b > 0.0 then a /. b else 0.0
+
+let sta_measure (p : Presets.preset) =
+  let design, _info, modes = Presets.build p in
+  let k_modes = List.filteri (fun i _ -> i < 4) modes in
+  (* 1: identical overlays, arena recompiled per mode (cache bypassed)
+     vs compiled once and reused. *)
+  let _, rebuild_s =
+    time (fun () ->
+        List.iter
+          (fun m ->
+            ignore (Mm_timing.Tgraph.overlay (Mm_timing.Tgraph.compile design) m))
+          k_modes)
+  in
+  ignore (Mm_timing.Tgraph.build design (List.hd k_modes));
+  let _, reuse_s =
+    time (fun () ->
+        List.iter (fun m -> ignore (Mm_timing.Tgraph.build design m)) k_modes)
+  in
+  (* 2: a growing-exception family over the first mode — exactly what
+     the refinement loop replays. Variant i appends i false paths. *)
+  let m0 = List.hd modes in
+  let ctx0 = Context.create design m0 in
+  let eps = Mm_timing.Graph.endpoint_pins ctx0.Context.graph in
+  let clock0 = Mm_timing.Clock_prop.clock_name ctx0.Context.clocks 0 in
+  let variant i =
+    let excs =
+      List.filteri (fun j _ -> j < i) eps
+      |> List.map (fun ep ->
+             Mode.exc ~from_:[ Mode.P_clock clock0 ] ~to_:[ Mode.P_pin ep ]
+               Mode.False_path)
+    in
+    { m0 with Mode.exceptions = m0.Mode.exceptions @ excs }
+  in
+  let variants = List.init 5 variant in
+  let full_last = ref [] in
+  let _, full_s =
+    time (fun () ->
+        List.iter
+          (fun m ->
+            full_last :=
+              Mm_core.Relation_prop.endpoint_relations (Context.create design m))
+          variants)
+  in
+  let incr_last = ref [] in
+  let _, incr_s =
+    time (fun () ->
+        let cache = Mm_core.Relation_prop.create_ep_cache () in
+        List.iter
+          (fun m ->
+            let ctx = Context.with_exceptions ctx0 m in
+            incr_last := Mm_core.Relation_prop.endpoint_relations_cached cache ctx)
+          variants)
+  in
+  (* The speedup only counts if the answers agree. *)
+  if !full_last <> !incr_last then begin
+    Printf.eprintf
+      "sta bench: incremental endpoint relations diverge from full recompute \
+       on preset %s\n"
+      p.Presets.pr_name;
+    exit 1
+  end;
+  {
+    st_name = p.Presets.pr_name;
+    st_pins = Design.n_pins design;
+    st_modes = List.length k_modes;
+    st_rebuild_s = rebuild_s;
+    st_reuse_s = reuse_s;
+    st_full_s = full_s;
+    st_incr_s = incr_s;
+  }
+
+let sta_json rows =
+  let jf = Metrics.json_float in
+  let row r =
+    Printf.sprintf
+      {|{"design":"%s","pins":%d,"modes":%d,"rebuild_s":%s,"reuse_s":%s,"compile_speedup":%s,"full_s":%s,"incremental_s":%s,"incremental_speedup":%s}|}
+      (Metrics.json_escape r.st_name)
+      r.st_pins r.st_modes (jf r.st_rebuild_s) (jf r.st_reuse_s)
+      (jf (sta_speedup r.st_rebuild_s r.st_reuse_s))
+      (jf r.st_full_s) (jf r.st_incr_s)
+      (jf (sta_speedup r.st_full_s r.st_incr_s))
+  in
+  let min_of get =
+    List.fold_left (fun acc r -> Float.min acc (get r)) infinity rows
+  in
+  Printf.sprintf
+    {|{"rows":[%s],"summary":{"min_compile_speedup":%s,"min_incremental_speedup":%s}}|}
+    (String.concat "," (List.map row rows))
+    (jf (min_of (fun r -> sta_speedup r.st_rebuild_s r.st_reuse_s)))
+    (jf (min_of (fun r -> sta_speedup r.st_full_s r.st_incr_s)))
 
 let tables56 () =
   (* Tables 5/6 are the committed bench trajectory, so they run with
@@ -439,6 +558,10 @@ let tables56 () =
   in
   write_bench_json
     ~scaling:(scaling_json ~design_name:pa.Presets.pr_name rows)
+    ~sta:
+      (sta_json
+         (List.map sta_measure
+            [ Presets.design_a; Presets.design_b; Presets.design_c ]))
     runs
 
 (* ------------------------------------------------------------------ *)
@@ -460,7 +583,9 @@ let smoke () =
   (* Mini scaling record (two points) so the smoke json carries every
      mandatory key; the full 1/2/4/8 sweep lives in the scaling target. *)
   let rows = scaling_sweep ~jobs_list:[ 1; 2 ] ~name:"paper_circuit" d [ a; b ] in
-  write_bench_json ~scaling:(scaling_json ~design_name:"paper_circuit" rows) [ r ];
+  write_bench_json ~scaling:(scaling_json ~design_name:"paper_circuit" rows)
+    ~sta:(sta_json [ sta_measure Presets.tiny ])
+    [ r ];
   validate_bench_json ()
 
 (* ------------------------------------------------------------------ *)
@@ -527,6 +652,97 @@ let scaling_target () =
     ~scaling:(scaling_json ~design_name:pa.Presets.pr_name rows)
     [ r ];
   validate_bench_json ()
+
+(* ------------------------------------------------------------------ *)
+(* STA microbench targets (measurement helpers live above tables56,    *)
+(* which embeds their rows into the committed bench trajectory).       *)
+
+let sta_table rows =
+  let t =
+    Tab.create
+      ~aligns:
+        [ Tab.Left; Tab.Right; Tab.Right; Tab.Right; Tab.Right; Tab.Right;
+          Tab.Right; Tab.Right; Tab.Right ]
+      [
+        "Design"; "Pins"; "Modes"; "Rebuild (s)"; "Reuse (s)"; "Compile x";
+        "Full (s)"; "Incr (s)"; "Incr x";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Tab.add_row t
+        [
+          r.st_name;
+          string_of_int r.st_pins;
+          string_of_int r.st_modes;
+          Stat.fmt_time_s r.st_rebuild_s;
+          Stat.fmt_time_s r.st_reuse_s;
+          Printf.sprintf "%.1fx" (sta_speedup r.st_rebuild_s r.st_reuse_s);
+          Stat.fmt_time_s r.st_full_s;
+          Stat.fmt_time_s r.st_incr_s;
+          Printf.sprintf "%.1fx" (sta_speedup r.st_full_s r.st_incr_s);
+        ])
+    rows;
+  Tab.print t
+
+(* Full microbench over presets A-C, written into the paper-tables
+   bench json (a paper-circuit merge provides the table5/6 and scaling
+   payload). Gates the repeated-analysis acceptance bound: reusing the
+   compiled skeleton must beat recompiling by at least 2x. *)
+let sta_bench () =
+  section "STA microbench: compile-once vs rebuild, full vs incremental (A-C)";
+  Obs.set_enabled true;
+  Obs.reset ();
+  Metrics.reset ();
+  let rows =
+    List.map sta_measure
+      [ Presets.design_a; Presets.design_b; Presets.design_c ]
+  in
+  sta_table rows;
+  let d = Pc.build () in
+  let a, b = Pc.constraint_set6 d in
+  let r = run_modes ~name:"paper_circuit" d [ a; b ] in
+  let srows = scaling_sweep ~jobs_list:[ 1; 2 ] ~name:"paper_circuit" d [ a; b ] in
+  write_bench_json
+    ~scaling:(scaling_json ~design_name:"paper_circuit" srows)
+    ~sta:(sta_json rows) [ r ];
+  validate_bench_json ();
+  let worst =
+    List.fold_left
+      (fun acc r -> Float.min acc (sta_speedup r.st_rebuild_s r.st_reuse_s))
+      infinity rows
+  in
+  if worst < 2.0 then begin
+    Printf.eprintf
+      "sta bench: compile-once speedup %.2fx below the 2x repeated-analysis \
+       bound\n"
+      worst;
+    exit 1
+  end;
+  Printf.printf
+    "\nrepeated-analysis bound ok: worst compile-once speedup %.1fx (>= 2x)\n"
+    worst
+
+(* Tiny-preset variant for the default test gate: same code path,
+   seconds not minutes, own output file so it cannot race
+   @bench-smoke's write of the paper-tables json. *)
+let sta_file = "BENCH_sta.json"
+
+let sta_smoke () =
+  section "STA microbench smoke: tiny preset";
+  Obs.set_enabled true;
+  Obs.reset ();
+  Metrics.reset ();
+  let rows = [ sta_measure Presets.tiny ] in
+  sta_table rows;
+  let d = Pc.build () in
+  let a, b = Pc.constraint_set6 d in
+  let r = run_modes ~name:"paper_circuit" d [ a; b ] in
+  let srows = scaling_sweep ~jobs_list:[ 1 ] ~name:"paper_circuit" d [ a; b ] in
+  write_bench_json ~file:sta_file
+    ~scaling:(scaling_json ~design_name:"paper_circuit" srows)
+    ~sta:(sta_json rows) [ r ];
+  validate_bench_json ~file:sta_file ()
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: quantify the design choices DESIGN.md calls out          *)
@@ -740,7 +956,7 @@ let bechamel_suite () =
       Test.make ~name:"table1_relation_propagation" (Staged.stage (fun () ->
           ignore (Mm_core.Relation_prop.endpoint_relations ctx1)));
       Test.make ~name:"table2_3_4_three_pass_compare" (Staged.stage (fun () ->
-          ignore (Compare.run ~individual:sides6 ~merged:merged6)));
+          ignore (Compare.run ~individual:sides6 ~merged:merged6 ())));
       Test.make ~name:"figure2_mergeability_cliques" (Staged.stage (fun () ->
           ignore (Mm_core.Mergeability.analyze tiny_modes)));
       Test.make ~name:"table5_merge_flow" (Staged.stage (fun () ->
@@ -790,6 +1006,8 @@ let () =
   | "table5" | "table6" -> tables56 ()
   | "smoke" -> smoke ()
   | "audit" -> audit_smoke ()
+  | "sta" -> sta_bench ()
+  | "sta-smoke" -> sta_smoke ()
   | "scaling" -> scaling_target ()
   | "bech" -> bechamel_suite ()
   | "all" ->

@@ -92,7 +92,7 @@ let () =
       [ a; b ]
   in
   let merged_ctx = Context.create d prelim.Prelim.merged in
-  let cmp = Compare.run ~individual:sides ~merged:merged_ctx in
+  let cmp = Compare.run ~individual:sides ~merged:merged_ctx () in
   Mm_util.Tab.print ~title:"Table 2: pass-1 comparison"
     (Report.pass1_table d cmp.Compare.pass1);
   Mm_util.Tab.print ~title:"Table 3: pass-2 comparison"

@@ -451,10 +451,26 @@ let fixes_for_point ~where ~pass ~sp_name ~through_name ~ep_name ~prefix_pins
 
 let rename_rels rename rels = List.map (Relation.rename rename) rels
 
-let pass1 ~individual ~(merged : Context.t) =
+(* Reusable state for repeated [run]s against the same individual sides
+   and an exceptions-only-growing merged mode (the refinement loop):
+   the sides' renamed relation tables are computed once, and the merged
+   side goes through the incremental {!Relation_prop.ep_cache}. *)
+type cache = {
+  mutable c_sides : (Design.pin_id, Relation.t list) Hashtbl.t list option;
+  c_merged : Relation_prop.ep_cache;
+}
+
+let create_cache () =
+  { c_sides = None; c_merged = Relation_prop.create_ep_cache () }
+
+let pass1 ?cache ~individual ~(merged : Context.t) () =
   let design = merged.Context.design in
-  let mrg_rels = Relation_prop.endpoint_relations merged in
-  let ind_rels_per_mode =
+  let mrg_rels =
+    match cache with
+    | Some c -> Relation_prop.endpoint_relations_cached c.c_merged merged
+    | None -> Relation_prop.endpoint_relations merged
+  in
+  let compute_side_tables () =
     List.map
       (fun side ->
         let tbl = Hashtbl.create 256 in
@@ -464,6 +480,17 @@ let pass1 ~individual ~(merged : Context.t) =
           (Relation_prop.endpoint_relations side.ctx);
         tbl)
       individual
+  in
+  let ind_rels_per_mode =
+    match cache with
+    | None -> compute_side_tables ()
+    | Some c -> (
+      match c.c_sides with
+      | Some tbls -> tbls
+      | None ->
+        let tbls = compute_side_tables () in
+        c.c_sides <- Some tbls;
+        tbls)
   in
   let rows = ref [] and fixes = ref [] and unsound = ref []
   and pessimism = ref [] in
@@ -595,12 +622,12 @@ let relations_through ctx fwd_tags t ep ~within ~order ~scratch =
     Relation_prop.relations_at ctx tags ep
 
 let successors (ctx : Context.t) pin =
-  List.filter_map
-    (fun aid ->
+  let g = ctx.Context.graph in
+  let acc = ref [] in
+  Graph.iter_out g pin (fun aid ->
       if Mm_timing.Const_prop.enabled ctx.Context.consts aid then
-        Some ctx.Context.graph.Graph.arcs.(aid).Graph.a_dst
-      else None)
-    ctx.Context.graph.Graph.out_arcs.(pin)
+        acc := Graph.arc_dst g aid :: !acc);
+  List.rev !acc
 
 let pass3 ~individual ~(merged : Context.t) pairs =
   let design = merged.Context.design in
@@ -721,10 +748,10 @@ let dedup_fixes fixes =
   in
   go [] fixes
 
-let run ~individual ~merged =
+let run ?cache ~individual ~merged () =
   let module Obs = Mm_util.Obs in
   let n_eps, p1_rows, p1_fixes, p1_uns, p1_pes =
-    Obs.with_span "compare.pass1" (fun () -> pass1 ~individual ~merged)
+    Obs.with_span "compare.pass1" (fun () -> pass1 ?cache ~individual ~merged ())
   in
   let ambiguous_eps =
     List.filter_map

@@ -89,8 +89,23 @@ type side = {
       (** individual-mode clock name -> merged-mode clock name *)
 }
 
-val run : individual:side list -> merged:Mm_timing.Context.t -> result
-(** Besides the result, each run accumulates the stable coverage
+type cache
+(** Reusable state for repeated {!run}s against the same individual
+    sides and an exceptions-only-growing merged mode (the refinement
+    loop): side relation tables are computed once, and the merged
+    side's pass-1 relations update incrementally — only endpoints in
+    the scope of newly appended exceptions are re-propagated. *)
+
+val create_cache : unit -> cache
+
+val run :
+  ?cache:cache -> individual:side list -> merged:Mm_timing.Context.t ->
+  unit -> result
+(** Results are identical with and without [cache]; a cache must only
+    be shared across runs whose individual sides are fixed and whose
+    merged modes differ solely by appended exceptions.
+
+    Besides the result, each run accumulates the stable coverage
     counters [compare.endpoints_visited], [compare.endpoints_pruned]
     (pass-1 endpoints that never escalated to pass 2),
     [compare.pairs_compared] (pass-2 startpoint/endpoint pairs with

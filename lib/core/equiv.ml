@@ -12,7 +12,7 @@ type report = {
   compare_result : Compare.result;
 }
 
-let check ?ctx_cache ~individual ~rename ~merged () =
+let check ?ctx_cache ?merged_ctx ~individual ~rename ~merged () =
   Mm_util.Obs.with_span
     ~attrs:[ "merged", merged.Mode.mode_name ]
     "merge.equiv"
@@ -32,8 +32,12 @@ let check ?ctx_cache ~individual ~rename ~merged () =
         })
       individual
   in
-  let ctx_m = Context.create design merged in
-  let result = Compare.run ~individual:sides ~merged:ctx_m in
+  let ctx_m =
+    match merged_ctx with
+    | Some ctx when ctx.Context.mode == merged -> ctx
+    | Some _ | None -> Context.create design merged
+  in
+  let result = Compare.run ~individual:sides ~merged:ctx_m () in
   let count_mismatch verdict_of rows =
     List.length (List.filter (fun r -> verdict_of r = Compare.Mismatch) rows)
   in

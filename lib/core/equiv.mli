@@ -35,12 +35,16 @@ type report = {
 
 val check :
   ?ctx_cache:Mm_timing.Ctx_cache.t ->
+  ?merged_ctx:Mm_timing.Context.t ->
   individual:Mm_sdc.Mode.t list ->
   rename:(string -> string -> string) ->
   merged:Mm_sdc.Mode.t ->
   unit ->
   report
 (** [rename mode_name clock] maps individual clocks to merged names
-    (use {!Prelim.rename_of}). *)
+    (use {!Prelim.rename_of}). [merged_ctx] supplies a ready-made
+    context for [merged] (e.g. {!Refine.t.refined_ctx}); it is used
+    only when its mode is physically the [merged] argument, otherwise
+    a fresh context is built. *)
 
 val pp : Format.formatter -> report -> unit

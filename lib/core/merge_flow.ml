@@ -176,7 +176,8 @@ let merged_group ?tolerance ~check_equivalence ~ctx_cache ~name members =
   let equiv =
     if check_equivalence then
       Some
-        (Equiv.check ~ctx_cache ~individual:members
+        (Equiv.check ~ctx_cache ?merged_ctx:refine.Refine.refined_ctx
+           ~individual:members
            ~rename:(Prelim.rename_of prelim)
            ~merged:refine.Refine.refined ())
     else None
@@ -707,8 +708,27 @@ let drive ?tolerance ~check_equivalence ~policy ~pool ~budgets ~ck ~extra_diags
   restore_gov gs sm.sm_gov;
   let sc =
     staged ck ~stage:"cliques" (fun () ->
-        compute_cliques ?tolerance ~check_equivalence ~policy ~pool ~budgets
-          ~gs ~ctx_cache ~root sm)
+        let sc =
+          compute_cliques ?tolerance ~check_equivalence ~policy ~pool ~budgets
+            ~gs ~ctx_cache ~root sm
+        in
+        (* The equivalence check (the only consumer of refined_ctx) has
+           already run inside compute_cliques; strip the contexts so the
+           stage value marshals cleanly into the checkpoint. *)
+        {
+          sc with
+          sc_groups =
+            List.map
+              (fun g ->
+                {
+                  g with
+                  grp_refine =
+                    Option.map
+                      (fun r -> { r with Refine.refined_ctx = None })
+                      g.grp_refine;
+                })
+              sc.sc_groups;
+        })
   in
   restore_gov gs sc.sc_gov;
   if Govern.cancelled root <> None then gs.gs_deadline_hit <- true;

@@ -560,16 +560,13 @@ let clock_refinement ~max_iters design modes ctxs clock_map merged0 =
           let e = extra pin in
           if e <> 0 then begin
             let pred_extra =
-              List.fold_left
-                (fun acc aid ->
-                  if Mm_timing.Const_prop.enabled ctx_m.Context.consts aid then
-                    let a = ctx_m.Context.graph.Graph.arcs.(aid) in
-                    if a.Graph.a_kind <> Graph.Launch then
-                      acc lor extra a.Graph.a_src
-                    else acc
+              let g = ctx_m.Context.graph in
+              Graph.fold_in g pin 0 (fun acc aid ->
+                  if
+                    Mm_timing.Const_prop.enabled ctx_m.Context.consts aid
+                    && Graph.arc_kind g aid <> Graph.Launch
+                  then acc lor extra (Graph.arc_src g aid)
                   else acc)
-                0
-                ctx_m.Context.graph.Graph.in_arcs.(pin)
             in
             let frontier = e land lnot pred_extra in
             if frontier <> 0 then

@@ -10,6 +10,11 @@ type added_origin =
 
 type t = {
   refined : Mode.t;
+  refined_ctx : Context.t option;
+      (* analysis context matching [refined]; lets downstream stages
+         (equivalence check) skip rebuilding graph/consts/clocks.
+         Stripped (None) when the result is checkpointed — contexts
+         hold unmarshalable runtime state *)
   data_clock_fixes : (string * Design.pin_id) list;
   added_exceptions : Mode.exc list;
   added_lineage : (Mode.exc * added_origin list) list;
@@ -149,13 +154,11 @@ let data_clock_refinement (prelim : Prelim.t) individual ctxs merged =
       let e = extra pin in
       if e <> 0 then begin
         let pred_extra =
-          List.fold_left
-            (fun acc aid ->
+          let g = ctx_m.Context.graph in
+          Graph.fold_in g pin 0 (fun acc aid ->
               if Mm_timing.Const_prop.enabled ctx_m.Context.consts aid then
-                acc lor extra ctx_m.Context.graph.Graph.arcs.(aid).Graph.a_src
+                acc lor extra (Graph.arc_src g aid)
               else acc)
-            0
-            ctx_m.Context.graph.Graph.in_arcs.(pin)
         in
         let frontier = e land lnot pred_extra in
         if frontier <> 0 then
@@ -175,14 +178,16 @@ let data_clock_refinement (prelim : Prelim.t) individual ctxs merged =
          fixes)
   in
   let excs = List.map fst tagged in
-  { merged with Mode.exceptions = merged.Mode.exceptions @ excs }, fixes, tagged
+  ( { merged with Mode.exceptions = merged.Mode.exceptions @ excs },
+    fixes,
+    tagged,
+    ctx_m )
 
 let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
   Mm_util.Obs.with_span
     ~attrs:[ "merged", prelim.Prelim.merged.Mode.mode_name ]
     "merge.refine"
   @@ fun () ->
-  let design = prelim.Prelim.merged.Mode.design in
   let ctx_cache =
     match ctx_cache with
     | Some c -> c
@@ -196,20 +201,29 @@ let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
       individual ctxs
   in
   (* Step 1: data-network clock refinement. *)
-  let merged, data_clock_fixes, step1_tagged =
+  let merged, data_clock_fixes, step1_tagged, base_ctx =
     data_clock_refinement prelim individual ctxs prelim.Prelim.merged
   in
-  (* Step 2: compare/fix loop. *)
+  (* Step 2: compare/fix loop. Every iteration's mode differs from
+     [base_ctx]'s only by appended exceptions, so the context is
+     re-derived via {!Context.with_exceptions} (graph, constants and
+     clock propagation reused) and pass 1 goes through the incremental
+     compare cache. *)
+  let cmp_cache = Compare.create_cache () in
   let rec loop merged added iter =
-    let ctx_m = Context.create design merged in
-    let result = Compare.run ~individual:sides ~merged:ctx_m in
+    let ctx_m =
+      Mm_util.Obs.with_span "sta.incremental_reuse"
+        ~attrs:[ "what", "refine-context"; "iter", string_of_int iter ]
+        (fun () -> Context.with_exceptions base_ctx merged)
+    in
+    let result = Compare.run ~cache:cmp_cache ~individual:sides ~merged:ctx_m () in
     let new_fixes =
       List.filter
         (fun (f : Compare.fix) ->
           not (List.exists (Mode.exc_equal f.Compare.fix_exc) merged.Mode.exceptions))
         result.Compare.fixes
     in
-    if new_fixes = [] || iter >= max_iters then merged, added, result, iter
+    if new_fixes = [] || iter >= max_iters then merged, ctx_m, added, result, iter
     else begin
       let tagged =
         coalesce_tagged
@@ -221,7 +235,7 @@ let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
         (added @ tagged) (iter + 1)
     end
   in
-  let refined, added_lineage, final_compare, iterations =
+  let refined, refined_ctx, added_lineage, final_compare, iterations =
     loop merged step1_tagged 1
   in
   let added = List.map fst added_lineage in
@@ -229,6 +243,7 @@ let run ?(max_iters = 4) ?ctx_cache ~(prelim : Prelim.t) ~individual () =
   Mm_util.Metrics.observe "refine.iterations" (float_of_int iterations);
   {
     refined;
+    refined_ctx = Some refined_ctx;
     data_clock_fixes;
     added_exceptions = added;
     added_lineage;

@@ -24,6 +24,11 @@ type added_origin =
 
 type t = {
   refined : Mm_sdc.Mode.t;
+  refined_ctx : Mm_timing.Context.t option;
+      (** analysis context matching [refined] — reusable by downstream
+          stages (e.g. {!Equiv.check}) instead of rebuilding one.
+          [None] after a checkpoint round-trip: contexts hold
+          unmarshalable runtime state and are stripped before save *)
   data_clock_fixes : (string * Mm_netlist.Design.pin_id) list;
       (** (merged clock, frontier pin) false paths from step 1 *)
   added_exceptions : Mm_sdc.Mode.exc list;

@@ -39,11 +39,11 @@ let key_state k = k / 4 / 128
 let key_edge k = edge_of_code (k land 3)
 
 (* Polarity transform along an arc. *)
-let edges_through_arc (a : Graph.arc) e =
+let edges_through_unate (u : Graph.unate) e =
   match e with
   | Mode.Any_edge -> [ Mode.Any_edge ]
   | Mode.Rise_edge | Mode.Fall_edge -> (
-    match a.Graph.a_unate with
+    match u with
     | Graph.Positive -> [ e ]
     | Graph.Negative ->
       [ (if e = Mode.Rise_edge then Mode.Fall_edge else Mode.Rise_edge) ]
@@ -111,7 +111,7 @@ let reset_scratch ts =
    the per-startpoint queries of passes 2 and 3. *)
 let cone_order (ctx : Context.t) within =
   let acc = ref [] in
-  let topo = ctx.Context.graph.Graph.topo in
+  let topo = Graph.topo ctx.Context.graph in
   for i = Array.length topo - 1 downto 0 do
     if within.(topo.(i)) then acc := topo.(i) :: !acc
   done;
@@ -120,27 +120,29 @@ let cone_order (ctx : Context.t) within =
 let sweep_pin (ctx : Context.t) (ts : tagsets) inside pin =
   let g = ctx.Context.graph in
   if ts.tags.(pin) <> [] then
-    List.iter
-      (fun aid ->
+    Graph.iter_out g pin (fun aid ->
         if Const_prop.enabled ctx.Context.consts aid then begin
-          let a = g.Graph.arcs.(aid) in
-          let dst = a.Graph.a_dst in
-          if inside dst then
+          let dst = Graph.arc_dst g aid in
+          if inside dst then begin
+            let unate = Graph.arc_unate g aid in
             List.iter
               (fun k ->
                 let st' = Excmatch.advance ctx.Context.excs (key_state k) dst in
                 List.iter
                   (fun edge -> add_tag ts dst (key ~edge (key_clock k) st'))
-                  (edges_through_arc a (key_edge k)))
+                  (edges_through_unate unate (key_edge k)))
               ts.tags.(pin)
+          end
         end)
-      g.Graph.out_arcs.(pin)
 
 let sweep (ctx : Context.t) (ts : tagsets) ?within ?order () =
   let inside pin = match within with None -> true | Some w -> w.(pin) in
   match order with
   | Some pins -> List.iter (fun pin -> sweep_pin ctx ts inside pin) pins
-  | None -> Array.iter (fun pin -> sweep_pin ctx ts inside pin) ctx.Context.graph.Graph.topo
+  | None ->
+    Array.iter
+      (fun pin -> sweep_pin ctx ts inside pin)
+      (Graph.topo ctx.Context.graph)
 
 let propagate (ctx : Context.t) ~seeds ?within ?order ?scratch () =
   let ts =
@@ -239,14 +241,12 @@ let data_clock_masks (ctx : Context.t) =
   Array.iter
     (fun pin ->
       if masks.(pin) <> 0 then
-        List.iter
-          (fun aid ->
+        Graph.iter_out g pin (fun aid ->
             if Const_prop.enabled ctx.Context.consts aid then begin
-              let a = g.Graph.arcs.(aid) in
-              masks.(a.Graph.a_dst) <- masks.(a.Graph.a_dst) lor masks.(pin)
-            end)
-          g.Graph.out_arcs.(pin))
-    g.Graph.topo;
+              let dst = Graph.arc_dst g aid in
+              masks.(dst) <- masks.(dst) lor masks.(pin)
+            end))
+    (Graph.topo g);
   masks
 
 let cone (ctx : Context.t) pins ~forward =
@@ -261,22 +261,189 @@ let cone (ctx : Context.t) pins ~forward =
         Queue.add p queue
       end)
     pins;
+  let visit aid =
+    if Const_prop.enabled ctx.Context.consts aid then begin
+      let next = if forward then Graph.arc_dst g aid else Graph.arc_src g aid in
+      if not mark.(next) then begin
+        mark.(next) <- true;
+        Queue.add next queue
+      end
+    end
+  in
   while not (Queue.is_empty queue) do
     let p = Queue.take queue in
-    let arcs = if forward then g.Graph.out_arcs.(p) else g.Graph.in_arcs.(p) in
-    List.iter
-      (fun aid ->
-        if Const_prop.enabled ctx.Context.consts aid then begin
-          let a = g.Graph.arcs.(aid) in
-          let next = if forward then a.Graph.a_dst else a.Graph.a_src in
-          if not mark.(next) then begin
-            mark.(next) <- true;
-            Queue.add next queue
-          end
-        end)
-      arcs
+    if forward then Graph.iter_out g p visit else Graph.iter_in g p visit
   done;
   mark
 
 let forward_cone ctx pins = cone ctx pins ~forward:true
 let backward_cone ctx pins = cone ctx pins ~forward:false
+
+(* ------------------------------------------------------------------ *)
+(* Incremental endpoint relations.
+
+   The refinement loop re-runs pass 1 after every batch of appended
+   exceptions; everything else in the context (graph, constants,
+   clocks, environment) is unchanged. An appended exception can only
+   change the relations of endpoints its from/through/to scope can
+   reach, so: diff the exception list against the cached one, mark the
+   endpoints in the new exceptions' scopes dirty (conservatively, via
+   enabled-arc cones), re-propagate restricted to the dirty endpoints'
+   backward cone, and splice the recomputed relation lists into the
+   cached ones positionally. Cached [Relation.t] lists carry no
+   exception-state ids, so they stay valid across the re-prepared
+   exception automaton. *)
+
+type ep_cache = {
+  mutable ec_excs : Mode.exc list option;  (* None = cold *)
+  mutable ec_edge_sensitive : bool;
+  mutable ec_rels : (Design.pin_id * Relation.t list) array;
+      (* graph endpoint order *)
+}
+
+let create_ep_cache () =
+  { ec_excs = None; ec_edge_sensitive = false; ec_rels = [||] }
+
+(* [strip_prefix cached now] = the suffix of [now] after [cached], or
+   None when [cached] is not a prefix — refinement only appends, so a
+   non-prefix means the cache is for some other mode lineage. *)
+let rec strip_prefix prefix l =
+  match prefix, l with
+  | [], rest -> Some rest
+  | p :: ps, x :: xs when p == x || Mode.exc_equal p x -> strip_prefix ps xs
+  | _ :: _, _ -> None
+
+(* Endpoints an exception could affect: inside the forward cone of its
+   -through (first group) or -from pins, AND matching its -to points.
+   Either restriction missing widens to "all"; both missing dirties
+   every endpoint. Everything is over-approximate on purpose. *)
+let dirty_endpoints (ctx : Context.t) delta =
+  let eps = Array.of_list ctx.Context.graph.Graph.endpoints in
+  let n_eps = Array.length eps in
+  let dirty = Array.make n_eps false in
+  let seeds = lazy (all_seeds ctx) in
+  List.iter
+    (fun (e : Mode.exc) ->
+      let cone =
+        match e.Mode.exc_through with
+        | grp :: _ -> Some (forward_cone ctx grp)
+        | [] -> (
+          match e.Mode.exc_from with
+          | None -> None
+          | Some pts ->
+            let pins =
+              List.concat_map
+                (function
+                  | Mode.P_pin p -> [ p ]
+                  | Mode.P_inst inst ->
+                    Array.to_list (Design.inst_pins ctx.Context.design inst)
+                  | Mode.P_clock c -> (
+                    match Clock_prop.clock_index ctx.Context.clocks c with
+                    | None -> []
+                    | Some ci ->
+                      List.filter_map
+                        (fun s ->
+                          if s.seed_clock = ci then Some s.seed_pin else None)
+                        (Lazy.force seeds)))
+                pts
+            in
+            Some (forward_cone ctx pins))
+      in
+      let to_pred =
+        match e.Mode.exc_to with
+        | None -> None
+        | Some pts ->
+          Some
+            (fun ep ->
+              let aliases = Context.endpoint_alias_pins ctx ep in
+              let captures =
+                lazy (Context.capture_clocks_of_endpoint ctx ep)
+              in
+              List.exists
+                (function
+                  | Mode.P_pin p -> List.mem p aliases
+                  | Mode.P_inst inst ->
+                    List.exists
+                      (fun p ->
+                        match Design.pin_owner ctx.Context.design p with
+                        | Design.Inst_pin (i, _) -> i = inst
+                        | Design.Port_pin _ -> false)
+                      aliases
+                  | Mode.P_clock c -> (
+                    match Clock_prop.clock_index ctx.Context.clocks c with
+                    | None -> false
+                    | Some cj -> List.mem cj (Lazy.force captures)))
+                pts)
+      in
+      match cone, to_pred with
+      | None, None -> Array.fill dirty 0 n_eps true
+      | _ ->
+        Array.iteri
+          (fun i ep ->
+            if not dirty.(i) then begin
+              let pin = Graph.endpoint_pin ep in
+              let in_cone =
+                match cone with None -> true | Some c -> c.(pin)
+              in
+              if in_cone then
+                match to_pred with
+                | None -> dirty.(i) <- true
+                | Some f -> if f ep then dirty.(i) <- true
+            end)
+          eps)
+    delta;
+  eps, dirty
+
+let endpoint_relations_cached cache (ctx : Context.t) =
+  let excs_now = ctx.Context.mode.Mode.exceptions in
+  let es_now = Excmatch.edge_sensitive ctx.Context.excs in
+  let store rels =
+    cache.ec_excs <- Some excs_now;
+    cache.ec_edge_sensitive <- es_now;
+    cache.ec_rels <- rels;
+    Array.to_list rels
+  in
+  let full () = store (Array.of_list (endpoint_relations ctx)) in
+  match cache.ec_excs with
+  | None -> full ()
+  | Some _ when es_now <> cache.ec_edge_sensitive ->
+    (* A new exception flipped the mode edge-sensitive: every tag and
+       relation changes representation. *)
+    full ()
+  | Some cached_excs -> (
+    match strip_prefix cached_excs excs_now with
+    | None -> full ()
+    | Some [] -> Array.to_list cache.ec_rels
+    | Some delta ->
+      let eps, dirty = dirty_endpoints ctx delta in
+      if Array.length eps <> Array.length cache.ec_rels then full ()
+      else
+        Mm_util.Obs.with_span "sta.incremental_reuse"
+          ~attrs:
+            [
+              "what", "endpoint-relations";
+              ( "dirty",
+                string_of_int
+                  (Array.fold_left
+                     (fun acc d -> if d then acc + 1 else acc)
+                     0 dirty) );
+            ]
+        @@ fun () ->
+        if not (Array.exists Fun.id dirty) then store (Array.copy cache.ec_rels)
+        else begin
+          let dirty_pins = ref [] in
+          Array.iteri
+            (fun i ep ->
+              if dirty.(i) then dirty_pins := Graph.endpoint_pin ep :: !dirty_pins)
+            eps;
+          let within = backward_cone ctx !dirty_pins in
+          let order = cone_order ctx within in
+          let tags = propagate ctx ~seeds:(all_seeds ctx) ~within ~order () in
+          store
+            (Array.mapi
+               (fun i ep ->
+                 if dirty.(i) then
+                   Graph.endpoint_pin ep, relations_at ctx tags ep
+                 else cache.ec_rels.(i))
+               eps)
+        end)

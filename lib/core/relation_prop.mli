@@ -73,6 +73,25 @@ val endpoint_relations :
 (** Pass-1 input: relations at every endpoint of the design under this
     context's mode, keyed by endpoint pin, in graph endpoint order. *)
 
+type ep_cache
+(** Cache for {!endpoint_relations_cached}: remembers the exception
+    list and per-endpoint relations of the last call. *)
+
+val create_ep_cache : unit -> ep_cache
+
+val endpoint_relations_cached :
+  ep_cache ->
+  Mm_timing.Context.t ->
+  (Mm_netlist.Design.pin_id * Relation.t list) list
+(** Like {!endpoint_relations}, but when the context's exception list
+    extends the cached one (the refinement-loop pattern — iterations
+    only append exceptions to an otherwise identical mode), only the
+    endpoints inside the new exceptions' from/through/to scope are
+    re-propagated (restricted to their backward cone); the rest reuse
+    the cached lists. Falls back to a full recompute whenever the
+    prefix property does not hold. Results are identical to
+    {!endpoint_relations} either way. *)
+
 val data_clock_masks : Mm_timing.Context.t -> int array
 (** Per pin, the bitmask of launch clocks whose data can reach it —
     the "clocks at any node in the data network" of section 3.2. *)

@@ -65,20 +65,18 @@ let run (g : Graph.t) (cp : Const_prop.t) (mode : Mode.t) =
   Array.iter
     (fun pin ->
       if masks.(pin) <> 0 then
-        List.iter
-          (fun aid ->
-            let a = g.Graph.arcs.(aid) in
-            if a.Graph.a_kind <> Graph.Launch && Const_prop.enabled cp aid
+        Graph.iter_out g pin (fun aid ->
+            if Graph.arc_kind g aid <> Graph.Launch && Const_prop.enabled cp aid
             then begin
-              let dst = a.Graph.a_dst in
+              let dst = Graph.arc_dst g aid in
               let incoming = masks.(pin) land lnot (stopped_mask dst) in
               if incoming <> 0 then begin
                 masks.(dst) <- masks.(dst) lor incoming;
                 for ci = 0 to nclk - 1 do
                   if incoming land (1 lsl ci) <> 0 then begin
                     let smin, smax = Hashtbl.find arrivals (key pin ci) in
-                    let dmin = smin +. a.Graph.a_dmin
-                    and dmax = smax +. a.Graph.a_dmax in
+                    let dmin = smin +. Graph.arc_dmin g aid
+                    and dmax = smax +. Graph.arc_dmax g aid in
                     match Hashtbl.find_opt arrivals (key dst ci) with
                     | None -> Hashtbl.replace arrivals (key dst ci) (dmin, dmax)
                     | Some (emin, emax) ->
@@ -87,9 +85,8 @@ let run (g : Graph.t) (cp : Const_prop.t) (mode : Mode.t) =
                   end
                 done
               end
-            end)
-          g.Graph.out_arcs.(pin))
-    g.Graph.topo;
+            end))
+    (Graph.topo g);
   { order; index; masks; arrivals }
 
 let n_clocks t = Array.length t.order

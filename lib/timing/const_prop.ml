@@ -47,7 +47,7 @@ let run (g : Graph.t) (mode : Mode.t) =
               | Some _ | None -> ())
           end
       end)
-    g.Graph.topo;
+    (Graph.topo g);
   (* Disables. *)
   let pin_disabled = Array.make n false in
   let arc_disabled = Hashtbl.create 16 in
@@ -59,29 +59,28 @@ let run (g : Graph.t) (mode : Mode.t) =
         let matches name spec =
           match spec with None -> true | Some s -> String.equal s name
         in
-        Array.iteri
-          (fun aid a ->
-            if a.Graph.a_inst = inst && a.Graph.a_kind <> Graph.Net then begin
-              let pin_name_of p =
-                match Design.pin_owner design p with
-                | Design.Inst_pin (_, i) ->
-                  cell.Lib_cell.pins.(i).Lib_cell.pin_name
-                | Design.Port_pin _ -> ""
-              in
-              if
-                matches (pin_name_of a.Graph.a_src) from_
-                && matches (pin_name_of a.Graph.a_dst) to_
-              then Hashtbl.replace arc_disabled aid ()
-            end)
-          g.Graph.arcs)
+        for aid = 0 to Graph.n_arcs g - 1 do
+          if Graph.arc_inst g aid = inst && Graph.arc_kind g aid <> Graph.Net
+          then begin
+            let pin_name_of p =
+              match Design.pin_owner design p with
+              | Design.Inst_pin (_, i) ->
+                cell.Lib_cell.pins.(i).Lib_cell.pin_name
+              | Design.Port_pin _ -> ""
+            in
+            if
+              matches (pin_name_of (Graph.arc_src g aid)) from_
+              && matches (pin_name_of (Graph.arc_dst g aid)) to_
+            then Hashtbl.replace arc_disabled aid ()
+          end
+        done)
     mode.Mode.disables;
   let broken = Hashtbl.create 16 in
-  List.iter (fun aid -> Hashtbl.replace broken aid ()) g.Graph.broken_arcs;
+  List.iter (fun aid -> Hashtbl.replace broken aid ()) (Graph.broken_arcs g);
   (* Arc enablement. *)
   let arc_enabled =
-    Array.mapi
-      (fun aid a ->
-        let src = a.Graph.a_src and dst = a.Graph.a_dst in
+    Array.init (Graph.n_arcs g) (fun aid ->
+        let src = Graph.arc_src g aid and dst = Graph.arc_dst g aid in
         if
           Hashtbl.mem arc_disabled aid
           || Hashtbl.mem broken aid
@@ -91,7 +90,7 @@ let run (g : Graph.t) (mode : Mode.t) =
           || values.(dst) <> Logic.X
         then false
         else
-          match a.Graph.a_kind with
+          match Graph.arc_kind g aid with
           | Graph.Net | Graph.Launch -> true
           | Graph.Comb -> (
             match Design.pin_owner design dst with
@@ -105,7 +104,6 @@ let run (g : Graph.t) (mode : Mode.t) =
                 | Design.Port_pin _ -> true)
               | None -> true)
             | Design.Port_pin _ -> true))
-      g.Graph.arcs
   in
   { values; arc_enabled; pin_disabled }
 

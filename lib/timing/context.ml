@@ -40,6 +40,16 @@ let create design mode =
   let excs = Excmatch.prepare graph clocks mode in
   { design; mode; graph; consts; clocks; excs; exclusive = build_exclusive clocks mode }
 
+(* Swap the mode without recomputing graph/constants/clocks: only the
+   exception automaton and clock-group exclusivity depend on the parts
+   of a mode that refinement changes (exceptions, groups, senses used
+   as lineage carriers). The caller guarantees the new mode matches
+   [t.mode] in everything the reused layers were computed from: cases,
+   disables, environment (loads/drives) and clock definitions. *)
+let with_exceptions t mode =
+  let excs = Excmatch.prepare t.graph t.clocks mode in
+  { t with mode; excs; exclusive = build_exclusive t.clocks mode }
+
 let clocks_exclusive t a b = t.exclusive.(a) land (1 lsl b) <> 0
 
 let find_clock t i =

@@ -18,6 +18,15 @@ type t = {
 
 val create : Mm_netlist.Design.t -> Mm_sdc.Mode.t -> t
 
+val with_exceptions : t -> Mm_sdc.Mode.t -> t
+(** [with_exceptions t mode] swaps [mode] into the context, re-preparing
+    only the exception matcher and clock-group exclusivity; the timing
+    graph, constant propagation and clock propagation are reused as-is.
+    Sound only when [mode] agrees with [t.mode] on everything those
+    layers read: cases, disables, environment constraints and clock
+    definitions — the refinement loop's situation, where iterations
+    differ only by appended exceptions. *)
+
 val clocks_exclusive : t -> int -> int -> bool
 
 val find_clock : t -> int -> Mm_sdc.Mode.clock

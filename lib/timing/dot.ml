@@ -45,8 +45,8 @@ let export ?(individual = []) ?(clock_network_only = false)
   let used = Array.make (Graph.n_pins graph) false in
   let clocky pin = Clock_prop.mask_at merged.Context.clocks pin <> 0 in
   let edges = Buffer.create 4096 in
-  Array.iter
-    (fun (a : Graph.arc) ->
+  Graph.iter_arcs graph
+    (fun _aid (a : Graph.arc) ->
       let src = a.Graph.a_src and dst = a.Graph.a_dst in
       let on_clock_net = clocky src in
       if (not clock_network_only) || on_clock_net then begin
@@ -82,8 +82,7 @@ let export ?(individual = []) ?(clock_network_only = false)
              style color
              (if label = "" then ""
               else Printf.sprintf ", label=\"%s\"" (escape label)))
-      end)
-    graph.Graph.arcs;
+      end);
   Array.iteri
     (fun pin u ->
       if u then begin

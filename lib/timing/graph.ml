@@ -1,7 +1,5 @@
 module Design = Mm_netlist.Design
 module Lib_cell = Mm_netlist.Lib_cell
-module Wire_load = Mm_netlist.Wire_load
-module Mode = Mm_sdc.Mode
 
 type arc_kind = Comb | Net | Launch
 
@@ -17,39 +15,7 @@ type arc = {
   a_dmax : float;
 }
 
-(* Unateness of [f] in input [i], decided by exhaustive evaluation over
-   the (small) support of the cell function. *)
-let unateness f i =
-  let support = Mm_netlist.Logic.support f in
-  if not (List.mem i support) then Non_unate
-  else begin
-    let others = List.filter (fun j -> j <> i) support in
-    let n = List.length others in
-    let can_pos = ref true and can_neg = ref true in
-    for mask = 0 to (1 lsl n) - 1 do
-      let env_with vi j =
-        if j = i then vi
-        else
-          match List.find_index (( = ) j) others with
-          | Some k ->
-            if mask land (1 lsl k) <> 0 then Mm_netlist.Logic.T
-            else Mm_netlist.Logic.F
-          | None -> Mm_netlist.Logic.X
-      in
-      let f0 = Mm_netlist.Logic.eval (env_with Mm_netlist.Logic.F) f
-      and f1 = Mm_netlist.Logic.eval (env_with Mm_netlist.Logic.T) f in
-      (match f0, f1 with
-      | Mm_netlist.Logic.T, Mm_netlist.Logic.F -> can_pos := false
-      | Mm_netlist.Logic.F, Mm_netlist.Logic.T -> can_neg := false
-      | _ -> ())
-    done;
-    match !can_pos, !can_neg with
-    | true, false -> Positive
-    | false, true -> Negative
-    | true, true | false, false -> Non_unate
-  end
-
-type endpoint =
+type endpoint = Tgraph.endpoint =
   | Ep_reg of {
       ep_data : Design.pin_id;
       ep_clock : Design.pin_id;
@@ -60,7 +26,7 @@ type endpoint =
     }
   | Ep_port of { ep_pin : Design.pin_id }
 
-type startpoint =
+type startpoint = Tgraph.startpoint =
   | Sp_reg of {
       sp_clock : Design.pin_id;
       sp_inst : Design.inst_id;
@@ -72,266 +38,98 @@ type startpoint =
 
 type t = {
   design : Design.t;
-  arcs : arc array;
-  out_arcs : int list array;
-  in_arcs : int list array;
-  topo : int array;
-  topo_pos : int array;
+  tg : Tgraph.t;
   endpoints : endpoint list;
   startpoints : startpoint list;
-  broken_arcs : int list;
-  loads : float array;
 }
 
-let min_derate = 0.8
-let default_port_drive = 0.5 (* ns/pF when no set_drive given *)
-let transition_delay_factor = 0.3
-
-(* Environment constraint lookup tables built from the mode. *)
-type env_tables = {
-  extra_load : (Design.pin_id, float) Hashtbl.t;
-  port_drive : (Design.pin_id, float) Hashtbl.t;
-  port_transition : (Design.pin_id, float) Hashtbl.t;
-}
-
-let env_tables (mode : Mode.t) =
-  let extra_load = Hashtbl.create 16
-  and port_drive = Hashtbl.create 16
-  and port_transition = Hashtbl.create 16 in
-  List.iter
-    (fun (e : Mode.env_constraint) ->
-      let table =
-        match e.envc_kind with
-        | Mm_sdc.Ast.Load -> extra_load
-        | Mm_sdc.Ast.Drive -> port_drive
-        | Mm_sdc.Ast.Input_transition -> port_transition
-      in
-      (* For max-delay purposes the max value dominates; store the
-         worst (largest). *)
-      let prev = Option.value ~default:0. (Hashtbl.find_opt table e.envc_pin) in
-      Hashtbl.replace table e.envc_pin (Float.max prev e.envc_value))
-    mode.Mode.envs;
-  { extra_load; port_drive; port_transition }
-
-(* Total capacitive load seen by a driver pin: connected sink pin caps
-   plus estimated wire cap plus any set_load on the net's pins. *)
-let load_of_driver design env wlm pin =
-  match Design.pin_net design pin with
-  | None -> 0.
-  | Some net ->
-    let sinks = Design.net_sinks design net in
-    let pin_caps =
-      List.fold_left (fun acc s -> acc +. Design.pin_cap design s) 0. sinks
-    in
-    let extra =
-      List.fold_left
-        (fun acc s ->
-          acc +. Option.value ~default:0. (Hashtbl.find_opt env.extra_load s))
-        0. sinks
-      +. Option.value ~default:0. (Hashtbl.find_opt env.extra_load pin)
-    in
-    pin_caps +. extra +. Wire_load.wire_cap wlm (List.length sinks)
-
-let build design (mode : Mode.t) =
-  let env = env_tables mode in
-  let wlm = Wire_load.default in
-  let n = Design.n_pins design in
-  let arcs = ref [] and n_arcs = ref 0 in
-  let out_arcs = Array.make n [] and in_arcs = Array.make n [] in
-  let add_arc a =
-    let id = !n_arcs in
-    incr n_arcs;
-    arcs := a :: !arcs;
-    out_arcs.(a.a_src) <- id :: out_arcs.(a.a_src);
-    in_arcs.(a.a_dst) <- id :: in_arcs.(a.a_dst)
-  in
-  let endpoints = ref [] and startpoints = ref [] in
-  (* Cell arcs. *)
-  Design.iter_insts design (fun inst ->
-      let cell = Design.inst_cell design inst in
-      (* Combinational function arcs (also covers ICG-style cells). *)
-      List.iter
-        (fun (i, o) ->
-          let src = Design.inst_pin design inst i
-          and dst = Design.inst_pin design inst o in
-          let load = load_of_driver design env wlm dst in
-          let dmax = cell.Lib_cell.intrinsic +. (cell.Lib_cell.drive_res *. load) in
-          let a_unate =
-            match Lib_cell.function_of_output cell o with
-            | Some f -> unateness f i
-            | None -> Non_unate
-          in
-          add_arc
-            {
-              a_src = src;
-              a_dst = dst;
-              a_kind = Comb;
-              a_inst = inst;
-              a_unate;
-              a_dmin = dmax *. min_derate;
-              a_dmax = dmax;
-            })
-        (Lib_cell.comb_arcs cell);
-      match cell.Lib_cell.seq with
-      | None -> ()
-      | Some seq ->
-        let cp = Design.inst_pin design inst seq.Lib_cell.clock_pin in
-        let outputs =
-          List.map (fun q -> Design.inst_pin design inst q) seq.Lib_cell.q_pins
-        in
-        List.iter
-          (fun q ->
-            let load = load_of_driver design env wlm q in
-            let dmax =
-              seq.Lib_cell.clk_to_q +. (cell.Lib_cell.drive_res *. load)
-            in
-            add_arc
-              {
-                a_src = cp;
-                a_dst = q;
-                a_kind = Launch;
-                a_inst = inst;
-                (* Launched data can rise or fall regardless of the
-                   clock edge. *)
-                a_unate = Non_unate;
-                a_dmin = dmax *. min_derate;
-                a_dmax = dmax;
-              })
-          outputs;
-        startpoints :=
-          Sp_reg
-            {
-              sp_clock = cp;
-              sp_inst = inst;
-              sp_outputs = outputs;
-              sp_clk_to_q = seq.Lib_cell.clk_to_q;
-              sp_edge = seq.Lib_cell.clock_edge;
-            }
-          :: !startpoints;
-        List.iter
-          (fun d ->
-            endpoints :=
-              Ep_reg
-                {
-                  ep_data = Design.inst_pin design inst d;
-                  ep_clock = cp;
-                  ep_inst = inst;
-                  ep_setup = seq.Lib_cell.setup;
-                  ep_hold = seq.Lib_cell.hold;
-                  ep_edge = seq.Lib_cell.clock_edge;
-                }
-              :: !endpoints)
-          seq.Lib_cell.data_pins);
-  (* Net arcs. *)
-  Design.iter_nets design (fun net ->
-      match Design.net_driver design net with
-      | None -> ()
-      | Some drv ->
-        let sinks = Design.net_sinks design net in
-        let fanout = List.length sinks in
-        let pin_caps =
-          List.fold_left (fun acc s -> acc +. Design.pin_cap design s) 0. sinks
-        in
-        let base = Wire_load.net_delay wlm ~fanout ~pin_caps in
-        (* A port driving the net contributes its external drive and
-           transition there, since it has no cell arc of its own. *)
-        let port_extra =
-          match Design.pin_owner design drv with
-          | Design.Port_pin _ ->
-            let drive =
-              Option.value ~default:default_port_drive
-                (Hashtbl.find_opt env.port_drive drv)
-            in
-            let transition =
-              Option.value ~default:0. (Hashtbl.find_opt env.port_transition drv)
-            in
-            (drive *. (pin_caps +. Wire_load.wire_cap wlm fanout))
-            +. (transition *. transition_delay_factor)
-          | Design.Inst_pin _ -> 0.
-        in
-        let dmax = base +. port_extra in
-        List.iter
-          (fun s ->
-            add_arc
-              {
-                a_src = drv;
-                a_dst = s;
-                a_kind = Net;
-                a_inst = -1;
-                a_unate = Positive;
-                a_dmin = dmax *. min_derate;
-                a_dmax = dmax;
-              })
-          sinks);
-  (* Port start/endpoints. *)
-  Design.iter_ports design (fun p ->
-      match Design.port_dir design p with
-      | Design.In -> startpoints := Sp_port { sp_pin = Design.port_pin design p } :: !startpoints
-      | Design.Out -> endpoints := Ep_port { ep_pin = Design.port_pin design p } :: !endpoints);
-  let arcs = Array.of_list (List.rev !arcs) in
-  (* Kahn topological sort; cycles broken by discarding the remaining
-     arcs (recorded for diagnostics). *)
-  let indeg = Array.make n 0 in
-  Array.iter (fun a -> indeg.(a.a_dst) <- indeg.(a.a_dst) + 1) arcs;
-  let queue = Queue.create () in
-  for p = 0 to n - 1 do
-    if indeg.(p) = 0 then Queue.add p queue
-  done;
-  let topo = Array.make n (-1) in
-  let pos = ref 0 in
-  while not (Queue.is_empty queue) do
-    let p = Queue.take queue in
-    topo.(!pos) <- p;
-    incr pos;
-    List.iter
-      (fun aid ->
-        let dst = arcs.(aid).a_dst in
-        indeg.(dst) <- indeg.(dst) - 1;
-        if indeg.(dst) = 0 then Queue.add dst queue)
-      out_arcs.(p)
-  done;
-  let broken_arcs = ref [] in
-  if !pos < n then begin
-    (* Combinational loop: the unresolved pins keep a nonzero indegree.
-       Append them in id order and record their incoming arcs from other
-       unresolved pins as broken. *)
-    let placed = Array.make n false in
-    Array.iteri (fun i p -> if i < !pos && p >= 0 then placed.(p) <- true) topo;
-    for p = 0 to n - 1 do
-      if not placed.(p) then begin
-        topo.(!pos) <- p;
-        incr pos;
-        List.iter
-          (fun aid ->
-            if not placed.(arcs.(aid).a_src) then
-              broken_arcs := aid :: !broken_arcs)
-          in_arcs.(p);
-        placed.(p) <- true
-      end
-    done
-  end;
-  let topo_pos = Array.make n 0 in
-  Array.iteri (fun i p -> topo_pos.(p) <- i) topo;
-  let loads = Array.make n 0. in
-  Design.iter_nets design (fun net ->
-      match Design.net_driver design net with
-      | Some drv -> loads.(drv) <- load_of_driver design env wlm drv
-      | None -> ());
+let build design mode =
+  let tg = Tgraph.build design mode in
   {
     design;
-    arcs;
-    out_arcs;
-    in_arcs;
-    topo;
-    topo_pos;
-    endpoints = List.rev !endpoints;
-    startpoints = List.rev !startpoints;
-    broken_arcs = !broken_arcs;
-    loads;
+    tg;
+    endpoints = tg.Tgraph.sk.Tgraph.sk_endpoints;
+    startpoints = tg.Tgraph.sk.Tgraph.sk_startpoints;
   }
 
-let n_pins t = Array.length t.out_arcs
-let arc t i = t.arcs.(i)
+let n_pins t = t.tg.Tgraph.sk.Tgraph.sk_n_pins
+let n_arcs t = t.tg.Tgraph.sk.Tgraph.sk_n_arcs
+
+(* Arc scalar accessors over the arena. *)
+let arc_src t aid = t.tg.Tgraph.sk.Tgraph.arc_src.(aid)
+let arc_dst t aid = t.tg.Tgraph.sk.Tgraph.arc_dst.(aid)
+let arc_inst t aid = t.tg.Tgraph.sk.Tgraph.arc_inst.(aid)
+let arc_dmin t aid = t.tg.Tgraph.dmin.(aid)
+let arc_dmax t aid = t.tg.Tgraph.dmax.(aid)
+
+let kind_of_code k =
+  if k = Tgraph.kind_comb then Comb
+  else if k = Tgraph.kind_net then Net
+  else Launch
+
+let unate_of_code u =
+  if u = Tgraph.unate_pos then Positive
+  else if u = Tgraph.unate_neg then Negative
+  else Non_unate
+
+let arc_kind t aid = kind_of_code t.tg.Tgraph.sk.Tgraph.arc_kind.(aid)
+let arc_unate t aid = unate_of_code t.tg.Tgraph.sk.Tgraph.arc_unate.(aid)
+
+let iter_out t pin f =
+  let sk = t.tg.Tgraph.sk in
+  for k = sk.Tgraph.out_row.(pin) to sk.Tgraph.out_row.(pin + 1) - 1 do
+    f sk.Tgraph.out_adj.(k)
+  done
+
+let iter_in t pin f =
+  let sk = t.tg.Tgraph.sk in
+  for k = sk.Tgraph.in_row.(pin) to sk.Tgraph.in_row.(pin + 1) - 1 do
+    f sk.Tgraph.in_adj.(k)
+  done
+
+let fold_in t pin init f =
+  let sk = t.tg.Tgraph.sk in
+  let acc = ref init in
+  for k = sk.Tgraph.in_row.(pin) to sk.Tgraph.in_row.(pin + 1) - 1 do
+    acc := f !acc sk.Tgraph.in_adj.(k)
+  done;
+  !acc
+
+let find_map_in t pin f =
+  let sk = t.tg.Tgraph.sk in
+  let lo = sk.Tgraph.in_row.(pin) and hi = sk.Tgraph.in_row.(pin + 1) in
+  let rec go k =
+    if k >= hi then None
+    else
+      match f sk.Tgraph.in_adj.(k) with
+      | Some _ as r -> r
+      | None -> go (k + 1)
+  in
+  go lo
+
+let topo t = t.tg.Tgraph.sk.Tgraph.topo
+let topo_pos t = t.tg.Tgraph.sk.Tgraph.topo_pos
+let level t = t.tg.Tgraph.sk.Tgraph.level
+let n_levels t = t.tg.Tgraph.sk.Tgraph.n_levels
+let broken_arcs t = t.tg.Tgraph.sk.Tgraph.broken
+let loads t = t.tg.Tgraph.loads
+
+(* Materialized arc record — cold paths (tests, dot export) only. *)
+let arc t aid =
+  {
+    a_src = arc_src t aid;
+    a_dst = arc_dst t aid;
+    a_kind = arc_kind t aid;
+    a_inst = arc_inst t aid;
+    a_unate = arc_unate t aid;
+    a_dmin = arc_dmin t aid;
+    a_dmax = arc_dmax t aid;
+  }
+
+let iter_arcs t f =
+  for aid = 0 to n_arcs t - 1 do
+    f aid (arc t aid)
+  done
 
 let endpoint_pin = function
   | Ep_reg { ep_data; _ } -> ep_data

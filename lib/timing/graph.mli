@@ -1,13 +1,16 @@
-(** The timing graph.
+(** The timing graph, viewed over the compiled {!Tgraph} arena.
 
     Nodes are design pins; arcs are cell arcs (input to output, derived
     from cell functions), launch arcs (register clock pin to outputs)
-    and net arcs (driver to sinks). Arc delays are computed at build
-    time from the linear cell model plus the wire-load model, including
-    the mode's environment constraints (set_load / set_drive /
-    set_input_transition) — which is why a graph is built per
-    (design, mode) pair, mirroring how an STA tool loads a constraint
-    set. *)
+    and net arcs (driver to sinks). The mode-independent structure is
+    compiled once per design into a flat CSR arena ({!Tgraph}) and
+    cached; building a graph for a (design, mode) pair lays the mode's
+    delay overlay (environment constraints: set_load / set_drive /
+    set_input_transition) over the shared skeleton.
+
+    Arcs are addressed by dense ids; hot paths use the scalar accessors
+    and the [iter_*] loops (no allocation), while cold paths (tests,
+    dot export) may materialize {!arc} records. *)
 
 type arc_kind = Comb | Net | Launch
 
@@ -27,7 +30,7 @@ type arc = {
   a_dmax : float;
 }
 
-type endpoint =
+type endpoint = Tgraph.endpoint =
   | Ep_reg of {
       ep_data : Mm_netlist.Design.pin_id;
       ep_clock : Mm_netlist.Design.pin_id;
@@ -38,7 +41,7 @@ type endpoint =
     }
   | Ep_port of { ep_pin : Mm_netlist.Design.pin_id }
 
-type startpoint =
+type startpoint = Tgraph.startpoint =
   | Sp_reg of {
       sp_clock : Mm_netlist.Design.pin_id;
       sp_inst : Mm_netlist.Design.inst_id;
@@ -50,27 +53,66 @@ type startpoint =
 
 type t = {
   design : Mm_netlist.Design.t;
-  arcs : arc array;
-  out_arcs : int list array;  (** arc indices leaving each pin *)
-  in_arcs : int list array;   (** arc indices entering each pin *)
-  topo : int array;           (** pins in topological order *)
-  topo_pos : int array;       (** inverse permutation of [topo] *)
+  tg : Tgraph.t;  (** the compiled arena + this mode's delay overlay *)
   endpoints : endpoint list;
   startpoints : startpoint list;
-  broken_arcs : int list;     (** arcs dropped to break combinational loops *)
-  loads : float array;
-      (** per pin: capacitive load driven (pF); 0 for non-drivers.
-          Includes set_load and the wire-load estimate — the quantity
-          checked against set_max_capacitance. *)
 }
 
 val build : Mm_netlist.Design.t -> Mm_sdc.Mode.t -> t
 (** Build the graph with delays reflecting [mode]'s environment
-    constraints. Loops (if any) are broken at an arbitrary arc, which is
-    recorded in [broken_arcs]. *)
+    constraints, reusing the design's cached skeleton. Loops (if any)
+    are broken at an arbitrary arc, recorded in {!broken_arcs}. *)
 
 val n_pins : t -> int
+val n_arcs : t -> int
+
+(** {1 Arc accessors (hot paths)} *)
+
+val arc_src : t -> int -> Mm_netlist.Design.pin_id
+val arc_dst : t -> int -> Mm_netlist.Design.pin_id
+val arc_kind : t -> int -> arc_kind
+val arc_inst : t -> int -> int
+val arc_unate : t -> int -> unate
+val arc_dmin : t -> int -> float
+val arc_dmax : t -> int -> float
+
+val iter_out : t -> Mm_netlist.Design.pin_id -> (int -> unit) -> unit
+(** Arc ids leaving the pin, in the arena's row order (descending id —
+    the iteration order downstream tie-breaks rely on). *)
+
+val iter_in : t -> Mm_netlist.Design.pin_id -> (int -> unit) -> unit
+
+val fold_in : t -> Mm_netlist.Design.pin_id -> 'a -> ('a -> int -> 'a) -> 'a
+
+val find_map_in :
+  t -> Mm_netlist.Design.pin_id -> (int -> 'a option) -> 'a option
+(** First [Some] over the incoming arc ids, in row order. *)
+
+(** {1 Orders and per-pin data} *)
+
+val topo : t -> int array
+(** Pins in topological order. *)
+
+val topo_pos : t -> int array
+(** Inverse permutation of {!topo}. *)
+
+val level : t -> int array
+(** Per pin, the levelized depth in the acyclic core. *)
+
+val n_levels : t -> int
+
+val broken_arcs : t -> int list
+(** Arcs dropped to break combinational loops. *)
+
+val loads : t -> float array
+(** Per pin: capacitive load driven (pF); 0 for non-drivers. Includes
+    set_load and the wire-load estimate — the quantity checked against
+    set_max_capacitance. *)
+
+(** {1 Cold-path views} *)
+
 val arc : t -> int -> arc
+val iter_arcs : t -> (int -> arc -> unit) -> unit
 
 val endpoint_pin : endpoint -> Mm_netlist.Design.pin_id
 val startpoint_pin : startpoint -> Mm_netlist.Design.pin_id

@@ -32,7 +32,7 @@ type report = {
    (drive resistance x load). *)
 let drc_checks (ctx : Context.t) =
   let design = ctx.Context.design in
-  let loads = ctx.Context.graph.Graph.loads in
+  let loads = Graph.loads ctx.Context.graph in
   List.filter_map
     (fun (l : Mode.drc_limit) ->
       let pin = l.Mode.drcl_pin in
@@ -79,11 +79,11 @@ let tag_clock key = ((key / 4) mod 128) - 1
 let tag_state key = key / 4 / 128
 let tag_edge key = edge_of_code (key land 3)
 
-let edges_through_arc (a : Graph.arc) e =
+let edges_through_unate (u : Graph.unate) e =
   match e with
   | Mode.Any_edge -> [ Mode.Any_edge ]
   | Mode.Rise_edge | Mode.Fall_edge -> (
-    match a.Graph.a_unate with
+    match u with
     | Graph.Positive -> [ e ]
     | Graph.Negative ->
       [ (if e = Mode.Rise_edge then Mode.Fall_edge else Mode.Rise_edge) ]
@@ -129,24 +129,102 @@ let setup_separation ~launch_period ~launch_edge ~capture_period ~capture_edge =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Tag storage: a flat slab of (interned tag id, amin, amax) entries
+   chained per pin in insertion order, replacing one Hashtbl per pin.
+   Lookup is a linear scan of the pin's chain — the number of distinct
+   tags per pin is small (clocks x live exception states x polarity) —
+   and iteration is allocation-free.                                   *)
 
-type tag_maps = (int, float * float) Hashtbl.t array
+type slab = {
+  sl_intern : Tag_intern.t;
+  sl_first : int array;  (* per pin: first entry or -1 *)
+  sl_last : int array;
+  mutable sl_tid : int array;
+  mutable sl_next : int array;
+  mutable sl_amin : float array;
+  mutable sl_amax : float array;
+  mutable sl_n : int;
+}
 
-let propagate ?(corner = Corner.typical) (ctx : Context.t) : tag_maps * int =
-  let g = ctx.Context.graph in
-  let n = Graph.n_pins g in
-  let tags : tag_maps = Array.init n (fun _ -> Hashtbl.create 1) in
-  let n_tags = ref 0 in
-  let merge pin key amin amax =
-    match Hashtbl.find_opt tags.(pin) key with
-    | None ->
-      Hashtbl.replace tags.(pin) key (amin, amax);
-      incr n_tags
-    | Some (emin, emax) ->
-      let nmin = Float.min emin amin and nmax = Float.max emax amax in
-      if nmin < emin || nmax > emax then
-        Hashtbl.replace tags.(pin) key (nmin, nmax)
+let slab_create n_pins =
+  {
+    sl_intern = Tag_intern.create ();
+    sl_first = Array.make (max 1 n_pins) (-1);
+    sl_last = Array.make (max 1 n_pins) (-1);
+    sl_tid = Array.make 64 0;
+    sl_next = Array.make 64 (-1);
+    sl_amin = Array.make 64 0.;
+    sl_amax = Array.make 64 0.;
+    sl_n = 0;
+  }
+
+let slab_grow sl =
+  let cap = Array.length sl.sl_tid in
+  if sl.sl_n = cap then begin
+    let grow a fill =
+      let b = Array.make (2 * cap) fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    sl.sl_tid <- grow sl.sl_tid 0;
+    sl.sl_next <- grow sl.sl_next (-1);
+    sl.sl_amin <- grow sl.sl_amin 0.;
+    sl.sl_amax <- grow sl.sl_amax 0.
+  end
+
+(* Merge an arrival into the pin's tag; true when the tag is new. *)
+let slab_merge sl pin key amin amax =
+  let tid = Tag_intern.intern sl.sl_intern key in
+  let rec find e =
+    if e < 0 then -1 else if sl.sl_tid.(e) = tid then e else find sl.sl_next.(e)
   in
+  let e = find sl.sl_first.(pin) in
+  if e < 0 then begin
+    slab_grow sl;
+    let e = sl.sl_n in
+    sl.sl_n <- e + 1;
+    sl.sl_tid.(e) <- tid;
+    sl.sl_next.(e) <- -1;
+    sl.sl_amin.(e) <- amin;
+    sl.sl_amax.(e) <- amax;
+    if sl.sl_last.(pin) < 0 then sl.sl_first.(pin) <- e
+    else sl.sl_next.(sl.sl_last.(pin)) <- e;
+    sl.sl_last.(pin) <- e;
+    true
+  end
+  else begin
+    let nmin = Float.min sl.sl_amin.(e) amin
+    and nmax = Float.max sl.sl_amax.(e) amax in
+    sl.sl_amin.(e) <- nmin;
+    sl.sl_amax.(e) <- nmax;
+    false
+  end
+
+let slab_has_tags sl pin = sl.sl_first.(pin) >= 0
+
+(* Iterate the pin's tags in insertion order. Appending entries for
+   OTHER pins during iteration is fine (the arrays are re-read through
+   the record after each callback). *)
+let slab_iter sl pin f =
+  let rec go e =
+    if e >= 0 then begin
+      f (Tag_intern.key_of sl.sl_intern sl.sl_tid.(e)) sl.sl_amin.(e)
+        sl.sl_amax.(e);
+      go sl.sl_next.(e)
+    end
+  in
+  go sl.sl_first.(pin)
+
+let slab_tags sl pin =
+  let acc = ref [] in
+  slab_iter sl pin (fun key amin amax -> acc := (key, amin, amax) :: !acc);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Seeding, shared by the slab engine and the reference oracle.        *)
+
+let seed_tags (ctx : Context.t) ~merge =
+  let g = ctx.Context.graph in
   let seed_edges =
     if Excmatch.edge_sensitive ctx.Context.excs then
       [ Mode.Rise_edge; Mode.Fall_edge ]
@@ -213,22 +291,88 @@ let propagate ?(corner = Corner.typical) (ctx : Context.t) : tag_maps * int =
                       amin amax)
               end)
             ctx.Context.mode.Mode.io_delays)
-    g.Graph.startpoints;
-  (* Topological sweep. *)
+    g.Graph.startpoints
+
+(* ------------------------------------------------------------------ *)
+
+type prop_stats = {
+  ps_new_tags : int;      (* distinct (pin, tag) instances created *)
+  ps_pins_swept : int;    (* pins with at least one tag visited *)
+}
+
+let propagate ?(corner = Corner.typical) (ctx : Context.t) : slab * prop_stats =
+  Mm_util.Chaos.hit "sta.propagate";
+  let g = ctx.Context.graph in
+  let sl = slab_create (Graph.n_pins g) in
+  let n_tags = ref 0 in
+  let merge pin key amin amax =
+    if slab_merge sl pin key amin amax then incr n_tags
+  in
+  seed_tags ctx ~merge;
+  (* Topological sweep over the arena. *)
+  let swept = ref 0 in
   Array.iter
     (fun pin ->
       (* Cooperative cancellation point: the sweep dominates STA cost,
          so a blown budget must be observable from inside it. *)
       Mm_util.Govern.checkpoint ();
-      if Hashtbl.length tags.(pin) > 0 then
-        List.iter
-          (fun aid ->
+      if slab_has_tags sl pin then begin
+        incr swept;
+        Graph.iter_out g pin (fun aid ->
             if Const_prop.enabled ctx.Context.consts aid then begin
-              let a = g.Graph.arcs.(aid) in
               (* Data tags do not re-enter the clock network through a
                  register clock pin: launch arcs only carry tags seeded
                  at their own clock pin. *)
-              let dst = a.Graph.a_dst in
+              let dst = Graph.arc_dst g aid in
+              let dmin = Graph.arc_dmin g aid *. corner.Corner.derate_min
+              and dmax = Graph.arc_dmax g aid *. corner.Corner.derate_max in
+              let unate = Graph.arc_unate g aid in
+              slab_iter sl pin (fun key amin amax ->
+                  let st = tag_state key in
+                  let st' = Excmatch.advance ctx.Context.excs st dst in
+                  List.iter
+                    (fun edge ->
+                      merge dst
+                        (tag_key ~edge (tag_clock key) st')
+                        (amin +. dmin) (amax +. dmax))
+                    (edges_through_unate unate (tag_edge key)))
+            end)
+      end)
+    (Graph.topo g);
+  sl, { ps_new_tags = !n_tags; ps_pins_swept = !swept }
+
+(* The per-pin Hashtbl engine the slab replaced, kept verbatim as the
+   differential-testing oracle for @sta-equiv: same seeds, same sweep,
+   independent storage and merge bookkeeping. *)
+type tag_maps = (int, float * float) Hashtbl.t array
+
+let propagate_reference ?(corner = Corner.typical) (ctx : Context.t) :
+    tag_maps * int =
+  let g = ctx.Context.graph in
+  let n = Graph.n_pins g in
+  let tags : tag_maps = Array.init n (fun _ -> Hashtbl.create 1) in
+  let n_tags = ref 0 in
+  let merge pin key amin amax =
+    match Hashtbl.find_opt tags.(pin) key with
+    | None ->
+      Hashtbl.replace tags.(pin) key (amin, amax);
+      incr n_tags
+    | Some (emin, emax) ->
+      let nmin = Float.min emin amin and nmax = Float.max emax amax in
+      if nmin < emin || nmax > emax then
+        Hashtbl.replace tags.(pin) key (nmin, nmax)
+  in
+  seed_tags ctx ~merge;
+  Array.iter
+    (fun pin ->
+      Mm_util.Govern.checkpoint ();
+      if Hashtbl.length tags.(pin) > 0 then
+        Graph.iter_out g pin (fun aid ->
+            if Const_prop.enabled ctx.Context.consts aid then begin
+              let dst = Graph.arc_dst g aid in
+              let dmin = Graph.arc_dmin g aid *. corner.Corner.derate_min
+              and dmax = Graph.arc_dmax g aid *. corner.Corner.derate_max in
+              let unate = Graph.arc_unate g aid in
               Hashtbl.iter
                 (fun key (amin, amax) ->
                   let st = tag_state key in
@@ -237,13 +381,11 @@ let propagate ?(corner = Corner.typical) (ctx : Context.t) : tag_maps * int =
                     (fun edge ->
                       merge dst
                         (tag_key ~edge (tag_clock key) st')
-                        (amin +. (a.Graph.a_dmin *. corner.Corner.derate_min))
-                        (amax +. (a.Graph.a_dmax *. corner.Corner.derate_max)))
-                    (edges_through_arc a (tag_edge key)))
+                        (amin +. dmin) (amax +. dmax))
+                    (edges_through_unate unate (tag_edge key)))
                 tags.(pin)
-            end)
-          g.Graph.out_arcs.(pin))
-    g.Graph.topo;
+            end))
+    (Graph.topo g);
   tags, !n_tags
 
 (* ------------------------------------------------------------------ *)
@@ -283,8 +425,11 @@ let mcp_multipliers excs =
     excs;
   !setup_mult, !hold_mult
 
-let check_endpoint ?(corner = Corner.typical) (ctx : Context.t) tags n_checked
-    ep acc =
+(* [iter_tags pin f] feeds every (key, amin, amax) at the pin to [f] —
+   the check phase is storage-agnostic so the slab engine and any
+   oracle can share it. *)
+let check_endpoint ?(corner = Corner.typical) (ctx : Context.t) iter_tags
+    n_checked ep acc =
   let ep_pin = Graph.endpoint_pin ep in
   let end_pins = Context.endpoint_alias_pins ctx ep in
   let captures = Context.capture_clocks_of_endpoint ctx ep in
@@ -315,8 +460,7 @@ let check_endpoint ?(corner = Corner.typical) (ctx : Context.t) tags n_checked
           else acc)
         0. ctx.Context.mode.Mode.io_delays
   in
-  Hashtbl.iter
-    (fun key (amin, amax) ->
+  iter_tags ep_pin (fun key amin amax ->
       let ci = tag_clock key and st = tag_state key in
       if ci >= 0 then
         List.iter
@@ -396,36 +540,45 @@ let check_endpoint ?(corner = Corner.typical) (ctx : Context.t) tags n_checked
                 update_hold acc (amin -. required)
             end)
           captures)
-    tags.(ep_pin)
+
+let slacks_of ?corner (ctx : Context.t) iter_tags n_checked =
+  List.map
+    (fun ep ->
+      let acc =
+        { worst_setup = None; worst_hold = None; capture_period = None }
+      in
+      check_endpoint ?corner ctx iter_tags n_checked ep acc;
+      {
+        es_pin = Graph.endpoint_pin ep;
+        es_setup = acc.worst_setup;
+        es_hold = acc.worst_hold;
+        es_capture_period = acc.capture_period;
+      })
+    ctx.Context.graph.Graph.endpoints
+
+let slacks_with ?corner (ctx : Context.t) tags_at =
+  let iter pin f =
+    List.iter (fun (key, amin, amax) -> f key amin amax) (tags_at pin)
+  in
+  slacks_of ?corner ctx iter (ref 0)
 
 let analyze ?ctx ?(corner = Corner.typical) design mode =
   let (slacks, drc, n_tags, n_checked), runtime =
     Obs.timed ~attrs:[ "mode", mode.Mode.mode_name ] "sta.analyze" @@ fun () ->
     let ctx = match ctx with Some c -> c | None -> Context.create design mode in
-    let tags, n_tags =
+    let (sl, stats) =
       Obs.with_span "sta.propagate" (fun () -> propagate ~corner ctx)
     in
     let n_checked = ref 0 in
     let slacks =
       Obs.with_span "sta.check" @@ fun () ->
-      List.map
-        (fun ep ->
-          let acc =
-            { worst_setup = None; worst_hold = None; capture_period = None }
-          in
-          check_endpoint ~corner ctx tags n_checked ep acc;
-          {
-            es_pin = Graph.endpoint_pin ep;
-            es_setup = acc.worst_setup;
-            es_hold = acc.worst_hold;
-            es_capture_period = acc.capture_period;
-          })
-        ctx.Context.graph.Graph.endpoints
+      slacks_of ~corner ctx (fun pin f -> slab_iter sl pin f) n_checked
     in
-    Metrics.incr ~by:n_tags "sta.tags_propagated";
+    Metrics.incr ~by:stats.ps_new_tags "sta.tags_propagated";
+    Metrics.incr ~by:stats.ps_pins_swept "sta.pins_repropagated";
     Metrics.incr ~by:!n_checked "sta.endpoints_checked";
     Obs.record_gc_metrics ();
-    slacks, drc_checks ctx, n_tags, !n_checked
+    slacks, drc_checks ctx, stats.ps_new_tags, !n_checked
   in
   {
     rep_mode = mode.Mode.mode_name;
@@ -437,7 +590,8 @@ let analyze ?ctx ?(corner = Corner.typical) design mode =
   }
 
 (* Per-mode STA is embarrassingly parallel: each task builds its own
-   context, so tasks share nothing but the immutable design. *)
+   context over the shared compiled skeleton, so tasks share nothing
+   mutable but the (immutable) design and arena. *)
 let analyze_many ?corner ?pool design modes =
   let one (m : Mode.t) = analyze ?corner design m in
   match pool with
@@ -475,7 +629,7 @@ type path = {
 
 (* Setup checks of one endpoint with full detail (tag and capture kept),
    mirroring the max-path side of [check_endpoint]. *)
-let setup_checks_detailed (ctx : Context.t) ~corner tags ep =
+let setup_checks_detailed (ctx : Context.t) ~corner sl ep =
   let ep_pin = Graph.endpoint_pin ep in
   let end_pins = Context.endpoint_alias_pins ctx ep in
   let captures = Context.capture_clocks_of_endpoint ctx ep in
@@ -504,8 +658,7 @@ let setup_checks_detailed (ctx : Context.t) ~corner tags ep =
         0. ctx.Context.mode.Mode.io_delays
   in
   let results = ref [] in
-  Hashtbl.iter
-    (fun key (_amin, amax) ->
+  slab_iter sl ep_pin (fun key _amin amax ->
       let ci = tag_clock key and st = tag_state key in
       if ci >= 0 then
         List.iter
@@ -554,39 +707,35 @@ let setup_checks_detailed (ctx : Context.t) ~corner tags ep =
                 results := (required -. amax, required, amax, key, cj) :: !results
             end)
           captures)
-    tags.(ep_pin);
+  |> ignore;
   !results
 
-(* Walk backwards through the tag maps, matching arrival arithmetic to
+(* Walk backwards through the tag slab, matching arrival arithmetic to
    recover the worst path's arcs. *)
-let backtrack (ctx : Context.t) ~corner (tags : tag_maps) ep_pin key arrival =
+let backtrack (ctx : Context.t) ~corner sl ep_pin key arrival =
   let g = ctx.Context.graph in
   let eps = 1e-9 in
   let rec go pin key arrival acc =
     let pred =
-      List.find_map
-        (fun aid ->
+      Graph.find_map_in g pin (fun aid ->
           if not (Const_prop.enabled ctx.Context.consts aid) then None
           else begin
-            let a = g.Graph.arcs.(aid) in
-            let delay = a.Graph.a_dmax *. corner.Corner.derate_max in
-            let src = a.Graph.a_src in
-            Hashtbl.fold
-              (fun key' (_, amax') found ->
-                match found with
-                | Some _ -> found
-                | None ->
-                  if
-                    tag_clock key' = tag_clock key
-                    && Excmatch.advance ctx.Context.excs (tag_state key') pin
-                       = tag_state key
-                    && List.mem (tag_edge key) (edges_through_arc a (tag_edge key'))
-                    && Float.abs (amax' +. delay -. arrival) < eps
-                  then Some (src, key', amax', delay)
-                  else None)
-              tags.(src) None
+            let delay = Graph.arc_dmax g aid *. corner.Corner.derate_max in
+            let src = Graph.arc_src g aid in
+            let unate = Graph.arc_unate g aid in
+            List.find_map
+              (fun (key', _, amax') ->
+                if
+                  tag_clock key' = tag_clock key
+                  && Excmatch.advance ctx.Context.excs (tag_state key') pin
+                     = tag_state key
+                  && List.mem (tag_edge key)
+                       (edges_through_unate unate (tag_edge key'))
+                  && Float.abs (amax' +. delay -. arrival) < eps
+                then Some (src, key', amax', delay)
+                else None)
+              (slab_tags sl src)
           end)
-        g.Graph.in_arcs.(pin)
     in
     match pred with
     | Some (src, key', arrival', delay) ->
@@ -598,14 +747,14 @@ let backtrack (ctx : Context.t) ~corner (tags : tag_maps) ep_pin key arrival =
 
 let worst_paths ?ctx ?(corner = Corner.typical) ?(n = 3) design mode =
   let ctx = match ctx with Some c -> c | None -> Context.create design mode in
-  let tags, _ = propagate ~corner ctx in
+  let sl, _ = propagate ~corner ctx in
   let candidates =
     List.concat_map
       (fun ep ->
         List.map
           (fun (slack, required, amax, key, cj) ->
             ep, slack, required, amax, key, cj)
-          (setup_checks_detailed ctx ~corner tags ep))
+          (setup_checks_detailed ctx ~corner sl ep))
       ctx.Context.graph.Graph.endpoints
   in
   let sorted =
@@ -624,7 +773,7 @@ let worst_paths ?ctx ?(corner = Corner.typical) ?(n = 3) design mode =
            pth_arrival = amax;
            pth_required = required;
            pth_slack = slack;
-           pth_steps = backtrack ctx ~corner tags ep_pin key amax;
+           pth_steps = backtrack ctx ~corner sl ep_pin key amax;
          })
 
 let path_to_string design p =

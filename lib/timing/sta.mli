@@ -38,6 +38,55 @@ type report = {
   rep_runtime : float;     (** seconds *)
 }
 
+(** {1 Arrival propagation}
+
+    Exposed for differential testing: the production engine stores tags
+    in a flat {!slab} (interned tag ids chained per pin); the reference
+    engine keeps the historical one-Hashtbl-per-pin layout. Both must
+    produce identical tag sets and arrivals. *)
+
+type slab
+(** Flat per-pin tag storage: (tag key, min arrival, max arrival)
+    triples, insertion-ordered per pin. *)
+
+type prop_stats = {
+  ps_new_tags : int;    (** distinct (pin, tag) instances created *)
+  ps_pins_swept : int;  (** pins visited with at least one tag *)
+}
+
+val propagate : ?corner:Corner.t -> Context.t -> slab * prop_stats
+(** Seed startpoints and sweep arrivals forward in topological order. *)
+
+val slab_tags :
+  slab -> Mm_netlist.Design.pin_id -> (int * float * float) list
+(** Tags at a pin as (key, amin, amax), in insertion order. *)
+
+type tag_maps = (int, float * float) Hashtbl.t array
+
+val propagate_reference : ?corner:Corner.t -> Context.t -> tag_maps * int
+(** The pre-slab engine, kept as the differential-testing oracle. *)
+
+val slacks_with :
+  ?corner:Corner.t ->
+  Context.t ->
+  (Mm_netlist.Design.pin_id -> (int * float * float) list) ->
+  endpoint_slack list
+(** Run the endpoint checks over an arbitrary tag provider — lets tests
+    compare slacks computed from {!propagate} and
+    {!propagate_reference} storage. *)
+
+(** {2 Tag key packing} *)
+
+val tag_key : ?edge:Mm_sdc.Mode.edge_sel -> int -> int -> int
+(** [tag_key ~edge clock state] packs (clock index or -1, exception
+    state, data polarity) into one int. *)
+
+val tag_clock : int -> int
+val tag_state : int -> int
+val tag_edge : int -> Mm_sdc.Mode.edge_sel
+
+(** {1 Full analysis} *)
+
 val analyze :
   ?ctx:Context.t ->
   ?corner:Corner.t ->

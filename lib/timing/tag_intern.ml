@@ -1,0 +1,34 @@
+(* Interning table mapping packed tag keys to dense small ids.
+
+   The STA propagation stores per-pin tag slabs indexed by these ids
+   instead of hashing the sparse packed keys at every pin; the table is
+   tiny (one entry per distinct (clock, exception-state, polarity)
+   triple seen during one propagation) and append-only. *)
+
+type t = {
+  mutable keys : int array;  (* tid -> packed key *)
+  mutable n : int;
+  idx : (int, int) Hashtbl.t;  (* packed key -> tid *)
+}
+
+let create () = { keys = Array.make 16 0; n = 0; idx = Hashtbl.create 64 }
+
+let count t = t.n
+let key_of t tid = t.keys.(tid)
+
+let intern t key =
+  match Hashtbl.find_opt t.idx key with
+  | Some tid -> tid
+  | None ->
+    let tid = t.n in
+    if tid = Array.length t.keys then begin
+      let keys = Array.make (2 * tid) 0 in
+      Array.blit t.keys 0 keys 0 tid;
+      t.keys <- keys
+    end;
+    t.keys.(tid) <- key;
+    t.n <- tid + 1;
+    Hashtbl.replace t.idx key tid;
+    tid
+
+let find_opt t key = Hashtbl.find_opt t.idx key

@@ -1,0 +1,23 @@
+(** Dense interning of packed STA tag keys.
+
+    A tag key packs (launch clock, exception state, data polarity) into
+    one int ({!Sta}'s key layout); the interner assigns consecutive
+    small ids so per-pin tag storage can be a flat slab indexed by id
+    rather than a hash table per pin. Ids are stable for the lifetime
+    of the table. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> int -> int
+(** Id of the key, allocating the next dense id on first sight. *)
+
+val find_opt : t -> int -> int option
+(** Id of the key if already interned. *)
+
+val key_of : t -> int -> int
+(** Inverse of {!intern}; undefined for ids never returned. *)
+
+val count : t -> int
+(** Number of distinct keys interned so far. *)

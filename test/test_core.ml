@@ -118,7 +118,7 @@ let set6_compare () =
       [ a; b ]
   in
   let merged = Context.create d prelim.Prelim.merged in
-  d, Compare.run ~individual:sides ~merged
+  d, Compare.run ~individual:sides ~merged ()
 
 let verdict_at rows pin_of get d name =
   List.filter_map
@@ -208,7 +208,7 @@ let compare_cases =
         let cmp =
           Compare.run
             ~individual:[ { Compare.ctx = Context.create d a; rename = Fun.id } ]
-            ~merged:(Context.create d bad)
+            ~merged:(Context.create d bad) ()
         in
         check Alcotest.bool "unsoundness reported" true (cmp.Compare.unsound <> []);
         check Alcotest.bool "not clean" false (Compare.is_clean cmp));
@@ -218,7 +218,7 @@ let compare_cases =
         let cmp =
           Compare.run
             ~individual:[ { Compare.ctx = Context.create d m; rename = Fun.id } ]
-            ~merged:(Context.create d m)
+            ~merged:(Context.create d m) ()
         in
         check Alcotest.bool "clean" true (Compare.is_clean cmp);
         check Alcotest.int "no fixes" 0 (List.length cmp.Compare.fixes));

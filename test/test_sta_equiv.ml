@@ -1,0 +1,267 @@
+(* Differential suite for the compiled STA arena (DESIGN.md section 14).
+
+   The production engine propagates arrival tags through flat slabs
+   over the CSR timing arena; the pre-refactor one-Hashtbl-per-pin
+   engine is kept as [Sta.propagate_reference]. This suite pins the
+   byte-level contract of the refactor:
+
+   - slab and reference propagation produce identical tag sets,
+     arrivals and endpoint slacks on every workload;
+   - the merge pipeline's audit JSON and merged SDC are byte-identical
+     at jobs=1 and jobs=4;
+   - incremental endpoint-relation re-propagation (the refinement-loop
+     cache) equals a from-scratch recompute on randomized
+     growing-exception families;
+   - the [sta.propagate] chaos site fires.
+
+   Runs on the default `dune runtest` gate via the @sta-equiv alias. *)
+
+module Design = Mm_netlist.Design
+module Mode = Mm_sdc.Mode
+module Context = Mm_timing.Context
+module Graph = Mm_timing.Graph
+module Clock_prop = Mm_timing.Clock_prop
+module Sta = Mm_timing.Sta
+module Relation_prop = Mm_core.Relation_prop
+module Merge_flow = Mm_core.Merge_flow
+module Audit = Mm_core.Audit
+module Pc = Mm_workload.Paper_circuit
+module Presets = Mm_workload.Presets
+module Chaos = Mm_util.Chaos
+module Metrics = Mm_util.Metrics
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* The workloads every differential case sweeps: the paper circuit
+   under its worked constraint sets plus the tiny generated preset —
+   ports, registers, muxed clocks, exceptions and case analysis are
+   all represented. *)
+let workloads () =
+  let d = Pc.build () in
+  let a6, b6 = Pc.constraint_set6 d in
+  let a5, b5 = Pc.constraint_set5 d in
+  let tiny_design, _info, tiny_modes = Presets.build Presets.tiny in
+  List.map (fun m -> "paper:" ^ m.Mode.mode_name, d, m)
+    [ Pc.constraint_set1 d; a5; b5; a6; b6 ]
+  @ List.map
+      (fun m -> "tiny:" ^ m.Mode.mode_name, tiny_design, m)
+      tiny_modes
+
+(* Reference tags at a pin as a sorted (key, amin, amax) list. *)
+let reference_tags maps pin =
+  Hashtbl.fold (fun k (amin, amax) acc -> (k, amin, amax) :: acc) maps.(pin) []
+  |> List.sort compare
+
+let slab_tags_sorted slab pin = List.sort compare (Sta.slab_tags slab pin)
+
+(* ------------------------------------------------------------------ *)
+(* Slab engine vs reference engine                                     *)
+
+let fmt_tag (k, amin, amax) =
+  Printf.sprintf "key=%d (clk=%d st=%d) amin=%h amax=%h" k (Sta.tag_clock k)
+    (Sta.tag_state k) amin amax
+
+let propagation_matches (label, design, mode) =
+  let ctx = Context.create design mode in
+  let slab, stats = Sta.propagate ctx in
+  let maps, ref_tags = Sta.propagate_reference ctx in
+  let n = Design.n_pins design in
+  let total = ref 0 in
+  for pin = 0 to n - 1 do
+    let s = slab_tags_sorted slab pin in
+    let r = reference_tags maps pin in
+    total := !total + List.length s;
+    if s <> r then
+      Alcotest.failf "%s: tags diverge at %s\n  slab: %s\n  ref:  %s" label
+        (Design.pin_name design pin)
+        (String.concat "; " (List.map fmt_tag s))
+        (String.concat "; " (List.map fmt_tag r))
+  done;
+  check Alcotest.int
+    (label ^ ": tag instance count")
+    ref_tags stats.Sta.ps_new_tags;
+  check Alcotest.int (label ^ ": slab holds every tag") !total ref_tags
+
+let slacks_match (label, design, mode) =
+  let ctx = Context.create design mode in
+  let slab, _ = Sta.propagate ctx in
+  let maps, _ = Sta.propagate_reference ctx in
+  let via_slab = Sta.slacks_with ctx (Sta.slab_tags slab) in
+  let via_ref = Sta.slacks_with ctx (reference_tags maps) in
+  if via_slab <> via_ref then
+    Alcotest.failf "%s: endpoint slacks diverge between slab and reference"
+      label;
+  (* And the public entry point agrees with the oracle's slacks. *)
+  let report = Sta.analyze ~ctx design mode in
+  if report.Sta.rep_slacks <> via_ref then
+    Alcotest.failf "%s: Sta.analyze slacks diverge from the reference engine"
+      label
+
+let engine_cases =
+  [
+    tc "slab tags equal reference tags on every workload" (fun () ->
+        List.iter propagation_matches (workloads ()));
+    tc "slab slacks equal reference slacks on every workload" (fun () ->
+        List.iter slacks_match (workloads ()));
+    tc "tag key packing round-trips" (fun () ->
+        List.iter
+          (fun (clock, state, edge) ->
+            let k = Sta.tag_key ~edge clock state in
+            check Alcotest.int "clock" clock (Sta.tag_clock k);
+            check Alcotest.int "state" state (Sta.tag_state k);
+            if Sta.tag_edge k <> edge then Alcotest.fail "edge")
+          [
+            -1, 0, Mode.Any_edge; 0, 0, Mode.Rise_edge; 5, 3, Mode.Fall_edge;
+            126, 7, Mode.Any_edge; 42, 1, Mode.Rise_edge;
+          ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline byte-identity across job counts                            *)
+
+let pipeline_bytes ~jobs modes =
+  (* Counters feed the audit's coverage section; reset so jobs=1 and
+     jobs=4 start from identical cumulative state. *)
+  Metrics.reset ();
+  let r = Merge_flow.run ~jobs modes in
+  Audit.to_json r ^ "\n"
+  ^ String.concat "\n" (List.map Mode.to_sdc (Merge_flow.merged_modes r))
+
+let jobs_invariance_cases =
+  [
+    tc "paper circuit: audit + merged SDC byte-identical at jobs=1/4"
+      (fun () ->
+        let d = Pc.build () in
+        let a, b = Pc.constraint_set6 d in
+        let b1 = pipeline_bytes ~jobs:1 [ a; b ] in
+        let b4 = pipeline_bytes ~jobs:4 [ a; b ] in
+        check Alcotest.int "byte count" (String.length b1) (String.length b4);
+        if b1 <> b4 then Alcotest.fail "bytes differ");
+    tc "tiny preset: audit + merged SDC byte-identical at jobs=1/4"
+      (fun () ->
+        let _design, _info, modes = Presets.build Presets.tiny in
+        let b1 = pipeline_bytes ~jobs:1 modes in
+        let b4 = pipeline_bytes ~jobs:4 modes in
+        if b1 <> b4 then Alcotest.fail "bytes differ");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental endpoint relations equal from-scratch recompute         *)
+
+(* A growing-exception family over a generated design: each step
+   appends one random exception (false path or multicycle, scoped by
+   a random mix of -from clock / -through pin / -to endpoint), exactly
+   the shape the refinement loop feeds the pass-1 cache. *)
+let incremental_equals_scratch seed =
+  let st = Random.State.make [| seed |] in
+  let params =
+    {
+      Mm_workload.Gen_design.default_params with
+      Mm_workload.Gen_design.seed = 1000 + seed;
+      n_domains = 2;
+      regs_per_domain = 12 + Random.State.int st 12;
+      stages = 2 + Random.State.int st 2;
+      combo_depth = 2;
+      n_config_pins = 2;
+      n_clock_muxes = 1;
+    }
+  in
+  let design, info = Mm_workload.Gen_design.generate params in
+  let suite =
+    {
+      Mm_workload.Gen_modes.sp_seed = 2000 + seed;
+      families = [ 2 ];
+      base_period = 2.0;
+      scan_family = false;
+    }
+  in
+  let modes = Mm_workload.Gen_modes.generate design info suite in
+  let m0 = List.hd modes in
+  let ctx0 = Context.create design m0 in
+  let eps = Array.of_list (Graph.endpoint_pins ctx0.Context.graph) in
+  let n_clocks = Clock_prop.n_clocks ctx0.Context.clocks in
+  let random_exc () =
+    let kind =
+      if Random.State.bool st then Mode.False_path
+      else
+        Mode.Multicycle
+          { mult = 1 + Random.State.int st 2; start = Random.State.bool st }
+    in
+    let from_ =
+      if Random.State.int st 3 = 0 then None
+      else
+        Some
+          [
+            Mode.P_clock
+              (Clock_prop.clock_name ctx0.Context.clocks
+                 (Random.State.int st n_clocks));
+          ]
+    in
+    let to_ =
+      if Random.State.int st 3 = 0 then None
+      else Some [ Mode.P_pin eps.(Random.State.int st (Array.length eps)) ]
+    in
+    let through =
+      if Random.State.int st 2 = 0 then []
+      else [ [ Random.State.int st (Design.n_pins design) ] ]
+    in
+    Mode.exc ?from_ ?to_ ~through kind
+  in
+  let cache = Relation_prop.create_ep_cache () in
+  let rec steps mode k =
+    let scratch = Relation_prop.endpoint_relations (Context.create design mode) in
+    let incr =
+      Relation_prop.endpoint_relations_cached cache
+        (Context.with_exceptions ctx0 mode)
+    in
+    if scratch <> incr then
+      QCheck2.Test.fail_reportf
+        "seed %d, step %d: incremental endpoint relations diverge from \
+         scratch recompute"
+        seed k;
+    k >= 4
+    ||
+    let mode' =
+      { mode with Mode.exceptions = mode.Mode.exceptions @ [ random_exc () ] }
+    in
+    steps mode' (k + 1)
+  in
+  steps m0 0
+
+let incremental_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"incremental endpoint relations equal from-scratch recompute"
+       ~count:12
+       QCheck2.Gen.(int_range 0 10000)
+       incremental_equals_scratch)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: the sta.propagate fault site                                 *)
+
+let chaos_cases =
+  [
+    tc "sta.propagate chaos site raises when armed" (fun () ->
+        let d = Pc.build () in
+        let mode = Pc.constraint_set1 d in
+        (match Chaos.configure "sta.propagate@1=raise" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "chaos spec rejected: %s" e);
+        Fun.protect ~finally:Chaos.clear (fun () ->
+            (match Sta.analyze d mode with
+            | _ -> Alcotest.fail "expected Chaos.Injected from sta.propagate"
+            | exception Chaos.Injected site ->
+              check Alcotest.string "site" "sta.propagate" site);
+            (* Occurrence 1 consumed: the next analysis runs clean. *)
+            ignore (Sta.analyze d mode)));
+  ]
+
+let () =
+  Alcotest.run "sta_equiv"
+    [
+      "engine", engine_cases;
+      "jobs_invariance", jobs_invariance_cases;
+      "incremental", [ incremental_prop ];
+      "chaos", chaos_cases;
+    ]

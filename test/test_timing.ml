@@ -56,9 +56,9 @@ let graph_cases =
         let d = pipeline () in
         let g = Graph.build d (resolve d base_clock) in
         let count kind =
-          Array.fold_left
-            (fun acc a -> if a.Graph.a_kind = kind then acc + 1 else acc)
-            0 g.Graph.arcs
+          let acc = ref 0 in
+          Graph.iter_arcs g (fun _ a -> if a.Graph.a_kind = kind then incr acc);
+          !acc
         in
         (* launch: 2 flops x (Q, QN) = 4; comb: inv 1 + mux 3 = 4. *)
         check Alcotest.int "launch" 4 (count Graph.Launch);
@@ -74,12 +74,11 @@ let graph_cases =
     tc "topological order respects arcs" (fun () ->
         let d = pipeline () in
         let g = Graph.build d (resolve d base_clock) in
-        Array.iter
-          (fun a ->
+        let pos = Graph.topo_pos g in
+        Graph.iter_arcs g (fun _ a ->
             check Alcotest.bool "src before dst" true
-              (g.Graph.topo_pos.(a.Graph.a_src) < g.Graph.topo_pos.(a.Graph.a_dst)))
-          g.Graph.arcs;
-        check Alcotest.(list int) "no broken arcs" [] g.Graph.broken_arcs);
+              (pos.(a.Graph.a_src) < pos.(a.Graph.a_dst)));
+        check Alcotest.(list int) "no broken arcs" [] (Graph.broken_arcs g));
     tc "combinational loop broken, not fatal" (fun () ->
         let d = Design.create "loop" in
         ignore (Design.add_inst d "a" Library.inv);
@@ -87,15 +86,13 @@ let graph_cases =
         Design.wire d "n1" [ "a/Z"; "b/A" ];
         Design.wire d "n2" [ "b/Z"; "a/A" ];
         let g = Graph.build d (resolve d "set_case_analysis 0 a/A") in
-        check Alcotest.bool "loop recorded" true (g.Graph.broken_arcs <> []));
+        check Alcotest.bool "loop recorded" true (Graph.broken_arcs g <> []));
     tc "arc delays positive and min<=max" (fun () ->
         let d = pipeline () in
         let g = Graph.build d (resolve d base_clock) in
-        Array.iter
-          (fun a ->
+        Graph.iter_arcs g (fun _ a ->
             check Alcotest.bool "nonneg" true (a.Graph.a_dmin >= 0.);
-            check Alcotest.bool "ordered" true (a.Graph.a_dmin <= a.Graph.a_dmax))
-          g.Graph.arcs);
+            check Alcotest.bool "ordered" true (a.Graph.a_dmin <= a.Graph.a_dmax)));
     tc "set_load increases driver arc delay" (fun () ->
         let d = pipeline () in
         let bare = Graph.build d (resolve d base_clock) in
@@ -105,9 +102,8 @@ let graph_cases =
         let q2 = Design.pin_of_name_exn d "r2/Q" in
         let launch_delay g =
           let acc = ref 0. in
-          Array.iter
-            (fun a -> if a.Graph.a_dst = q2 then acc := a.Graph.a_dmax)
-            g.Graph.arcs;
+          Graph.iter_arcs g (fun _ a ->
+              if a.Graph.a_dst = q2 then acc := a.Graph.a_dmax);
           !acc
         in
         check Alcotest.bool "heavier" true (launch_delay loaded > launch_delay bare));
@@ -134,13 +130,13 @@ let const_cases =
         let cp = Const_prop.run g mode in
         let d1 = Design.pin_of_name_exn d "mx/D1" in
         let enabled_from_d1 =
-          Array.exists
-            (fun i -> i)
-            (Array.mapi
-               (fun aid a ->
-                 a.Graph.a_src = d1 && a.Graph.a_kind = Graph.Comb
-                 && Const_prop.enabled cp aid)
-               g.Graph.arcs)
+          let found = ref false in
+          Graph.iter_arcs g (fun aid a ->
+              if
+                a.Graph.a_src = d1 && a.Graph.a_kind = Graph.Comb
+                && Const_prop.enabled cp aid
+              then found := true);
+          !found
         in
         check Alcotest.bool "D1 arc dead" false enabled_from_d1);
     tc "disable pin kills its arcs" (fun () ->
@@ -149,11 +145,9 @@ let const_cases =
         let g = Graph.build d mode in
         let cp = Const_prop.run g mode in
         let a_pin = Design.pin_of_name_exn d "u1/A" in
-        Array.iteri
-          (fun aid a ->
+        Graph.iter_arcs g (fun aid a ->
             if a.Graph.a_src = a_pin || a.Graph.a_dst = a_pin then
-              check Alcotest.bool "disabled" false (Const_prop.enabled cp aid))
-          g.Graph.arcs);
+              check Alcotest.bool "disabled" false (Const_prop.enabled cp aid)));
     tc "disable instance arc with from/to" (fun () ->
         let d = pipeline () in
         let mode =
@@ -162,11 +156,10 @@ let const_cases =
         let g = Graph.build d mode in
         let cp = Const_prop.run g mode in
         let src = Design.pin_of_name_exn d "u1/A" in
-        Array.iteri
-          (fun aid a ->
+        Graph.iter_arcs g (fun aid a ->
             if a.Graph.a_src = src && a.Graph.a_kind = Graph.Comb then
-              check Alcotest.bool "cell arc dead" false (Const_prop.enabled cp aid))
-          g.Graph.arcs);
+              check Alcotest.bool "cell arc dead" false
+                (Const_prop.enabled cp aid)));
     tc "pin_active reflects constants" (fun () ->
         let d = pipeline () in
         let mode = resolve d (base_clock ^ "set_case_analysis 1 r1/Q") in
@@ -507,9 +500,8 @@ let sta_cases =
 let unate_of d g src dst =
   let s = Design.pin_of_name_exn d src and t = Design.pin_of_name_exn d dst in
   let r = ref None in
-  Array.iter
-    (fun a -> if a.Graph.a_src = s && a.Graph.a_dst = t then r := Some a.Graph.a_unate)
-    g.Graph.arcs;
+  Graph.iter_arcs g (fun _ a ->
+      if a.Graph.a_src = s && a.Graph.a_dst = t then r := Some a.Graph.a_unate);
   !r
 
 let edge_cases =
