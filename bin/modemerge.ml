@@ -146,7 +146,9 @@ let sdc_args =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"SDC" ~doc)
 
 (* ------------------------------------------------------------------ *)
-(* Observability: --trace / --metrics / --profile                      *)
+(* Observability: one flag set shared by every subcommand
+   (--trace / --metrics / --profile / --profile-gc / --serve /
+   --events / --progress)                                              *)
 
 let trace_arg =
   let doc =
@@ -177,6 +179,64 @@ let profile_gc_arg =
   in
   Arg.(value & flag & info [ "profile-gc" ] ~doc)
 
+let serve_arg =
+  let doc =
+    "Serve live telemetry over HTTP while the command runs: GET \
+     /metrics (Prometheus text format), /healthz (governance state), \
+     /progress (per-stage ETA), /events (recent journal as NDJSON), \
+     /trace (Chrome trace of spans so far). $(docv) is PORT or \
+     ADDR:PORT; the default address is 127.0.0.1, and port 0 asks the \
+     OS for a free port. The bound endpoint is reported on stderr. \
+     Serving is read-only: results are byte-identical with and without \
+     it."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "serve" ] ~docv:"[ADDR:]PORT" ~doc)
+
+let events_arg =
+  let doc =
+    "Write the structured event journal (stage boundaries, quarantines, \
+     retries, clique splits, checkpoints, chaos injections) as \
+     schema-versioned NDJSON on exit — including fatal exits and \
+     SIGINT/SIGTERM."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Render live per-stage progress (done/total with ETA) to stderr: an \
+     in-place bar on a TTY, occasional plain lines on a pipe."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+type obs_opts = {
+  oo_trace : string option;
+  oo_metrics : string option;
+  oo_profile : bool;
+  oo_profile_gc : bool;
+  oo_serve : string option;
+  oo_events : string option;
+  oo_progress : bool;
+}
+
+(* Every subcommand takes the identical observability flag set, so a
+   flag learned on merge works verbatim on sta or perf. *)
+let obs_term =
+  let mk trace metrics profile profile_gc serve events progress =
+    {
+      oo_trace = trace;
+      oo_metrics = metrics;
+      oo_profile = profile;
+      oo_profile_gc = profile_gc;
+      oo_serve = serve;
+      oo_events = events;
+      oo_progress = progress;
+    }
+  in
+  Term.(
+    const mk $ trace_arg $ metrics_arg $ profile_arg $ profile_gc_arg
+    $ serve_arg $ events_arg $ progress_arg)
+
 let write_file path contents =
   let oc = open_out path in
   Fun.protect
@@ -185,23 +245,74 @@ let write_file path contents =
       output_string oc contents;
       output_char oc '\n')
 
+(* Drop one trailing newline (write_file adds its own). *)
+let chomp s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
+
 (* Span recording is off by default (it is the only part of the
-   observability layer with a per-callsite cost); any of the three
-   flags turns it on, since all three exporters read the span sink.
-   Export runs from at_exit so every exit path — including the
-   fatal-diagnostic ones — still writes the (possibly partial) trace. *)
-let obs_setup ~trace ~metrics ~profile ~profile_gc =
-  if trace <> None || metrics <> None || profile || profile_gc then begin
-    Obs.set_enabled true;
-    if profile_gc then Obs.set_gc_enabled true;
-    at_exit (fun () ->
-        Option.iter (fun p -> write_file p (Obs.trace_event_json ())) trace;
-        Option.iter (fun p -> write_file p (Obs.metrics_json ())) metrics;
-        if profile || profile_gc then begin
-          prerr_string (Obs.profile_tree ~gc:profile_gc ());
-          prerr_string (Mm_util.Pool.utilization_report ())
-        end)
-  end
+   observability layer with a per-callsite cost); any flag whose
+   exporter reads the span sink turns it on — including --serve, whose
+   /trace endpoint streams the spans recorded so far.
+
+   All exports run through one idempotent flush, registered both with
+   at_exit (covers clean, warn, fatal and uncaught-exception exits) and
+   with SIGINT/SIGTERM handlers: the default dispositions kill the
+   process without running at_exit, which used to lose every pending
+   trace/metrics file on Ctrl-C. The handlers route through
+   Stdlib.exit with the conventional 128+signal codes, so an
+   interrupted run still leaves a valid (partial) trace and event
+   dump. *)
+let obs_setup o =
+  if
+    o.oo_trace <> None || o.oo_metrics <> None || o.oo_profile
+    || o.oo_profile_gc || o.oo_serve <> None
+  then Obs.set_enabled true;
+  if o.oo_profile_gc then Obs.set_gc_enabled true;
+  if o.oo_progress then Mm_util.Progress.set_render true;
+  let server =
+    Option.map
+      (fun spec ->
+        match Mm_util.Serve.parse_spec spec with
+        | Error msg -> fatal ~code:"cli.serve" "--serve %s" msg
+        | Ok (addr, port) -> (
+          match Mm_util.Serve.start ~addr ~port with
+          | srv ->
+            Printf.eprintf "serving telemetry on http://%s:%d/\n%!"
+              (Mm_util.Serve.addr srv) (Mm_util.Serve.port srv);
+            srv
+          | exception Failure msg -> fatal ~code:"cli.serve" "%s" msg))
+      o.oo_serve
+  in
+  let flushed = ref false in
+  let flush_exports () =
+    if not !flushed then begin
+      flushed := true;
+      Mm_util.Progress.render_finish ();
+      Option.iter (fun p -> write_file p (Obs.trace_event_json ())) o.oo_trace;
+      Option.iter (fun p -> write_file p (Obs.metrics_json ())) o.oo_metrics;
+      Option.iter
+        (fun p -> write_file p (chomp (Mm_util.Eventlog.to_ndjson ())))
+        o.oo_events;
+      if o.oo_profile || o.oo_profile_gc then begin
+        prerr_string (Obs.profile_tree ~gc:o.oo_profile_gc ());
+        prerr_string (Mm_util.Pool.utilization_report ())
+      end;
+      Option.iter Mm_util.Serve.stop server
+    end
+  in
+  at_exit flush_exports;
+  let on_signal signum =
+    let name, code =
+      if signum = Sys.sigterm then "SIGTERM", 143 else "SIGINT", 130
+    in
+    Mm_util.Eventlog.log "run.signal" ~attrs:[ "signal", name ];
+    Stdlib.exit code
+  in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+  with Invalid_argument _ | Sys_error _ -> ()
 
 let jobs_arg =
   let doc =
@@ -382,10 +493,10 @@ let merge_cmd =
     Arg.(value & flag & info [ "dot" ] ~doc)
   in
   let run netlist liberty sdcs outdir policy jobs diag_json audit annotate dot
-      trace metrics profile profile_gc deadline stage_budgets task_timeout
-      retries mem_limit checkpoint resume =
+      obs deadline stage_budgets task_timeout retries mem_limit checkpoint
+      resume =
     guard_io @@ fun () ->
-    obs_setup ~trace ~metrics ~profile ~profile_gc;
+    obs_setup obs;
     let budgets =
       budgets_of ~deadline ~stage_budgets ~task_timeout ~retries ~mem_limit
     in
@@ -517,10 +628,9 @@ let merge_cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ liberty_arg $ sdc_args $ outdir $ policy_arg
-      $ jobs_arg $ diag_json $ audit_arg $ annotate_arg $ dot_arg $ trace_arg
-      $ metrics_arg $ profile_arg $ profile_gc_arg $ deadline_arg $ budget_arg
-      $ task_timeout_arg $ retries_arg $ mem_limit_arg $ checkpoint_arg
-      $ resume_arg)
+      $ jobs_arg $ diag_json $ audit_arg $ annotate_arg $ dot_arg $ obs_term
+      $ deadline_arg $ budget_arg $ task_timeout_arg $ retries_arg
+      $ mem_limit_arg $ checkpoint_arg $ resume_arg)
 
 let explain_cmd =
   let line_arg =
@@ -544,8 +654,9 @@ let explain_cmd =
       & opt (some (pair ~sep:',' string string)) None
       & info [ "pair" ] ~docv:"A,B" ~doc)
   in
-  let run netlist liberty sdcs policy jobs line id pr =
+  let run netlist liberty sdcs policy jobs line id pr obs =
     guard_io @@ fun () ->
+    obs_setup obs;
     let design = read_design ?liberty netlist in
     (* The merge is re-run to rebuild lineage; ids are stable across
        runs and --jobs values, so an id taken from an audit file or an
@@ -641,7 +752,7 @@ let explain_cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ liberty_arg $ sdc_args $ policy_arg $ jobs_arg
-      $ line_arg $ id_arg $ pair_arg)
+      $ line_arg $ id_arg $ pair_arg $ obs_term)
 
 let sta_cmd =
   let paths_arg =
@@ -658,10 +769,9 @@ let sta_cmd =
       & opt corner_conv Mm_timing.Corner.typical
       & info [ "corner" ] ~doc:"PVT corner: typical, slow or fast.")
   in
-  let run netlist liberty sdcs paths corner policy jobs trace metrics profile
-      profile_gc =
+  let run netlist liberty sdcs paths corner policy jobs obs =
     guard_io @@ fun () ->
-    obs_setup ~trace ~metrics ~profile ~profile_gc;
+    obs_setup obs;
     let design = read_design ?liberty netlist in
     let modes = List.map (load_mode ~policy design) sdcs in
     let reports =
@@ -706,12 +816,12 @@ let sta_cmd =
   Cmd.v info
     Term.(
       const run $ netlist_arg $ liberty_arg $ sdc_args $ paths_arg $ corner_arg
-      $ policy_arg $ jobs_arg $ trace_arg $ metrics_arg $ profile_arg
-      $ profile_gc_arg)
+      $ policy_arg $ jobs_arg $ obs_term)
 
 let lint_cmd =
-  let run netlist liberty sdcs policy =
+  let run netlist liberty sdcs policy obs =
     guard_io @@ fun () ->
+    obs_setup obs;
     let design = read_design ?liberty netlist in
     let dirty = ref false in
     List.iter
@@ -733,11 +843,13 @@ let lint_cmd =
     Cmd.info "lint" ~doc:"Constraint-quality checks for each mode."
   in
   Cmd.v info
-    Term.(const run $ netlist_arg $ liberty_arg $ sdc_args $ policy_arg)
+    Term.(
+      const run $ netlist_arg $ liberty_arg $ sdc_args $ policy_arg $ obs_term)
 
 let relations_cmd =
-  let run netlist liberty sdcs policy =
+  let run netlist liberty sdcs policy obs =
     guard_io @@ fun () ->
+    obs_setup obs;
     let design = read_design ?liberty netlist in
     List.iter
       (fun path ->
@@ -755,15 +867,17 @@ let relations_cmd =
       ~doc:"Print per-endpoint timing relationships (paper Table 1 style)."
   in
   Cmd.v info
-    Term.(const run $ netlist_arg $ liberty_arg $ sdc_args $ policy_arg)
+    Term.(
+      const run $ netlist_arg $ liberty_arg $ sdc_args $ policy_arg $ obs_term)
 
 let check_cmd =
   let merged_arg =
     let doc = "The merged-mode SDC to validate." in
     Arg.(required & opt (some file) None & info [ "m"; "merged" ] ~doc)
   in
-  let run netlist liberty merged sdcs policy =
+  let run netlist liberty merged sdcs policy obs =
     guard_io @@ fun () ->
+    obs_setup obs;
     let design = read_design ?liberty netlist in
     let merged_mode = load_mode ~policy design merged in
     let individuals = List.map (load_mode ~policy design) sdcs in
@@ -794,7 +908,8 @@ let check_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ netlist_arg $ liberty_arg $ merged_arg $ sdc_args $ policy_arg)
+      const run $ netlist_arg $ liberty_arg $ merged_arg $ sdc_args $ policy_arg
+      $ obs_term)
 
 let gen_cmd =
   let outdir =
@@ -816,8 +931,9 @@ let gen_cmd =
       & opt (list int) [ 3; 2 ]
       & info [ "families" ] ~doc:"Modes per mergeable family, e.g. 3,2.")
   in
-  let run outdir seed domains regs families =
+  let run outdir seed domains regs families obs =
     guard_io @@ fun () ->
+    obs_setup obs;
     let params =
       {
         Mm_workload.Gen_design.default_params with
@@ -865,7 +981,8 @@ let gen_cmd =
   let info =
     Cmd.info "gen" ~doc:"Generate a synthetic design and mode suite."
   in
-  Cmd.v info Term.(const run $ outdir $ seed $ domains $ regs $ families)
+  Cmd.v info
+    Term.(const run $ outdir $ seed $ domains $ regs $ families $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* perf: the performance flight recorder's CLI (DESIGN.md §13).
@@ -936,8 +1053,9 @@ let perf_dir_arg =
     value & opt string Runlog.default_dir & info [ "history-dir" ] ~docv:"DIR" ~doc)
 
 let perf_record_cmd =
-  let run jobs repeat label dir =
+  let run jobs repeat label dir obs =
     guard_io @@ fun () ->
+    obs_setup obs;
     let r = perf_capture ~jobs ~repeat ~label in
     let path = Runlog.append ~dir r in
     Printf.printf "recorded run (rev %s, jobs=%d, %d spans) -> %s\n"
@@ -952,11 +1070,12 @@ let perf_record_cmd =
   in
   Cmd.v info
     Term.(const run $ perf_jobs_arg $ perf_repeat_arg $ perf_label_arg
-          $ perf_dir_arg)
+          $ perf_dir_arg $ obs_term)
 
 let perf_diff_cmd =
-  let run label dir =
+  let run label dir obs =
     guard_io @@ fun () ->
+    obs_setup obs;
     match Runlog.last 2 (Runlog.load ~dir ~label ()) with
     | [ older; newer ] ->
       print_string (Runlog.diff_report older newer);
@@ -966,7 +1085,7 @@ let perf_diff_cmd =
         "need at least two recorded runs in %s (label %s) to diff" dir label
   in
   let info = Cmd.info "diff" ~doc:"Compare the last two recorded runs." in
-  Cmd.v info Term.(const run $ perf_label_arg $ perf_dir_arg)
+  Cmd.v info Term.(const run $ perf_label_arg $ perf_dir_arg $ obs_term)
 
 let perf_check_cmd =
   let threshold_arg =
@@ -989,8 +1108,9 @@ let perf_check_cmd =
     let doc = "Append the current run to the history after a passing check." in
     Arg.(value & flag & info [ "record" ] ~doc)
   in
-  let run jobs repeat label dir threshold min_self window record =
+  let run jobs repeat label dir threshold min_self window record obs =
     guard_io @@ fun () ->
+    obs_setup obs;
     let config =
       {
         Runlog.default_config with
@@ -1038,7 +1158,8 @@ let perf_check_cmd =
   Cmd.v info
     Term.(
       const run $ perf_jobs_arg $ perf_repeat_arg $ perf_label_arg
-      $ perf_dir_arg $ threshold_arg $ min_self_arg $ window_arg $ record_arg)
+      $ perf_dir_arg $ threshold_arg $ min_self_arg $ window_arg $ record_arg
+      $ obs_term)
 
 let perf_cmd =
   let info =

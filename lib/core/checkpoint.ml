@@ -167,6 +167,9 @@ let save_stage t ~stage ~counters v =
   let file = stage ^ ".bin" in
   let bytes = Marshal.to_string v [] in
   write_atomic (Filename.concat t.ck_dir file) bytes;
+  Mm_util.Eventlog.log "checkpoint.saved"
+    ~attrs:
+      [ "stage", stage; "bytes", string_of_int (String.length bytes) ];
   let s =
     {
       st_name = stage;

@@ -7,6 +7,8 @@ module Metrics = Mm_util.Metrics
 module Pool = Mm_util.Pool
 module Govern = Mm_util.Govern
 module Chaos = Mm_util.Chaos
+module Eventlog = Mm_util.Eventlog
+module Progress = Mm_util.Progress
 module Ctx_cache = Mm_timing.Ctx_cache
 
 type policy = Strict | Permissive
@@ -135,6 +137,11 @@ let event gs ~stage ~scope ~action ~detail =
     { ge_stage = stage; ge_scope = scope; ge_action = action;
       ge_detail = detail }
     :: gs.gs_events
+
+(* One journal entry per constraint set that leaves the pipeline —
+   whatever the cause (parse failure, crash, blown budget). *)
+let log_quarantine ~stage q =
+  Eventlog.log "merge.quarantined" ~attrs:[ "stage", stage; "mode", q.q_name ]
 
 let exn_diag ~code ~name exn =
   Diag.makef ~loc:(Diag.loc name) Diag.Error ~code "%s: %s" name
@@ -341,6 +348,8 @@ let rescue ~stage_tok ~budgets ~scope f o =
       if attempt > p.Govern.max_attempts || Govern.expired stage_tok then last
       else begin
         Metrics.incr "govern.retries";
+        Eventlog.log "govern.retry"
+          ~attrs:[ "scope", scope; "attempt", string_of_int attempt ];
         Govern.sleep_s (Govern.backoff_s p ~attempt);
         let tok = Govern.sub ~scope ?budget_s:budgets.bg_task_s stage_tok in
         let o =
@@ -406,11 +415,13 @@ let stage_token ~budgets root name =
    checkpoint. *)
 let staged ck ~stage compute =
   let recompute () =
+    Eventlog.log "stage.start" ~attrs:[ "stage", stage ];
     let v = compute () in
     (match ck with
     | Some t ->
       Checkpoint.save_stage t ~stage ~counters:(Metrics.counters ()) v
     | None -> ());
+    Eventlog.log "stage.finish" ~attrs:[ "stage", stage ];
     Chaos.hit ("merge.stage:" ^ stage);
     v
   in
@@ -419,6 +430,7 @@ let staged ck ~stage compute =
     match Checkpoint.load_stage t ~stage with
     | Some (v, counters) ->
       Metrics.restore_counters counters;
+      Eventlog.log "stage.resumed" ~attrs:[ "stage", stage ];
       v
     | None -> recompute ())
   | _ -> recompute ()
@@ -447,10 +459,12 @@ let load_task ~policy ~design src_name src_file src_text =
 let compute_matrix ?tolerance ~policy ~pool ~budgets ~gs ~ctx_cache ~root
     (ld : st_load) =
   let tok = stage_token ~budgets root "mergeability" in
+  Progress.add_total ~by:(List.length ld.sl_modes) "merge.mergeability";
   let quar = ref (List.rev ld.sl_quar) in
   let diags = ref (List.rev ld.sl_diags) in
   let quarantine q =
     Metrics.incr "merge.quarantined";
+    log_quarantine ~stage:"mergeability" q;
     quar := q :: !quar
   in
   (* Stage 1 (permissive): per-mode probe tasks. *)
@@ -468,6 +482,7 @@ let compute_matrix ?tolerance ~policy ~pool ~budgets ~gs ~ctx_cache ~root
         (List.fold_left2
            (fun acc (m : Mode.t) out ->
              let name = m.Mode.mode_name in
+             Progress.tick "merge.mergeability";
              match
                rescue ~stage_tok:tok ~budgets ~scope:name
                  (fun () -> probe_task ?tolerance ~ctx_cache m)
@@ -525,6 +540,8 @@ let compute_matrix ?tolerance ~policy ~pool ~budgets ~gs ~ctx_cache ~root
   let dc = Metrics.get_counter "govern.conservative_pairs" - c0 in
   if dc > 0 then begin
     gs.gs_conservative <- gs.gs_conservative + dc;
+    Eventlog.log "govern.conservative"
+      ~attrs:[ "stage", "mergeability"; "pairs", string_of_int dc ];
     event gs ~stage:"mergeability" ~scope:"pairs" ~action:"conservative"
       ~detail:
         (Printf.sprintf
@@ -533,6 +550,7 @@ let compute_matrix ?tolerance ~policy ~pool ~budgets ~gs ~ctx_cache ~root
   end;
   Metrics.incr ~by:(List.length matrix.Mergeability.cliques) "merge.cliques";
   if Govern.cancelled tok <> None then gs.gs_deadline_hit <- true;
+  Progress.finish "merge.mergeability";
   {
     sm_modes = modes;
     sm_probed =
@@ -554,6 +572,7 @@ let compute_cliques ?tolerance ~check_equivalence ~policy ~pool ~budgets ~gs
   let named =
     List.mapi (fun gi members -> Printf.sprintf "merged_%d" gi, members) cliques
   in
+  Progress.add_total ~by:(List.length named) "merge.cliques";
   let task (name, members) =
     clique_task ?tolerance ~check_equivalence ~policy ~probed ~ctx_cache ~name
       members
@@ -633,6 +652,11 @@ let compute_cliques ?tolerance ~check_equivalence ~policy ~pool ~budgets ~gs
         in
         gs.gs_splits <- gs.gs_splits + 1;
         Metrics.incr "govern.clique_splits";
+        Eventlog.log "govern.clique_split"
+          ~attrs:
+            [ "clique", name;
+              "members", string_of_int (List.length members);
+              "why", why ];
         event gs ~stage:"cliques" ~scope:name ~action:"split" ~detail:why;
         let diag =
           Diag.makef Diag.Warning ~code:"govern.clique-split"
@@ -661,17 +685,26 @@ let compute_cliques ?tolerance ~check_equivalence ~policy ~pool ~budgets ~gs
     List.fold_left2
       (fun (acc_g, acc_d) nm out ->
         let t = resolve nm out in
+        Progress.tick "merge.cliques";
         List.iter
           (fun q ->
             Metrics.incr "merge.quarantined";
+            log_quarantine ~stage:"cliques" q;
             quar := q :: !quar)
           t.tk_quarantined;
         Metrics.incr ~by:(List.length t.tk_degraded) "merge.degraded_cliques";
+        List.iter
+          (fun members ->
+            Eventlog.log "merge.degraded"
+              ~attrs:
+                [ "stage", "cliques"; "modes", String.concat "," members ])
+          t.tk_degraded;
         List.iter (fun d -> diags := d :: !diags) t.tk_diags;
         List.rev_append t.tk_groups acc_g, List.rev_append t.tk_degraded acc_d)
       ([], []) named outs
   in
   if Govern.cancelled tok <> None then gs.gs_deadline_hit <- true;
+  Progress.finish "merge.cliques";
   {
     sc_groups = List.rev groups;
     sc_quar = List.rev !quar;
@@ -693,6 +726,12 @@ let drive ?tolerance ~check_equivalence ~policy ~pool ~budgets ~ck ~extra_diags
   | Some _ as l -> Govern.set_memory_limit_mb l
   | None -> ());
   let root = Govern.create ?deadline_s:budgets.bg_deadline_s ~scope:"merge" () in
+  Govern.set_run_root root;
+  Eventlog.log "run.start"
+    ~attrs:
+      [ "scope", "merge";
+        "jobs", string_of_int (Pool.jobs pool);
+        "policy", (match policy with Strict -> "strict" | Permissive -> "permissive") ];
   let gs = fresh_gov_state () in
   let ctx_cache = Ctx_cache.create () in
   let ld =
@@ -737,6 +776,12 @@ let drive ?tolerance ~check_equivalence ~policy ~pool ~budgets ~ck ~extra_diags
   Obs.record_gc_metrics ();
   let n_individual = List.length sm.sm_modes
   and n_merged = List.length sc.sc_groups in
+  Eventlog.log "run.finish"
+    ~attrs:
+      [ "scope", "merge";
+        "groups", string_of_int n_merged;
+        "quarantined", string_of_int (List.length sc.sc_quar);
+        "degraded", string_of_int (List.length sc.sc_degraded) ];
   {
     groups = sc.sc_groups;
     mergeability = sm.sm_matrix;
@@ -795,6 +840,7 @@ let compute_load ~policy ~design ~pool ~budgets ~gs ~tok sources =
   Obs.with_span "merge.load"
     ~attrs:[ "sources", string_of_int (List.length sources) ]
   @@ fun () ->
+  Progress.add_total ~by:(List.length sources) "merge.load";
   let task src = load_task ~policy ~design src.src_name src.src_file src.src_text in
   let outs =
     Pool.map_outcome pool ~govern:tok ?task_budget_s:budgets.bg_task_s task
@@ -806,6 +852,7 @@ let compute_load ~policy ~design ~pool ~budgets ~gs ~tok sources =
     List.fold_left2
       (fun (ms, qs, ds) src out ->
         let name = src.src_name in
+        Progress.tick "merge.load";
         match
           rescue ~stage_tok:tok ~budgets ~scope:name (fun () -> task src) out
         with
@@ -836,7 +883,9 @@ let compute_load ~policy ~design ~pool ~budgets ~gs ~tok sources =
   in
   let quar = List.rev quar in
   Metrics.incr ~by:(List.length quar) "merge.quarantined";
+  List.iter (log_quarantine ~stage:"load") quar;
   if Govern.cancelled tok <> None then gs.gs_deadline_hit <- true;
+  Progress.finish "merge.load";
   {
     sl_modes = List.rev modes;
     sl_quar = quar;
@@ -929,6 +978,7 @@ let run_files ?tolerance ?check_equivalence ?(policy = Strict) ?jobs ?budgets
       ?checkpoint ~design sources
   in
   Metrics.incr ~by:(List.length !io_failed) "merge.quarantined";
+  List.iter (log_quarantine ~stage:"load") !io_failed;
   { r with quarantined = List.rev !io_failed @ r.quarantined }
 
 let merged_modes r = List.map (fun g -> g.grp_mode) r.groups

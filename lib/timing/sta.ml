@@ -311,11 +311,20 @@ let propagate ?(corner = Corner.typical) (ctx : Context.t) : slab * prop_stats =
   seed_tags ctx ~merge;
   (* Topological sweep over the arena. *)
   let swept = ref 0 in
+  (* Coarse progress: one tracker unit per sweep block, not per pin —
+     a mutex per pin would be measurable on million-pin arenas. *)
+  let tick_every = 4096 in
+  let n_pins = Graph.n_pins g in
+  Mm_util.Progress.add_total ~by:((n_pins + tick_every - 1) / tick_every)
+    "sta.pins";
+  let visited = ref 0 in
   Array.iter
     (fun pin ->
       (* Cooperative cancellation point: the sweep dominates STA cost,
          so a blown budget must be observable from inside it. *)
       Mm_util.Govern.checkpoint ();
+      incr visited;
+      if !visited mod tick_every = 0 then Mm_util.Progress.tick "sta.pins";
       if slab_has_tags sl pin then begin
         incr swept;
         Graph.iter_out g pin (fun aid ->
@@ -339,6 +348,7 @@ let propagate ?(corner = Corner.typical) (ctx : Context.t) : slab * prop_stats =
             end)
       end)
     (Graph.topo g);
+  Mm_util.Progress.finish "sta.pins";
   sl, { ps_new_tags = !n_tags; ps_pins_swept = !swept }
 
 (* The per-pin Hashtbl engine the slab replaced, kept verbatim as the

@@ -134,6 +134,20 @@ let hit site =
           p.entries
     in
     Mutex.unlock lock;
+    (* Journal the injection before firing: a Kill fault never returns,
+       and the crash-dump path wants the event in the ring. *)
+    if faults <> [] then
+      Eventlog.log "chaos.injected"
+        ~attrs:
+          [ "site", site;
+            "faults",
+            String.concat ","
+              (List.map
+                 (function
+                   | Delay_s s -> Printf.sprintf "delay:%g" s
+                   | Raise -> "raise"
+                   | Kill status -> Printf.sprintf "kill:%d" status)
+                 faults) ];
     (* Fire outside the lock: a delay must not serialise other sites,
        and a raise must not leave the mutex held. *)
     List.iter

@@ -84,10 +84,18 @@ let cancel t ~why =
 
 let mem_limit_mb : float option Atomic.t = Atomic.make None
 
-let set_memory_limit_mb l = Atomic.set mem_limit_mb l
 let memory_limit_mb () = Atomic.get mem_limit_mb
 
 let words_to_mb w = w *. float_of_int (Sys.word_size / 8) /. (1024. *. 1024.)
+
+(* The watermark is consulted from every checkpoint, so a tripped limit
+   would journal thousands of identical events; log the first trip only
+   (the flag rearms when the limit is reconfigured). *)
+let pressure_logged = Atomic.make false
+
+let set_memory_limit_mb l =
+  Atomic.set pressure_logged false;
+  Atomic.set mem_limit_mb l
 
 let memory_pressure () =
   match Atomic.get mem_limit_mb with
@@ -102,7 +110,14 @@ let memory_pressure () =
                    -. float_of_int st.Gc.free_words
                    |> Float.max 0.)
     in
-    if used_mb > limit_mb then Some (Memory_watermark { used_mb; limit_mb })
+    if used_mb > limit_mb then begin
+      if not (Atomic.exchange pressure_logged true) then
+        Eventlog.log "govern.pressure"
+          ~attrs:
+            [ "used_mb", Printf.sprintf "%.1f" used_mb;
+              "limit_mb", Printf.sprintf "%.1f" limit_mb ];
+      Some (Memory_watermark { used_mb; limit_mb })
+    end
     else None
 
 (* ------------------------------------------------------------------ *)
@@ -142,6 +157,18 @@ let remaining_s t =
   | None -> None
   | Some d ->
     Some (Float.max 0. (Obs.Clock.ns_to_s (Int64.sub d (Obs.Clock.now_ns ()))))
+
+(* ------------------------------------------------------------------ *)
+(* Run root (for /healthz)                                             *)
+
+(* The run's root token, registered by the driver so out-of-band
+   observers (the telemetry server's /healthz endpoint) can report
+   remaining budget without plumbing the token through the CLI. *)
+let run_root_ref : token option Atomic.t = Atomic.make None
+
+let set_run_root t = Atomic.set run_root_ref (Some t)
+let clear_run_root () = Atomic.set run_root_ref None
+let run_root () = Atomic.get run_root_ref
 
 (* ------------------------------------------------------------------ *)
 (* Ambient token                                                       *)
@@ -233,6 +260,11 @@ let with_retry ?(policy = default_retry) ?transient ?(sleep = sleep_s)
         Printexc.raise_with_backtrace exn bt
       else begin
         Metrics.incr metric;
+        Eventlog.log "govern.retry"
+          ~attrs:
+            [ "scope", scope;
+              "attempt", string_of_int (n + 1);
+              "error", Printexc.to_string exn ];
         Obs.with_span "govern.backoff" ~attrs:[ "scope", scope ] (fun () ->
             sleep (backoff_s policy ~attempt:(n + 1)));
         attempt (n + 1)

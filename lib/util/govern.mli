@@ -84,6 +84,17 @@ val expired : token -> bool
 val remaining_s : token -> float option
 (** Seconds until the nearest deadline; [None] when undeadlined. *)
 
+(** {2 Run root}
+
+    The driver registers its root token here so out-of-band observers —
+    the telemetry server's [/healthz] endpoint — can report the run's
+    remaining budget and liveness without the token being threaded to
+    them. Purely informational: nothing cancels through this hook. *)
+
+val set_run_root : token -> unit
+val clear_run_root : unit -> unit
+val run_root : unit -> token option
+
 (** {2 Ambient token}
 
     The pool installs each task's token in domain-local storage so
@@ -113,7 +124,8 @@ val memory_limit_mb : unit -> float option
 
 val memory_pressure : unit -> reason option
 (** [Some (Memory_watermark _)] when the live heap exceeds the
-    configured watermark. *)
+    configured watermark. The first trip after a limit is (re)set also
+    journals one [govern.pressure] event. *)
 
 (** {2 Structured outcomes} *)
 
@@ -169,5 +181,6 @@ val with_retry :
     until it succeeds, attempts are exhausted (the last exception is
     re-raised with its backtrace), or [token] expires (checked before
     every attempt; raises {!Cancelled}). Each re-attempt increments
-    [metric] (default ["govern.retries"]). [sleep] is injectable so
-    tests retry without wall-clock delay. *)
+    [metric] (default ["govern.retries"]) and journals a
+    [govern.retry] event. [sleep] is injectable so tests retry without
+    wall-clock delay. *)

@@ -1,0 +1,65 @@
+(** Minimal hand-rolled HTTP/1.1 server for the live telemetry plane.
+
+    Just enough HTTP to serve [GET /metrics] and friends to curl,
+    Prometheus and a browser, with zero dependencies beyond [unix]:
+
+    - one listening socket, one {e dedicated domain} running the
+      accept loop — the pipeline's driver and pool domains never block
+      on network I/O, and a slow scraper can at worst delay the next
+      scraper, never the merge;
+    - connections are served sequentially on that domain, one request
+      per connection ([Connection: close]) — correct and tiny, and
+      plenty for a telemetry endpoint scraped a few times a second;
+    - requests are size-capped (16 KiB) and read under a receive
+      timeout, so a stuck client cannot pin the server domain;
+    - handlers run on the server domain and must therefore only touch
+      thread-safe state (the {!Metrics}/{!Obs}/{!Eventlog}/{!Progress}
+      registries all are).
+
+    Binding to port 0 lets the OS pick a free port ({!port} reports the
+    real one) — this is how tests avoid port races, and how [--serve 0]
+    behaves. *)
+
+type request = {
+  rq_method : string;            (** e.g. ["GET"] *)
+  rq_path : string;              (** decoded path, e.g. ["/metrics"] *)
+  rq_query : (string * string) list;  (** decoded query pairs, in order *)
+}
+
+type response = {
+  rs_status : int;
+  rs_content_type : string;
+  rs_body : string;
+}
+
+val respond : ?status:int -> ?content_type:string -> string -> response
+(** Build a response (defaults: 200, [text/plain; charset=utf-8]). *)
+
+val not_found : response
+
+type handler = request -> response
+(** Must not raise; a raising handler is answered with a 500 and the
+    server keeps going. *)
+
+type t
+
+val start : ?addr:string -> ?port:int -> handler -> t
+(** Bind [addr:port] (default [127.0.0.1:0]), start the accept-loop
+    domain and return the running server.
+    @raise Failure when the address cannot be parsed or bound. *)
+
+val addr : t -> string
+(** The bound address, e.g. ["127.0.0.1"]. *)
+
+val port : t -> int
+(** The bound port — the OS-assigned one when [start] was given 0. *)
+
+val stop : t -> unit
+(** Close the listening socket and join the server domain. Idempotent.
+    In-flight responses finish; no new connections are accepted. *)
+
+val get : ?addr:string -> port:int -> string -> int * string
+(** Tiny blocking HTTP/1.1 client for tests and smoke checks:
+    [get ~port "/metrics"] returns [(status, body)].
+    @raise Unix.Unix_error / Failure on connection or protocol
+    failure. *)

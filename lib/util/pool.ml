@@ -115,6 +115,7 @@ let run_task_instrumented ~govern ~task_budget_s ~busy_ns f x =
       let dt = Int64.sub (Obs.Clock.now_ns ()) t0 in
       ignore (Atomic.fetch_and_add busy_ns (Int64.to_int dt));
       Metrics.observe "pool.task_s" (Int64.to_float dt /. 1e9);
+      Progress.tick "pool.tasks";
       Obs.sample "pool.active_workers"
         (float_of_int (Atomic.fetch_and_add active (-1) - 1)))
     (fun () -> run_task ~govern ~task_budget_s f x)
@@ -145,6 +146,7 @@ let outcome_array t ~govern ~task_budget_s f arr =
   let n = Array.length arr in
   Metrics.incr ~by:n "pool.tasks_executed";
   Metrics.incr "pool.batches";
+  Progress.add_total ~by:n "pool.tasks";
   let busy_ns = Atomic.make 0 in
   let batch_t0 = Obs.Clock.now_ns () in
   (* Batch occupancy: summed task time over (wall × workers) — 1.0 is a

@@ -188,6 +188,7 @@ type record = {
   r_counters : (string * int) list;
   r_gauges : (string * float) list;
   r_gc : (string * float) list;
+  r_events : (string * int) list; (* cumulative Eventlog kind counts *)
 }
 
 let git_rev () =
@@ -253,6 +254,7 @@ let capture ~label ~jobs () =
     r_counters = Metrics.counters ();
     r_gauges = gauges;
     r_gc = Obs.gc_totals ();
+    r_events = Eventlog.counts ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -277,12 +279,13 @@ let to_json r =
   let int_field (k, v) = Printf.sprintf {|"%s":%d|} (esc k) v in
   let num_field (k, v) = Printf.sprintf {|"%s":%s|} (esc k) (fl v) in
   Printf.sprintf
-    {|{"schema":"%s","label":"%s","ts":%s,"git_rev":"%s","jobs":%d,"spans":{%s},"counters":{%s},"gauges":{%s},"gc":{%s}}|}
+    {|{"schema":"%s","label":"%s","ts":%s,"git_rev":"%s","jobs":%d,"spans":{%s},"counters":{%s},"gauges":{%s},"gc":{%s},"events":{%s}}|}
     (esc r.r_schema) (esc r.r_label) (fl r.r_ts) (esc r.r_git_rev) r.r_jobs
     (String.concat "," (List.map span r.r_spans))
     (String.concat "," (List.map int_field r.r_counters))
     (String.concat "," (List.map num_field r.r_gauges))
     (String.concat "," (List.map num_field r.r_gc))
+    (String.concat "," (List.map int_field r.r_events))
 
 let of_json_string line =
   match parse_json line with
@@ -319,11 +322,12 @@ let of_json_string line =
         (fun (name, v) -> Option.map (fun f -> name, f) (to_num v))
         (obj_fields k)
     in
-    let counters =
+    let ints k =
       List.filter_map
         (fun (name, v) -> Option.map (fun i -> name, i) (to_int v))
-        (obj_fields "counters")
+        (obj_fields k)
     in
+    let counters = ints "counters" in
     if member "schema" j = None then None
     else
       Some
@@ -337,6 +341,7 @@ let of_json_string line =
           r_counters = counters;
           r_gauges = nums "gauges";
           r_gc = nums "gc";
+          r_events = ints "events";
         }
 
 (* ------------------------------------------------------------------ *)

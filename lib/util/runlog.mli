@@ -72,12 +72,16 @@ type record = {
   r_counters : (string * int) list;
   r_gauges : (string * float) list;  (** gauges except [gc.*] (those live in [r_gc]) *)
   r_gc : (string * float) list;      (** {!Obs.gc_totals} at capture *)
+  r_events : (string * int) list;
+      (** cumulative per-kind event counts ({!Eventlog.counts}) — how
+          eventful the run was (retries, quarantines, splits) next to
+          how fast it was *)
 }
 
 val capture : label:string -> jobs:int -> unit -> record
-(** Snapshot the current {!Obs} span aggregates, {!Metrics} registry
-    and GC totals into a record. Call it at the end of an instrumented
-    run, before any [reset]. *)
+(** Snapshot the current {!Obs} span aggregates, {!Metrics} registry,
+    GC totals and {!Eventlog} kind counts into a record. Call it at the
+    end of an instrumented run, before any [reset]. *)
 
 val to_json : record -> string
 (** One-line JSON rendering (the JSONL row format). *)

@@ -1,0 +1,116 @@
+(* Telemetry endpoint routing. Every endpoint is a pure read of
+   process-global observability state; nothing here writes into the
+   pipeline, which is what keeps --serve byte-identity trivial. *)
+
+let parse_spec s =
+  let port_of p =
+    match int_of_string_opt p with
+    | Some n when n >= 0 && n <= 65535 -> Ok n
+    | _ -> Error (Printf.sprintf "invalid port %S (want 0..65535)" p)
+  in
+  match String.rindex_opt s ':' with
+  | None -> Result.map (fun p -> "127.0.0.1", p) (port_of s)
+  | Some i ->
+    let addr = String.sub s 0 i
+    and p = String.sub s (i + 1) (String.length s - i - 1) in
+    if addr = "" then Error (Printf.sprintf "empty address in %S" s)
+    else Result.map (fun p -> addr, p) (port_of p)
+
+(* ------------------------------------------------------------------ *)
+(* /healthz                                                            *)
+
+let started_ns = Obs.Clock.now_ns ()
+
+(* Degradation-ladder position, worst observed rung first. The rungs
+   mirror Merge_flow's rescue ladder: a clean run is [nominal]; retries
+   mean transient trouble absorbed; quarantines mean constraints were
+   set aside; degraded cliques mean merge quality was traded for
+   completion. *)
+let ladder_position ~retries ~quarantined ~degraded =
+  if degraded > 0 then "degraded"
+  else if quarantined > 0 then "quarantined"
+  else if retries > 0 then "retried"
+  else "nominal"
+
+let healthz_json () =
+  let fl = Metrics.json_float in
+  let retries = Metrics.get_counter "govern.retries"
+  and quarantined = Metrics.get_counter "merge.quarantined"
+  and degraded = Metrics.get_counter "merge.degraded_cliques" in
+  let governance =
+    match Govern.run_root () with
+    | None -> {|{"active":false}|}
+    | Some t ->
+      Printf.sprintf {|{"active":true,"scope":"%s","remaining_s":%s,"cancelled":%s}|}
+        (Metrics.json_escape (Govern.scope t))
+        (match Govern.remaining_s t with None -> "null" | Some s -> fl s)
+        (match Govern.cancelled t with
+        | None -> "false"
+        | Some r ->
+          Printf.sprintf {|"%s"|} (Metrics.json_escape (Govern.reason_code r)))
+  in
+  let memory =
+    Printf.sprintf {|{"limit_mb":%s,"over_watermark":%b}|}
+      (match Govern.memory_limit_mb () with None -> "null" | Some l -> fl l)
+      (Govern.memory_pressure () <> None)
+  in
+  Printf.sprintf
+    {|{"status":"ok","pid":%d,"uptime_s":%s,"ladder":"%s","governance":%s,"memory":%s,"counters":{"govern.retries":%d,"merge.quarantined":%d,"merge.degraded_cliques":%d},"events_total":%d}|}
+    (Unix.getpid ())
+    (fl (Obs.Clock.elapsed_s started_ns))
+    (ladder_position ~retries ~quarantined ~degraded)
+    governance memory retries quarantined degraded (Eventlog.total ())
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+
+let index_body =
+  String.concat "\n"
+    [
+      "modemerge telemetry";
+      "";
+      "  /metrics   Prometheus text exposition";
+      "  /healthz   liveness + governance state (JSON)";
+      "  /progress  per-stage done/total with ETA (JSON)";
+      "  /events    recent event journal (NDJSON; ?n=N for newest N)";
+      "  /trace     Chrome trace_event JSON of spans so far";
+      "";
+    ]
+
+let handler (rq : Httpd.request) =
+  match rq.Httpd.rq_path with
+  | "/" | "/index.html" -> Httpd.respond index_body
+  | "/metrics" ->
+    Httpd.respond
+      ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+      (Metrics.to_prometheus ())
+  | "/healthz" ->
+    Httpd.respond ~content_type:"application/json" (healthz_json () ^ "\n")
+  | "/progress" ->
+    Httpd.respond ~content_type:"application/json" (Progress.to_json () ^ "\n")
+  | "/events" ->
+    let limit =
+      List.assoc_opt "n" rq.Httpd.rq_query
+      |> Option.map int_of_string_opt |> Option.join
+    in
+    Httpd.respond ~content_type:"application/x-ndjson"
+      (Eventlog.to_ndjson ?limit ())
+  | "/trace" ->
+    Httpd.respond ~content_type:"application/json" (Obs.trace_event_json ())
+  | _ -> Httpd.not_found
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+type t = Httpd.t
+
+let start ~addr ~port =
+  let t = Httpd.start ~addr ~port handler in
+  Eventlog.log "serve.start"
+    ~attrs:
+      [ "addr", Httpd.addr t; "port", string_of_int (Httpd.port t) ];
+  t
+
+let addr = Httpd.addr
+let port = Httpd.port
+let stop = Httpd.stop

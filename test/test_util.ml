@@ -383,6 +383,7 @@ let record_of ?(jobs = 1) spans =
     r_counters = [ ("pool.tasks_executed", 12); ("merge.cliques", 2) ];
     r_gauges = [ ("merge.jobs", 4.) ];
     r_gc = [ ("gc.minor_words", 1234.5); ("gc.major_collections", 3.) ];
+    r_events = [ ("run.finish", 1); ("stage.finish", 3) ];
   }
 
 let status : Runlog.status Alcotest.testable =
