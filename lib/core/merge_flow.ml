@@ -716,8 +716,8 @@ let compute_cliques ?tolerance ~check_equivalence ~policy ~pool ~budgets ~gs
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
-let drive ?tolerance ~check_equivalence ~policy ~pool ~budgets ~ck ~extra_diags
-    ~t0 ~load () =
+let drive ?tolerance ?cancel ~check_equivalence ~policy ~pool ~budgets ~ck
+    ~extra_diags ~t0 ~load () =
   Obs.with_span ~attrs:[ "policy", (match policy with Strict -> "strict" | Permissive -> "permissive") ]
     "merge.flow"
   @@ fun () ->
@@ -725,7 +725,15 @@ let drive ?tolerance ~check_equivalence ~policy ~pool ~budgets ~ck ~extra_diags
   (match budgets.bg_mem_limit_mb with
   | Some _ as l -> Govern.set_memory_limit_mb l
   | None -> ());
-  let root = Govern.create ?deadline_s:budgets.bg_deadline_s ~scope:"merge" () in
+  (* With an external [cancel] token (the service daemon's per-job
+     token) the run root is a child of it: cancelling the job cancels
+     every stage and pool task of this run, while the run's own
+     deadline still applies. *)
+  let root =
+    match cancel with
+    | None -> Govern.create ?deadline_s:budgets.bg_deadline_s ~scope:"merge" ()
+    | Some tok -> Govern.sub ~scope:"merge" ?budget_s:budgets.bg_deadline_s tok
+  in
   Govern.set_run_root root;
   Eventlog.log "run.start"
     ~attrs:
@@ -798,9 +806,9 @@ let drive ?tolerance ~check_equivalence ~policy ~pool ~budgets ~ck ~extra_diags
   }
 
 let run ?tolerance ?(check_equivalence = true) ?(policy = Strict) ?jobs
-    ?(budgets = default_budgets) modes =
+    ?(budgets = default_budgets) ?cancel modes =
   Pool.with_pool ?jobs @@ fun pool ->
-  drive ?tolerance ~check_equivalence ~policy ~pool ~budgets ~ck:None
+  drive ?tolerance ?cancel ~check_equivalence ~policy ~pool ~budgets ~ck:None
     ~extra_diags:[]
     ~t0:(Obs.Clock.now_ns ())
     ~load:(fun ~tok:_ ~gs:_ ->
@@ -894,7 +902,7 @@ let compute_load ~policy ~design ~pool ~budgets ~gs ~tok sources =
   }
 
 let run_sources ?tolerance ?(check_equivalence = true) ?(policy = Strict) ?jobs
-    ?(budgets = default_budgets) ?checkpoint ~design sources =
+    ?(budgets = default_budgets) ?checkpoint ?cancel ~design sources =
   Pool.with_pool ?jobs @@ fun pool ->
   let t0 = Obs.Clock.now_ns () in
   let extra_diags = ref [] in
@@ -918,14 +926,14 @@ let run_sources ?tolerance ?(check_equivalence = true) ?(policy = Strict) ?jobs
           Some (Checkpoint.create ~dir:spec.ck_dir ~fingerprint:fp)
       else Some (Checkpoint.create ~dir:spec.ck_dir ~fingerprint:fp)
   in
-  drive ?tolerance ~check_equivalence ~policy ~pool ~budgets ~ck
+  drive ?tolerance ?cancel ~check_equivalence ~policy ~pool ~budgets ~ck
     ~extra_diags:!extra_diags ~t0
     ~load:(fun ~tok ~gs ->
       compute_load ~policy ~design ~pool ~budgets ~gs ~tok sources)
     ()
 
 let run_files ?tolerance ?check_equivalence ?(policy = Strict) ?jobs ?budgets
-    ?checkpoint ~design paths =
+    ?checkpoint ?cancel ~design paths =
   (* In strict mode an unreadable file raises [Sys_error]; in
      permissive mode it is quarantined up front with a fatal io.read
      diagnostic and the remaining files still merge. Reads run under
@@ -975,13 +983,28 @@ let run_files ?tolerance ?check_equivalence ?(policy = Strict) ?jobs ?budgets
   in
   let r =
     run_sources ?tolerance ?check_equivalence ~policy ?jobs ?budgets
-      ?checkpoint ~design sources
+      ?checkpoint ?cancel ~design sources
   in
   Metrics.incr ~by:(List.length !io_failed) "merge.quarantined";
   List.iter (log_quarantine ~stage:"load") !io_failed;
   { r with quarantined = List.rev !io_failed @ r.quarantined }
 
 let merged_modes r = List.map (fun g -> g.grp_mode) r.groups
+
+(* The canonical on-disk shape of a merge result: the exact
+   (filename, bytes) pairs the CLI `merge` subcommand writes. The
+   service daemon serves these same pairs, which is what makes the
+   cached/remote result byte-identical to a one-shot run by
+   construction. *)
+let merged_files ?(annotate = false) r =
+  List.mapi
+    (fun i g ->
+      let text =
+        if annotate then Provenance.annotated_sdc g.grp_prov g.grp_mode
+        else Mm_sdc.Mode.to_sdc g.grp_mode
+      in
+      Printf.sprintf "merged_%d.sdc" i, text)
+    r.groups
 
 let summary_row ~design_name ~size_cells r =
   [

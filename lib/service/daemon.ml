@@ -1,0 +1,243 @@
+(* HTTP surface of the merge service. Handlers run on the Httpd
+   domain; everything they touch (scheduler, cache, observability
+   registries) is mutex- or atomic-protected. *)
+
+module Httpd = Mm_util.Httpd
+module Serve = Mm_util.Serve
+module Metrics = Mm_util.Metrics
+
+type config = {
+  dc_addr : string;
+  dc_port : int;
+  dc_jobs : int option;
+  dc_queue_cap : int;
+  dc_cache_entries : int;
+  dc_cache_dir : string option;
+  dc_max_body_bytes : int;
+}
+
+let default_config =
+  {
+    dc_addr = "127.0.0.1";
+    dc_port = 0;
+    dc_jobs = None;
+    dc_queue_cap = 16;
+    dc_cache_entries = 64;
+    dc_cache_dir = None;
+    dc_max_body_bytes = 8 * 1024 * 1024;
+  }
+
+type t = {
+  mutable server : Serve.t option;  (* None only during start *)
+  sched : Scheduler.t;
+  rcache : Rcache.t;
+  mutable stopped : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+
+let json rs_status body =
+  Httpd.respond ~status:rs_status ~content_type:"application/json"
+    (body ^ "\n")
+
+let error status msg =
+  json status
+    (Printf.sprintf {|{"error":"%s"}|} (Metrics.json_escape msg))
+
+let state_error (v : Scheduler.view) =
+  match v.Scheduler.v_state with
+  | Job.Failed msg | Job.Cancelled msg ->
+    Printf.sprintf {|,"error":"%s"|} (Metrics.json_escape msg)
+  | _ -> ""
+
+let files_json (o : Job.outcome) =
+  String.concat ","
+    (List.map
+       (fun (name, text) ->
+         Printf.sprintf {|{"name":"%s","bytes":%d}|}
+           (Metrics.json_escape name) (String.length text))
+       o.Job.oc_files)
+
+let view_json (v : Scheduler.view) =
+  let result =
+    match v.Scheduler.v_outcome with
+    | None -> ""
+    | Some o ->
+      Printf.sprintf {|,"summary":%s,"files":[%s]|}
+        (Job.summary_json o.Job.oc_summary)
+        (files_json o)
+  in
+  Printf.sprintf
+    {|{"id":"%s","state":"%s","cache":%s,"priority":%d,"fingerprint":"%s","sources":%d,"wall_s":%s%s%s}|}
+    v.Scheduler.v_id
+    (Job.state_to_string v.Scheduler.v_state)
+    (match v.Scheduler.v_origin with
+    | None -> "null"
+    | Some o -> Printf.sprintf {|"%s"|} (Job.origin_to_string o))
+    v.Scheduler.v_priority v.Scheduler.v_fp v.Scheduler.v_n_sources
+    (match v.Scheduler.v_wall_s with
+    | None -> "null"
+    | Some w -> Metrics.json_float w)
+    (state_error v) result
+
+(* ------------------------------------------------------------------ *)
+(* Routes                                                              *)
+
+(* "/jobs/j3/result/merged_0.sdc" -> ["j3"; "result"; "merged_0.sdc"] *)
+let subpath ~prefix path =
+  let rest =
+    String.sub path (String.length prefix)
+      (String.length path - String.length prefix)
+  in
+  List.filter (fun s -> s <> "") (String.split_on_char '/' rest)
+
+let jobs_handler t (rq : Httpd.request) =
+  match rq.Httpd.rq_method, subpath ~prefix:"/jobs" rq.Httpd.rq_path with
+  | "POST", [] -> (
+    match Job.spec_of_json rq.Httpd.rq_body with
+    | Error msg -> error 400 msg
+    | Ok spec -> (
+      match Scheduler.submit t.sched spec with
+      | Scheduler.Queue_full retry_s ->
+        Httpd.respond ~status:429 ~content_type:"application/json"
+          ~headers:[ "Retry-After", string_of_int retry_s ]
+          (Printf.sprintf
+             {|{"error":"queue full","queue_cap":%d,"retry_after_s":%d}|}
+             (Scheduler.queue_cap t.sched) retry_s
+          ^ "\n")
+      | Scheduler.Accepted v ->
+        let status =
+          if v.Scheduler.v_state = Job.Done then 200 else 202
+        in
+        json status (view_json v)))
+  | ("GET" | "HEAD"), [] ->
+    json 200
+      (Printf.sprintf {|[%s]|}
+         (String.concat ","
+            (List.map view_json (Scheduler.list t.sched))))
+  | ("GET" | "HEAD"), [ id ] -> (
+    match Scheduler.find t.sched id with
+    | None -> error 404 (Printf.sprintf "unknown job %s" id)
+    | Some v -> json 200 (view_json v))
+  | ("GET" | "HEAD"), (id :: "result" :: rest as _path) -> (
+    match Scheduler.find t.sched id with
+    | None -> error 404 (Printf.sprintf "unknown job %s" id)
+    | Some v -> (
+      match v.Scheduler.v_outcome with
+      | None ->
+        error 409
+          (Printf.sprintf "job %s is %s, not done" id
+             (Job.state_to_string v.Scheduler.v_state))
+      | Some o -> (
+        match rest with
+        | [] ->
+          json 200
+            (Printf.sprintf {|{"id":"%s","cache":%s,"summary":%s,"files":[%s]}|}
+               id
+               (match v.Scheduler.v_origin with
+               | None -> "null"
+               | Some og ->
+                 Printf.sprintf {|"%s"|} (Job.origin_to_string og))
+               (Job.summary_json o.Job.oc_summary)
+               (files_json o))
+        | [ file ] -> (
+          match List.assoc_opt file o.Job.oc_files with
+          | None -> error 404 (Printf.sprintf "no file %s in job %s" file id)
+          | Some text ->
+            (* Raw bytes: what `modemerge merge` would have written to
+               -o DIR under the same name. *)
+            Httpd.respond ~content_type:"text/plain; charset=utf-8" text)
+        | _ -> Httpd.not_found)))
+  | "DELETE", [ id ] -> (
+    match Scheduler.cancel t.sched id with
+    | Ok v -> json 200 (view_json v)
+    | Error msg ->
+      let status =
+        if Scheduler.find t.sched id = None then 404 else 409
+      in
+      error status msg)
+  | ("POST" | "DELETE"), _ ->
+    Httpd.respond ~status:405
+      ~headers:[ "Allow", "GET, HEAD, POST, DELETE" ]
+      "method not allowed here\n"
+  | _ -> Httpd.not_found
+
+let queue_handler t (rq : Httpd.request) =
+  match rq.Httpd.rq_method with
+  | "GET" | "HEAD" ->
+    let views = Scheduler.list t.sched in
+    let count st =
+      List.length
+        (List.filter
+           (fun v -> Job.state_to_string v.Scheduler.v_state = st)
+           views)
+    in
+    json 200
+      (Printf.sprintf
+         {|{"queued":%d,"running":%d,"done":%d,"failed":%d,"cancelled":%d,"queue_cap":%d,"jobs":[%s]}|}
+         (count "queued") (count "running") (count "done") (count "failed")
+         (count "cancelled")
+         (Scheduler.queue_cap t.sched)
+         (String.concat ","
+            (List.map
+               (fun v ->
+                 Printf.sprintf {|{"id":"%s","state":"%s","priority":%d}|}
+                   v.Scheduler.v_id
+                   (Job.state_to_string v.Scheduler.v_state)
+                   v.Scheduler.v_priority)
+               views)))
+  | _ ->
+    Httpd.respond ~status:405 ~headers:[ "Allow", "GET, HEAD" ]
+      "method not allowed here\n"
+
+let cache_handler t (rq : Httpd.request) =
+  match rq.Httpd.rq_method, subpath ~prefix:"/cache" rq.Httpd.rq_path with
+  | ("GET" | "HEAD"), [ "stats" ] -> json 200 (Rcache.stats_json t.rcache)
+  | ("GET" | "HEAD"), _ -> Httpd.not_found
+  | _ ->
+    Httpd.respond ~status:405 ~headers:[ "Allow", "GET, HEAD" ]
+      "method not allowed here\n"
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start config =
+  let rcache =
+    Rcache.create ?dir:config.dc_cache_dir ~entries:config.dc_cache_entries ()
+  in
+  let sched =
+    Scheduler.create ?jobs:config.dc_jobs ~queue_cap:config.dc_queue_cap
+      ~cache:rcache ()
+  in
+  let t = { server = None; sched; rcache; stopped = false } in
+  Serve.register ~prefix:"/jobs" (jobs_handler t);
+  Serve.register ~prefix:"/queue" (queue_handler t);
+  Serve.register ~prefix:"/cache" (cache_handler t);
+  (match
+     Serve.start ~max_body_bytes:config.dc_max_body_bytes
+       ~addr:config.dc_addr ~port:config.dc_port ()
+   with
+  | server -> t.server <- Some server
+  | exception e ->
+    Serve.unregister ~prefix:"/jobs";
+    Serve.unregister ~prefix:"/queue";
+    Serve.unregister ~prefix:"/cache";
+    Scheduler.stop sched;
+    raise e);
+  t
+
+let addr t = Serve.addr (Option.get t.server)
+let port t = Serve.port (Option.get t.server)
+let scheduler t = t.sched
+let cache t = t.rcache
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Serve.unregister ~prefix:"/jobs";
+    Serve.unregister ~prefix:"/queue";
+    Serve.unregister ~prefix:"/cache";
+    Scheduler.stop t.sched;
+    Option.iter Serve.stop t.server
+  end

@@ -1,0 +1,45 @@
+(* Content-addressed job identity. See the .mli for the
+   inclusion/exclusion contract; the digest discipline mirrors
+   Merge_flow's checkpoint fingerprint (Digest over a Marshal of plain
+   data). *)
+
+let schema_version = "modemerge-service/1"
+
+(* The checkpoint schema generation tracks result-shaping changes to
+   the pipeline (stage payload layout changes exactly when the stages'
+   semantics do), so it doubles as the cache's code version. *)
+let code_version =
+  Printf.sprintf "checkpoint-%d" Mm_core.Checkpoint.schema_version
+
+let canonicalize text =
+  if not (String.contains text '\r') then text
+  else begin
+    let b = Buffer.create (String.length text) in
+    let n = String.length text in
+    let rec go i =
+      if i < n then
+        if text.[i] = '\r' && i + 1 < n && text.[i + 1] = '\n' then begin
+          Buffer.add_char b '\n';
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char b text.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents b
+  end
+
+let compute ~design_format ~design_text ~sources ~policy ~check_equivalence
+    ~tolerance ~annotate =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( schema_version,
+            code_version,
+            design_format,
+            canonicalize design_text,
+            List.map (fun (n, t) -> n, canonicalize t) sources,
+            (policy, check_equivalence, tolerance, annotate) )
+          []))

@@ -1,0 +1,48 @@
+(** Content-addressed job identity for the merge service.
+
+    Two submissions share a fingerprint exactly when the merge is
+    guaranteed to produce the same bytes: same design, same sources
+    (names and canonicalized text, in submission order), same
+    result-shaping options, same code version. The scheduler coalesces
+    and the result cache keys on this digest.
+
+    What is {e excluded} is as much a contract as what is included:
+
+    - the pool size ([--jobs]) — results are jobs-invariant
+      (byte-identical at any parallelism), so a result computed at
+      [jobs=4] legitimately serves a [jobs=1] submission;
+    - budgets/deadlines — a result is a result however long it was
+      allowed to take (a budget-degraded run never reaches the cache:
+      the scheduler refuses to store degraded outcomes);
+    - priority — scheduling order does not shape bytes.
+
+    Canonicalization is deliberately minimal: CRLF line endings
+    normalize to LF {e for keying only} — the merge itself always runs
+    on the text exactly as submitted, so caching cannot perturb
+    output. Anything beyond that (whitespace, comments) changes the
+    fingerprint; false misses are safe, false hits are not. *)
+
+val schema_version : string
+(** The fingerprint schema, e.g. ["modemerge-service/1"]. Part of the
+    digested material: bumping it invalidates every cached result. *)
+
+val code_version : string
+(** The result-shaping code version baked into every fingerprint —
+    currently the checkpoint schema generation. Bump it (via
+    {!Mm_core.Checkpoint.schema_version}) whenever merge semantics
+    change, and every stale cache entry silently misses. *)
+
+val canonicalize : string -> string
+(** CRLF -> LF, for keying only. *)
+
+val compute :
+  design_format:string ->
+  design_text:string ->
+  sources:(string * string) list ->
+  policy:string ->
+  check_equivalence:bool ->
+  tolerance:(float * float) option ->
+  annotate:bool ->
+  string
+(** The hex digest over (schema, code version, design, canonicalized
+    sources in order, options). [tolerance] is [(rel, abs)]. *)

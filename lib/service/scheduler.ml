@@ -1,0 +1,377 @@
+(* Priority scheduler: one dispatcher domain, a mutex/condition-
+   protected job table, per-job Govern tokens. The merge itself runs
+   through the ordinary Merge_flow entry points, so everything the
+   pipeline guarantees (jobs-invariant bytes, quarantine policy,
+   cancellation checkpoints) holds unchanged inside the daemon. *)
+
+module Merge_flow = Mm_core.Merge_flow
+module Govern = Mm_util.Govern
+module Obs = Mm_util.Obs
+module Metrics = Mm_util.Metrics
+module Eventlog = Mm_util.Eventlog
+
+type view = {
+  v_id : string;
+  v_fp : string;
+  v_priority : int;
+  v_state : Job.state;
+  v_origin : Job.origin option;
+  v_wall_s : float option;
+  v_n_sources : int;
+  v_outcome : Job.outcome option;
+}
+
+type submit_result = Accepted of view | Queue_full of int
+
+type jrec = {
+  j_id : string;
+  j_seq : int;
+  j_spec : Job.spec;
+  j_fp : string;
+  j_token : Govern.token;
+  j_submitted_ns : int64;
+  mutable j_state : Job.state;
+  mutable j_origin : Job.origin option;
+  mutable j_outcome : Job.outcome option;
+  mutable j_wall_s : float option;
+  j_primary : string option;  (* id of the job computing our result *)
+}
+
+type t = {
+  cache : Rcache.t;
+  jobs : int option;
+  cap : int;
+  table : (string, jrec) Hashtbl.t;
+  mutable order : jrec list;  (* newest first *)
+  mutable seq : int;
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable stopping : bool;
+  mutable dispatcher : unit Domain.t option;
+}
+
+let view_of j =
+  {
+    v_id = j.j_id;
+    v_fp = j.j_fp;
+    v_priority = j.j_spec.Job.sp_priority;
+    v_state = j.j_state;
+    v_origin = j.j_origin;
+    v_wall_s = j.j_wall_s;
+    v_n_sources = List.length j.j_spec.Job.sp_sources;
+    v_outcome = j.j_outcome;
+  }
+
+let is_waiting j = j.j_state = Job.Queued && j.j_primary = None
+
+let queued_locked t =
+  Hashtbl.fold (fun _ j n -> if is_waiting j then n + 1 else n) t.table 0
+
+let set_queue_gauge t =
+  Metrics.set "job.queue_depth" (float_of_int (queued_locked t))
+
+(* ------------------------------------------------------------------ *)
+(* Completion (held lock): settle a job and any coalesced followers    *)
+
+let finish_locked t j state origin outcome =
+  j.j_state <- state;
+  j.j_origin <- Some origin;
+  j.j_outcome <- outcome;
+  j.j_wall_s <- Some (Obs.Clock.elapsed_s j.j_submitted_ns);
+  (match j.j_wall_s with
+  | Some w -> Metrics.observe "job.wall_s" w
+  | None -> ());
+  Eventlog.log "job.finished"
+    ~attrs:
+      [
+        "id", j.j_id;
+        "state", Job.state_to_string state;
+        "origin", Job.origin_to_string origin;
+      ];
+  (* Followers inherit the primary's fate. A follower that completes
+     Done never ran the pipeline: that is the coalesced cache hit. *)
+  Hashtbl.iter
+    (fun _ f ->
+      if f.j_primary = Some j.j_id && f.j_state = Job.Queued then begin
+        f.j_state <- state;
+        f.j_outcome <- outcome;
+        f.j_origin <- Some Job.Coalesced;
+        f.j_wall_s <- Some (Obs.Clock.elapsed_s f.j_submitted_ns);
+        (if state = Job.Done then begin
+           Metrics.incr "cache.hits";
+           Eventlog.log "cache.hit" ~attrs:[ "fp", f.j_fp; "tier", "coalesced" ]
+         end);
+        Eventlog.log "job.finished"
+          ~attrs:
+            [
+              "id", f.j_id;
+              "state", Job.state_to_string state;
+              "origin", "coalesced";
+            ]
+      end)
+    t.table;
+  set_queue_gauge t
+
+(* ------------------------------------------------------------------ *)
+(* Job execution (dispatcher domain, lock released)                    *)
+
+let design_of_spec (spec : Job.spec) =
+  match spec.Job.sp_design_format with
+  | "v" ->
+    (* The Verilog reader is file-based; round-trip through a temp
+       file. *)
+    let path = Filename.temp_file "modemerge_svc" ".v" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc spec.Job.sp_design_text);
+        Mm_netlist.Verilog.read_file ~lib:Mm_netlist.Library.find path)
+  | _ -> Mm_netlist.Netlist_io.of_string spec.Job.sp_design_text
+
+let run_job t (j : jrec) =
+  let spec = j.j_spec in
+  let opts = spec.Job.sp_options in
+  match
+    let design = design_of_spec spec in
+    let sources =
+      List.map
+        (fun (name, text) ->
+          { Merge_flow.src_name = name; src_file = None; src_text = text })
+        spec.Job.sp_sources
+    in
+    Merge_flow.run_sources ?tolerance:opts.Job.opt_tolerance
+      ~check_equivalence:opts.Job.opt_check_equivalence
+      ~policy:opts.Job.opt_policy ?jobs:t.jobs ~cancel:j.j_token ~design
+      sources
+  with
+  | result ->
+    if Govern.cancelled j.j_token <> None then
+      (* Permissive runs absorb cancellation as degradation and still
+         return; the job is cancelled regardless, and the (partial)
+         result never reaches the cache. *)
+      Error (Job.Cancelled "cancelled while running")
+    else if Merge_flow.degraded_under_budget result.Merge_flow.governed then
+      (* Budget-degraded outcomes are legitimate one-shot answers but
+         not canonical ones; cacheing them would serve degraded bytes
+         to an undegraded future submission. *)
+      Ok (Job.outcome_of_result ~annotate:opts.Job.opt_annotate result, false)
+    else Ok (Job.outcome_of_result ~annotate:opts.Job.opt_annotate result, true)
+  | exception Govern.Cancelled reason ->
+    Error (Job.Cancelled (Govern.reason_to_string reason))
+  | exception e -> Error (Job.Failed (Printexc.to_string e))
+
+let dispatch_loop t =
+  let rec loop () =
+    let next =
+      Mutex.protect t.mu (fun () ->
+          let rec wait () =
+            if t.stopping then None
+            else
+              (* Highest priority first; FIFO within a priority. *)
+              let best =
+                Hashtbl.fold
+                  (fun _ j acc ->
+                    if not (is_waiting j) then acc
+                    else
+                      match acc with
+                      | Some b
+                        when b.j_spec.Job.sp_priority
+                             > j.j_spec.Job.sp_priority
+                             || b.j_spec.Job.sp_priority
+                                = j.j_spec.Job.sp_priority
+                                && b.j_seq < j.j_seq -> acc
+                      | _ -> Some j)
+                  t.table None
+              in
+              match best with
+              | Some j ->
+                j.j_state <- Job.Running;
+                set_queue_gauge t;
+                Some j
+              | None ->
+                Condition.wait t.cond t.mu;
+                wait ()
+          in
+          wait ())
+    in
+    match next with
+    | None -> ()
+    | Some j ->
+      Eventlog.log "job.started" ~attrs:[ "id", j.j_id ];
+      let r = run_job t j in
+      Mutex.protect t.mu (fun () ->
+          match r with
+          | Ok (outcome, cacheable) ->
+            if cacheable then Rcache.store t.cache j.j_fp outcome;
+            finish_locked t j Job.Done Job.Computed (Some outcome)
+          | Error state -> finish_locked t j state Job.Computed None);
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Interface                                                           *)
+
+let create ?jobs ?(queue_cap = 16) ~cache () =
+  let t =
+    {
+      cache;
+      jobs;
+      cap = max 1 queue_cap;
+      table = Hashtbl.create 64;
+      order = [];
+      seq = 0;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      stopping = false;
+      dispatcher = None;
+    }
+  in
+  t.dispatcher <-
+    Some
+      (Domain.spawn (fun () ->
+           try dispatch_loop t
+           with e ->
+             (* The dispatcher must never die silently. *)
+             Eventlog.log "job.finished"
+               ~attrs:
+                 [ "id", "dispatcher"; "state", "crashed";
+                   "origin", Printexc.to_string e ]));
+  t
+
+let new_job_locked t ?(state = Job.Queued) ?primary spec fp =
+  t.seq <- t.seq + 1;
+  let j =
+    {
+      j_id = Printf.sprintf "j%d" t.seq;
+      j_seq = t.seq;
+      j_spec = spec;
+      j_fp = fp;
+      j_token = Govern.create ~scope:(Printf.sprintf "job/j%d" t.seq) ();
+      j_submitted_ns = Obs.Clock.now_ns ();
+      j_state = state;
+      j_origin = None;
+      j_outcome = None;
+      j_wall_s = None;
+      j_primary = primary;
+    }
+  in
+  Hashtbl.add t.table j.j_id j;
+  t.order <- j :: t.order;
+  j
+
+let submit t spec =
+  let fp = Job.fingerprint spec in
+  (* The cache lookup does its own locking and metric accounting;
+     taking it outside the scheduler lock keeps lock order trivial. *)
+  let cached = Rcache.find t.cache fp in
+  Mutex.protect t.mu (fun () ->
+      if t.stopping then Queue_full 1
+      else
+        match cached with
+        | Some outcome ->
+          let j = new_job_locked t ~state:Job.Done spec fp in
+          j.j_outcome <- Some outcome;
+          j.j_origin <- Some Job.Cache_hit;
+          j.j_wall_s <- Some 0.;
+          Eventlog.log "job.submitted"
+            ~attrs:
+              [ "id", j.j_id; "fp", fp;
+                "priority", string_of_int spec.Job.sp_priority ];
+          Eventlog.log "job.finished"
+            ~attrs:[ "id", j.j_id; "state", "done"; "origin", "hit" ];
+          Accepted (view_of j)
+        | None -> (
+          (* An identical job already in flight computes our result. *)
+          let primary =
+            Hashtbl.fold
+              (fun _ p acc ->
+                if
+                  acc = None && p.j_fp = fp && p.j_primary = None
+                  && (p.j_state = Job.Queued || p.j_state = Job.Running)
+                then Some p
+                else acc)
+              t.table None
+          in
+          match primary with
+          | Some p ->
+            let j = new_job_locked t ~primary:p.j_id spec fp in
+            Eventlog.log "job.submitted"
+              ~attrs:
+                [ "id", j.j_id; "fp", fp;
+                  "priority", string_of_int spec.Job.sp_priority;
+                  "coalesced_with", p.j_id ];
+            Accepted (view_of j)
+          | None ->
+            if queued_locked t >= t.cap then begin
+              Metrics.incr "job.rejected";
+              Eventlog.log "job.rejected"
+                ~attrs:[ "reason", "queue-full"; "cap", string_of_int t.cap ];
+              Queue_full 1
+            end
+            else begin
+              let j = new_job_locked t spec fp in
+              Eventlog.log "job.submitted"
+                ~attrs:
+                  [ "id", j.j_id; "fp", fp;
+                    "priority", string_of_int spec.Job.sp_priority ];
+              set_queue_gauge t;
+              Condition.signal t.cond;
+              Accepted (view_of j)
+            end))
+
+let find t id =
+  Mutex.protect t.mu (fun () ->
+      Option.map view_of (Hashtbl.find_opt t.table id))
+
+let list t =
+  Mutex.protect t.mu (fun () -> List.rev_map view_of t.order)
+
+let cancel t id =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.table id with
+      | None -> Error (Printf.sprintf "unknown job %s" id)
+      | Some j -> (
+        match j.j_state with
+        | Job.Done | Job.Failed _ | Job.Cancelled _ ->
+          Error
+            (Printf.sprintf "job %s already %s" id
+               (Job.state_to_string j.j_state))
+        | Job.Queued ->
+          Govern.cancel j.j_token ~why:"client cancel";
+          Eventlog.log "job.cancelled" ~attrs:[ "id", id; "while", "queued" ];
+          finish_locked t j (Job.Cancelled "cancelled while queued")
+            Job.Computed None;
+          Ok (view_of j)
+        | Job.Running ->
+          (* Cooperative: the pipeline unwinds at its next governance
+             checkpoint and the dispatcher settles the job. *)
+          Govern.cancel j.j_token ~why:"client cancel";
+          Eventlog.log "job.cancelled" ~attrs:[ "id", id; "while", "running" ];
+          Ok (view_of j)))
+
+let queue_cap t = t.cap
+
+let queued_count t = Mutex.protect t.mu (fun () -> queued_locked t)
+
+let stop t =
+  let d =
+    Mutex.protect t.mu (fun () ->
+        if t.stopping then None
+        else begin
+          t.stopping <- true;
+          Hashtbl.iter
+            (fun _ j ->
+              match j.j_state with
+              | Job.Queued | Job.Running ->
+                Govern.cancel j.j_token ~why:"scheduler stopping"
+              | _ -> ())
+            t.table;
+          Condition.broadcast t.cond;
+          let d = t.dispatcher in
+          t.dispatcher <- None;
+          d
+        end)
+  in
+  Option.iter Domain.join d

@@ -1,0 +1,75 @@
+(** Priority job scheduler with admission control, coalescing and
+    result-cache integration.
+
+    One dispatcher domain drains a bounded priority queue (highest
+    {!Job.spec.sp_priority} first, submission order within a
+    priority); each job's merge runs through
+    {!Mm_core.Merge_flow.run_sources} on its own {!Mm_util.Pool} (the
+    scheduler's [jobs] setting), under a per-job {!Mm_util.Govern}
+    token so [DELETE /jobs/:id] cancels promptly — queued jobs
+    directly, running jobs cooperatively through the governance
+    checkpoints.
+
+    Admission control, in order, at {!submit}:
+
+    + {b cache} — a fingerprint already in the {!Rcache} completes the
+      job immediately ([done], origin [hit]) without touching the
+      queue or the pipeline;
+    + {b coalescing} — a fingerprint equal to a queued/running job's
+      makes the submission a {e follower}: it occupies no queue slot
+      and is completed by the primary's single pipeline run (origin
+      [coalesced], counted as a cache hit). Followers share the
+      primary's fate, including failure and cancellation;
+    + {b backpressure} — with [queue_cap] jobs already waiting the
+      submission is rejected ({!Queue_full}; the daemon answers 429
+      with [Retry-After]).
+
+    All state lives behind one mutex; every public call is
+    thread-safe (handlers call in from the HTTP domain). *)
+
+(** Immutable snapshot of one job, safe to render outside the lock. *)
+type view = {
+  v_id : string;
+  v_fp : string;
+  v_priority : int;
+  v_state : Job.state;
+  v_origin : Job.origin option;  (** set once the job completes *)
+  v_wall_s : float option;       (** queue-to-completion wall time *)
+  v_n_sources : int;
+  v_outcome : Job.outcome option;  (** [Some] exactly when state is [Done] *)
+}
+
+type submit_result =
+  | Accepted of view
+      (** queued, coalesced onto an identical in-flight job, or
+          completed on the spot from the cache *)
+  | Queue_full of int  (** bounded queue is full; retry after N seconds *)
+
+type t
+
+val create : ?jobs:int -> ?queue_cap:int -> cache:Rcache.t -> unit -> t
+(** Start the dispatcher domain. [jobs] is the per-merge pool size
+    (default: {!Mm_util.Pool.default_jobs}); [queue_cap] bounds the
+    number of {e waiting} jobs (default 16, min 1; the running job and
+    completed jobs don't count). *)
+
+val submit : t -> Job.spec -> submit_result
+
+val find : t -> string -> view option
+
+val list : t -> view list
+(** Every job this scheduler has seen, in submission order. *)
+
+val cancel : t -> string -> (view, string) result
+(** Cancel by id: a queued job is cancelled on the spot, a running
+    job's token is cancelled (the pipeline unwinds at its next
+    governance checkpoint). [Error _] when the id is unknown or the
+    job already completed. *)
+
+val queue_cap : t -> int
+
+val queued_count : t -> int
+
+val stop : t -> unit
+(** Cancel everything outstanding, stop the dispatcher domain and
+    join it. Idempotent. *)

@@ -1,22 +1,31 @@
 (* Minimal HTTP/1.1 server on a dedicated domain. See the .mli for the
-   scope contract: GET-only telemetry, one request per connection,
-   size-capped reads under a receive timeout. *)
+   scope contract: small request surface (GET/HEAD/POST/DELETE), one
+   request per connection, size-capped reads under a receive
+   timeout. *)
 
 type request = {
   rq_method : string;
   rq_path : string;
   rq_query : (string * string) list;
+  rq_headers : (string * string) list;
+  rq_body : string;
 }
 
 type response = {
   rs_status : int;
   rs_content_type : string;
+  rs_headers : (string * string) list;
   rs_body : string;
 }
 
-let respond ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body
-    =
-  { rs_status = status; rs_content_type = content_type; rs_body = body }
+let respond ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    ?(headers = []) body =
+  {
+    rs_status = status;
+    rs_content_type = content_type;
+    rs_headers = headers;
+    rs_body = body;
+  }
 
 let not_found = respond ~status:404 "not found\n"
 
@@ -26,6 +35,8 @@ type t = {
   sock : Unix.file_descr;
   t_addr : string;
   t_port : int;
+  t_max_header_bytes : int;
+  t_max_body_bytes : int;
   stopping : bool Atomic.t;
   mutable domain : unit Domain.t option;
 }
@@ -36,14 +47,29 @@ let port t = t.t_port
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)
 
-let max_request_bytes = 16 * 1024
+let default_max_header_bytes = 16 * 1024
+let default_max_body_bytes = 1024 * 1024
+
+(* Methods the server is willing to route to a handler at all; anything
+   else is answered 405 before the handler runs. Per-path method
+   checks stay the handler's business. *)
+let known_methods = [ "GET"; "HEAD"; "POST"; "DELETE" ]
 
 let status_text = function
   | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 410 -> "Gone"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
   | _ -> "Status"
 
 let percent_decode s =
@@ -91,7 +117,7 @@ let parse_query q =
                 (String.sub pair (eq + 1) (String.length pair - eq - 1)) ))
     (String.split_on_char '&' q)
 
-(* "GET /path?query HTTP/1.1" -> request. *)
+(* "GET /path?query HTTP/1.1" -> method/path/query. *)
 let parse_request_line line =
   match String.split_on_char ' ' line with
   | [ meth; target; _version ] ->
@@ -103,52 +129,140 @@ let parse_request_line line =
           parse_query
             (String.sub target (q + 1) (String.length target - q - 1)) )
     in
-    Some { rq_method = meth; rq_path = percent_decode path; rq_query = query }
+    Some (meth, percent_decode path, query)
   | _ -> None
 
-(* Read until the end of the header block (we never accept bodies),
-   capped at [max_request_bytes]. Returns the first line. *)
-let read_request_head fd =
-  let buf = Bytes.create 1024 in
-  let acc = Buffer.create 256 in
-  let rec go () =
-    if Buffer.length acc > max_request_bytes then None
-    else
-      let headers_done () =
-        let s = Buffer.contents acc in
-        let has sub =
-          let sl = String.length sub and l = String.length s in
-          let rec find i =
-            i + sl <= l && (String.sub s i sl = sub || find (i + 1))
-          in
-          find 0
+(* "Header-Name: value" lines -> lowercased assoc, in order. *)
+let parse_header_lines lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None
+      | Some c ->
+        let name = String.lowercase_ascii (String.trim (String.sub line 0 c)) in
+        let value =
+          String.trim (String.sub line (c + 1) (String.length line - c - 1))
         in
-        has "\r\n\r\n" || has "\n\n"
-      in
-      if headers_done () then Some (Buffer.contents acc)
-      else
+        if name = "" then None else Some (name, value))
+    lines
+
+let header name headers = List.assoc_opt (String.lowercase_ascii name) headers
+
+(* Outcome of reading one request off the wire. *)
+type read_result =
+  | Req of request
+  | Reject of response    (* malformed / over-limit / unknown method *)
+  | Gone                  (* peer went away before sending anything *)
+
+(* Read the header block (up to [max_header]), then the Content-Length
+   body (up to [max_body]). Over-limit on either side is a 413; the
+   4xx is produced here so [serve_connection] just sends it. *)
+let read_request ~max_header ~max_body fd =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 512 in
+  let too_large = respond ~status:413 "request too large\n" in
+  (* Find the end of the header block in [acc]; returns the offset just
+     past the blank line, plus the separator width that was used. *)
+  let head_end () =
+    let s = Buffer.contents acc in
+    let l = String.length s in
+    let rec find i =
+      if i + 4 <= l && String.sub s i 4 = "\r\n\r\n" then Some (i, i + 4)
+      else if i + 2 <= l && String.sub s i 2 = "\n\n" then Some (i, i + 2)
+      else if i + 1 < l then find (i + 1)
+      else None
+    in
+    find 0
+  in
+  let rec read_head () =
+    match head_end () with
+    | Some (head_len, body_off) ->
+      if head_len > max_header then Error too_large
+      else Ok (head_len, body_off)
+    | None ->
+      if Buffer.length acc > max_header then Error too_large
+      else (
         match Unix.read fd buf 0 (Bytes.length buf) with
-        | 0 -> if Buffer.length acc = 0 then None else Some (Buffer.contents acc)
+        | 0 -> Error (respond ~status:400 "bad request\n")
         | n ->
           Buffer.add_subbytes acc buf 0 n;
-          go ()
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-          ->
-          None
+          read_head ()
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          Error (respond ~status:400 "bad request\n"))
   in
-  match go () with
-  | None -> None
-  | Some head -> (
-    match String.index_opt head '\n' with
-    | None -> None
-    | Some nl ->
-      let line = String.sub head 0 nl in
-      let line =
-        if line <> "" && line.[String.length line - 1] = '\r' then
-          String.sub line 0 (String.length line - 1)
-        else line
+  match read_head () with
+    | Error rs -> if Buffer.length acc = 0 then Gone else Reject rs
+    | Ok (head_len, body_off) -> (
+      let head = String.sub (Buffer.contents acc) 0 head_len in
+      let lines =
+        String.split_on_char '\n' head
+        |> List.map (fun l ->
+               if l <> "" && l.[String.length l - 1] = '\r' then
+                 String.sub l 0 (String.length l - 1)
+               else l)
       in
-      Some line)
+      match lines with
+      | [] -> Reject (respond ~status:400 "bad request\n")
+      | req_line :: header_lines -> (
+        match parse_request_line req_line with
+        | None -> Reject (respond ~status:400 "bad request\n")
+        | Some (meth, path, query) ->
+          let headers = parse_header_lines header_lines in
+          if not (List.mem meth known_methods) then
+            Reject
+              (respond ~status:405
+                 ~headers:[ "Allow", String.concat ", " known_methods ]
+                 "method not allowed\n")
+          else if header "transfer-encoding" headers <> None then
+            (* We only speak Content-Length bodies. *)
+            Reject (respond ~status:501 "transfer encodings not supported\n")
+          else
+            let content_length =
+              match header "content-length" headers with
+              | None -> Some 0
+              | Some v -> (
+                match int_of_string_opt (String.trim v) with
+                | Some n when n >= 0 -> Some n
+                | _ -> None)
+            in
+            (match content_length with
+            | None -> Reject (respond ~status:400 "bad content-length\n")
+            | Some len when len > max_body -> Reject too_large
+            | Some len ->
+              (* Body bytes already buffered past the header block. *)
+              let full = Buffer.contents acc in
+              let got = Buffer.create (min len 4096) in
+              Buffer.add_string got
+                (String.sub full body_off (String.length full - body_off));
+              let rec read_body () =
+                if Buffer.length got >= len then
+                  Ok (String.sub (Buffer.contents got) 0 len)
+                else
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> Error (respond ~status:400 "truncated body\n")
+                  | n ->
+                    Buffer.add_subbytes got buf 0 n;
+                    if Buffer.length got > max_body then Error too_large
+                    else read_body ()
+                  | exception
+                      Unix.Unix_error
+                        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                    ->
+                    Error (respond ~status:400 "truncated body\n")
+              in
+              (match read_body () with
+              | Error rs -> Reject rs
+              | Ok body ->
+                Req
+                  {
+                    rq_method = meth;
+                    rq_path = path;
+                    rq_query = query;
+                    rq_headers = headers;
+                    rq_body = body;
+                  }))))
 
 let write_all fd s =
   let n = String.length s in
@@ -161,33 +275,36 @@ let write_all fd s =
   go 0
 
 let send_response fd rs =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) rs.rs_headers)
+  in
   write_all fd
     (Printf.sprintf
-       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n%s"
        rs.rs_status (status_text rs.rs_status) rs.rs_content_type
-       (String.length rs.rs_body) rs.rs_body)
+       (String.length rs.rs_body) extra rs.rs_body)
 
 (* ------------------------------------------------------------------ *)
 (* Server loop                                                         *)
 
-let serve_connection handler fd =
+let serve_connection t handler fd =
   (* A stuck or byte-dribbling client gets cut off by the receive
      timeout instead of pinning the server domain. *)
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0 with _ -> ());
-  let rs =
-    match read_request_head fd with
-    | None -> respond ~status:400 "bad request\n"
-    | Some line -> (
-      match parse_request_line line with
-      | None -> respond ~status:400 "bad request\n"
-      | Some rq when rq.rq_method <> "GET" && rq.rq_method <> "HEAD" ->
-        respond ~status:405 "only GET is served here\n"
-      | Some rq -> (
-        match handler rq with
-        | rs -> rs
-        | exception _ -> respond ~status:500 "internal error\n"))
-  in
-  (try send_response fd rs with _ -> ())
+  match
+    read_request ~max_header:t.t_max_header_bytes ~max_body:t.t_max_body_bytes
+      fd
+  with
+  | Gone -> ()
+  | Reject rs -> ( try send_response fd rs with _ -> ())
+  | Req rq ->
+    let rs =
+      match handler rq with
+      | rs -> rs
+      | exception _ -> respond ~status:500 "internal error\n"
+    in
+    (try send_response fd rs with _ -> ())
 
 let accept_loop t handler =
   let rec go () =
@@ -195,7 +312,7 @@ let accept_loop t handler =
     | fd, _peer ->
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with _ -> ())
-        (fun () -> serve_connection handler fd);
+        (fun () -> serve_connection t handler fd);
       go ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error (_, _, _) ->
@@ -205,15 +322,18 @@ let accept_loop t handler =
   in
   go ()
 
-let start ?(addr = "127.0.0.1") ?(port = 0) handler =
-  let inet =
-    try Unix.inet_addr_of_string addr
-    with _ -> (
-      (* Accept a hostname like "localhost" too. *)
-      match Unix.getaddrinfo addr "" [ Unix.AI_FAMILY Unix.PF_INET ] with
-      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
-      | _ -> failwith (Printf.sprintf "cannot resolve address %S" addr))
-  in
+let resolve addr =
+  try Unix.inet_addr_of_string addr
+  with _ -> (
+    (* Accept a hostname like "localhost" too. *)
+    match Unix.getaddrinfo addr "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+    | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+    | _ -> failwith (Printf.sprintf "cannot resolve address %S" addr))
+
+let start ?(addr = "127.0.0.1") ?(port = 0)
+    ?(max_header_bytes = default_max_header_bytes)
+    ?(max_body_bytes = default_max_body_bytes) handler =
+  let inet = resolve addr in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -234,6 +354,8 @@ let start ?(addr = "127.0.0.1") ?(port = 0) handler =
       sock;
       t_addr = Unix.string_of_inet_addr inet;
       t_port = bound_port;
+      t_max_header_bytes = max_header_bytes;
+      t_max_body_bytes = max_body_bytes;
       stopping = Atomic.make false;
       domain = None;
     }
@@ -255,18 +377,24 @@ let stop t =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Tiny client (tests, smoke checks)                                   *)
+(* Tiny client (tests, smoke checks, CLI submit/status/fetch)          *)
 
-let get ?(addr = "127.0.0.1") ~port path =
+let request ?(addr = "127.0.0.1") ?(meth = "GET") ?body ~port path =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with _ -> ())
     (fun () ->
-      Unix.setsockopt_float sock Unix.SO_RCVTIMEO 10.0;
-      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+      Unix.setsockopt_float sock Unix.SO_RCVTIMEO 30.0;
+      Unix.connect sock (Unix.ADDR_INET (resolve addr, port));
+      let body_part =
+        match body with
+        | None -> ""
+        | Some b -> Printf.sprintf "Content-Length: %d\r\n" (String.length b)
+      in
       write_all sock
-        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
-           path addr);
+        (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\n%sConnection: close\r\n\r\n%s"
+           meth path addr body_part
+           (Option.value ~default:"" body));
       let buf = Bytes.create 4096 in
       let acc = Buffer.create 1024 in
       let rec drain () =
@@ -288,9 +416,25 @@ let get ?(addr = "127.0.0.1") ~port path =
         in
         find 0
       in
+      let headers =
+        if body_start <= 4 then []
+        else
+          String.sub raw 0 (body_start - 4)
+          |> String.split_on_char '\n'
+          |> List.map (fun l ->
+                 if l <> "" && l.[String.length l - 1] = '\r' then
+                   String.sub l 0 (String.length l - 1)
+                 else l)
+          |> fun lines ->
+          (match lines with [] -> [] | _ :: hs -> parse_header_lines hs)
+      in
       let status =
         match String.split_on_char ' ' raw with
         | _ :: code :: _ -> Option.value ~default:0 (int_of_string_opt code)
         | _ -> 0
       in
-      status, String.sub raw body_start (String.length raw - body_start))
+      status, headers, String.sub raw body_start (String.length raw - body_start))
+
+let get ?addr ~port path =
+  let status, _headers, body = request ?addr ~meth:"GET" ~port path in
+  status, body

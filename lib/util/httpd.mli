@@ -1,7 +1,10 @@
-(** Minimal hand-rolled HTTP/1.1 server for the live telemetry plane.
+(** Minimal hand-rolled HTTP/1.1 server for the live telemetry plane
+    and the merge service daemon.
 
     Just enough HTTP to serve [GET /metrics] and friends to curl,
-    Prometheus and a browser, with zero dependencies beyond [unix]:
+    Prometheus and a browser — and, since the service PR, to accept
+    merge jobs over [POST /jobs] — with zero dependencies beyond
+    [unix]:
 
     - one listening socket, one {e dedicated domain} running the
       accept loop — the pipeline's driver and pool domains never block
@@ -10,32 +13,54 @@
     - connections are served sequentially on that domain, one request
       per connection ([Connection: close]) — correct and tiny, and
       plenty for a telemetry endpoint scraped a few times a second;
-    - requests are size-capped (16 KiB) and read under a receive
-      timeout, so a stuck client cannot pin the server domain;
+    - the request surface is [GET]/[HEAD]/[POST]/[DELETE]; any other
+      method is answered [405] with an [Allow] header before the
+      handler runs;
+    - header blocks and bodies are size-capped (16 KiB / 1 MiB by
+      default, configurable at {!start}) — over-limit requests are
+      answered [413] — and reads run under a receive timeout, so a
+      stuck client cannot pin the server domain;
+    - only [Content-Length] bodies are accepted; a request with a
+      [Transfer-Encoding] is answered [501];
     - handlers run on the server domain and must therefore only touch
       thread-safe state (the {!Metrics}/{!Obs}/{!Eventlog}/{!Progress}
-      registries all are).
+      registries all are, and the service scheduler is
+      mutex-protected).
 
     Binding to port 0 lets the OS pick a free port ({!port} reports the
     real one) — this is how tests avoid port races, and how [--serve 0]
     behaves. *)
 
 type request = {
-  rq_method : string;            (** e.g. ["GET"] *)
+  rq_method : string;            (** e.g. ["GET"], ["POST"] *)
   rq_path : string;              (** decoded path, e.g. ["/metrics"] *)
   rq_query : (string * string) list;  (** decoded query pairs, in order *)
+  rq_headers : (string * string) list;
+      (** lowercased header names, values trimmed, in order *)
+  rq_body : string;              (** [""] when the request had no body *)
 }
 
 type response = {
   rs_status : int;
   rs_content_type : string;
+  rs_headers : (string * string) list;
+      (** extra headers, e.g. [("Retry-After", "1")] *)
   rs_body : string;
 }
 
-val respond : ?status:int -> ?content_type:string -> string -> response
-(** Build a response (defaults: 200, [text/plain; charset=utf-8]). *)
+val respond :
+  ?status:int ->
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  string ->
+  response
+(** Build a response (defaults: 200, [text/plain; charset=utf-8], no
+    extra headers). *)
 
 val not_found : response
+
+val header : string -> (string * string) list -> string option
+(** [header name headers] looks up a header case-insensitively. *)
 
 type handler = request -> response
 (** Must not raise; a raising handler is answered with a 500 and the
@@ -43,9 +68,18 @@ type handler = request -> response
 
 type t
 
-val start : ?addr:string -> ?port:int -> handler -> t
+val start :
+  ?addr:string ->
+  ?port:int ->
+  ?max_header_bytes:int ->
+  ?max_body_bytes:int ->
+  handler ->
+  t
 (** Bind [addr:port] (default [127.0.0.1:0]), start the accept-loop
-    domain and return the running server.
+    domain and return the running server. Requests whose header block
+    exceeds [max_header_bytes] (default 16 KiB) or whose body exceeds
+    [max_body_bytes] (default 1 MiB) are answered [413] without
+    reaching the handler.
     @raise Failure when the address cannot be parsed or bound. *)
 
 val addr : t -> string
@@ -58,8 +92,19 @@ val stop : t -> unit
 (** Close the listening socket and join the server domain. Idempotent.
     In-flight responses finish; no new connections are accepted. *)
 
-val get : ?addr:string -> port:int -> string -> int * string
-(** Tiny blocking HTTP/1.1 client for tests and smoke checks:
-    [get ~port "/metrics"] returns [(status, body)].
+val request :
+  ?addr:string ->
+  ?meth:string ->
+  ?body:string ->
+  port:int ->
+  string ->
+  int * (string * string) list * string
+(** Tiny blocking HTTP/1.1 client for tests, smoke checks and the CLI
+    service subcommands: [request ~meth:"POST" ~body ~port "/jobs"]
+    returns [(status, headers, body)] with header names lowercased.
     @raise Unix.Unix_error / Failure on connection or protocol
     failure. *)
+
+val get : ?addr:string -> port:int -> string -> int * string
+(** [get ~port path] is [request ~meth:"GET" ~port path] without the
+    headers. *)

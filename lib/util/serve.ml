@@ -1,6 +1,8 @@
-(* Telemetry endpoint routing. Every endpoint is a pure read of
-   process-global observability state; nothing here writes into the
-   pipeline, which is what keeps --serve byte-identity trivial. *)
+(* Telemetry endpoint routing. The built-in endpoints are pure reads
+   of process-global observability state; nothing here writes into the
+   pipeline, which is what keeps --serve byte-identity trivial.
+   Registered routes (the service daemon's /jobs plane) may carry
+   state of their own — they are consulted before the built-ins. *)
 
 let parse_spec s =
   let port_of p =
@@ -17,9 +19,47 @@ let parse_spec s =
     else Result.map (fun p -> addr, p) (port_of p)
 
 (* ------------------------------------------------------------------ *)
+(* Route registration                                                   *)
+
+(* A route owns a path prefix: it gets every request whose path equals
+   [prefix] or continues it after a '/'. Routes are consulted
+   newest-first, before the built-in telemetry endpoints, so a
+   registered "/jobs" cannot be shadowed. *)
+let routes : (string * Httpd.handler) list ref = ref []
+let routes_mu = Mutex.create ()
+
+let register ~prefix handler =
+  Mutex.protect routes_mu (fun () -> routes := (prefix, handler) :: !routes)
+
+let unregister ~prefix =
+  Mutex.protect routes_mu (fun () ->
+      routes := List.filter (fun (p, _) -> p <> prefix) !routes)
+
+let route_for path =
+  let matches prefix =
+    path = prefix
+    || String.length path > String.length prefix
+       && String.sub path 0 (String.length prefix) = prefix
+       && path.[String.length prefix] = '/'
+  in
+  Mutex.protect routes_mu (fun () ->
+      List.find_opt (fun (p, _) -> matches p) !routes)
+  |> Option.map snd
+
+(* ------------------------------------------------------------------ *)
 (* /healthz                                                            *)
 
 let started_ns = Obs.Clock.now_ns ()
+
+(* The most recently started server, so /healthz (and anything else)
+   can report the actual bound endpoint — the autopicked port used to
+   be visible only in the stderr startup line. *)
+let current : Httpd.t option ref = ref None
+let current_mu = Mutex.create ()
+
+let endpoint () =
+  Mutex.protect current_mu (fun () ->
+      Option.map (fun t -> Httpd.addr t, Httpd.port t) !current)
 
 (* Degradation-ladder position, worst observed rung first. The rungs
    mirror Merge_flow's rescue ladder: a clean run is [nominal]; retries
@@ -54,10 +94,18 @@ let healthz_json () =
       (match Govern.memory_limit_mb () with None -> "null" | Some l -> fl l)
       (Govern.memory_pressure () <> None)
   in
+  let serve =
+    match endpoint () with
+    | None -> "null"
+    | Some (a, p) ->
+      Printf.sprintf {|{"addr":"%s","port":%d,"url":"http://%s:%d/"}|}
+        (Metrics.json_escape a) p (Metrics.json_escape a) p
+  in
   Printf.sprintf
-    {|{"status":"ok","pid":%d,"uptime_s":%s,"ladder":"%s","governance":%s,"memory":%s,"counters":{"govern.retries":%d,"merge.quarantined":%d,"merge.degraded_cliques":%d},"events_total":%d}|}
+    {|{"status":"ok","pid":%d,"uptime_s":%s,"serve":%s,"ladder":"%s","governance":%s,"memory":%s,"counters":{"govern.retries":%d,"merge.quarantined":%d,"merge.degraded_cliques":%d},"events_total":%d}|}
     (Unix.getpid ())
     (fl (Obs.Clock.elapsed_s started_ns))
+    serve
     (ladder_position ~retries ~quarantined ~degraded)
     governance memory retries quarantined degraded (Eventlog.total ())
 
@@ -77,40 +125,60 @@ let index_body =
       "";
     ]
 
+let read_only_405 =
+  Httpd.respond ~status:405
+    ~headers:[ "Allow", "GET, HEAD" ]
+    "telemetry endpoints are read-only\n"
+
 let handler (rq : Httpd.request) =
-  match rq.Httpd.rq_path with
-  | "/" | "/index.html" -> Httpd.respond index_body
-  | "/metrics" ->
-    Httpd.respond
-      ~content_type:"text/plain; version=0.0.4; charset=utf-8"
-      (Metrics.to_prometheus ())
-  | "/healthz" ->
-    Httpd.respond ~content_type:"application/json" (healthz_json () ^ "\n")
-  | "/progress" ->
-    Httpd.respond ~content_type:"application/json" (Progress.to_json () ^ "\n")
-  | "/events" ->
-    let limit =
-      List.assoc_opt "n" rq.Httpd.rq_query
-      |> Option.map int_of_string_opt |> Option.join
-    in
-    Httpd.respond ~content_type:"application/x-ndjson"
-      (Eventlog.to_ndjson ?limit ())
-  | "/trace" ->
-    Httpd.respond ~content_type:"application/json" (Obs.trace_event_json ())
-  | _ -> Httpd.not_found
+  match route_for rq.Httpd.rq_path with
+  | Some h -> h rq
+  | None when rq.Httpd.rq_method <> "GET" && rq.Httpd.rq_method <> "HEAD" ->
+    read_only_405
+  | None -> (
+    match rq.Httpd.rq_path with
+    | "/" | "/index.html" -> Httpd.respond index_body
+    | "/metrics" ->
+      Httpd.respond
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (Metrics.to_prometheus ())
+    | "/healthz" ->
+      Httpd.respond ~content_type:"application/json" (healthz_json () ^ "\n")
+    | "/progress" ->
+      Httpd.respond ~content_type:"application/json" (Progress.to_json () ^ "\n")
+    | "/events" ->
+      let limit =
+        List.assoc_opt "n" rq.Httpd.rq_query
+        |> Option.map int_of_string_opt |> Option.join
+      in
+      Httpd.respond ~content_type:"application/x-ndjson"
+        (Eventlog.to_ndjson ?limit ())
+    | "/trace" ->
+      Httpd.respond ~content_type:"application/json" (Obs.trace_event_json ())
+    | _ -> Httpd.not_found)
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 
 type t = Httpd.t
 
-let start ~addr ~port =
-  let t = Httpd.start ~addr ~port handler in
+let start ?max_body_bytes ~addr ~port () =
+  let t = Httpd.start ~addr ~port ?max_body_bytes handler in
+  Mutex.protect current_mu (fun () -> current := Some t);
   Eventlog.log "serve.start"
     ~attrs:
-      [ "addr", Httpd.addr t; "port", string_of_int (Httpd.port t) ];
+      [
+        "addr", Httpd.addr t;
+        "port", string_of_int (Httpd.port t);
+        "url",
+        Printf.sprintf "http://%s:%d/" (Httpd.addr t) (Httpd.port t);
+      ];
   t
 
 let addr = Httpd.addr
 let port = Httpd.port
-let stop = Httpd.stop
+
+let stop t =
+  Mutex.protect current_mu (fun () ->
+      match !current with Some c when c == t -> current := None | _ -> ());
+  Httpd.stop t

@@ -1,17 +1,20 @@
 (** The live telemetry plane: HTTP endpoints over the observability
-    registries.
+    registries, plus path-prefix route registration for subsystems
+    (the merge service daemon mounts its [/jobs] plane here).
 
-    [--serve [ADDR:]PORT] starts one {!Httpd} server whose handler
-    reads the process-global {!Metrics}, {!Progress}, {!Eventlog},
-    {!Obs} and {!Govern} state — all thread-safe, all already
-    maintained whether or not serving is on, so attaching the server
-    perturbs nothing: merged output is byte-identical with and without
-    [--serve]. Endpoints:
+    [--serve [ADDR:]PORT] starts one {!Httpd} server whose built-in
+    handler reads the process-global {!Metrics}, {!Progress},
+    {!Eventlog}, {!Obs} and {!Govern} state — all thread-safe, all
+    already maintained whether or not serving is on, so attaching the
+    server perturbs nothing: merged output is byte-identical with and
+    without [--serve]. Endpoints:
 
     - [GET /metrics] — Prometheus text exposition v0.0.4
       ({!Metrics.to_prometheus});
     - [GET /healthz] — one JSON object with process liveness and
-      governance state: uptime, run-root deadline remaining, memory
+      governance state: uptime, the bound serve endpoint
+      ([{"addr","port","url"}] — how clients discover an autopicked
+      port programmatically), run-root deadline remaining, memory
       watermark, retry/quarantine/degradation counters and the derived
       degradation-ladder position;
     - [GET /progress] — per-stage done/total/ETA JSON
@@ -23,7 +26,9 @@
       which [--serve] enables);
     - [GET /] — a plain-text index of the above.
 
-    Unknown paths get a 404. *)
+    Unknown paths get a 404; non-GET methods on the built-in
+    endpoints get a 405 (registered routes handle their own
+    methods). *)
 
 val parse_spec : string -> (string * int, string) result
 (** Parse a [--serve] argument: ["PORT"] or ["ADDR:PORT"], e.g.
@@ -31,14 +36,31 @@ val parse_spec : string -> (string * int, string) result
     for a free port (the bound port is reported at startup).
     [Error msg] on anything else. *)
 
+val register : prefix:string -> Httpd.handler -> unit
+(** Mount [handler] at [prefix]: it receives every request whose path
+    equals [prefix] or continues it after a ['/'] (so
+    [register ~prefix:"/jobs"] serves [/jobs], [/jobs/j3],
+    [/jobs/j3/result], …). Registered routes are consulted before the
+    built-in telemetry endpoints, newest registration first. Handlers
+    run on the server domain: thread-safe state only. *)
+
+val unregister : prefix:string -> unit
+(** Remove every route registered at exactly [prefix]. *)
+
+val endpoint : unit -> (string * int) option
+(** The bound [(addr, port)] of the most recently started server, if
+    one is running — what [/healthz] reports under ["serve"]. *)
+
 val handler : Httpd.handler
 (** The routing handler, exposed for in-process tests. *)
 
 type t
 
-val start : addr:string -> port:int -> t
-(** Bind and start serving, journal a [serve.start] event, and return
-    the running server.
+val start : ?max_body_bytes:int -> addr:string -> port:int -> unit -> t
+(** Bind and start serving, journal a [serve.start] event (attrs
+    [addr], [port] and the full [url]), and return the running server.
+    [max_body_bytes] is passed through to {!Httpd.start} — the daemon
+    raises it for job submissions.
     @raise Failure when the address cannot be parsed or bound. *)
 
 val addr : t -> string
@@ -46,4 +68,4 @@ val port : t -> int
 (** The bound address/port (the OS-assigned port when given 0). *)
 
 val stop : t -> unit
-(** Shut the server down. Idempotent. *)
+(** Shut the server down and clear {!endpoint}. Idempotent. *)

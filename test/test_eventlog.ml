@@ -430,7 +430,7 @@ let test_serve_endpoints () =
   Progress.add_total ~by:2 "merge.load";
   Eventlog.log "x.alpha";
   Eventlog.log "x.beta";
-  let srv = Serve.start ~addr:"127.0.0.1" ~port:0 in
+  let srv = Serve.start ~addr:"127.0.0.1" ~port:0 () in
   Fun.protect
     ~finally:(fun () -> Serve.stop srv)
     (fun () ->
@@ -588,7 +588,7 @@ let emitted_kinds =
      ignore (Merge_flow.run_sources ~jobs:2 ~design sources);
      (* The serve lifecycle is part of the taxonomy; bring a server up
         so `serve.start` counts as exercised. *)
-     let srv = Serve.start ~addr:"127.0.0.1" ~port:0 in
+     let srv = Serve.start ~addr:"127.0.0.1" ~port:0 () in
      Serve.stop srv;
      let kinds = SS.of_list (List.map fst (Eventlog.counts ())) in
      Eventlog.reset ();

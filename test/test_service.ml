@@ -1,0 +1,666 @@
+(* @service-smoke: the merge service against the shipped binary.
+
+   In-process suites cover the service building blocks — the Httpd
+   request-size/method contract (413/405), fingerprint canonicalization,
+   the result cache's LRU + disk layers and the POST /jobs wire parser.
+
+   Subprocess golden tests drive `modemerge daemon`:
+
+   - the same workload submitted to a daemon at jobs=1 and jobs=4 must
+     fetch byte-identical files to the one-shot `modemerge merge`, on a
+     cache miss AND on the repeat submission's cache hit;
+   - the cache hit must skip the merge pipeline entirely: cache_hits
+     increments and no new run.start event is journaled;
+   - two concurrent identical submissions coalesce — one pipeline run,
+     both jobs done with identical bytes;
+   - DELETE cancels a chaos-stretched running job promptly;
+   - a full queue answers 429 with a Retry-After header.
+
+   Port races are impossible by construction: the daemon binds
+   127.0.0.1:0 and the test parses the OS-assigned port from the
+   `daemon listening on http://…` stderr line. *)
+
+module Httpd = Mm_util.Httpd
+module Runlog = Mm_util.Runlog
+module Metrics = Mm_util.Metrics
+module Fingerprint = Mm_service.Fingerprint
+module Job = Mm_service.Job
+module Rcache = Mm_service.Rcache
+
+let () = Printexc.record_backtrace true
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Scratch dir, fixture, process plumbing                              *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch_root =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mm_service_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  at_exit (fun () -> rm_rf dir);
+  dir
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec find i = i + nl <= hl && (String.sub hay i nl = needle || find (i + 1)) in
+  find 0
+
+let modemerge =
+  lazy
+    (match Sys.getenv_opt "MODEMERGE" with
+    | Some p when p <> "" -> p
+    | _ ->
+      Alcotest.fail
+        "MODEMERGE not set: run this suite via `dune build @service-smoke`, \
+         which wires in the modemerge binary")
+
+let fixture =
+  lazy
+    (let exe = Lazy.force modemerge in
+     let dir = Filename.concat scratch_root "fixture" in
+     let rc =
+       Sys.command
+         (Printf.sprintf
+            "%s gen -o %s --seed 11 --domains 2 --regs 10 --families 3,2 > %s \
+             2>&1"
+            (Filename.quote exe) (Filename.quote dir)
+            (Filename.quote (Filename.concat scratch_root "gen.log")))
+     in
+     check Alcotest.int "gen exits cleanly" 0 rc;
+     let sdcs =
+       List.map
+         (fun n -> Filename.concat dir (n ^ ".sdc"))
+         [ "m0_0"; "m0_1"; "m0_2"; "m1_0"; "m1_1" ]
+     in
+     Filename.concat dir "design.nl", sdcs)
+
+let spawn ?chaos ~tag args =
+  let exe = Lazy.force modemerge in
+  let out = Filename.concat scratch_root (tag ^ ".out") in
+  let err = Filename.concat scratch_root (tag ^ ".err") in
+  let argv = Array.of_list (exe :: args) in
+  let env =
+    let base =
+      Array.to_list (Unix.environment ())
+      |> List.filter (fun kv ->
+             not (String.length kv >= 9 && String.sub kv 0 9 = "MM_CHAOS="))
+    in
+    Array.of_list
+      (match chaos with
+      | None -> base
+      | Some spec -> ("MM_CHAOS=" ^ spec) :: base)
+  in
+  let flags = [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] in
+  let out_fd = Unix.openfile out flags 0o644 in
+  let err_fd = Unix.openfile err flags 0o644 in
+  let pid =
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.close out_fd;
+        Unix.close err_fd)
+      (fun () -> Unix.create_process_env exe argv env Unix.stdin out_fd err_fd)
+  in
+  pid, out, err
+
+let reaped : (int, Unix.process_status) Hashtbl.t = Hashtbl.create 4
+
+let status_code pid = function
+  | Unix.WEXITED n -> n
+  | Unix.WSIGNALED s -> Alcotest.failf "child %d killed by signal %d" pid s
+  | Unix.WSTOPPED s -> Alcotest.failf "child %d stopped by signal %d" pid s
+
+let wait_exit pid =
+  match Hashtbl.find_opt reaped pid with
+  | Some st -> status_code pid st
+  | None ->
+    let _, st = Unix.waitpid [] pid in
+    Hashtbl.replace reaped pid st;
+    status_code pid st
+
+let alive pid =
+  if Hashtbl.mem reaped pid then false
+  else
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ -> true
+    | _, st ->
+      Hashtbl.replace reaped pid st;
+      false
+
+(* Poll the daemon's stderr for "daemon listening on http://ADDR:PORT/"
+   and return the port. *)
+let wait_for_port ~err ~pid =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let marker = "daemon listening on http://" in
+  let parse () =
+    let text = if Sys.file_exists err then read_file err else "" in
+    let ml = String.length marker and tl = String.length text in
+    let rec find i =
+      if i + ml > tl then None
+      else if String.sub text i ml = marker then Some (i + ml)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start -> (
+      match String.index_from_opt text start '/' with
+      | None -> None
+      | Some slash -> (
+        let hostport = String.sub text start (slash - start) in
+        match String.rindex_opt hostport ':' with
+        | None -> None
+        | Some c ->
+          int_of_string_opt
+            (String.sub hostport (c + 1) (String.length hostport - c - 1))))
+  in
+  let rec go () =
+    match parse () with
+    | Some port -> port
+    | None ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "no listening line in %s after 10s (child %s)" err
+          (if alive pid then "alive" else "dead")
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+(* Start a daemon, run [f port], always reap the child. *)
+let with_daemon ?chaos ~tag args f =
+  let pid, _, err = spawn ?chaos ~tag ([ "daemon"; "127.0.0.1:0" ] @ args) in
+  Fun.protect
+    ~finally:(fun () ->
+      if alive pid then begin
+        Unix.kill pid Sys.sigterm;
+        ignore (wait_exit pid)
+      end)
+    (fun () ->
+      let port = wait_for_port ~err ~pid in
+      f port)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP helpers                                                        *)
+
+let http ?meth ?body ~port path =
+  try Httpd.request ?meth ?body ~port path
+  with Unix.Unix_error (e, _, _) ->
+    Alcotest.failf "request %s failed: %s" path (Unix.error_message e)
+
+let http_status ?meth ?body ~port path =
+  let s, _, _ = http ?meth ?body ~port path in
+  s
+
+let json_of ~port path =
+  let status, _, body = http ~port path in
+  check Alcotest.int (path ^ " answers 200") 200 status;
+  try Runlog.parse_json body
+  with Runlog.Parse_error e -> Alcotest.failf "%s not JSON (%s)" path e
+
+let jstr j name =
+  match Runlog.member name j with Some (Runlog.Str s) -> Some s | _ -> None
+
+(* The spec JSON the `submit` subcommand would send, with a [salt]
+   comment appended to the first source so tests can mint jobs with
+   distinct fingerprints on demand. *)
+let spec_body ?(salt = "") ?(priority = 0) () =
+  let netlist, sdcs = Lazy.force fixture in
+  let q s = Printf.sprintf {|"%s"|} (Metrics.json_escape s) in
+  let sources =
+    List.mapi
+      (fun i path ->
+        let text = read_file path in
+        let text = if i = 0 && salt <> "" then text ^ "# " ^ salt ^ "\n" else text in
+        Printf.sprintf {|{"name":%s,"text":%s}|}
+          (q (Filename.remove_extension (Filename.basename path)))
+          (q text))
+      sdcs
+  in
+  Printf.sprintf
+    {|{"design":{"format":"nl","text":%s},"sources":[%s],"priority":%d}|}
+    (q (read_file netlist))
+    (String.concat "," sources)
+    priority
+
+let submit_raw ?salt ?priority ~port () =
+  http ~meth:"POST" ~body:(spec_body ?salt ?priority ()) ~port "/jobs"
+
+let job_id body =
+  match jstr (Runlog.parse_json body) "id" with
+  | Some id -> id
+  | None -> Alcotest.failf "no job id in %s" body
+  | exception Runlog.Parse_error e -> Alcotest.failf "bad job JSON: %s" e
+
+let wait_job ~port id =
+  let deadline = Unix.gettimeofday () +. 60. in
+  let rec poll () =
+    let j = json_of ~port (Printf.sprintf "/jobs/%s" id) in
+    match jstr j "state" with
+    | Some ("queued" | "running") ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "job %s still pending after 60s" id
+      else begin
+        Unix.sleepf 0.05;
+        poll ()
+      end
+    | Some state -> state, j
+    | None -> Alcotest.failf "job %s status carries no state" id
+  in
+  poll ()
+
+let fetch_files ~port id =
+  let manifest = json_of ~port (Printf.sprintf "/jobs/%s/result" id) in
+  let names =
+    match Runlog.member "files" manifest with
+    | Some (Runlog.Arr files) ->
+      List.filter_map (fun f -> jstr f "name") files
+    | _ -> Alcotest.failf "job %s manifest has no files" id
+  in
+  List.map
+    (fun name ->
+      let status, _, bytes =
+        http ~port (Printf.sprintf "/jobs/%s/result/%s" id name)
+      in
+      check Alcotest.int (name ^ " fetch answers 200") 200 status;
+      name, bytes)
+    names
+
+let counter_value ~port name =
+  let _, _, body = http ~port "/metrics" in
+  let prefix = name ^ " " in
+  List.fold_left
+    (fun acc line ->
+      if
+        String.length line > String.length prefix
+        && String.sub line 0 (String.length prefix) = prefix
+      then
+        float_of_string_opt
+          (String.sub line (String.length prefix)
+             (String.length line - String.length prefix))
+      else acc)
+    None
+    (String.split_on_char '\n' body)
+  |> Option.value ~default:0.
+
+let event_kind_count ~port kind =
+  let _, _, body = http ~port "/events?n=500" in
+  let needle = Printf.sprintf {|"kind":"%s"|} kind in
+  List.length
+    (List.filter
+       (fun l -> contains needle l)
+       (String.split_on_char '\n' body))
+
+(* ------------------------------------------------------------------ *)
+(* In-process: Httpd limits and methods                                *)
+
+let test_httpd_limits () =
+  let echo (rq : Httpd.request) =
+    Httpd.respond ~content_type:"text/plain" rq.Httpd.rq_body
+  in
+  let server =
+    Httpd.start ~port:0 ~max_header_bytes:1024 ~max_body_bytes:64 echo
+  in
+  Fun.protect
+    ~finally:(fun () -> Httpd.stop server)
+    (fun () ->
+      let port = Httpd.port server in
+      (* POST round-trip under the limit. *)
+      let status, _, body =
+        Httpd.request ~meth:"POST" ~body:"hello service" ~port "/echo"
+      in
+      check Alcotest.int "small POST accepted" 200 status;
+      check Alcotest.string "body echoed" "hello service" body;
+      (* Over-limit body: 413, connection still answers properly. *)
+      let status, _, _ =
+        Httpd.request ~meth:"POST" ~body:(String.make 65 'x') ~port "/echo"
+      in
+      check Alcotest.int "over-limit body is 413" 413 status;
+      (* Over-limit header block: 413. *)
+      let status, _, _ =
+        Httpd.request ~port (Printf.sprintf "/%s" (String.make 1200 'h'))
+      in
+      check Alcotest.int "over-limit header block is 413" 413 status;
+      (* Unknown method: 405 with an Allow header. *)
+      let status, headers, _ = Httpd.request ~meth:"PUT" ~port "/echo" in
+      check Alcotest.int "unknown method is 405" 405 status;
+      check Alcotest.bool "405 carries Allow" true
+        (Httpd.header "allow" headers <> None);
+      (* Transfer-Encoding bodies are not implemented: 501. *)
+      let status, _, _ = Httpd.request ~meth:"DELETE" ~port "/echo" in
+      check Alcotest.int "DELETE reaches the handler" 200 status)
+
+(* ------------------------------------------------------------------ *)
+(* In-process: fingerprints                                            *)
+
+let test_fingerprint () =
+  let fp ?(design = "module top\n") ?(src = "create_clock -period 10 clk\n")
+      ?(policy = "strict") ?(check_eq = true) ?tolerance ?(annotate = false) ()
+      =
+    Fingerprint.compute ~design_format:"nl" ~design_text:design
+      ~sources:[ "m0", src ] ~policy ~check_equivalence:check_eq ~tolerance
+      ~annotate
+  in
+  check Alcotest.string "identical specs share a fingerprint" (fp ()) (fp ());
+  check Alcotest.string "CRLF canonicalizes to LF for keying"
+    (fp ~src:"create_clock -period 10 clk\n" ())
+    (fp ~src:"create_clock -period 10 clk\r\n" ());
+  check Alcotest.bool "source text is keyed" true
+    (fp () <> fp ~src:"create_clock -period 20 clk\n" ());
+  check Alcotest.bool "design is keyed" true
+    (fp () <> fp ~design:"module other\n" ());
+  check Alcotest.bool "policy is keyed" true (fp () <> fp ~policy:"permissive" ());
+  check Alcotest.bool "equivalence checking is keyed" true
+    (fp () <> fp ~check_eq:false ());
+  check Alcotest.bool "tolerance is keyed" true
+    (fp () <> fp ~tolerance:(0.1, 0.01) ());
+  check Alcotest.bool "annotate is keyed" true (fp () <> fp ~annotate:true ());
+  check Alcotest.bool "source order is keyed" true
+    (Fingerprint.compute ~design_format:"nl" ~design_text:"d"
+       ~sources:[ "a", "x"; "b", "y" ] ~policy:"strict"
+       ~check_equivalence:true ~tolerance:None ~annotate:false
+    <> Fingerprint.compute ~design_format:"nl" ~design_text:"d"
+         ~sources:[ "b", "y"; "a", "x" ] ~policy:"strict"
+         ~check_equivalence:true ~tolerance:None ~annotate:false)
+
+let test_spec_of_json () =
+  let good =
+    {|{"design":{"format":"nl","text":"module top\n"},
+       "sources":[{"name":"m0","text":"create_clock -period 10 clk\n"}],
+       "options":{"policy":"permissive","annotate":true},
+       "priority":3}|}
+  in
+  (match Job.spec_of_json good with
+  | Error msg -> Alcotest.failf "good spec rejected: %s" msg
+  | Ok spec ->
+    check Alcotest.string "format" "nl" spec.Job.sp_design_format;
+    check Alcotest.int "priority" 3 spec.Job.sp_priority;
+    check Alcotest.bool "annotate" true spec.Job.sp_options.Job.opt_annotate;
+    check Alcotest.bool "policy" true
+      (spec.Job.sp_options.Job.opt_policy = Mm_core.Merge_flow.Permissive);
+    check Alcotest.bool "check_equivalence defaults on" true
+      spec.Job.sp_options.Job.opt_check_equivalence);
+  let rejected body =
+    match Job.spec_of_json body with Error _ -> true | Ok _ -> false
+  in
+  check Alcotest.bool "missing design rejected" true
+    (rejected {|{"sources":[{"name":"m0","text":"x"}]}|});
+  check Alcotest.bool "empty sources rejected" true
+    (rejected {|{"design":{"text":"d"},"sources":[]}|});
+  check Alcotest.bool "unknown policy rejected" true
+    (rejected
+       {|{"design":{"text":"d"},"sources":[{"name":"m0","text":"x"}],
+          "options":{"policy":"yolo"}}|});
+  check Alcotest.bool "malformed JSON rejected" true (rejected "not json")
+
+(* ------------------------------------------------------------------ *)
+(* In-process: result cache                                            *)
+
+let outcome tagged =
+  {
+    Job.oc_files = [ "merged_0.sdc", "# " ^ tagged ^ "\n" ];
+    oc_summary =
+      {
+        Job.sm_n_individual = 2;
+        sm_n_merged = 1;
+        sm_reduction_percent = 50.;
+        sm_runtime_s = 0.01;
+        sm_quarantined = [];
+        sm_degraded = 0;
+      };
+  }
+
+let test_rcache_lru () =
+  let c = Rcache.create ~entries:2 () in
+  Rcache.store c "fp1" (outcome "one");
+  Rcache.store c "fp2" (outcome "two");
+  check Alcotest.bool "fp1 hits" true (Rcache.find c "fp1" <> None);
+  (* fp1 is now most-recently-used; inserting fp3 evicts fp2. *)
+  Rcache.store c "fp3" (outcome "three");
+  check Alcotest.bool "LRU fp2 evicted" true (Rcache.find c "fp2" = None);
+  check Alcotest.bool "fp1 survived" true (Rcache.find c "fp1" <> None);
+  check Alcotest.bool "fp3 present" true (Rcache.find c "fp3" <> None);
+  check Alcotest.bool "unknown misses" true (Rcache.find c "nope" = None);
+  check Alcotest.bool "stats mention eviction" true
+    (contains {|"evictions":1|} (Rcache.stats_json c))
+
+let test_rcache_disk () =
+  let dir = Filename.concat scratch_root "rcache_disk" in
+  rm_rf dir;
+  let c1 = Rcache.create ~dir ~entries:4 () in
+  Rcache.store c1 "fpd" (outcome "persisted");
+  (* A fresh instance over the same dir serves the entry from disk. *)
+  let c2 = Rcache.create ~dir ~entries:4 () in
+  (match Rcache.find c2 "fpd" with
+  | Some o ->
+    check
+      Alcotest.(list (pair string string))
+      "disk round-trip preserves bytes"
+      [ "merged_0.sdc", "# persisted\n" ]
+      o.Job.oc_files
+  | None -> Alcotest.fail "disk entry not found by fresh instance");
+  (* Corrupt file: treated as absent and deleted, never served. *)
+  let corrupt = Filename.concat dir "deadbeef.result" in
+  Out_channel.with_open_bin corrupt (fun oc ->
+      Out_channel.output_string oc "modemerge-rcache 1 deadbeef junk\ngarbage");
+  let c3 = Rcache.create ~dir ~entries:4 () in
+  check Alcotest.bool "corrupt entry misses" true
+    (Rcache.find c3 "deadbeef" = None);
+  check Alcotest.bool "corrupt entry deleted" false (Sys.file_exists corrupt)
+
+(* ------------------------------------------------------------------ *)
+(* Subprocess: byte identity, miss then hit, at jobs=1 and jobs=4      *)
+
+let oneshot_files jobs =
+  let netlist, sdcs = Lazy.force fixture in
+  let out = Filename.concat scratch_root (Printf.sprintf "oneshot_j%d" jobs) in
+  rm_rf out;
+  let pid, _, _ =
+    spawn
+      ~tag:(Printf.sprintf "oneshot_j%d" jobs)
+      ([ "merge"; "-n"; netlist; "-j"; string_of_int jobs; "-o"; out ] @ sdcs)
+  in
+  check Alcotest.int "one-shot merge exits cleanly" 0 (wait_exit pid);
+  let names =
+    List.sort compare
+      (List.filter
+         (fun f -> Filename.check_suffix f ".sdc")
+         (Array.to_list (Sys.readdir out)))
+  in
+  check Alcotest.bool "one-shot produced merged SDCs" true (names <> []);
+  List.map (fun n -> n, read_file (Filename.concat out n)) names
+
+let test_roundtrip jobs () =
+  let reference = oneshot_files jobs in
+  with_daemon
+    ~tag:(Printf.sprintf "daemon_j%d" jobs)
+    [ "-j"; string_of_int jobs ]
+    (fun port ->
+      (* Cache miss: the daemon computes, bytes match the one-shot CLI. *)
+      let status, _, body = submit_raw ~port () in
+      check Alcotest.bool "first submission accepted" true
+        (status = 200 || status = 202);
+      let id1 = job_id body in
+      let state, j1 = wait_job ~port id1 in
+      check Alcotest.string "first job completes" "done" state;
+      check Alcotest.(option string) "first job was computed" (Some "computed")
+        (jstr j1 "cache");
+      check
+        Alcotest.(list (pair string string))
+        (Printf.sprintf "miss bytes identical to one-shot at jobs=%d" jobs)
+        reference (fetch_files ~port id1);
+      (* Baseline pipeline evidence before the repeat. *)
+      let runs_before = event_kind_count ~port "run.start" in
+      let hits_before = counter_value ~port "cache_hits" in
+      (* Cache hit: same spec again — immediately done, same bytes, no
+         pipeline run. *)
+      let status, _, body = submit_raw ~port () in
+      check Alcotest.int "repeat submission answers 200 (already done)" 200
+        status;
+      let id2 = job_id body in
+      check Alcotest.bool "repeat gets a fresh job id" true (id1 <> id2);
+      let state, j2 = wait_job ~port id2 in
+      check Alcotest.string "repeat job done" "done" state;
+      check Alcotest.(option string) "repeat served from cache" (Some "hit")
+        (jstr j2 "cache");
+      check
+        Alcotest.(list (pair string string))
+        (Printf.sprintf "hit bytes identical to one-shot at jobs=%d" jobs)
+        reference (fetch_files ~port id2);
+      check Alcotest.bool "cache.hits incremented" true
+        (counter_value ~port "cache_hits" > hits_before);
+      check Alcotest.int "cache hit skipped the merge pipeline" runs_before
+        (event_kind_count ~port "run.start");
+      (* /cache/stats agrees. *)
+      let stats = json_of ~port "/cache/stats" in
+      check Alcotest.bool "stats count the hit" true
+        (match Runlog.member "hits" stats with
+        | Some (Runlog.Num n) -> n >= 1.
+        | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Subprocess: concurrent duplicates coalesce                          *)
+
+let test_coalesce () =
+  with_daemon ~chaos:"pool.task@*=delay:100" ~tag:"daemon_coalesce"
+    [ "-j"; "2" ]
+    (fun port ->
+      let _, _, b1 = submit_raw ~salt:"coalesce" ~port () in
+      let id1 = job_id b1 in
+      (* Same fingerprint while the first is still in flight. *)
+      let _, _, b2 = submit_raw ~salt:"coalesce" ~port () in
+      let id2 = job_id b2 in
+      check Alcotest.bool "second submission is a distinct job" true
+        (id1 <> id2);
+      let s1, _ = wait_job ~port id1 in
+      let s2, j2 = wait_job ~port id2 in
+      check Alcotest.string "primary done" "done" s1;
+      check Alcotest.string "follower done" "done" s2;
+      check Alcotest.bool "follower did not recompute" true
+        (match jstr j2 "cache" with
+        | Some ("coalesced" | "hit") -> true
+        | _ -> false);
+      check
+        Alcotest.(list (pair string string))
+        "coalesced bytes identical"
+        (fetch_files ~port id1) (fetch_files ~port id2))
+
+(* ------------------------------------------------------------------ *)
+(* Subprocess: prompt cancellation                                     *)
+
+let test_cancel () =
+  with_daemon ~chaos:"pool.task@*=delay:400" ~tag:"daemon_cancel"
+    [ "-j"; "1" ]
+    (fun port ->
+      let _, _, body = submit_raw ~salt:"cancel" ~port () in
+      let id = job_id body in
+      (* Let it reach the scheduler, then cancel. *)
+      Unix.sleepf 0.2;
+      let status, _, _ =
+        http ~meth:"DELETE" ~port (Printf.sprintf "/jobs/%s" id)
+      in
+      check Alcotest.bool "DELETE accepted" true (status = 200);
+      let t0 = Unix.gettimeofday () in
+      let state, _ = wait_job ~port id in
+      check Alcotest.string "job cancelled" "cancelled" state;
+      check Alcotest.bool "cancellation is prompt" true
+        (Unix.gettimeofday () -. t0 < 30.);
+      (* A cancelled job has no fetchable result. *)
+      check Alcotest.int "no result for a cancelled job" 409
+        (http_status ~port (Printf.sprintf "/jobs/%s/result" id));
+      (* Cancelling a finished job is a conflict. *)
+      check Alcotest.int "re-cancel conflicts" 409
+        (http_status ~meth:"DELETE" ~port (Printf.sprintf "/jobs/%s" id));
+      check Alcotest.int "cancel of unknown job is 404" 404
+        (http_status ~meth:"DELETE" ~port "/jobs/j999"))
+
+(* ------------------------------------------------------------------ *)
+(* Subprocess: admission control                                       *)
+
+let test_queue_full () =
+  with_daemon ~chaos:"pool.task@*=delay:400" ~tag:"daemon_full"
+    [ "-j"; "1"; "--queue-cap"; "1" ]
+    (fun port ->
+      (* Fill: one running + one queued (distinct fingerprints so
+         nothing coalesces). *)
+      let _, _, b1 = submit_raw ~salt:"full1" ~port () in
+      let id1 = job_id b1 in
+      (* Wait until the first job is actually running so the second
+         occupies the single queue slot. *)
+      let deadline = Unix.gettimeofday () +. 30. in
+      let rec wait_running () =
+        let j = json_of ~port (Printf.sprintf "/jobs/%s" id1) in
+        match jstr j "state" with
+        | Some "running" -> ()
+        | Some "queued" when Unix.gettimeofday () < deadline ->
+          Unix.sleepf 0.02;
+          wait_running ()
+        | Some other -> Alcotest.failf "first job %s instead of running" other
+        | None -> Alcotest.fail "first job lost"
+      in
+      wait_running ();
+      let s2, _, _ = submit_raw ~salt:"full2" ~port () in
+      check Alcotest.int "second job queues" 202 s2;
+      (* Queue is now at capacity: 429 + Retry-After. *)
+      let status, headers, body = submit_raw ~salt:"full3" ~port () in
+      check Alcotest.int "over-capacity submission is 429" 429 status;
+      check Alcotest.bool "429 carries Retry-After" true
+        (Httpd.header "retry-after" headers <> None);
+      check Alcotest.bool "429 body names the queue" true
+        (contains "queue full" body);
+      check Alcotest.bool "job.rejected counted" true
+        (counter_value ~port "job_rejected" >= 1.);
+      (* The queue endpoint reflects the pressure. *)
+      let q = json_of ~port "/queue" in
+      check Alcotest.bool "queue_cap reported" true
+        (Runlog.member "queue_cap" q = Some (Runlog.Num 1.)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service-smoke"
+    [
+      ( "httpd",
+        [
+          tc "size limits (413), methods (405), POST round-trip"
+            test_httpd_limits;
+        ] );
+      ( "fingerprint",
+        [
+          tc "keyed on content + options, canonicalized line endings"
+            test_fingerprint;
+          tc "POST /jobs wire parser accepts/rejects" test_spec_of_json;
+        ] );
+      ( "rcache",
+        [
+          tc "memory LRU evicts least-recently-used" test_rcache_lru;
+          tc "disk layer round-trips and rejects corruption" test_rcache_disk;
+        ] );
+      ( "daemon",
+        [
+          tc "jobs=1: miss + hit both byte-identical to one-shot; hit skips \
+              pipeline"
+            (test_roundtrip 1);
+          tc "jobs=4: miss + hit both byte-identical to one-shot; hit skips \
+              pipeline"
+            (test_roundtrip 4);
+          tc "concurrent identical submissions coalesce" test_coalesce;
+          tc "DELETE cancels a running job promptly" test_cancel;
+          tc "full queue answers 429 + Retry-After" test_queue_full;
+        ] );
+    ]
